@@ -1,0 +1,43 @@
+// Ablation of eta (Eq. 13's concurrency-and-locality damping factor):
+// "once eta is close to zero, the impact of layered performance mismatch
+// will be small". The bench reports eta and the L2 term's share of the
+// predicted stall across workloads with very different hit/miss overlap.
+#include <cstdio>
+
+#include "common.hpp"
+#include "trace/spec_like.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lpm;
+  benchx::print_banner("bench_ablation_eta",
+                       "Section III eta analysis (Eq. 13 damping)");
+
+  const auto machine = sim::MachineConfig::single_core_default();
+  util::AsciiTable t({"application", "eta1", "pMR/MR", "eta", "LPMR2",
+                      "eta*LPMR2 share of stall", "stall/instr"});
+
+  for (const auto b : trace::all_spec_benchmarks()) {
+    const auto wl = trace::spec_profile(b, 120'000, 23);
+    const auto r = benchx::run_solo(machine, wl);
+    const double eta = core::eta_combined(r.m);
+    const auto lpmr = core::compute_lpmrs(r.m);
+    const double hit_term = r.m.l1.CH() > 0
+                                ? r.m.l1.H() * r.m.fmem / r.m.l1.CH()
+                                : 0.0;
+    const double l2_term = r.m.cpi_exe * eta * lpmr.lpmr2;
+    const double share =
+        hit_term + l2_term > 0 ? l2_term / (hit_term + l2_term) : 0.0;
+    t.add_row({wl.name, benchx::fmt(r.m.l1.eta1(), 3),
+               benchx::fmt(r.m.mr1 > 0 ? r.m.l1.pMR() / r.m.mr1 : 0.0, 3),
+               benchx::fmt(eta, 3), benchx::fmt(lpmr.lpmr2, 2),
+               benchx::fmt(100 * share, 1) + "%",
+               benchx::fmt(r.m.measured_stall_per_instr, 4)});
+    std::printf("measured %s\n", wl.name.c_str());
+  }
+  std::printf("\n%s\n", t.to_string().c_str());
+  std::printf("Shape check: cache-friendly codes (hmmer, namd, bzip2) show\n"
+              "eta near zero - L2 mismatch barely matters to them - while\n"
+              "miss-dominated codes (mcf, milc) carry large eta*LPMR2 terms.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation of the paper's SVII future-work mechanism "selective cache
+// replacement": replacement policies under a program that mixes a hot,
+// heavily reused set with periodic long scans. LRU lets every scan flush
+// the hot set; SRRIP's re-reference predictions keep it resident.
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "sim/system.hpp"
+#include "trace/synthetic.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lpm;
+
+trace::WorkloadProfile scan_reuse_workload() {
+  trace::WorkloadProfile p;
+  p.name = "scan+reuse";
+  p.fmem = 0.40;
+  p.working_set_bytes = 2 << 20;  // scans sweep 2 MB...
+  p.zipf_skew = 1.2;              // ...but reuse concentrates on a hot set
+  p.seq_fraction = 0.0;           // calm phases: pure hot-set reuse
+  p.num_streams = 1;
+  p.stride_bytes = 64;            // scan bursts walk whole blocks
+  p.phase_length = 800;
+  p.burst_duty = 0.30;
+  p.burst_fmem = 0.50;
+  p.burst_seq_fraction = 1.0;     // burst phases: pure scanning
+  p.length = 250'000;
+  p.seed = 33;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_banner("bench_ablation_replacement",
+                       "SVII future work: selective cache replacement "
+                       "(scan-resistant policies)");
+
+  util::AsciiTable t({"L1 policy", "IPC", "L1 miss rate", "L1 C-AMAT",
+                      "data stall/instr", "cycles"});
+  for (const auto policy :
+       {mem::ReplacementPolicy::kLru, mem::ReplacementPolicy::kFifo,
+        mem::ReplacementPolicy::kRandom, mem::ReplacementPolicy::kPlru,
+        mem::ReplacementPolicy::kSrrip}) {
+    auto machine = sim::MachineConfig::single_core_default();
+    machine.l1.replacement = policy;
+    machine.l1.prefetch_degree = 0;  // isolate the replacement effect
+    const auto r = benchx::run_solo(machine, scan_reuse_workload());
+    t.add_row({mem::to_string(policy), benchx::fmt(1.0 / r.m.measured_cpi, 3),
+               benchx::fmt(r.m.mr1, 4), benchx::fmt(r.m.l1.camat(), 3),
+               benchx::fmt(r.m.measured_stall_per_instr, 4),
+               std::to_string(r.run.cycles)});
+    std::printf("evaluated %s\n", mem::to_string(policy));
+  }
+  std::printf("\n%s\n", t.to_string().c_str());
+  std::printf("Reading: the scan-resistant policy (srrip) retains the hot\n"
+              "set across scans - lower miss rate and C-AMAT than recency-\n"
+              "based policies, which a locality-only model cannot explain\n"
+              "but the C-AMAT/LPM counters surface directly.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Regenerates Table I: LPMRs under configurations with incremental
+// parallelism (A..E) for the 410.bwaves-like workload, plus the LPM
+// algorithm's walk through the design space (Case Study I).
+//
+// Expected shape (paper): LPMR1 falls monotonically A -> D (8.1 -> 1.2);
+// E is the over-provision-trimmed D (1.4) with lower hardware cost. Our
+// substrate is a different machine, so absolute values differ; the bench
+// prints paper values next to measured ones.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/design_space.hpp"
+#include "core/lpm_algorithm.hpp"
+#include "trace/spec_like.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lpm;
+  benchx::print_banner("bench_table1_lpmr_configs",
+                       "Table I (LPMRs under configurations A-E) + Case Study I");
+
+  const auto workload =
+      trace::spec_profile(trace::SpecBenchmark::kBwaves, 1'000'000, 17);
+  const auto base = sim::MachineConfig::single_core_default();
+
+  core::DesignSpaceExplorer explorer(base, workload, core::KnobLevels::standard(),
+                                     core::ArchKnobs::config_a(),
+                                     core::kCoarseGrainedDelta);
+
+  struct Column {
+    const char* name;
+    core::ArchKnobs knobs;
+    double paper_lpmr1, paper_lpmr2, paper_lpmr3;
+  };
+  const Column columns[] = {
+      {"A", core::ArchKnobs::config_a(), 8.1, 9.6, 6.4},
+      {"B", core::ArchKnobs::config_b(), 6.2, 9.3, 8.1},
+      {"C", core::ArchKnobs::config_c(), 2.1, 3.1, 5.8},
+      {"D", core::ArchKnobs::config_d(), 1.2, 1.6, 2.3},
+      {"E", core::ArchKnobs::config_e(), 1.4, 1.9, 2.6},
+  };
+
+  util::AsciiTable t({"configuration", "A", "B", "C", "D", "E"});
+  std::vector<std::string> rows[12];
+  const char* labels[12] = {
+      "pipeline issue width", "IW size",          "ROB size",
+      "L1 cache port number", "MSHR numbers",     "L2 cache interleaving",
+      "LPMR1 (paper)",        "LPMR1 (measured)", "LPMR2 (paper | measured)",
+      "LPMR3 (paper | measured)", "stall/instr (cycles)", "stall / CPIexe"};
+  for (int i = 0; i < 12; ++i) rows[i].push_back(labels[i]);
+
+  for (const Column& c : columns) {
+    const core::AppMeasurement& m = explorer.evaluate(c.knobs);
+    const core::LpmrSet lpmr = core::compute_lpmrs(m);
+    rows[0].push_back(std::to_string(c.knobs.issue_width));
+    rows[1].push_back(std::to_string(c.knobs.iw_size));
+    rows[2].push_back(std::to_string(c.knobs.rob_size));
+    rows[3].push_back(std::to_string(c.knobs.l1_ports));
+    rows[4].push_back(std::to_string(c.knobs.mshr_entries));
+    rows[5].push_back(std::to_string(c.knobs.l2_interleave));
+    rows[6].push_back(benchx::fmt(c.paper_lpmr1, 1));
+    rows[7].push_back(benchx::fmt(lpmr.lpmr1, 2));
+    rows[8].push_back(benchx::fmt(c.paper_lpmr2, 1) + " | " +
+                      benchx::fmt(lpmr.lpmr2, 2));
+    rows[9].push_back(benchx::fmt(c.paper_lpmr3, 1) + " | " +
+                      benchx::fmt(lpmr.lpmr3, 2));
+    rows[10].push_back(benchx::fmt(m.measured_stall_per_instr, 4));
+    rows[11].push_back(benchx::fmt(m.measured_stall_per_instr / m.cpi_exe, 3));
+  }
+  for (auto& row : rows) t.add_row(row);
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Shape check: LPMR1 decreases A->D; E (trimmed D) costs %.0f vs\n"
+              "%.0f hardware units while staying close to D's matching.\n\n",
+              core::ArchKnobs::config_e().hardware_cost(),
+              core::ArchKnobs::config_d().hardware_cost());
+
+  // --- Case Study I: the LPM algorithm walks the space from A. ---
+  std::printf("LPM algorithm walk (coarse-grained, from configuration A):\n");
+  core::LpmAlgorithmConfig acfg;
+  acfg.delta_percent = core::kCoarseGrainedDelta;
+  acfg.max_iterations = 20;
+  acfg.trim_overprovision = true;
+  const core::LpmAlgorithm algorithm(acfg);
+  const core::LpmOutcome outcome = algorithm.run(explorer);
+
+  util::AsciiTable walk({"iter", "action", "LPMR1", "T1", "LPMR2", "T2",
+                         "stall/CPIexe", "configuration"});
+  for (const auto& step : outcome.steps) {
+    walk.add_row({std::to_string(step.iteration), core::to_string(step.action),
+                  benchx::fmt(step.observation.lpmr.lpmr1, 2),
+                  benchx::fmt(step.observation.t1, 2),
+                  benchx::fmt(step.observation.lpmr.lpmr2, 2),
+                  benchx::fmt(step.observation.t2, 2),
+                  benchx::fmt(step.observation.stall_per_instr /
+                                  step.observation.cpi_exe, 3),
+                  step.observation.config_label});
+  }
+  std::printf("%s\n", walk.to_string().c_str());
+  std::printf(
+      "converged=%s exhausted=%s | configurations simulated: %zu of %llu\n"
+      "(the LPM algorithm explores a vanishing fraction of the 10^6 space)\n"
+      "reconfiguration operations: %llu (cost %llu cycles at 4 cycles each)\n",
+      outcome.converged ? "yes" : "no", outcome.exhausted ? "yes" : "no",
+      explorer.configs_evaluated(),
+      static_cast<unsigned long long>(core::KnobLevels::standard().space_size()),
+      static_cast<unsigned long long>(explorer.reconfigurations()),
+      static_cast<unsigned long long>(explorer.reconfiguration_cost_cycles()));
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::benchx {
+
+WorkloadRun run_solo(const sim::MachineConfig& machine,
+                     const trace::WorkloadProfile& workload) {
+  WorkloadRun out;
+  trace::SyntheticTrace calib_trace(workload);
+  out.calib = sim::measure_cpi_exe(machine, calib_trace);
+
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
+  sim::System system(machine, std::move(traces));
+  out.run = system.run();
+  util::require(out.run.completed, "bench run hit max_cycles");
+  out.m = core::AppMeasurement::from_run(out.run, out.calib, 0, workload.name);
+  return out;
+}
+
+void print_banner(const std::string& bench, const std::string& artefact,
+                  const std::string& notes) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", bench.c_str());
+  std::printf("Reproduces: %s\n", artefact.c_str());
+  std::printf("Paper: LPM: Concurrency-driven Layered Performance Matching, ICPP'15\n");
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("==============================================================\n");
+}
+
+std::string fmt(double v, int precision) {
+  return util::AsciiTable::fmt(v, precision);
+}
+
+}  // namespace lpm::benchx

@@ -1,0 +1,33 @@
+// Shared helpers for the reproduction benches: every bench prints the same
+// rows/series the paper reports, with a header pointing at the paper
+// artefact it regenerates.
+#pragma once
+
+#include <string>
+
+#include "core/lpm_model.hpp"
+#include "sim/system.hpp"
+#include "trace/workload_profile.hpp"
+#include "util/table.hpp"
+
+namespace lpm::benchx {
+
+struct WorkloadRun {
+  core::AppMeasurement m;
+  sim::SystemResult run;
+  sim::CpiExeResult calib;
+};
+
+/// Runs `workload` solo on `machine` (plus a perfect-cache calibration) and
+/// gathers the LPM measurement.
+WorkloadRun run_solo(const sim::MachineConfig& machine,
+                     const trace::WorkloadProfile& workload);
+
+/// Prints the standard bench banner.
+void print_banner(const std::string& bench, const std::string& artefact,
+                  const std::string& notes = "");
+
+/// Formats a double with `precision` decimals.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace lpm::benchx

@@ -1,0 +1,55 @@
+#include "camat/fig1.hpp"
+
+namespace lpm::camat {
+
+CamatMetrics replay_fig1(Analyzer& a) {
+  // Event schedule per cycle boundary: completions first, then starts, then
+  // the activity sample for the cycle (matching how the cache drives the
+  // probe: tick(c+1) samples cycle c after all cycle-c mutations).
+  //
+  //   cycle:        1  2  3  4  5  6  7  8
+  //   hit_active:   2  2  4  3  3  1  0  0
+  //
+  // A1: lookup 1-3 hit; A2: lookup 1-3 hit; A3: lookup 3-5, miss 6-8;
+  // A4: lookup 3-5, miss 6; A5: lookup 4-6 hit.
+  constexpr RequestId A1 = 1, A2 = 2, A3 = 3, A4 = 4, A5 = 5;
+
+  // cycle 1
+  a.on_access(A1, 1, false);
+  a.on_access(A2, 1, false);
+  a.on_cycle_activity(1, 2);
+  // cycle 2
+  a.on_cycle_activity(2, 2);
+  // cycle 3
+  a.on_access(A3, 3, false);
+  a.on_access(A4, 3, false);
+  a.on_cycle_activity(3, 4);
+  // cycle 4: A1, A2 completed their lookups at the cycle-3/4 boundary
+  a.on_hit(A1, 4);
+  a.on_hit(A2, 4);
+  a.on_access(A5, 4, false);
+  a.on_cycle_activity(4, 3);
+  // cycle 5
+  a.on_cycle_activity(5, 3);
+  // cycle 6: A3/A4 lookups resolved as misses at the 5/6 boundary
+  a.on_miss(A3, 6);
+  a.on_miss(A4, 6);
+  a.on_cycle_activity(6, 1);
+  // cycle 7: A5 hit completes; A4's data arrived (1 miss cycle)
+  a.on_hit(A5, 7);
+  a.on_miss_done(A4, 7);
+  a.on_cycle_activity(7, 0);
+  // cycle 8
+  a.on_cycle_activity(8, 0);
+  // boundary 8/9: A3's data arrives (miss cycles 6,7,8)
+  a.on_miss_done(A3, 9);
+
+  return a.metrics();
+}
+
+CamatMetrics fig1_metrics() {
+  Analyzer a("fig1");
+  return replay_fig1(a);
+}
+
+}  // namespace lpm::camat

@@ -1,0 +1,23 @@
+// Replays the paper's Fig. 1 five-access scenario through the Analyzer.
+//
+// The timeline (reconstructed from the paper's arithmetic):
+//   accesses A1..A5, each with a 3-cycle hit phase;
+//   A1,A2 hit (cycles 1-3); A3,A4 lookup cycles 3-5 and miss;
+//   A5 hit (cycles 4-6); A4's single miss cycle (6) overlaps A5's hit;
+//   A3's miss cycles are 6,7,8 - cycle 6 overlaps A5's hit, 7-8 are pure.
+// Expected: C-AMAT = 1.6, AMAT = 3.8, C_H = 5/2, C_M = 1, pAMP = 2,
+// pMR = 1/5, hit phases (2,4,3,1) lasting (2,1,2,1) cycles.
+#pragma once
+
+#include "camat/analyzer.hpp"
+#include "camat/metrics.hpp"
+
+namespace lpm::camat {
+
+/// Drives `analyzer` with the Fig. 1 event sequence and returns its metrics.
+CamatMetrics replay_fig1(Analyzer& analyzer);
+
+/// Convenience: replay into a fresh analyzer.
+[[nodiscard]] CamatMetrics fig1_metrics();
+
+}  // namespace lpm::camat

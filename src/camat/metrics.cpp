@@ -1,0 +1,87 @@
+#include "camat/metrics.hpp"
+
+#include <sstream>
+
+namespace lpm::camat {
+
+namespace {
+[[nodiscard]] double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double CamatMetrics::H() const { return ratio(hit_phase_access_cycles, accesses); }
+
+double CamatMetrics::CH() const { return ratio(hit_access_cycles, hit_cycles); }
+
+double CamatMetrics::pMR() const { return ratio(pure_misses, accesses); }
+
+double CamatMetrics::pAMP() const { return ratio(pure_access_cycles, pure_misses); }
+
+double CamatMetrics::CM() const { return ratio(pure_access_cycles, pure_miss_cycles); }
+
+double CamatMetrics::MR() const { return ratio(misses, accesses); }
+
+double CamatMetrics::AMP() const { return ratio(total_miss_latency, misses); }
+
+double CamatMetrics::Cm() const { return ratio(miss_access_cycles, miss_cycles); }
+
+double CamatMetrics::apc() const { return ratio(accesses, active_cycles); }
+
+double CamatMetrics::camat() const { return ratio(active_cycles, accesses); }
+
+double CamatMetrics::camat_eq2() const {
+  return lpm::camat::camat_eq2(H(), CH(), pMR(), pAMP(), CM());
+}
+
+double CamatMetrics::amat() const { return amat_eq1(H(), MR(), AMP()); }
+
+double CamatMetrics::eta1() const {
+  const double amp = AMP();
+  const double cm_pure = CM();
+  if (amp <= 0.0 || cm_pure <= 0.0) return 0.0;
+  return (pAMP() / amp) * (Cm() / cm_pure);
+}
+
+CamatMetrics CamatMetrics::minus(const CamatMetrics& earlier) const {
+  CamatMetrics d;
+  d.accesses = accesses - earlier.accesses;
+  d.hits = hits - earlier.hits;
+  d.misses = misses - earlier.misses;
+  d.pure_misses = pure_misses - earlier.pure_misses;
+  d.active_cycles = active_cycles - earlier.active_cycles;
+  d.hit_cycles = hit_cycles - earlier.hit_cycles;
+  d.miss_cycles = miss_cycles - earlier.miss_cycles;
+  d.pure_miss_cycles = pure_miss_cycles - earlier.pure_miss_cycles;
+  d.hit_phase_access_cycles = hit_phase_access_cycles - earlier.hit_phase_access_cycles;
+  d.miss_access_cycles = miss_access_cycles - earlier.miss_access_cycles;
+  d.pure_access_cycles = pure_access_cycles - earlier.pure_access_cycles;
+  d.hit_access_cycles = hit_access_cycles - earlier.hit_access_cycles;
+  d.total_miss_latency = total_miss_latency - earlier.total_miss_latency;
+  return d;
+}
+
+std::string CamatMetrics::summary() const {
+  std::ostringstream os;
+  os << "accesses=" << accesses << " C-AMAT=" << camat() << " AMAT=" << amat()
+     << " H=" << H() << " CH=" << CH() << " pMR=" << pMR() << " pAMP=" << pAMP()
+     << " CM=" << CM() << " MR=" << MR() << " AMP=" << AMP() << " Cm=" << Cm()
+     << " eta1=" << eta1();
+  return os.str();
+}
+
+double amat_eq1(double H, double MR, double AMP) { return H + MR * AMP; }
+
+double camat_eq2(double H, double CH, double pMR, double pAMP, double CM) {
+  const double hit_part = CH > 0.0 ? H / CH : 0.0;
+  const double miss_part = CM > 0.0 ? pMR * pAMP / CM : 0.0;
+  return hit_part + miss_part;
+}
+
+double camat_recursion_eq4(double H1, double CH1, double pMR1, double eta1,
+                           double camat2) {
+  const double hit_part = CH1 > 0.0 ? H1 / CH1 : 0.0;
+  return hit_part + pMR1 * eta1 * camat2;
+}
+
+}  // namespace lpm::camat

@@ -1,0 +1,61 @@
+// Value types for C-AMAT / AMAT metrics (paper §II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lpm::camat {
+
+/// The measured C-AMAT parameter set of one memory layer over one
+/// measurement window, plus the conventional AMAT quantities needed for
+/// eta (Eq. 4) and the LPM model.
+struct CamatMetrics {
+  // --- raw counters ---
+  std::uint64_t accesses = 0;      ///< demand accesses observed
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        ///< conventional misses
+  std::uint64_t pure_misses = 0;   ///< misses with >= 1 pure-miss cycle
+  std::uint64_t active_cycles = 0;     ///< cycles with any hit or miss activity
+  std::uint64_t hit_cycles = 0;        ///< cycles with >= 1 access in hit phase
+  std::uint64_t miss_cycles = 0;       ///< cycles with >= 1 outstanding miss
+  std::uint64_t pure_miss_cycles = 0;  ///< miss cycles with zero hit activity
+  std::uint64_t hit_phase_access_cycles = 0;   ///< sum of per-access hit-phase lengths
+  std::uint64_t miss_access_cycles = 0;        ///< sum over cycles of outstanding count
+  std::uint64_t pure_access_cycles = 0;        ///< sum of per-access pure-miss cycles
+  std::uint64_t hit_access_cycles = 0;         ///< sum over cycles of hit-phase count
+  std::uint64_t total_miss_latency = 0;        ///< sum of (fill - miss_start)
+
+  // --- the five C-AMAT parameters (Eq. 2) ---
+  [[nodiscard]] double H() const;     ///< mean hit-phase length per access
+  [[nodiscard]] double CH() const;    ///< hit concurrency
+  [[nodiscard]] double pMR() const;   ///< pure miss rate
+  [[nodiscard]] double pAMP() const;  ///< mean pure-miss cycles per pure miss
+  [[nodiscard]] double CM() const;    ///< pure miss concurrency
+
+  // --- conventional quantities ---
+  [[nodiscard]] double MR() const;    ///< miss rate
+  [[nodiscard]] double AMP() const;   ///< average miss penalty
+  [[nodiscard]] double Cm() const;    ///< conventional miss concurrency
+
+  // --- composites ---
+  [[nodiscard]] double apc() const;       ///< accesses per memory-active cycle (Eq. 3)
+  [[nodiscard]] double camat() const;     ///< 1/APC = active cycles per access
+  [[nodiscard]] double camat_eq2() const; ///< H/CH + pMR * pAMP/CM
+  [[nodiscard]] double amat() const;      ///< H + MR * AMP (Eq. 1)
+  [[nodiscard]] double eta1() const;      ///< (pAMP/AMP) * (Cm/CM) (Eq. 4)
+
+  /// Counter-wise difference (this - earlier); used for interval snapshots.
+  [[nodiscard]] CamatMetrics minus(const CamatMetrics& earlier) const;
+
+  /// One-line summary for logs and benches.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Closed-form helpers, usable without a measurement (model-side math).
+[[nodiscard]] double amat_eq1(double H, double MR, double AMP);
+[[nodiscard]] double camat_eq2(double H, double CH, double pMR, double pAMP, double CM);
+/// Eq. 4 right-hand side: C-AMAT1 from the L2 C-AMAT.
+[[nodiscard]] double camat_recursion_eq4(double H1, double CH1, double pMR1,
+                                         double eta1, double camat2);
+
+}  // namespace lpm::camat

@@ -1,0 +1,78 @@
+#include "camat/whatif.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lpm::camat {
+
+WhatIf WhatIf::more_hit_concurrency(double factor) {
+  WhatIf w;
+  w.ch_scale = factor;
+  return w;
+}
+WhatIf WhatIf::more_miss_concurrency(double factor) {
+  WhatIf w;
+  w.cm_scale = factor;
+  return w;
+}
+WhatIf WhatIf::fewer_pure_misses(double factor) {
+  WhatIf w;
+  w.pmr_scale = factor;
+  return w;
+}
+WhatIf WhatIf::shorter_penalty(double factor) {
+  WhatIf w;
+  w.pamp_scale = factor;
+  return w;
+}
+WhatIf WhatIf::faster_hits(double factor) {
+  WhatIf w;
+  w.h_scale = factor;
+  return w;
+}
+
+void WhatIf::validate() const {
+  util::require(h_scale > 0 && ch_scale > 0 && pmr_scale > 0 &&
+                    pamp_scale > 0 && cm_scale > 0,
+                "WhatIf: scales must be positive");
+}
+
+double predict_camat(const CamatMetrics& m, const WhatIf& w) {
+  w.validate();
+  return camat_eq2(m.H() * w.h_scale, m.CH() * w.ch_scale,
+                   m.pMR() * w.pmr_scale, m.pAMP() * w.pamp_scale,
+                   m.CM() * w.cm_scale);
+}
+
+double predict_stall_per_instr(const CamatMetrics& m, const WhatIf& w,
+                               double fmem, double overlap_ratio) {
+  return fmem * predict_camat(m, w) * (1.0 - overlap_ratio);
+}
+
+const char* SensitivityReport::best() const {
+  const double m = std::max({h_gain, ch_gain, pmr_gain, pamp_gain, cm_gain});
+  if (m == ch_gain) return "C_H";
+  if (m == cm_gain) return "C_M";
+  if (m == pmr_gain) return "pMR";
+  if (m == pamp_gain) return "pAMP";
+  return "H";
+}
+
+SensitivityReport sensitivity(const CamatMetrics& m, double factor) {
+  util::require(factor > 1.0, "sensitivity: factor must exceed 1");
+  const double base = m.camat_eq2();
+  SensitivityReport r;
+  if (base <= 0.0) return r;
+  const auto gain = [&](const WhatIf& w) {
+    return (base - predict_camat(m, w)) / base;
+  };
+  r.h_gain = gain(WhatIf::faster_hits(1.0 / factor));
+  r.ch_gain = gain(WhatIf::more_hit_concurrency(factor));
+  r.pmr_gain = gain(WhatIf::fewer_pure_misses(1.0 / factor));
+  r.pamp_gain = gain(WhatIf::shorter_penalty(1.0 / factor));
+  r.cm_gain = gain(WhatIf::more_miss_concurrency(factor));
+  return r;
+}
+
+}  // namespace lpm::camat

@@ -1,0 +1,58 @@
+// What-if analysis over the five C-AMAT parameters (paper §II: "the five
+// parameters in C-AMAT present five dimensions for memory system
+// optimization"). Given a measured parameter set, predict C-AMAT and data
+// stall under hypothetical improvements - the quantitative guidance LPM
+// gives before any hardware is touched.
+#pragma once
+
+#include "camat/metrics.hpp"
+
+namespace lpm::camat {
+
+/// Multiplicative adjustments to the five C-AMAT parameters. 1.0 = leave
+/// as measured. Concurrency knobs (C_H, C_M) scale up to improve; latency
+/// and rate knobs (H, pMR, pAMP) scale down to improve.
+struct WhatIf {
+  double h_scale = 1.0;
+  double ch_scale = 1.0;
+  double pmr_scale = 1.0;
+  double pamp_scale = 1.0;
+  double cm_scale = 1.0;
+
+  /// Named single-dimension scenarios.
+  [[nodiscard]] static WhatIf more_hit_concurrency(double factor);   // C_H *= f
+  [[nodiscard]] static WhatIf more_miss_concurrency(double factor);  // C_M *= f
+  [[nodiscard]] static WhatIf fewer_pure_misses(double factor);      // pMR *= f
+  [[nodiscard]] static WhatIf shorter_penalty(double factor);        // pAMP *= f
+  [[nodiscard]] static WhatIf faster_hits(double factor);            // H *= f
+
+  void validate() const;  ///< throws util::LpmError on non-positive scales
+};
+
+/// Eq. 2 with the adjusted parameters.
+[[nodiscard]] double predict_camat(const CamatMetrics& measured, const WhatIf& w);
+
+/// Eq. 7 with the adjusted C-AMAT (overlap ratio and fmem held fixed).
+[[nodiscard]] double predict_stall_per_instr(const CamatMetrics& measured,
+                                             const WhatIf& w, double fmem,
+                                             double overlap_ratio);
+
+/// Sensitivity: relative C-AMAT reduction from improving each dimension by
+/// `factor` alone (factor > 1; concurrency scaled up by factor, H/pMR/pAMP
+/// scaled down by 1/factor). Returns the five gains in parameter order
+/// {H, C_H, pMR, pAMP, C_M}; the largest entry is the dimension the model
+/// recommends attacking first.
+struct SensitivityReport {
+  double h_gain = 0.0;
+  double ch_gain = 0.0;
+  double pmr_gain = 0.0;
+  double pamp_gain = 0.0;
+  double cm_gain = 0.0;
+
+  /// Name of the most profitable dimension.
+  [[nodiscard]] const char* best() const;
+};
+[[nodiscard]] SensitivityReport sensitivity(const CamatMetrics& measured,
+                                            double factor = 2.0);
+
+}  // namespace lpm::camat

@@ -1,0 +1,121 @@
+// Case Study I substrate: the reconfigurable-architecture design space.
+//
+// Six knobs (Table I): pipeline issue width, instruction-window size, ROB
+// size, L1 port count, MSHR entries, and L2 interleaving (banks). With ten
+// levels per knob the space holds 10^6 configurations - far too many to
+// search exhaustively, which is exactly the paper's argument for letting the
+// LPM algorithm steer the walk.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/lpm_algorithm.hpp"
+#include "sim/machine_config.hpp"
+#include "trace/workload_profile.hpp"
+
+namespace lpm::core {
+
+struct ArchKnobs {
+  std::uint32_t issue_width = 4;
+  std::uint32_t iw_size = 32;
+  std::uint32_t rob_size = 32;
+  std::uint32_t l1_ports = 1;
+  std::uint32_t mshr_entries = 4;
+  std::uint32_t l2_interleave = 4;
+
+  /// Applies the knobs onto a base machine (issue/dispatch/commit widths
+  /// move together; L1 MSHRs get the knob, L2 MSHRs scale with it).
+  [[nodiscard]] sim::MachineConfig apply(sim::MachineConfig base) const;
+
+  /// Relative silicon cost in arbitrary units; drives over-provision
+  /// trimming (cheaper config preferred among those meeting the target).
+  [[nodiscard]] double hardware_cost() const;
+
+  [[nodiscard]] std::string label() const;
+  [[nodiscard]] bool operator==(const ArchKnobs&) const = default;
+  [[nodiscard]] auto operator<=>(const ArchKnobs&) const = default;
+
+  // Table I columns.
+  [[nodiscard]] static ArchKnobs config_a();
+  [[nodiscard]] static ArchKnobs config_b();
+  [[nodiscard]] static ArchKnobs config_c();
+  [[nodiscard]] static ArchKnobs config_d();
+  [[nodiscard]] static ArchKnobs config_e();
+};
+
+/// Allowed values per knob (ten levels each, Table-I values included).
+struct KnobLevels {
+  std::vector<std::uint32_t> issue_width;
+  std::vector<std::uint32_t> iw_size;
+  std::vector<std::uint32_t> rob_size;
+  std::vector<std::uint32_t> l1_ports;
+  std::vector<std::uint32_t> mshr_entries;
+  std::vector<std::uint32_t> l2_interleave;
+
+  [[nodiscard]] static KnobLevels standard();
+  [[nodiscard]] std::uint64_t space_size() const;
+};
+
+/// Runs the workload on a knob configuration and returns its measurement;
+/// memoizes by configuration. The unit the LPM algorithm drives in Case
+/// Study I.
+class DesignSpaceExplorer final : public LpmTunable {
+ public:
+  DesignSpaceExplorer(sim::MachineConfig base, trace::WorkloadProfile workload,
+                      KnobLevels levels, ArchKnobs start,
+                      double delta_percent = kFineGrainedDelta);
+
+  // --- LpmTunable ---
+  LpmObservation measure() override;
+  bool optimize_l1() override;
+  bool optimize_l2() override;
+  bool reduce_overprovision() override;
+
+  [[nodiscard]] const ArchKnobs& current() const { return knobs_; }
+  void set_delta_percent(double delta) { delta_percent_ = delta; }
+  [[nodiscard]] double delta_percent() const { return delta_percent_; }
+
+  /// Evaluates an arbitrary configuration (memoized); used by the Table-I
+  /// bench to print the fixed A-E columns.
+  [[nodiscard]] const AppMeasurement& evaluate(const ArchKnobs& knobs);
+
+  /// Configurations simulated so far (cache size = distinct configs).
+  [[nodiscard]] std::size_t configs_evaluated() const { return memo_.size(); }
+  /// Reconfiguration operations applied (paper: 4 cycles each).
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfig_ops_; }
+  [[nodiscard]] std::uint64_t reconfiguration_cost_cycles() const {
+    return reconfig_ops_ * kReconfigCostCycles;
+  }
+
+  static constexpr std::uint64_t kReconfigCostCycles = 4;
+
+ private:
+  struct Evaluation {
+    AppMeasurement measurement;
+    std::uint64_t l1_rejections = 0;
+    std::uint64_t l1_mshr_wait_cycles = 0;
+    std::uint64_t l1_misses = 0;
+  };
+
+  const Evaluation& evaluate_full(const ArchKnobs& knobs);
+  [[nodiscard]] LpmObservation observe(const ArchKnobs& knobs);
+  /// Next level above `value` in `levels` (returns value if already max).
+  [[nodiscard]] static std::uint32_t step_up(const std::vector<std::uint32_t>& levels,
+                                             std::uint32_t value);
+  [[nodiscard]] static std::uint32_t step_down(const std::vector<std::uint32_t>& levels,
+                                               std::uint32_t value);
+  void apply_knobs(const ArchKnobs& next);
+
+  sim::MachineConfig base_;
+  trace::WorkloadProfile workload_;
+  KnobLevels levels_;
+  ArchKnobs knobs_;
+  double delta_percent_;
+  std::map<ArchKnobs, Evaluation> memo_;
+  std::uint64_t reconfig_ops_ = 0;
+};
+
+}  // namespace lpm::core

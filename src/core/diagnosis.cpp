@@ -1,0 +1,131 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lpm::core {
+
+const char* to_string(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kMatched: return "matched";
+    case Bottleneck::kL1Ports: return "L1-ports";
+    case Bottleneck::kMshrParallelism: return "MSHR-parallelism";
+    case Bottleneck::kWindow: return "window (ROB/IW)";
+    case Bottleneck::kIssueBandwidth: return "issue-bandwidth";
+    case Bottleneck::kL2Layer: return "L2-layer";
+    case Bottleneck::kMemoryLayer: return "memory-layer";
+  }
+  return "?";
+}
+
+std::string Diagnosis::narrative() const {
+  std::ostringstream os;
+  os << "LPMR1=" << lpmr.lpmr1 << " (T1=" << t1 << "), LPMR2=" << lpmr.lpmr2
+     << " (T2=" << t2 << "), LPMR3=" << lpmr.lpmr3 << "\n";
+  if (findings.empty()) {
+    os << "  layered performance is matched; no action needed\n";
+    return os.str();
+  }
+  for (const Finding& f : findings) {
+    os << "  [" << to_string(f.what) << " severity " << f.severity << "] "
+       << f.evidence << "\n";
+  }
+  return os.str();
+}
+
+Diagnosis diagnose(const AppMeasurement& m, const HardwareContext& hw,
+                   double delta_percent) {
+  Diagnosis d;
+  d.lpmr = compute_lpmrs(m);
+  d.t1 = threshold_t1(delta_percent, m.overlap_ratio);
+  d.t2 = threshold_t2(delta_percent, m);
+
+  if (d.lpmr.lpmr1 <= d.t1) {
+    return d;  // matched: no findings
+  }
+
+  const auto add = [&](Bottleneck what, double severity,
+                       std::string evidence) {
+    if (severity > 0.0) {
+      d.findings.push_back(Finding{what, severity, std::move(evidence)});
+    }
+  };
+
+  // L1 port starvation: access bounces per access.
+  if (m.l1.accesses > 0 && hw.l1_rejections > 0) {
+    const double rej = static_cast<double>(hw.l1_rejections) /
+                       static_cast<double>(m.l1.accesses);
+    std::ostringstream ev;
+    ev << rej << " rejections per access at " << hw.l1_ports << " port(s)";
+    add(Bottleneck::kL1Ports, 10.0 * rej, ev.str());
+  }
+
+  // MSHR saturation: waits per miss, or measured miss concurrency pressing
+  // against the MSHR count.
+  {
+    double severity = 0.0;
+    std::ostringstream ev;
+    if (hw.l1_misses > 0 && hw.l1_mshr_wait_cycles > 0) {
+      const double wait = static_cast<double>(hw.l1_mshr_wait_cycles) /
+                          static_cast<double>(hw.l1_misses);
+      severity = std::max(severity, wait);
+      ev << wait << " MSHR-wait cycles per miss";
+    }
+    if (hw.mshr_entries > 0 &&
+        m.l1.Cm() > 0.8 * static_cast<double>(hw.mshr_entries)) {
+      severity = std::max(severity, 1.0);
+      if (ev.tellp() > 0) ev << "; ";
+      ev << "C_m " << m.l1.Cm() << " presses against " << hw.mshr_entries
+         << " MSHRs";
+    }
+    add(Bottleneck::kMshrParallelism, severity, ev.str());
+  }
+
+  // Window-bound: the program stalls on memory yet miss concurrency stays
+  // low without MSHR pressure - the OoO engine cannot expose more misses.
+  if (hw.mshr_entries > 0 &&
+      m.l1.Cm() < 0.5 * static_cast<double>(hw.mshr_entries) &&
+      m.measured_stall_per_instr > 0.1 * m.cpi_exe) {
+    std::ostringstream ev;
+    ev << "C_m " << m.l1.Cm() << " well under " << hw.mshr_entries
+       << " MSHRs while stalled: window too small to expose MLP";
+    add(Bottleneck::kWindow, m.measured_stall_per_instr / m.cpi_exe, ev.str());
+  }
+
+  // L2 layer: Fig. 3's Case-I condition. A non-positive T2 means the L1
+  // hit path alone (H*fmem/C_H) already exceeds the stall budget - no L2
+  // improvement can meet it, so the blame stays with the L1-side findings.
+  if (std::isfinite(d.t2) && d.t2 > 0.0 && d.lpmr.lpmr2 > d.t2) {
+    std::ostringstream ev;
+    ev << "LPMR2 " << d.lpmr.lpmr2 << " exceeds T2 " << d.t2
+       << ": optimize the L2 layer simultaneously (Case I)";
+    add(Bottleneck::kL2Layer, std::min(d.lpmr.lpmr2 / d.t2, 100.0), ev.str());
+  }
+
+  // Memory layer: LPMR3 comparable to LPMR2 means penalties originate in
+  // DRAM, which no cache-side knob fixes.
+  if (d.lpmr.lpmr3 > 0.5 * d.lpmr.lpmr2 && d.lpmr.lpmr3 > d.t1) {
+    std::ostringstream ev;
+    ev << "LPMR3 " << d.lpmr.lpmr3 << " within 2x of LPMR2: penalties "
+       << "originate at main memory (banking/bandwidth)";
+    add(Bottleneck::kMemoryLayer, d.lpmr.lpmr3, ev.str());
+  }
+
+  std::stable_sort(d.findings.begin(), d.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.severity > b.severity;
+                   });
+  if (d.findings.empty()) {
+    // Mismatched but no structural signal: compute demand itself outruns
+    // the memory system; more issue width will not help.
+    Finding f;
+    f.what = Bottleneck::kIssueBandwidth;
+    f.severity = d.lpmr.lpmr1 / d.t1;
+    f.evidence = "LPMR1 above threshold with no port/MSHR/window signal";
+    d.findings.push_back(f);
+  }
+  return d;
+}
+
+}  // namespace lpm::core

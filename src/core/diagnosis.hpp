@@ -1,0 +1,63 @@
+// Layer/bottleneck diagnosis: the LPM model "presents guidance on when and
+// how to use existing locality and concurrency driven techniques
+// collectively" (paper §I). Given one application measurement plus the
+// hardware back-pressure counters, rank what is binding and say what to do
+// about it. The design-space explorer consumes the top recommendation; the
+// examples print the narrative.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lpm_model.hpp"
+
+namespace lpm::core {
+
+enum class Bottleneck {
+  kMatched,          ///< LPMR1 within threshold: nothing to do
+  kL1Ports,          ///< accesses bounce off the L1 ports (C_H starved)
+  kMshrParallelism,  ///< misses serialize on MSHRs (C_M / C_m capped)
+  kWindow,           ///< ROB/IW too small to expose the program's MLP
+  kIssueBandwidth,   ///< compute demand capped before memory is the issue
+  kL2Layer,          ///< LPMR2 above T2: the L2 layer must improve too
+  kMemoryLayer,      ///< LPMR3 dominates: DRAM-side (bandwidth/banking)
+};
+
+[[nodiscard]] const char* to_string(Bottleneck b);
+
+/// Structural facts the pure model cannot see; all optional (0 = unknown).
+struct HardwareContext {
+  std::uint32_t mshr_entries = 0;
+  std::uint32_t l1_ports = 0;
+  std::uint32_t rob_size = 0;
+  std::uint32_t issue_width = 0;
+  std::uint64_t l1_rejections = 0;      ///< core-side access bounces
+  std::uint64_t l1_mshr_wait_cycles = 0;
+  std::uint64_t l1_misses = 0;
+};
+
+struct Finding {
+  Bottleneck what = Bottleneck::kMatched;
+  double severity = 0.0;  ///< comparable across findings; higher = worse
+  std::string evidence;   ///< one-line justification from the counters
+};
+
+struct Diagnosis {
+  std::vector<Finding> findings;  ///< ranked, most severe first
+  LpmrSet lpmr;
+  double t1 = 0.0;
+  double t2 = 0.0;
+
+  [[nodiscard]] Bottleneck primary() const {
+    return findings.empty() ? Bottleneck::kMatched : findings.front().what;
+  }
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string narrative() const;
+};
+
+/// Ranks what limits this application's layered matching at `delta_percent`.
+[[nodiscard]] Diagnosis diagnose(const AppMeasurement& m,
+                                 const HardwareContext& hw,
+                                 double delta_percent = kCoarseGrainedDelta);
+
+}  // namespace lpm::core

@@ -1,0 +1,119 @@
+#include "core/interval.hpp"
+
+#include <memory>
+
+#include "sim/system.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::core {
+
+double IntervalStudyResult::detected_fraction() const {
+  if (bursts.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& b : bursts) {
+    if (b.detected) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(bursts.size());
+}
+
+double IntervalStudyResult::timely_fraction() const {
+  if (bursts.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& b : bursts) {
+    if (b.timely) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(bursts.size());
+}
+
+IntervalStudyResult run_interval_study(const sim::MachineConfig& machine,
+                                       const trace::WorkloadProfile& workload,
+                                       const IntervalStudyConfig& cfg) {
+  util::require(machine.num_cores == 1, "interval study: single-core machine");
+  util::require(workload.phase_length > 0,
+                "interval study: workload must have phases");
+  util::require(cfg.interval_cycles >= 1, "interval study: interval must be >= 1");
+
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
+  sim::System system(machine, std::move(traces));
+
+  // Ground truth: the cycle window of each burst phase, derived from when
+  // the core's commit count crosses the phase's op-index boundaries.
+  const std::uint64_t num_phases =
+      (workload.length + workload.phase_length - 1) / workload.phase_length;
+  std::vector<Cycle> phase_start(num_phases + 1, kNoCycle);
+  phase_start[0] = 0;
+
+  IntervalStudyResult result;
+  std::vector<std::pair<Cycle, double>> flagged;  // (boundary cycle, demand)
+
+  double baseline = 0.0;
+  double warmup_sum = 0.0;
+  std::uint64_t warmup_seen = 0;
+  std::uint64_t last_accesses = 0;
+  std::uint64_t next_phase_to_mark = 1;
+
+  while (system.step()) {
+    const Cycle now = system.now();  // cycles completed so far
+
+    // Record phase boundary crossings by committed instruction count.
+    const std::uint64_t committed = system.core(0).stats().instructions;
+    while (next_phase_to_mark <= num_phases &&
+           committed >= next_phase_to_mark * workload.phase_length) {
+      phase_start[next_phase_to_mark] = now;
+      ++next_phase_to_mark;
+    }
+
+    // Interval boundary: read the lightweight counters.
+    if (now % cfg.interval_cycles == 0) {
+      const std::uint64_t accesses = system.l1_analyzer(0).metrics().accesses;
+      const double demand = static_cast<double>(accesses - last_accesses) /
+                            static_cast<double>(cfg.interval_cycles);
+      last_accesses = accesses;
+      ++result.intervals;
+
+      if (warmup_seen < cfg.warmup_intervals) {
+        // Bootstrap: average the leading intervals (bursts included; the
+        // duty cycle keeps the mean close to the calm level).
+        warmup_sum += demand;
+        ++warmup_seen;
+        baseline = warmup_sum / static_cast<double>(warmup_seen);
+      } else if (demand > cfg.demand_threshold_factor * baseline) {
+        ++result.flagged_intervals;
+        flagged.emplace_back(now, demand);
+      } else {
+        baseline = (1.0 - cfg.baseline_alpha) * baseline +
+                   cfg.baseline_alpha * demand;
+      }
+    }
+  }
+  result.total_cycles = system.now();
+  // Unreached boundaries (trace drained early): clamp to end.
+  for (auto& c : phase_start) {
+    if (c == kNoCycle) c = result.total_cycles;
+  }
+
+  // Score each true burst phase.
+  for (std::uint64_t p = 0; p < num_phases; ++p) {
+    if (!trace::SyntheticTrace::is_burst_phase(workload, p)) continue;
+    BurstWindow w;
+    w.begin = phase_start[p];
+    w.end = phase_start[p + 1];
+    for (const auto& [t, demand] : flagged) {
+      if (t >= w.begin && t <= w.end) {
+        w.detected = true;
+        if (w.detected_at == kNoCycle) w.detected_at = t;
+        if (t + cfg.processing_cost_cycles <= w.end) {
+          w.timely = true;
+          break;
+        }
+      }
+      if (t > w.end) break;
+    }
+    result.bursts.push_back(w);
+  }
+  return result;
+}
+
+}  // namespace lpm::core

@@ -1,0 +1,91 @@
+#include "core/lpm_algorithm.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace lpm::core {
+
+const char* to_string(LpmAction a) {
+  switch (a) {
+    case LpmAction::kOptimizeBoth: return "optimize-L1+L2";
+    case LpmAction::kOptimizeL1: return "optimize-L1";
+    case LpmAction::kReduceOverprovision: return "reduce-overprovision";
+    case LpmAction::kDone: return "done";
+  }
+  return "?";
+}
+
+LpmAlgorithm::LpmAlgorithm(LpmAlgorithmConfig cfg) : cfg_(cfg) {
+  util::require(cfg_.delta_percent > 0.0, "LpmAlgorithm: delta must be positive");
+  util::require(cfg_.margin_fraction >= 0.0 && cfg_.margin_fraction < 1.0,
+                "LpmAlgorithm: margin_fraction must be in [0, 1)");
+  util::require(cfg_.max_iterations >= 1, "LpmAlgorithm: need >= 1 iteration");
+}
+
+LpmAction LpmAlgorithm::classify(const LpmObservation& obs) const {
+  // Fig. 3: Case I/II need optimization; Case III trims over-provision;
+  // Case IV terminates.
+  if (obs.lpmr.lpmr1 > obs.t1) {
+    return obs.lpmr.lpmr2 > obs.t2 ? LpmAction::kOptimizeBoth
+                                   : LpmAction::kOptimizeL1;
+  }
+  const double delta = cfg_.margin_fraction * obs.t1;
+  if (cfg_.trim_overprovision && obs.lpmr.lpmr1 + delta < obs.t1) {
+    return LpmAction::kReduceOverprovision;
+  }
+  return LpmAction::kDone;
+}
+
+LpmOutcome LpmAlgorithm::run(LpmTunable& system) const {
+  LpmOutcome out;
+  for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
+    LpmObservation obs = system.measure();
+    const LpmAction action = classify(obs);
+
+    LpmStep step;
+    step.iteration = iter;
+    step.action = action;
+    step.observation = obs;
+
+    util::log_info() << "LPM iter " << iter << " [" << obs.config_label
+                     << "] LPMR1=" << obs.lpmr.lpmr1 << " T1=" << obs.t1
+                     << " LPMR2=" << obs.lpmr.lpmr2 << " T2=" << obs.t2
+                     << " -> " << to_string(action);
+
+    switch (action) {
+      case LpmAction::kDone:
+        step.applied = true;
+        out.steps.push_back(step);
+        out.final_observation = obs;
+        out.converged = true;
+        return out;
+      case LpmAction::kOptimizeBoth: {
+        const bool a = system.optimize_l1();
+        const bool b = system.optimize_l2();
+        step.applied = a || b;
+        break;
+      }
+      case LpmAction::kOptimizeL1:
+        step.applied = system.optimize_l1();
+        break;
+      case LpmAction::kReduceOverprovision:
+        step.applied = system.reduce_overprovision();
+        break;
+    }
+    out.steps.push_back(step);
+
+    if (!step.applied) {
+      // Out of actions. Reaching here from Case III means the configuration
+      // is already minimal: that is convergence, not failure.
+      out.final_observation = obs;
+      out.converged = action == LpmAction::kReduceOverprovision;
+      out.exhausted = !out.converged;
+      return out;
+    }
+  }
+  out.final_observation = system.measure();
+  out.exhausted = true;
+  return out;
+}
+
+}  // namespace lpm::core

@@ -1,0 +1,122 @@
+#include "core/lpm_model.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lpm::core {
+
+AppMeasurement AppMeasurement::from_run(const sim::SystemResult& run,
+                                        const sim::CpiExeResult& calib,
+                                        std::size_t core_idx,
+                                        std::string app_name) {
+  util::require(core_idx < run.cores.size(), "AppMeasurement: bad core index");
+  const cpu::CoreStats& cs = run.cores[core_idx];
+  AppMeasurement m;
+  m.app = std::move(app_name);
+  m.cpi_exe = calib.cpi_exe;
+  m.fmem = cs.fmem();
+  m.overlap_ratio = cs.overlap_ratio();
+  m.l1 = run.l1[core_idx];
+  m.mr1 = run.mr1(core_idx);
+  m.measured_stall_per_instr = cs.stall_per_instr();
+  m.measured_cpi = cs.cpi();
+  m.instructions = cs.instructions;
+
+  if (run.has_private_l2()) {
+    // Three cache levels: L1 -> private L2 -> shared LLC -> memory.
+    m.three_cache_levels = true;
+    m.l2 = run.l2_private[core_idx];
+    m.mr2 = run.l2_private_cache[core_idx].miss_rate();
+    m.l3 = run.l2;  // the shared cache is the LLC
+    m.mr3 = run.l2_cache.miss_rate();
+    m.mm = run.dram;
+    // The private L2's upstream misses are this core's own (private chain).
+    m.l1_misses_total = run.l1_cache[core_idx].misses;
+    for (const auto& l2p : run.l2_private_cache) m.l2_misses_total += l2p.misses;
+    m.llc_misses_total = run.l2_cache.misses;
+  } else {
+    m.l2 = run.l2;
+    m.mr2 = run.mr2();
+    m.l3 = run.dram;
+    for (const auto& l1c : run.l1_cache) m.l1_misses_total += l1c.misses;
+    m.l2_misses_total = run.l2_cache.misses;
+  }
+  return m;
+}
+
+double AppMeasurement::camat2_per_miss() const {
+  if (l1_misses_total == 0) return l2.camat();
+  return static_cast<double>(l2.active_cycles) /
+         static_cast<double>(l1_misses_total);
+}
+
+double AppMeasurement::camat3_per_miss() const {
+  if (l2_misses_total == 0) return l3.camat();
+  return static_cast<double>(l3.active_cycles) /
+         static_cast<double>(l2_misses_total);
+}
+
+double AppMeasurement::camat4_per_miss() const {
+  if (!three_cache_levels) return 0.0;
+  if (llc_misses_total == 0) return mm.camat();
+  return static_cast<double>(mm.active_cycles) /
+         static_cast<double>(llc_misses_total);
+}
+
+LpmrSet compute_lpmrs(const AppMeasurement& m) {
+  util::require(m.cpi_exe > 0.0, "compute_lpmrs: cpi_exe must be positive");
+  LpmrSet r;
+  r.lpmr1 = m.l1.camat() * m.fmem / m.cpi_exe;                            // Eq. 9
+  r.lpmr2 = m.camat2_per_miss() * m.fmem * m.mr1 / m.cpi_exe;             // Eq. 10
+  r.lpmr3 = m.camat3_per_miss() * m.fmem * m.mr1 * m.mr2 / m.cpi_exe;     // Eq. 11
+  if (m.three_cache_levels) {
+    // One level deeper, same recurrence: the request rate reaching memory
+    // is attenuated by every miss ratio above it.
+    r.lpmr4 = m.camat4_per_miss() * m.fmem * m.mr1 * m.mr2 * m.mr3 / m.cpi_exe;
+  }
+  return r;
+}
+
+double eta_combined(const AppMeasurement& m) {
+  if (m.mr1 <= 0.0) return 0.0;
+  return m.l1.eta1() * m.l1.pMR() / m.mr1;
+}
+
+double stall_eq7(const AppMeasurement& m) {
+  return m.fmem * m.l1.camat() * (1.0 - m.overlap_ratio);
+}
+
+double stall_eq12(const AppMeasurement& m) {
+  return m.cpi_exe * (1.0 - m.overlap_ratio) * compute_lpmrs(m).lpmr1;
+}
+
+double stall_eq13(const AppMeasurement& m) {
+  const double ch1 = m.l1.CH();
+  const double hit_term = ch1 > 0.0 ? m.l1.H() * m.fmem / ch1 : 0.0;
+  return (hit_term + m.cpi_exe * eta_combined(m) * compute_lpmrs(m).lpmr2) *
+         (1.0 - m.overlap_ratio);
+}
+
+double threshold_t1(double delta_percent, double overlap_ratio) {
+  util::require(delta_percent > 0.0, "threshold_t1: delta must be positive");
+  const double denom = 1.0 - overlap_ratio;
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return (delta_percent / 100.0) / denom;
+}
+
+double threshold_t2(double delta_percent, const AppMeasurement& m) {
+  const double eta = eta_combined(m);
+  if (eta <= 0.0) return std::numeric_limits<double>::infinity();
+  const double t1 = threshold_t1(delta_percent, m.overlap_ratio);
+  const double ch1 = m.l1.CH();
+  const double hit_term =
+      ch1 > 0.0 && m.cpi_exe > 0.0 ? m.l1.H() * m.fmem / (ch1 * m.cpi_exe) : 0.0;
+  return (t1 - hit_term) / eta;
+}
+
+bool meets_stall_target(const AppMeasurement& m, double delta_percent) {
+  return m.measured_stall_per_instr <= (delta_percent / 100.0) * m.cpi_exe;
+}
+
+}  // namespace lpm::core

@@ -1,0 +1,114 @@
+#include "core/online_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lpm::core {
+
+OnlineLpmController::OnlineLpmController(OnlineLpmConfig cfg) : cfg_(cfg) {
+  util::require(cfg_.interval_cycles >= 1,
+                "OnlineLpmController: interval must be >= 1");
+  util::require(cfg_.delta_percent > 0.0,
+                "OnlineLpmController: delta must be positive");
+  util::require(cfg_.cpi_exe > 0.0,
+                "OnlineLpmController: cpi_exe must be calibrated");
+  util::require(cfg_.min_ports >= 1 && cfg_.min_ports <= cfg_.max_ports,
+                "OnlineLpmController: bad port range");
+}
+
+void OnlineLpmController::observe(sim::System& system, std::size_t core_idx) {
+  const Cycle now = system.now();
+  if (now == 0 || now % cfg_.interval_cycles != 0) return;
+
+  const auto& cs = system.core(core_idx).stats();
+  CoreSnapshot cur;
+  cur.instructions = cs.instructions;
+  cur.mem_active = cs.mem_active_cycles;
+  cur.overlap = cs.overlap_cycles;
+  cur.stall = cs.data_stall_cycles;
+  cur.rejections = cs.l1_rejections;
+
+  CoreSnapshot d;
+  d.instructions = cur.instructions - last_.instructions;
+  d.mem_active = cur.mem_active - last_.mem_active;
+  d.overlap = cur.overlap - last_.overlap;
+  d.stall = cur.stall - last_.stall;
+  d.rejections = cur.rejections - last_.rejections;
+  last_ = cur;
+
+  const camat::CamatMetrics delta = system.l1_analyzer(core_idx).interval_delta();
+  if (d.instructions == 0 || delta.accesses == 0) return;
+
+  act(system, core_idx, delta, d, now);
+}
+
+void OnlineLpmController::act(sim::System& system, std::size_t core_idx,
+                              const camat::CamatMetrics& delta,
+                              const CoreSnapshot& d, Cycle now) {
+  // Interval-local LPMR1 (Eq. 9) and threshold (Eq. 14), for reporting; the
+  // act/stop decision uses the stall target itself (stall <= delta% of
+  // CPIexe), which the thresholds encode and the counters measure directly.
+  const double fmem = static_cast<double>(delta.accesses) /
+                      static_cast<double>(d.instructions);
+  const double overlap =
+      d.mem_active == 0
+          ? 0.0
+          : static_cast<double>(d.overlap) / static_cast<double>(d.mem_active);
+  const double lpmr1 = delta.camat() * fmem / cfg_.cpi_exe;
+  const double t1 = threshold_t1(cfg_.delta_percent, overlap);
+  const double stall_per_instr =
+      static_cast<double>(d.stall) / static_cast<double>(d.instructions);
+  const double target = (cfg_.delta_percent / 100.0) * cfg_.cpi_exe;
+
+  mem::Cache& l1 = system.l1_cache(core_idx);
+  OnlineIntervalRecord rec;
+  rec.at = now;
+  rec.lpmr1 = lpmr1;
+  rec.t1 = t1;
+  rec.action = LpmAction::kDone;
+
+  if (stall_per_instr > target) {
+    // Grow the binding concurrency knob (Fig. 3 Case II at the L1 layer).
+    const double rej_per_access = static_cast<double>(d.rejections) /
+                                  static_cast<double>(delta.accesses);
+    if (rej_per_access > 0.05 && l1.ports() < cfg_.max_ports) {
+      l1.set_ports(l1.ports() + 1);
+      rec.detail = "ports -> " + std::to_string(l1.ports());
+      rec.action = LpmAction::kOptimizeL1;
+      ++grow_actions_;
+    } else if (l1.mshr_limit() < l1.config().mshr_entries &&
+               delta.Cm() > 0.7 * static_cast<double>(l1.mshr_limit())) {
+      l1.set_mshr_limit(l1.mshr_limit() + 2);
+      rec.detail = "mshr_limit -> " + std::to_string(l1.mshr_limit());
+      rec.action = LpmAction::kOptimizeL1;
+      ++grow_actions_;
+    } else if (l1.ports() < cfg_.max_ports) {
+      l1.set_ports(l1.ports() + 1);
+      rec.detail = "ports -> " + std::to_string(l1.ports());
+      rec.action = LpmAction::kOptimizeL1;
+      ++grow_actions_;
+    }
+  } else if (stall_per_instr < cfg_.margin_fraction * target) {
+    // Over-provisioned (Case III): release idle concurrency, MSHRs first.
+    if (l1.mshr_limit() > cfg_.min_mshr &&
+        delta.Cm() < 0.3 * static_cast<double>(l1.mshr_limit())) {
+      l1.set_mshr_limit(l1.mshr_limit() - 1);
+      rec.detail = "mshr_limit -> " + std::to_string(l1.mshr_limit());
+      rec.action = LpmAction::kReduceOverprovision;
+      ++release_actions_;
+    } else if (l1.ports() > cfg_.min_ports &&
+               static_cast<double>(d.rejections) == 0) {
+      l1.set_ports(l1.ports() - 1);
+      rec.detail = "ports -> " + std::to_string(l1.ports());
+      rec.action = LpmAction::kReduceOverprovision;
+      ++release_actions_;
+    }
+  }
+
+  rec.ports = l1.ports();
+  rec.mshr_limit = l1.mshr_limit();
+  history_.push_back(rec);
+}
+
+}  // namespace lpm::core

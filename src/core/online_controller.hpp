@@ -1,0 +1,83 @@
+// Online LPM control (paper SIV): "all the steps are conducted on-line to
+// adapt to the dynamic behavior of the applications. The LPMR reduction
+// algorithm is called periodically for each time interval."
+//
+// The controller watches a *running* System through the C-AMAT analyzer's
+// interval snapshots, evaluates the Fig. 3 conditions on each interval's
+// metrics, and reconfigures the live L1 (ports / MSHR limit) through the
+// cache's runtime knobs - growing parallelism under mismatch, releasing it
+// when over-provisioned. Each knob change is one reconfiguration operation
+// at the paper's 4-cycle cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lpm_algorithm.hpp"
+#include "sim/system.hpp"
+
+namespace lpm::core {
+
+struct OnlineLpmConfig {
+  Cycle interval_cycles = 2000;
+  double delta_percent = kCoarseGrainedDelta;
+  double margin_fraction = 0.5;  ///< Fig. 3's delta, as a fraction of T1
+  std::uint32_t min_ports = 1;
+  std::uint32_t max_ports = 8;
+  std::uint32_t min_mshr = 1;
+  /// CPIexe from an offline calibration (the one input the online counters
+  /// cannot produce themselves).
+  double cpi_exe = 0.25;
+
+  static constexpr Cycle kReconfigCostCycles = 4;
+};
+
+struct OnlineIntervalRecord {
+  Cycle at = 0;
+  double lpmr1 = 0.0;
+  double t1 = 0.0;
+  LpmAction action = LpmAction::kDone;
+  std::string detail;           ///< what was changed, if anything
+  std::uint32_t ports = 0;      ///< knob values after the action
+  std::uint32_t mshr_limit = 0;
+};
+
+class OnlineLpmController {
+ public:
+  explicit OnlineLpmController(OnlineLpmConfig cfg);
+
+  /// Call once per simulated cycle, after system.step(); acts on interval
+  /// boundaries. `core_idx` selects the monitored core/L1.
+  void observe(sim::System& system, std::size_t core_idx = 0);
+
+  [[nodiscard]] const std::vector<OnlineIntervalRecord>& history() const {
+    return history_;
+  }
+  [[nodiscard]] std::uint64_t grow_actions() const { return grow_actions_; }
+  [[nodiscard]] std::uint64_t release_actions() const { return release_actions_; }
+  [[nodiscard]] std::uint64_t reconfiguration_cost_cycles() const {
+    return (grow_actions_ + release_actions_) *
+           OnlineLpmConfig::kReconfigCostCycles;
+  }
+
+ private:
+  struct CoreSnapshot {
+    std::uint64_t instructions = 0;
+    std::uint64_t mem_active = 0;
+    std::uint64_t overlap = 0;
+    std::uint64_t stall = 0;
+    std::uint64_t rejections = 0;
+  };
+
+  void act(sim::System& system, std::size_t core_idx,
+           const camat::CamatMetrics& delta, const CoreSnapshot& d, Cycle now);
+
+  OnlineLpmConfig cfg_;
+  CoreSnapshot last_;
+  std::vector<OnlineIntervalRecord> history_;
+  std::uint64_t grow_actions_ = 0;
+  std::uint64_t release_actions_ = 0;
+};
+
+}  // namespace lpm::core

@@ -1,0 +1,72 @@
+// Out-of-order core parameters. issue width / IW size / ROB size are three
+// of the six Table-I reconfiguration knobs (the other three live in the
+// cache configs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace lpm::cpu {
+
+struct CoreConfig {
+  std::string name = "core";
+  CoreId id = 0;
+  std::uint32_t issue_width = 4;    ///< ops issued to execution per cycle
+  std::uint32_t dispatch_width = 4; ///< ops entering the ROB per cycle
+  std::uint32_t commit_width = 4;   ///< ops retiring per cycle
+  std::uint32_t iw_size = 32;       ///< instruction-window (scheduler) entries
+  std::uint32_t rob_size = 32;      ///< reorder-buffer entries
+  std::uint32_t lsq_size = 16;      ///< in-flight memory ops
+
+  void validate() const;
+
+  /// A blocking, single-issue configuration: the AMAT-era baseline used by
+  /// the AMAT-vs-C-AMAT comparisons.
+  [[nodiscard]] static CoreConfig in_order(CoreId id = 0);
+};
+
+struct CoreStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_ops = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t cycles = 0;             ///< cycles from first tick to drain
+  std::uint64_t commit_cycles = 0;      ///< cycles with >= 1 retirement
+  std::uint64_t mem_active_cycles = 0;  ///< cycles with >= 1 in-flight access
+  std::uint64_t overlap_cycles = 0;     ///< mem-active cycles with a commit
+  std::uint64_t data_stall_cycles = 0;  ///< mem-active cycles without a commit
+  std::uint64_t head_mem_stall_cycles = 0;  ///< classic: head-of-ROB blocked on memory
+  std::uint64_t l1_rejections = 0;      ///< access attempts bounced by L1
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+  [[nodiscard]] double cpi() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(cycles) / static_cast<double>(instructions);
+  }
+  [[nodiscard]] double fmem() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(mem_ops) / static_cast<double>(instructions);
+  }
+  /// overlapRatio_c-m (Eq. 8): computation/memory overlapped cycles over
+  /// total memory-active cycles.
+  [[nodiscard]] double overlap_ratio() const {
+    return mem_active_cycles == 0 ? 0.0
+                                  : static_cast<double>(overlap_cycles) /
+                                        static_cast<double>(mem_active_cycles);
+  }
+  /// Data stall time per instruction (cycles), the paper's stall metric.
+  [[nodiscard]] double stall_per_instr() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(data_stall_cycles) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+}  // namespace lpm::cpu

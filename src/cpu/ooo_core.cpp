@@ -1,0 +1,211 @@
+#include "cpu/ooo_core.hpp"
+
+#include "util/error.hpp"
+
+namespace lpm::cpu {
+
+void CoreConfig::validate() const {
+  using util::require;
+  require(issue_width >= 1, name + ": issue_width must be >= 1");
+  require(dispatch_width >= 1, name + ": dispatch_width must be >= 1");
+  require(commit_width >= 1, name + ": commit_width must be >= 1");
+  require(iw_size >= 1, name + ": iw_size must be >= 1");
+  require(rob_size >= 1, name + ": rob_size must be >= 1");
+  require(lsq_size >= 1, name + ": lsq_size must be >= 1");
+  require(iw_size <= rob_size, name + ": IW cannot exceed the ROB");
+}
+
+CoreConfig CoreConfig::in_order(CoreId id) {
+  CoreConfig cfg;
+  cfg.name = "inorder";
+  cfg.id = id;
+  cfg.issue_width = 1;
+  cfg.dispatch_width = 1;
+  cfg.commit_width = 1;
+  cfg.iw_size = 1;
+  cfg.rob_size = 1;
+  cfg.lsq_size = 1;
+  return cfg;
+}
+
+OooCore::OooCore(CoreConfig cfg, trace::TraceSource* source, mem::MemoryLevel* l1,
+                 std::uint64_t id_space)
+    : cfg_(std::move(cfg)),
+      source_(source),
+      l1_(l1),
+      rob_(cfg_.rob_size),
+      next_req_id_(id_space << 48) {
+  cfg_.validate();
+  util::require(source_ != nullptr, cfg_.name + ": trace source must exist");
+  util::require(l1_ != nullptr, cfg_.name + ": L1 must exist");
+}
+
+bool OooCore::dep_done(std::uint64_t index, std::uint32_t dist) const {
+  if (dist == 0 || static_cast<std::uint64_t>(dist) > index) return true;
+  const std::uint64_t dep = index - dist;
+  if (dep < rob_.head_seq()) return true;  // already retired
+  if (!rob_.contains_seq(dep)) return true;  // beyond tail cannot happen; be safe
+  return rob_.at_seq(dep).state == State::kDone;
+}
+
+bool OooCore::deps_ready(const RobEntry& e) const {
+  return dep_done(e.index, e.op.dep_dist) && dep_done(e.index, e.op.dep_dist2);
+}
+
+void OooCore::on_response(const mem::MemResponse& rsp) { responses_.push_back(rsp); }
+
+void OooCore::tick(Cycle now) {
+  if (finished()) return;  // stop accounting once this program is done
+
+  committed_this_cycle_ = 0;
+
+  // (1) Absorb memory responses (possibly generated earlier this cycle by
+  // the hierarchy, which ticks before the core).
+  while (!responses_.empty()) {
+    const mem::MemResponse rsp = responses_.front();
+    responses_.pop_front();
+    const auto it = in_flight_.find(rsp.id);
+    util::require(it != in_flight_.end(), cfg_.name + ": response for unknown request");
+    const std::uint64_t seq = it->second;
+    in_flight_.erase(it);
+    util::require(lsq_occupancy_ > 0, cfg_.name + ": LSQ underflow");
+    --lsq_occupancy_;
+    if (rob_.contains_seq(seq)) {
+      RobEntry& e = rob_.at_seq(seq);
+      if (e.state == State::kMemWaiting) e.state = State::kDone;
+    }
+    // Stores may already have retired (they commit at L1 acceptance).
+  }
+
+  do_complete(now);
+  do_commit(now);
+  do_issue(now);
+  do_dispatch(now);
+
+  // (2) Cycle accounting (Eq. 7/8 definitions; see DESIGN.md). A data-stall
+  // cycle is one where the processor is *blocked* waiting for data: nothing
+  // commits and the ROB head is an incomplete memory operation. Every other
+  // memory-active cycle counts as computation/memory overlap, so stall and
+  // overlap exactly partition the memory-active cycles (making Eq. 7 an
+  // identity).
+  ++stats_.cycles;
+  const bool mem_active = !in_flight_.empty();
+  bool head_blocked_on_mem = false;
+  if (committed_this_cycle_ == 0 && !rob_.empty()) {
+    const RobEntry& head = rob_.front();
+    head_blocked_on_mem =
+        trace::is_memory(head.op.type) && head.state != State::kDone;
+    if (head_blocked_on_mem) ++stats_.head_mem_stall_cycles;
+  }
+  if (committed_this_cycle_ > 0) ++stats_.commit_cycles;
+  if (mem_active) {
+    ++stats_.mem_active_cycles;
+    if (head_blocked_on_mem) {
+      ++stats_.data_stall_cycles;
+    } else {
+      ++stats_.overlap_cycles;
+    }
+  }
+}
+
+void OooCore::do_complete(Cycle now) {
+  for (std::size_t i = 0; i < rob_.size(); ++i) {
+    RobEntry& e = rob_.at_offset(i);
+    if (e.state == State::kExecuting && e.done_at <= now) {
+      e.state = State::kDone;
+    }
+  }
+}
+
+void OooCore::do_commit(Cycle /*now*/) {
+  while (committed_this_cycle_ < cfg_.commit_width && !rob_.empty() &&
+         rob_.front().state == State::kDone) {
+    const RobEntry& e = rob_.front();
+    ++stats_.instructions;
+    switch (e.op.type) {
+      case trace::OpType::kLoad:
+        ++stats_.mem_ops;
+        ++stats_.loads;
+        break;
+      case trace::OpType::kStore:
+        ++stats_.mem_ops;
+        ++stats_.stores;
+        break;
+      case trace::OpType::kAlu:
+        break;
+    }
+    rob_.pop();
+    ++committed_this_cycle_;
+  }
+}
+
+void OooCore::do_issue(Cycle now) {
+  std::uint32_t issued = 0;
+  bool mem_port_blocked = false;
+  for (std::size_t i = 0; i < rob_.size() && issued < cfg_.issue_width; ++i) {
+    RobEntry& e = rob_.at_offset(i);
+    if (e.state != State::kDispatched) continue;
+    if (!deps_ready(e)) continue;
+
+    if (e.op.type == trace::OpType::kAlu) {
+      e.state = State::kExecuting;
+      e.done_at = now + e.op.exec_latency;
+      --iw_occupancy_;
+      ++issued;
+      continue;
+    }
+
+    // Memory op: needs an LSQ slot and an L1 port.
+    if (mem_port_blocked || lsq_occupancy_ >= cfg_.lsq_size) continue;
+    mem::MemRequest req;
+    req.id = next_req_id_++;
+    req.core = cfg_.id;
+    req.addr = e.op.addr;
+    req.kind = e.op.type == trace::OpType::kStore ? mem::AccessKind::kWrite
+                                                  : mem::AccessKind::kRead;
+    req.created = now;
+    req.reply_to = this;
+    if (!l1_->try_access(req)) {
+      ++stats_.l1_rejections;
+      --next_req_id_;  // id not consumed
+      mem_port_blocked = true;  // further memory issues would also bounce
+      continue;
+    }
+    in_flight_.emplace(req.id, e.index);
+    ++lsq_occupancy_;
+    --iw_occupancy_;
+    ++issued;
+    e.mem_id = req.id;
+    // Stores retire at acceptance (store-buffer semantics); loads wait for
+    // their data.
+    e.state = e.op.type == trace::OpType::kStore ? State::kDone
+                                                 : State::kMemWaiting;
+  }
+}
+
+void OooCore::do_dispatch(Cycle /*now*/) {
+  std::uint32_t dispatched = 0;
+  while (dispatched < cfg_.dispatch_width && !rob_.full() &&
+         iw_occupancy_ < cfg_.iw_size && !trace_done_) {
+    trace::MicroOp op;
+    if (!source_->next(op)) {
+      trace_done_ = true;
+      break;
+    }
+    RobEntry e;
+    e.op = op;
+    e.state = State::kDispatched;
+    const std::size_t seq = rob_.push(e);
+    rob_.at_seq(seq).index = seq;
+    util::require(seq == next_index_, cfg_.name + ": ROB sequence drift");
+    ++next_index_;
+    ++iw_occupancy_;
+    ++dispatched;
+  }
+}
+
+bool OooCore::finished() const {
+  return trace_done_ && rob_.empty() && in_flight_.empty();
+}
+
+}  // namespace lpm::cpu

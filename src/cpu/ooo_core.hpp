@@ -1,0 +1,81 @@
+// Trace-driven out-of-order core model.
+//
+// The model captures exactly the memory-side behaviour the LPM paper needs
+// from gem5's O3 CPU: a reorder buffer bounding in-flight work, an
+// instruction window bounding the scheduler, an LSQ bounding outstanding
+// memory operations, multi-issue, and commit-side stall/overlap accounting
+// (Eq. 7/8). Simplifications (no branch mispredictions, no store-to-load
+// forwarding, stores retire at L1 acceptance) are documented in DESIGN.md.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "cpu/core_config.hpp"
+#include "mem/request.hpp"
+#include "trace/trace_source.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace lpm::cpu {
+
+class OooCore final : public mem::ResponseSink {
+ public:
+  /// `l1` and `source` are non-owning and must outlive the core. `id_space`
+  /// partitions request-id space among cores sharing a hierarchy.
+  OooCore(CoreConfig cfg, trace::TraceSource* source, mem::MemoryLevel* l1,
+          std::uint64_t id_space);
+
+  /// Advances one cycle. Call after the memory hierarchy's tick for the
+  /// same cycle (bottom-up ticking).
+  void tick(Cycle now);
+
+  /// True once the trace is exhausted, the ROB is empty, and no memory
+  /// operation is in flight.
+  [[nodiscard]] bool finished() const;
+
+  void on_response(const mem::MemResponse& rsp) override;
+
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] const CoreConfig& config() const { return cfg_; }
+
+  /// In-flight accepted memory accesses (test hook).
+  [[nodiscard]] std::size_t in_flight_mem() const { return in_flight_.size(); }
+
+ private:
+  enum class State : std::uint8_t {
+    kDispatched,  ///< in ROB + IW, waiting for operands / issue slot
+    kExecuting,   ///< ALU busy or memory op in flight
+    kMemWaiting,  ///< memory op accepted, waiting for response
+    kDone,        ///< ready to commit
+  };
+  struct RobEntry {
+    trace::MicroOp op;
+    std::uint64_t index = 0;  ///< dynamic instruction number
+    State state = State::kDispatched;
+    Cycle done_at = kNoCycle;     ///< ALU completion time
+    RequestId mem_id = kNoRequest;
+  };
+
+  [[nodiscard]] bool deps_ready(const RobEntry& e) const;
+  [[nodiscard]] bool dep_done(std::uint64_t index, std::uint32_t dist) const;
+  void do_commit(Cycle now);
+  void do_complete(Cycle now);
+  void do_issue(Cycle now);
+  void do_dispatch(Cycle now);
+
+  CoreConfig cfg_;
+  trace::TraceSource* source_;   // non-owning
+  mem::MemoryLevel* l1_;         // non-owning
+  util::RingBuffer<RobEntry> rob_;
+  std::uint64_t next_index_ = 0;           ///< next dynamic instruction number
+  std::uint64_t iw_occupancy_ = 0;         ///< dispatched-not-issued entries
+  std::uint64_t lsq_occupancy_ = 0;        ///< memory ops issued-not-completed
+  RequestId next_req_id_;
+  std::unordered_map<RequestId, std::uint64_t> in_flight_;  // req id -> rob seq
+  std::deque<mem::MemResponse> responses_;
+  bool trace_done_ = false;
+  std::uint64_t committed_this_cycle_ = 0;
+  CoreStats stats_;
+};
+
+}  // namespace lpm::cpu

@@ -1,0 +1,100 @@
+#include "mem/mshr.hpp"
+
+#include "util/error.hpp"
+
+namespace lpm::mem {
+
+MshrFile::MshrFile(std::uint32_t entries, std::uint32_t max_targets)
+    : entries_(entries), max_targets_(max_targets), free_(entries) {
+  util::require(entries >= 1, "MshrFile: need at least one entry");
+  util::require(max_targets >= 1, "MshrFile: need at least one target per entry");
+  for (auto& e : entries_) {
+    e.targets.reserve(max_targets);
+  }
+}
+
+std::optional<std::uint32_t> MshrFile::find(Addr block_addr) const {
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].block_addr == block_addr) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool MshrFile::can_add_target(std::uint32_t idx) const {
+  const auto& e = entries_.at(idx);
+  return e.valid && e.targets.size() < max_targets_;
+}
+
+std::uint32_t MshrFile::allocate(Addr block_addr, const MshrTarget& target, Cycle now) {
+  const std::uint32_t i = allocate_prefetch(block_addr, now, target.core);
+  entries_[i].is_prefetch = false;
+  entries_[i].targets.push_back(target);
+  return i;
+}
+
+std::uint32_t MshrFile::allocate_prefetch(Addr block_addr, Cycle now, CoreId core) {
+  util::require(can_allocate(), "MshrFile::allocate without free entry");
+  util::require(!find(block_addr).has_value(),
+                "MshrFile::allocate: duplicate entry for block");
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) {
+      entries_[i].valid = true;
+      entries_[i].issued = false;
+      entries_[i].is_prefetch = true;
+      entries_[i].core = core;
+      entries_[i].fill_id = kNoRequest;
+      entries_[i].block_addr = block_addr;
+      entries_[i].allocated = now;
+      entries_[i].targets.clear();
+      --free_;
+      return i;
+    }
+  }
+  throw util::LpmError("MshrFile::allocate: internal inconsistency");
+}
+
+void MshrFile::add_target(std::uint32_t idx, const MshrTarget& target) {
+  util::require(can_add_target(idx), "MshrFile::add_target on full/invalid entry");
+  entries_.at(idx).targets.push_back(target);
+}
+
+std::vector<MshrTarget> MshrFile::release(std::uint32_t idx) {
+  auto& e = entries_.at(idx);
+  util::require(e.valid, "MshrFile::release on invalid entry");
+  std::vector<MshrTarget> out = std::move(e.targets);
+  e = MshrEntry{};
+  e.targets.reserve(max_targets_);
+  ++free_;
+  return out;
+}
+
+MshrEntry& MshrFile::entry(std::uint32_t idx) { return entries_.at(idx); }
+const MshrEntry& MshrFile::entry(std::uint32_t idx) const { return entries_.at(idx); }
+
+std::uint32_t MshrFile::in_use_by(CoreId core) const {
+  std::uint32_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.valid && e.core == core) ++n;
+  }
+  return n;
+}
+
+std::uint32_t MshrFile::outstanding_targets() const {
+  std::uint32_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.valid) n += static_cast<std::uint32_t>(e.targets.size());
+  }
+  return n;
+}
+
+std::vector<std::uint32_t> MshrFile::valid_entries() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace lpm::mem

@@ -1,0 +1,88 @@
+// Miss Status Holding Registers: the structure that makes a cache
+// non-blocking. Each entry tracks one in-flight block fill plus the demand
+// accesses (targets) coalesced onto it. Entry and target counts are the
+// "MSHR numbers" knob of Table I.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "util/types.hpp"
+
+namespace lpm::mem {
+
+struct MshrTarget {
+  RequestId id = kNoRequest;
+  CoreId core = kNoCore;
+  AccessKind kind = AccessKind::kRead;
+  ResponseSink* reply_to = nullptr;
+  Cycle miss_start = 0;  ///< when the access became an outstanding miss
+};
+
+struct MshrEntry {
+  Addr block_addr = 0;        ///< block-aligned address being filled
+  bool valid = false;
+  bool issued = false;        ///< fill request accepted by the lower level
+  bool is_prefetch = false;   ///< allocated by the prefetcher (may have no targets)
+  CoreId core = kNoCore;      ///< originating core (prefetch attribution)
+  RequestId fill_id = kNoRequest;  ///< id of the fill request sent downstream
+  Cycle allocated = 0;
+  std::vector<MshrTarget> targets;
+};
+
+/// Fixed-size MSHR file with block coalescing.
+class MshrFile {
+ public:
+  MshrFile(std::uint32_t entries, std::uint32_t max_targets);
+
+  /// Index of the entry currently filling `block_addr`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> find(Addr block_addr) const;
+
+  /// True when a new entry can be allocated.
+  [[nodiscard]] bool can_allocate() const { return free_ > 0; }
+
+  /// True when entry `idx` can take one more coalesced target.
+  [[nodiscard]] bool can_add_target(std::uint32_t idx) const;
+
+  /// Allocates an entry for `block_addr` with one initial target. Requires
+  /// can_allocate().
+  std::uint32_t allocate(Addr block_addr, const MshrTarget& target, Cycle now);
+
+  /// Allocates a targetless prefetch entry. Requires can_allocate().
+  std::uint32_t allocate_prefetch(Addr block_addr, Cycle now,
+                                  CoreId core = kNoCore);
+
+  /// Adds a coalesced target. Requires can_add_target(idx).
+  void add_target(std::uint32_t idx, const MshrTarget& target);
+
+  /// Releases entry `idx`, returning its targets for completion.
+  std::vector<MshrTarget> release(std::uint32_t idx);
+
+  [[nodiscard]] MshrEntry& entry(std::uint32_t idx);
+  [[nodiscard]] const MshrEntry& entry(std::uint32_t idx) const;
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] std::uint32_t in_use() const { return capacity() - free_; }
+  [[nodiscard]] std::uint32_t max_targets() const { return max_targets_; }
+
+  /// Total demand accesses currently waiting across all entries.
+  [[nodiscard]] std::uint32_t outstanding_targets() const;
+
+  /// Entries currently held by `core` (kNoCore-owned entries are uncounted).
+  /// Backs the memory-parallelism-partition feature (per-core MSHR quotas).
+  [[nodiscard]] std::uint32_t in_use_by(CoreId core) const;
+
+  /// Indices of valid entries (for iteration by the cache).
+  [[nodiscard]] std::vector<std::uint32_t> valid_entries() const;
+
+ private:
+  std::vector<MshrEntry> entries_;
+  std::uint32_t max_targets_;
+  std::uint32_t free_;
+};
+
+}  // namespace lpm::mem

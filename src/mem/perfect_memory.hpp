@@ -1,0 +1,58 @@
+// A memory level that satisfies every request after a fixed latency.
+//
+// Two uses: (1) as the "magic" L1 replacement when calibrating CPIexe (the
+// processor's perfect-cache cycles-per-instruction, the denominator of every
+// LPMR); (2) as a test double underneath a cache under unit test.
+#pragma once
+
+#include <deque>
+
+#include "mem/request.hpp"
+
+namespace lpm::mem {
+
+class PerfectMemory final : public MemoryLevel {
+ public:
+  /// Every accepted request completes `latency` cycles later; up to
+  /// `ports` requests accepted per cycle (0 = unlimited).
+  explicit PerfectMemory(std::uint32_t latency, std::uint32_t ports = 0)
+      : latency_(latency), ports_(ports) {}
+
+  bool try_access(const MemRequest& req) override {
+    if (ports_ != 0 && accepted_this_cycle_ >= ports_) return false;
+    ++accepted_this_cycle_;
+    ++accesses_;
+    if (req.reply_to != nullptr) {
+      in_flight_.push_back(Pending{req, now_ + latency_});
+    }
+    return true;
+  }
+
+  void tick(Cycle now) override {
+    now_ = now;
+    accepted_this_cycle_ = 0;
+    while (!in_flight_.empty() && in_flight_.front().done_at <= now) {
+      const Pending p = in_flight_.front();
+      in_flight_.pop_front();
+      p.req.reply_to->on_response(MemResponse{p.req.id, p.req.core, p.req.addr, now});
+    }
+  }
+
+  void finalize(Cycle) override {}
+  [[nodiscard]] bool busy() const override { return !in_flight_.empty(); }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  struct Pending {
+    MemRequest req;
+    Cycle done_at;
+  };
+  std::uint32_t latency_;
+  std::uint32_t ports_;
+  Cycle now_ = 0;
+  std::uint32_t accepted_this_cycle_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::deque<Pending> in_flight_;
+};
+
+}  // namespace lpm::mem

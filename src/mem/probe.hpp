@@ -1,0 +1,37 @@
+// Probe interface implemented by the C-AMAT analyzer (camat::Analyzer).
+//
+// The interface lives in mem so the cache does not depend on the analysis
+// library; camat depends on mem. Events mirror the paper's Fig. 4 detectors:
+// per-cycle hit activity feeds the HCD, miss begin/end events feed the MCD.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace lpm::mem {
+
+class AccessProbe {
+ public:
+  virtual ~AccessProbe() = default;
+
+  /// Reports, exactly once per simulated cycle and in increasing cycle
+  /// order, how many demand accesses were in their hit (lookup) phase during
+  /// `cycle`. Misses outstanding during the cycle are tracked by the probe
+  /// itself via on_miss/on_miss_done.
+  virtual void on_cycle_activity(Cycle cycle, std::uint32_t hit_active) = 0;
+
+  /// A demand access entered the level's lookup pipeline.
+  virtual void on_access(RequestId id, Cycle start, bool is_write) = 0;
+
+  /// Lookup resolved as a hit; the access is complete.
+  virtual void on_hit(RequestId id, Cycle done) = 0;
+
+  /// Lookup resolved as a miss; the access is outstanding from `start`.
+  virtual void on_miss(RequestId id, Cycle start) = 0;
+
+  /// The outstanding miss completed (data delivered) at `done`.
+  virtual void on_miss_done(RequestId id, Cycle done) = 0;
+};
+
+}  // namespace lpm::mem

@@ -1,0 +1,134 @@
+#include "mem/replacement.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lpm::mem {
+
+const char* to_string(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru: return "lru";
+    case ReplacementPolicy::kFifo: return "fifo";
+    case ReplacementPolicy::kRandom: return "random";
+    case ReplacementPolicy::kPlru: return "plru";
+    case ReplacementPolicy::kSrrip: return "srrip";
+  }
+  return "?";
+}
+
+ReplacementPolicy replacement_from_string(const std::string& s) {
+  if (s == "lru") return ReplacementPolicy::kLru;
+  if (s == "fifo") return ReplacementPolicy::kFifo;
+  if (s == "random") return ReplacementPolicy::kRandom;
+  if (s == "plru") return ReplacementPolicy::kPlru;
+  if (s == "srrip") return ReplacementPolicy::kSrrip;
+  throw util::LpmError("unknown replacement policy: " + s);
+}
+
+ReplacementState::ReplacementState(ReplacementPolicy policy, std::uint32_t ways)
+    : policy_(policy), ways_(ways) {
+  util::require(ways >= 1, "ReplacementState: ways must be >= 1");
+  last_use_.assign(ways, 0);
+  fill_seq_.assign(ways, 0);
+  if (policy_ == ReplacementPolicy::kPlru && plru_applicable()) {
+    plru_bits_.assign(ways - 1, 0);
+  }
+  if (policy_ == ReplacementPolicy::kSrrip) {
+    rrpv_.assign(ways, 3);  // empty ways look like distant re-reference
+  }
+}
+
+bool ReplacementState::plru_applicable() const {
+  return ways_ >= 2 && (ways_ & (ways_ - 1)) == 0;
+}
+
+void ReplacementState::touch(std::uint32_t way, std::uint64_t tick) {
+  util::require(way < ways_, "ReplacementState::touch: bad way");
+  last_use_[way] = tick;
+  if (policy_ == ReplacementPolicy::kPlru && plru_applicable()) {
+    plru_touch(way);
+  }
+  if (policy_ == ReplacementPolicy::kSrrip) {
+    rrpv_[way] = 0;  // re-referenced: predict near reuse
+  }
+}
+
+void ReplacementState::fill(std::uint32_t way, std::uint64_t tick) {
+  util::require(way < ways_, "ReplacementState::fill: bad way");
+  fill_seq_[way] = tick;
+  touch(way, tick);
+  if (policy_ == ReplacementPolicy::kSrrip) {
+    rrpv_[way] = 2;  // inserted with long re-reference prediction: a line
+                     // must prove reuse before it outranks resident ones
+  }
+}
+
+void ReplacementState::plru_touch(std::uint32_t way) {
+  // Walk root->leaf; set each node bit to point *away* from this way.
+  std::uint32_t node = 0;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = ways_;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const bool right = way >= mid;
+    plru_bits_[node] = right ? 0 : 1;  // bit points to the cold side
+    node = 2 * node + (right ? 2 : 1);
+    if (right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+}
+
+std::uint32_t ReplacementState::plru_victim() const {
+  std::uint32_t node = 0;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = ways_;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    // touch() stores 1 when the cold half is the right one.
+    const bool right = plru_bits_[node] == 1;
+    node = 2 * node + (right ? 2 : 1);
+    if (right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::uint32_t ReplacementState::srrip_victim() const {
+  // Find a distant-re-reference way; age everyone until one appears.
+  for (;;) {
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (rrpv_[w] >= 3) return w;
+    }
+    for (auto& r : rrpv_) ++r;
+  }
+}
+
+std::uint32_t ReplacementState::victim(util::Rng& rng) const {
+  switch (policy_) {
+    case ReplacementPolicy::kRandom:
+      return static_cast<std::uint32_t>(rng.next_below(ways_));
+    case ReplacementPolicy::kFifo: {
+      const auto it = std::min_element(fill_seq_.begin(), fill_seq_.end());
+      return static_cast<std::uint32_t>(it - fill_seq_.begin());
+    }
+    case ReplacementPolicy::kSrrip:
+      return srrip_victim();
+    case ReplacementPolicy::kPlru:
+      if (plru_applicable()) return plru_victim();
+      [[fallthrough]];
+    case ReplacementPolicy::kLru: {
+      const auto it = std::min_element(last_use_.begin(), last_use_.end());
+      return static_cast<std::uint32_t>(it - last_use_.begin());
+    }
+  }
+  return 0;
+}
+
+}  // namespace lpm::mem

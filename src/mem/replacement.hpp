@@ -1,0 +1,56 @@
+// Cache replacement policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace lpm::mem {
+
+enum class ReplacementPolicy : std::uint8_t {
+  kLru,     ///< least recently used (exact, per-set timestamps)
+  kFifo,    ///< first in, first out (insertion order)
+  kRandom,  ///< uniform random victim
+  kPlru,    ///< tree pseudo-LRU (power-of-two associativity; else falls back to LRU)
+  kSrrip,   ///< static RRIP (2-bit re-reference prediction): scan-resistant
+            ///< "selective replacement" (paper SVII future work)
+};
+
+[[nodiscard]] const char* to_string(ReplacementPolicy p);
+
+/// Parses "lru" / "fifo" / "random" / "plru" (throws util::LpmError).
+[[nodiscard]] ReplacementPolicy replacement_from_string(const std::string& s);
+
+/// Per-set replacement state; the cache owns one per set. The policy only
+/// sees way indices and touch/fill events, never tags.
+class ReplacementState {
+ public:
+  ReplacementState(ReplacementPolicy policy, std::uint32_t ways);
+
+  /// Records a use of `way` (hit or fill).
+  void touch(std::uint32_t way, std::uint64_t tick);
+
+  /// Records that `way` was (re)filled.
+  void fill(std::uint32_t way, std::uint64_t tick);
+
+  /// Chooses the victim way among valid ways (the cache prefers invalid ways
+  /// before asking).
+  [[nodiscard]] std::uint32_t victim(util::Rng& rng) const;
+
+ private:
+  ReplacementPolicy policy_;
+  std::uint32_t ways_;
+  std::vector<std::uint64_t> last_use_;   // LRU timestamps
+  std::vector<std::uint64_t> fill_seq_;   // FIFO order
+  std::vector<std::uint8_t> plru_bits_;   // tree bits, size ways-1
+  mutable std::vector<std::uint8_t> rrpv_;  // SRRIP 2-bit predictions
+  [[nodiscard]] bool plru_applicable() const;
+  void plru_touch(std::uint32_t way);
+  [[nodiscard]] std::uint32_t plru_victim() const;
+  [[nodiscard]] std::uint32_t srrip_victim() const;
+};
+
+}  // namespace lpm::mem

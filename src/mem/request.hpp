@@ -1,0 +1,60 @@
+// Request/response plumbing between memory-hierarchy levels.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace lpm::mem {
+
+enum class AccessKind : std::uint8_t {
+  kRead,   ///< demand load or block fill
+  kWrite,  ///< demand store or writeback
+};
+
+struct MemResponse {
+  RequestId id = kNoRequest;
+  CoreId core = kNoCore;
+  Addr addr = 0;
+  Cycle completed = 0;
+};
+
+/// Receiver of completions. Levels and cores implement this; a request
+/// carries a non-owning pointer to where its response should be delivered
+/// (nullptr for fire-and-forget traffic such as writebacks).
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void on_response(const MemResponse& rsp) = 0;
+};
+
+struct MemRequest {
+  RequestId id = kNoRequest;
+  CoreId core = kNoCore;        ///< originating core (for attribution)
+  Addr addr = 0;
+  AccessKind kind = AccessKind::kRead;
+  Cycle created = 0;
+  ResponseSink* reply_to = nullptr;  ///< non-owning; nullptr = no reply
+};
+
+/// One level of the memory hierarchy as seen from above.
+class MemoryLevel {
+ public:
+  virtual ~MemoryLevel() = default;
+
+  /// Presents a request. Returns false when the level cannot accept it this
+  /// cycle (port/bank/queue backpressure); the caller must retry later.
+  virtual bool try_access(const MemRequest& req) = 0;
+
+  /// Advances one cycle. Must be called for every cycle in increasing order;
+  /// callers tick the hierarchy bottom-up (memory first).
+  virtual void tick(Cycle now) = 0;
+
+  /// Flushes per-cycle probe accounting for the final simulated cycle.
+  virtual void finalize(Cycle end_cycle) = 0;
+
+  /// True while any request is in flight inside this level.
+  [[nodiscard]] virtual bool busy() const = 0;
+};
+
+}  // namespace lpm::mem

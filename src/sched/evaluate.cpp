@@ -1,0 +1,57 @@
+#include "sched/evaluate.hpp"
+
+#include <memory>
+
+#include "sched/hsp.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::sched {
+
+EvalResult evaluate_schedule(const sim::MachineConfig& machine,
+                             const std::vector<AppProfile>& apps,
+                             const Schedule& schedule,
+                             std::string scheduler_name) {
+  util::require(apps.size() == schedule.size(), "evaluate_schedule: size mismatch");
+  util::require(machine.num_cores == apps.size(),
+                "evaluate_schedule: machine must have one core per app");
+  // The schedule must be a permutation.
+  std::vector<bool> used(apps.size(), false);
+  for (const std::size_t c : schedule) {
+    util::require(c < apps.size(), "evaluate_schedule: core index out of range");
+    util::require(!used[c], "evaluate_schedule: core assigned twice");
+    used[c] = true;
+  }
+
+  // traces[core] = the workload of the app placed on that core. Each app
+  // gets a disjoint slice of the physical address space (its own pages).
+  std::vector<trace::TraceSourcePtr> traces(apps.size());
+  for (std::size_t app = 0; app < apps.size(); ++app) {
+    trace::WorkloadProfile wl = apps[app].workload;
+    wl.addr_base = (static_cast<std::uint64_t>(app) + 1) << 30;
+    traces[schedule[app]] = std::make_unique<trace::SyntheticTrace>(wl);
+  }
+
+  sim::System system(machine, std::move(traces));
+  const sim::SystemResult run = system.run();
+  util::require(run.completed, "evaluate_schedule: co-run hit max_cycles");
+
+  EvalResult out;
+  out.scheduler = std::move(scheduler_name);
+  out.schedule = schedule;
+  out.co_run_cycles = run.cycles;
+  for (std::size_t app = 0; app < apps.size(); ++app) {
+    const std::size_t c = schedule[app];
+    const std::uint64_t l1_size = machine.l1_size_per_core.empty()
+                                      ? machine.l1.size_bytes
+                                      : machine.l1_size_per_core[c];
+    out.ipc_alone.push_back(apps[app].at_size(l1_size).ipc);
+    out.ipc_shared.push_back(run.cores[c].ipc());
+  }
+  out.hsp = harmonic_weighted_speedup(out.ipc_alone, out.ipc_shared);
+  out.ws = weighted_speedup(out.ipc_alone, out.ipc_shared);
+  out.min_ws = min_weighted_speedup(out.ipc_alone, out.ipc_shared);
+  return out;
+}
+
+}  // namespace lpm::sched

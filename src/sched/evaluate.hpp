@@ -1,0 +1,33 @@
+// Co-run evaluation of a schedule on the NUCA CMP (Fig. 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/profile.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/system.hpp"
+
+namespace lpm::sched {
+
+struct EvalResult {
+  std::string scheduler;
+  Schedule schedule;
+  double hsp = 0.0;          ///< harmonic weighted speedup (Fig. 8's metric)
+  double ws = 0.0;           ///< classic weighted speedup (throughput)
+  double min_ws = 0.0;       ///< fairness floor
+  std::vector<double> ipc_alone;   ///< per app, solo on its assigned core
+  std::vector<double> ipc_shared;  ///< per app, in the co-run
+  Cycle co_run_cycles = 0;
+};
+
+/// Runs all applications simultaneously under `schedule` on `machine`
+/// (which must have one core per app) and computes the harmonic weighted
+/// speedup against each app's solo IPC at its assigned core's L1 size
+/// (taken from the profiles; the profiler used the same machine).
+[[nodiscard]] EvalResult evaluate_schedule(const sim::MachineConfig& machine,
+                                           const std::vector<AppProfile>& apps,
+                                           const Schedule& schedule,
+                                           std::string scheduler_name);
+
+}  // namespace lpm::sched

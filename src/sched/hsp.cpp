@@ -1,0 +1,48 @@
+#include "sched/hsp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lpm::sched {
+
+double harmonic_weighted_speedup(const std::vector<double>& ipc_alone,
+                                 const std::vector<double>& ipc_shared) {
+  util::require(ipc_alone.size() == ipc_shared.size(),
+                "harmonic_weighted_speedup: size mismatch");
+  if (ipc_alone.empty()) return 0.0;
+  double denom = 0.0;
+  for (std::size_t i = 0; i < ipc_alone.size(); ++i) {
+    if (ipc_alone[i] <= 0.0 || ipc_shared[i] <= 0.0) return 0.0;
+    denom += ipc_alone[i] / ipc_shared[i];
+  }
+  return static_cast<double>(ipc_alone.size()) / denom;
+}
+
+double weighted_speedup(const std::vector<double>& ipc_alone,
+                        const std::vector<double>& ipc_shared) {
+  util::require(ipc_alone.size() == ipc_shared.size(),
+                "weighted_speedup: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ipc_alone.size(); ++i) {
+    if (ipc_alone[i] <= 0.0 || ipc_shared[i] <= 0.0) return 0.0;
+    sum += ipc_shared[i] / ipc_alone[i];
+  }
+  return sum;
+}
+
+double min_weighted_speedup(const std::vector<double>& ipc_alone,
+                            const std::vector<double>& ipc_shared) {
+  util::require(ipc_alone.size() == ipc_shared.size(),
+                "min_weighted_speedup: size mismatch");
+  if (ipc_alone.empty()) return 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ipc_alone.size(); ++i) {
+    if (ipc_alone[i] <= 0.0 || ipc_shared[i] <= 0.0) return 0.0;
+    lo = std::min(lo, ipc_shared[i] / ipc_alone[i]);
+  }
+  return lo;
+}
+
+}  // namespace lpm::sched

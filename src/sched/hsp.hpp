@@ -1,0 +1,25 @@
+// Harmonic Weighted Speedup (Luo, Gummaraju & Franklin, ISPASS'01), the
+// throughput/fairness metric of Case Study II (Fig. 8).
+#pragma once
+
+#include <vector>
+
+namespace lpm::sched {
+
+/// Hsp = N / sum_i (IPC_alone_i / IPC_shared_i). Equals the harmonic mean
+/// of the per-program weighted speedups; 1.0 means no slowdown from
+/// sharing. Returns 0 for empty or degenerate inputs.
+[[nodiscard]] double harmonic_weighted_speedup(const std::vector<double>& ipc_alone,
+                                               const std::vector<double>& ipc_shared);
+
+/// System throughput: sum_i (IPC_shared_i / IPC_alone_i) — the classic
+/// weighted speedup (Snavely & Tullsen). N means no slowdown.
+[[nodiscard]] double weighted_speedup(const std::vector<double>& ipc_alone,
+                                      const std::vector<double>& ipc_shared);
+
+/// Fairness floor: min_i (IPC_shared_i / IPC_alone_i). Returns 0 for empty
+/// or degenerate inputs.
+[[nodiscard]] double min_weighted_speedup(const std::vector<double>& ipc_alone,
+                                          const std::vector<double>& ipc_shared);
+
+}  // namespace lpm::sched

@@ -1,0 +1,66 @@
+#include "sched/profile.hpp"
+
+#include <memory>
+
+#include "sim/system.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::sched {
+
+const SizePoint& AppProfile::at_size(std::uint64_t l1_size_bytes) const {
+  for (const auto& p : by_size) {
+    if (p.l1_size_bytes == l1_size_bytes) return p;
+  }
+  throw util::LpmError(name + ": no profile point for L1 size " +
+                       std::to_string(l1_size_bytes));
+}
+
+Profiler::Profiler(sim::MachineConfig machine) : machine_(std::move(machine)) {
+  machine_.num_cores = 1;
+  machine_.l1_size_per_core.clear();
+  machine_.l1.num_cores = 1;
+  machine_.l2.num_cores = 1;
+  machine_.validate();
+}
+
+AppProfile Profiler::profile(const trace::WorkloadProfile& workload,
+                             const std::vector<std::uint64_t>& l1_sizes) const {
+  util::require(!l1_sizes.empty(), "Profiler: need at least one L1 size");
+
+  AppProfile out;
+  out.name = workload.name;
+  out.workload = workload;
+
+  // CPIexe does not depend on the L1 size; calibrate once.
+  trace::SyntheticTrace calib_trace(workload);
+  const sim::CpiExeResult calib = sim::measure_cpi_exe(machine_, calib_trace);
+  out.cpi_exe = calib.cpi_exe;
+  out.fmem = calib.fmem;
+
+  for (const std::uint64_t size : l1_sizes) {
+    sim::MachineConfig m = machine_;
+    m.l1.size_bytes = size;
+
+    std::vector<trace::TraceSourcePtr> traces;
+    traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
+    sim::System system(m, std::move(traces));
+    const sim::SystemResult run = system.run();
+    util::require(run.completed, out.name + ": profiling run hit max_cycles");
+
+    SizePoint p;
+    p.l1_size_bytes = size;
+    p.measurement = core::AppMeasurement::from_run(run, calib, 0, workload.name);
+    const auto cycles = static_cast<double>(run.cycles);
+    p.apc1 = cycles > 0 ? static_cast<double>(p.measurement.l1.accesses) / cycles : 0.0;
+    p.apc2 = cycles > 0 ? static_cast<double>(p.measurement.l2.accesses) / cycles : 0.0;
+    p.ipc = run.cores[0].ipc();
+    const core::LpmrSet lpmr = core::compute_lpmrs(p.measurement);
+    p.lpmr1 = lpmr.lpmr1;
+    p.lpmr2 = lpmr.lpmr2;
+    out.by_size.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lpm::sched

@@ -1,0 +1,57 @@
+// Per-application profiling across L1 sizes (Case Study II, Figs. 6-7).
+//
+// Each application runs solo on a single-core machine whose private L1 is
+// swept over the NUCA sizes; the profiler records APC1/APC2, LPMR1/LPMR2
+// and IPC for every size. NUCA-SA consumes these profiles; the Fig. 6/7
+// benches print them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lpm_model.hpp"
+#include "sim/machine_config.hpp"
+#include "trace/workload_profile.hpp"
+
+namespace lpm::sched {
+
+struct SizePoint {
+  std::uint64_t l1_size_bytes = 0;
+  /// APC here follows the figures' usage: accesses delivered per *elapsed*
+  /// cycle, i.e. layer throughput seen by the program. (The strict
+  /// per-active-cycle APC of Eq. 3 remains available as
+  /// measurement.lX.apc().)
+  double apc1 = 0.0;   ///< Fig. 6 series: L1 accesses per cycle
+  double apc2 = 0.0;   ///< Fig. 7 series: L2 accesses per cycle (bandwidth demand)
+  double ipc = 0.0;    ///< solo IPC on this L1 size
+  double lpmr1 = 0.0;
+  double lpmr2 = 0.0;
+  core::AppMeasurement measurement;
+};
+
+struct AppProfile {
+  std::string name;
+  trace::WorkloadProfile workload;
+  double cpi_exe = 1.0;
+  double fmem = 0.0;
+  std::vector<SizePoint> by_size;  ///< ascending L1 size
+
+  [[nodiscard]] const SizePoint& at_size(std::uint64_t l1_size_bytes) const;
+};
+
+class Profiler {
+ public:
+  /// `machine` supplies the core / L2 / DRAM configuration (Fig. 5 CMP);
+  /// profiling runs use its single-core equivalent so solo IPC matches the
+  /// resources one core sees.
+  explicit Profiler(sim::MachineConfig machine);
+
+  /// Profiles one application over the given ascending L1 sizes.
+  [[nodiscard]] AppProfile profile(const trace::WorkloadProfile& workload,
+                                   const std::vector<std::uint64_t>& l1_sizes) const;
+
+ private:
+  sim::MachineConfig machine_;
+};
+
+}  // namespace lpm::sched

@@ -1,0 +1,145 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/lpm_model.hpp"
+#include "util/error.hpp"
+
+namespace lpm::sched {
+
+namespace {
+
+void check_inputs(const std::vector<AppProfile>& apps,
+                  const std::vector<std::uint64_t>& core_l1_sizes) {
+  util::require(!apps.empty(), "scheduler: no applications");
+  util::require(apps.size() == core_l1_sizes.size(),
+                "scheduler: need exactly one core per application");
+}
+
+}  // namespace
+
+Schedule RandomScheduler::assign(const std::vector<AppProfile>& apps,
+                                 const std::vector<std::uint64_t>& core_l1_sizes) {
+  check_inputs(apps, core_l1_sizes);
+  Schedule s(apps.size());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = i;
+  // Fisher-Yates with the seeded stream.
+  for (std::size_t i = s.size(); i > 1; --i) {
+    const std::size_t j = rng_.next_below(i);
+    std::swap(s[i - 1], s[j]);
+  }
+  return s;
+}
+
+Schedule RoundRobinScheduler::assign(const std::vector<AppProfile>& apps,
+                                     const std::vector<std::uint64_t>& core_l1_sizes) {
+  check_inputs(apps, core_l1_sizes);
+  Schedule s(apps.size());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = i;
+  return s;
+}
+
+NucaSaScheduler::NucaSaScheduler(double delta_percent)
+    : delta_percent_(delta_percent) {
+  util::require(delta_percent > 0.0, "NucaSaScheduler: delta must be positive");
+}
+
+std::string NucaSaScheduler::name() const {
+  return delta_percent_ <= core::kFineGrainedDelta ? "NUCA-SA (fg)"
+                                                   : "NUCA-SA (cg)";
+}
+
+std::uint64_t NucaSaScheduler::preferred_size(const AppProfile& app) const {
+  util::require(!app.by_size.empty(), app.name + ": empty profile");
+  // Step 1a: smallest size whose LPMR1 already matches the request rate
+  // (Eq. 14 threshold at this delta).
+  for (const SizePoint& p : app.by_size) {
+    const double t1 =
+        core::threshold_t1(delta_percent_, p.measurement.overlap_ratio);
+    if (p.lpmr1 <= t1) return p.l1_size_bytes;
+  }
+  // Step 1b: no size matches the threshold outright - relax to "within
+  // delta% of the best achievable LPMR1": fine-grained matching (1%)
+  // demands nearly the full benefit, coarse-grained (10%) settles earlier
+  // with a smaller cache. Insensitive programs land on the smallest size
+  // either way and do not hoard capacity.
+  const double best = app.by_size.back().lpmr1;
+  const double tolerance = 1.0 + delta_percent_ / 100.0;
+  for (const SizePoint& p : app.by_size) {
+    if (p.lpmr1 <= best * tolerance) return p.l1_size_bytes;
+  }
+  return app.by_size.back().l1_size_bytes;
+}
+
+Schedule NucaSaScheduler::assign(const std::vector<AppProfile>& apps,
+                                 const std::vector<std::uint64_t>& core_l1_sizes) {
+  check_inputs(apps, core_l1_sizes);
+
+  // Free cores per L1 size, smallest size first.
+  std::map<std::uint64_t, std::vector<std::size_t>> free_cores;
+  for (std::size_t c = 0; c < core_l1_sizes.size(); ++c) {
+    free_cores[core_l1_sizes[c]].push_back(c);
+  }
+
+  struct Want {
+    std::size_t app = 0;
+    std::uint64_t preferred = 0;
+    double benefit = 0.0;  ///< LPMR1 improvement from smallest to preferred
+  };
+  std::vector<Want> wants;
+  wants.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    Want w;
+    w.app = i;
+    w.preferred = preferred_size(apps[i]);
+    w.benefit = apps[i].by_size.front().lpmr1 -
+                apps[i].at_size(w.preferred).lpmr1;
+    wants.push_back(w);
+  }
+  // Applications with the most to gain choose first.
+  std::stable_sort(wants.begin(), wants.end(),
+                   [](const Want& a, const Want& b) { return a.benefit > b.benefit; });
+
+  Schedule schedule(apps.size(), static_cast<std::size_t>(-1));
+  for (const Want& w : wants) {
+    const AppProfile& app = apps[w.app];
+    // Candidate sizes still having a free core, ranked by the two-fold
+    // rule: (1) sizes matching the app's LPMR1 demand come first; among
+    // those, minimize shared-L2 pressure (APC2, 5% tolerance), then take
+    // the smallest sufficient cache; (2) if nothing matches, chase the
+    // lowest LPMR1 (the closest-to-matching large cache).
+    std::vector<std::uint64_t> candidates;
+    for (const auto& [size, cores] : free_cores) {
+      if (!cores.empty()) candidates.push_back(size);
+    }
+    util::require(!candidates.empty(), "NUCA-SA: ran out of cores");
+    const auto meets = [&](const SizePoint& p) {
+      return p.lpmr1 <=
+             core::threshold_t1(delta_percent_, p.measurement.overlap_ratio);
+    };
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](std::uint64_t a, std::uint64_t b) {
+                       const SizePoint& pa = app.at_size(a);
+                       const SizePoint& pb = app.at_size(b);
+                       const bool ma = meets(pa);
+                       const bool mb = meets(pb);
+                       if (ma != mb) return ma;
+                       if (ma) {  // both sufficient: least L2 pressure, then smallest
+                         const double lo = std::min(pa.apc2, pb.apc2);
+                         if (std::abs(pa.apc2 - pb.apc2) > 0.05 * lo) {
+                           return pa.apc2 < pb.apc2;
+                         }
+                         return a < b;
+                       }
+                       return pa.lpmr1 < pb.lpmr1;  // neither: best effort
+                     });
+    const std::uint64_t chosen = candidates.front();
+    auto& cores = free_cores[chosen];
+    schedule[w.app] = cores.front();
+    cores.erase(cores.begin());
+  }
+  return schedule;
+}
+
+}  // namespace lpm::sched

@@ -1,0 +1,70 @@
+// Schedulers for the heterogeneous-L1 CMP (Case Study II).
+//
+// A schedule assigns each of N applications to one of N cores. Random and
+// Round-Robin are the baselines the paper compares against; NUCA-SA is the
+// LPM-guided two-fold scheduler: first satisfy each application's LPMR1
+// (pick the smallest L1 that matches its request rate), then break ties to
+// minimize shared-L2 demand (APC2), in polynomial time over an assignment
+// space of 16!/(4!)^4 = 63,063,000 placements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/profile.hpp"
+#include "util/rng.hpp"
+
+namespace lpm::sched {
+
+/// schedule[i] = core index running application i.
+using Schedule = std::vector<std::size_t>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// `core_l1_sizes[c]` is the private L1 size of core c.
+  [[nodiscard]] virtual Schedule assign(
+      const std::vector<AppProfile>& apps,
+      const std::vector<std::uint64_t>& core_l1_sizes) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniform random permutation (seeded, reproducible).
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  Schedule assign(const std::vector<AppProfile>& apps,
+                  const std::vector<std::uint64_t>& core_l1_sizes) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  util::Rng rng_;
+};
+
+/// Application i runs on core i.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  Schedule assign(const std::vector<AppProfile>& apps,
+                  const std::vector<std::uint64_t>& core_l1_sizes) override;
+  [[nodiscard]] std::string name() const override { return "Round Robin"; }
+};
+
+/// The LPM-guided NUCA-aware scheduler (NUCA-SA). `delta_percent` selects
+/// fine-grained (1%) or coarse-grained (10%) matching.
+class NucaSaScheduler final : public Scheduler {
+ public:
+  explicit NucaSaScheduler(double delta_percent);
+  Schedule assign(const std::vector<AppProfile>& apps,
+                  const std::vector<std::uint64_t>& core_l1_sizes) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Step 1 of the two-fold policy: the smallest profiled L1 size that
+  /// matches the app's LPMR1 demand under this delta (exposed for tests).
+  [[nodiscard]] std::uint64_t preferred_size(const AppProfile& app) const;
+
+ private:
+  double delta_percent_;
+};
+
+}  // namespace lpm::sched

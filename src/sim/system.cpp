@@ -1,0 +1,164 @@
+#include "sim/system.hpp"
+
+#include "mem/perfect_memory.hpp"
+#include "util/error.hpp"
+
+namespace lpm::sim {
+
+System::System(MachineConfig cfg, std::vector<trace::TraceSourcePtr> traces)
+    : cfg_(std::move(cfg)), traces_(std::move(traces)) {
+  cfg_.validate();
+  util::require(traces_.size() == cfg_.num_cores,
+                "System: need exactly one trace per core");
+  for (const auto& t : traces_) {
+    util::require(t != nullptr, "System: null trace");
+  }
+
+  dram_ = std::make_unique<mem::Dram>(cfg_.dram);
+  dram_analyzer_ = std::make_unique<camat::Analyzer>("DRAM");
+  dram_->set_probe(dram_analyzer_.get());
+
+  mem::CacheConfig l2cfg = cfg_.l2;
+  l2cfg.num_cores = cfg_.num_cores;
+  l2_ = std::make_unique<mem::Cache>(l2cfg, dram_.get(), /*id_space=*/1000);
+  l2_analyzer_ = std::make_unique<camat::Analyzer>("L2");
+  l2_->set_probe(l2_analyzer_.get());
+
+  l1s_.reserve(cfg_.num_cores);
+  l1_analyzers_.reserve(cfg_.num_cores);
+  cores_.reserve(cfg_.num_cores);
+  for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
+    // Optional middle level: a private L2 between this core's L1 and the
+    // shared cache (which then serves as the LLC).
+    mem::MemoryLevel* below_l1 = l2_.get();
+    if (cfg_.use_private_l2) {
+      mem::CacheConfig l2pcfg = cfg_.private_l2;
+      l2pcfg.name = "L2p." + std::to_string(c);
+      l2pcfg.num_cores = cfg_.num_cores;
+      l2pcfg.seed = cfg_.private_l2.seed + 17 * c;
+      auto l2p =
+          std::make_unique<mem::Cache>(l2pcfg, l2_.get(), /*id_space=*/500 + c);
+      auto l2p_analyzer = std::make_unique<camat::Analyzer>(l2pcfg.name);
+      l2p->set_probe(l2p_analyzer.get());
+      below_l1 = l2p.get();
+      private_l2s_.push_back(std::move(l2p));
+      private_l2_analyzers_.push_back(std::move(l2p_analyzer));
+    }
+
+    mem::CacheConfig l1cfg = cfg_.l1;
+    l1cfg.name = "L1." + std::to_string(c);
+    if (!cfg_.l1_size_per_core.empty()) {
+      l1cfg.size_bytes = cfg_.l1_size_per_core[c];
+    }
+    l1cfg.num_cores = cfg_.num_cores;
+    l1cfg.seed = cfg_.l1.seed + c;
+    auto l1 = std::make_unique<mem::Cache>(l1cfg, below_l1, /*id_space=*/100 + c);
+    auto analyzer = std::make_unique<camat::Analyzer>(l1cfg.name);
+    l1->set_probe(analyzer.get());
+
+    cpu::CoreConfig core_cfg = cfg_.core;
+    core_cfg.id = c;
+    core_cfg.name = "core" + std::to_string(c);
+    auto core = std::make_unique<cpu::OooCore>(core_cfg, traces_[c].get(),
+                                               l1.get(), /*id_space=*/1 + c);
+    l1s_.push_back(std::move(l1));
+    l1_analyzers_.push_back(std::move(analyzer));
+    cores_.push_back(std::move(core));
+  }
+}
+
+System::~System() = default;
+
+camat::Analyzer& System::l1_analyzer(std::size_t core) {
+  return *l1_analyzers_.at(core);
+}
+
+bool System::finished() const {
+  for (const auto& core : cores_) {
+    if (!core->finished()) return false;
+  }
+  for (const auto& l2p : private_l2s_) {
+    if (l2p->busy()) return false;
+  }
+  return !dram_->busy() && !l2_->busy();
+}
+
+bool System::step() {
+  if (finished()) return false;
+  // Bottom-up ticking: responses flow upward within the same cycle, demand
+  // requests flow downward and begin service the cycle they are accepted.
+  dram_->tick(now_);
+  l2_->tick(now_);
+  for (auto& l2p : private_l2s_) l2p->tick(now_);
+  for (auto& l1 : l1s_) l1->tick(now_);
+  for (auto& core : cores_) core->tick(now_);
+  ++now_;
+  return true;
+}
+
+SystemResult System::run() {
+  while (now_ < cfg_.max_cycles) {
+    if (!step()) break;
+  }
+  if (!finalized_ && now_ > 0) {
+    const Cycle last = now_ - 1;
+    dram_->finalize(last);
+    l2_->finalize(last);
+    for (auto& l2p : private_l2s_) l2p->finalize(last);
+    for (auto& l1 : l1s_) l1->finalize(last);
+    finalized_ = true;
+  }
+  SystemResult r = collect();
+  r.completed = finished();
+  return r;
+}
+
+SystemResult System::collect() const {
+  SystemResult r;
+  r.completed = finished();
+  r.cycles = now_;
+  for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
+    r.cores.push_back(cores_[c]->stats());
+    r.l1.push_back(l1_analyzers_[c]->metrics());
+    r.l1_cache.push_back(l1s_[c]->stats());
+    if (cfg_.use_private_l2) {
+      r.l2_private.push_back(private_l2_analyzers_[c]->metrics());
+      r.l2_private_cache.push_back(private_l2s_[c]->stats());
+    }
+  }
+  r.l2 = l2_analyzer_->metrics();
+  r.dram = dram_analyzer_->metrics();
+  r.l2_cache = l2_->stats();
+  r.dram_stats = dram_->stats();
+  return r;
+}
+
+CpiExeResult measure_cpi_exe(const MachineConfig& cfg, trace::TraceSource& trace) {
+  trace.reset();
+  // CPIexe is the processor's pure computation capability (Eq. 5): perfect
+  // cache with unconstrained ports, so only issue width / window / ROB and
+  // the program's dependences bind it. Memory-side limits (ports, MSHRs)
+  // show up as data stall, not as CPIexe.
+  mem::PerfectMemory perfect(cfg.l1.hit_latency, /*ports=*/0);
+  cpu::CoreConfig core_cfg = cfg.core;
+  core_cfg.id = 0;
+  cpu::OooCore core(core_cfg, &trace, &perfect, /*id_space=*/1);
+
+  Cycle now = 0;
+  while (!core.finished() && now < cfg.max_cycles) {
+    perfect.tick(now);
+    core.tick(now);
+    ++now;
+  }
+  util::require(core.finished(), "measure_cpi_exe: run did not complete");
+
+  CpiExeResult out;
+  out.instructions = core.stats().instructions;
+  out.cycles = core.stats().cycles;
+  out.cpi_exe = core.stats().cpi();
+  out.fmem = core.stats().fmem();
+  trace.reset();
+  return out;
+}
+
+}  // namespace lpm::sim

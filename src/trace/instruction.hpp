@@ -1,0 +1,42 @@
+// Micro-op model: the unit of work flowing from a trace source into a core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace lpm::trace {
+
+enum class OpType : std::uint8_t {
+  kAlu,    ///< computation; occupies a functional unit for exec_latency cycles
+  kLoad,   ///< memory read; completes when the hierarchy returns data
+  kStore,  ///< memory write; retires once accepted by L1 (write-buffer style)
+};
+
+[[nodiscard]] inline bool is_memory(OpType t) {
+  return t == OpType::kLoad || t == OpType::kStore;
+}
+
+[[nodiscard]] inline const char* to_string(OpType t) {
+  switch (t) {
+    case OpType::kAlu: return "alu";
+    case OpType::kLoad: return "load";
+    case OpType::kStore: return "store";
+  }
+  return "?";
+}
+
+/// One dynamic instruction. Dependences are encoded positionally: this op
+/// cannot issue until the op `dep_dist` slots earlier in program order has
+/// completed (0 = independent). A second dependence slot covers the common
+/// address-generation + value pattern without a full register model.
+struct MicroOp {
+  OpType type = OpType::kAlu;
+  Addr addr = 0;                 ///< byte address (loads/stores)
+  std::uint32_t dep_dist = 0;    ///< primary dependence distance, 0 = none
+  std::uint32_t dep_dist2 = 0;   ///< secondary dependence distance, 0 = none
+  std::uint8_t exec_latency = 1; ///< ALU busy cycles (ignored for memory ops)
+};
+
+}  // namespace lpm::trace

@@ -1,0 +1,45 @@
+// Binary trace file format: record a TraceSource once, replay it from disk.
+//
+// Layout (little-endian):
+//   magic "LPMT" | u32 version | u64 count | count * packed MicroOp records
+// Record: u8 type | u8 exec_latency | u32 dep_dist | u32 dep_dist2 | u64 addr
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hpp"
+
+namespace lpm::trace {
+
+/// Writes every op of `source` (from its current position to exhaustion) to
+/// `path`. Returns the number of ops written. Throws util::LpmError on I/O
+/// failure.
+std::uint64_t record_trace(TraceSource& source, const std::string& path);
+
+/// Loads a recorded trace fully into memory. Throws util::LpmError on
+/// malformed files.
+[[nodiscard]] std::vector<MicroOp> load_trace(const std::string& path);
+
+/// A TraceSource replaying a file loaded via load_trace().
+class FileTrace final : public TraceSource {
+ public:
+  explicit FileTrace(const std::string& path, std::string name = "file-trace")
+      : name_(std::move(name)), ops_(load_trace(path)) {}
+
+  bool next(MicroOp& op) override {
+    if (pos_ >= ops_.size()) return false;
+    op = ops_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<MicroOp> ops_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lpm::trace

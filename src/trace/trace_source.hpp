@@ -1,0 +1,28 @@
+// Abstract instruction stream consumed by a core model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/instruction.hpp"
+
+namespace lpm::trace {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produces the next micro-op. Returns false at end-of-trace.
+  virtual bool next(MicroOp& op) = 0;
+
+  /// Rewinds to the beginning; the re-played stream must be identical.
+  virtual void reset() = 0;
+
+  /// Human-readable workload name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using TraceSourcePtr = std::unique_ptr<TraceSource>;
+
+}  // namespace lpm::trace

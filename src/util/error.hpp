@@ -1,0 +1,26 @@
+// Error handling helpers: a library exception type plus precondition checks.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace lpm::util {
+
+/// Exception thrown for configuration and usage errors across the library.
+class LpmError : public std::runtime_error {
+ public:
+  explicit LpmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws LpmError when `cond` is false. Use for validating user-supplied
+/// configuration; internal invariants use assert().
+inline void require(bool cond, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw LpmError(std::string(loc.file_name()) + ":" +
+                   std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace lpm::util

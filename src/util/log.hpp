@@ -1,0 +1,49 @@
+// Minimal leveled logger. The simulator is a library; logging defaults to
+// warnings-and-above on stderr and can be silenced entirely by tests.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lpm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (process-wide; benches/tests set it once up front).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Streams a message at `level` if enabled. Usage:
+///   log_line(LogLevel::kInfo) << "cycles=" << n;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
+  ~LogLine() {
+    if (enabled_) detail::emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+inline LogLine log_debug() { return LogLine(LogLevel::kDebug); }
+inline LogLine log_info() { return LogLine(LogLevel::kInfo); }
+inline LogLine log_warn() { return LogLine(LogLevel::kWarn); }
+inline LogLine log_error() { return LogLine(LogLevel::kError); }
+
+}  // namespace lpm::util

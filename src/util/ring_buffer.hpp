@@ -1,0 +1,92 @@
+// Fixed-capacity FIFO ring buffer used for ROB / LSQ / retry queues.
+//
+// Header-only and index-based: entries are addressed by stable logical
+// positions so a core can hold "ROB slot" references while the buffer
+// advances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lpm::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity), capacity_(capacity) {
+    require(capacity >= 1, "RingBuffer: capacity must be >= 1");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == capacity_; }
+
+  /// Appends at the tail; returns the element's logical sequence number,
+  /// which stays valid until the element is popped.
+  std::size_t push(T value) {
+    require(!full(), "RingBuffer::push on full buffer");
+    const std::size_t seq = head_seq_ + size_;
+    slots_[seq % capacity_] = std::move(value);
+    ++size_;
+    return seq;
+  }
+
+  /// Oldest element.
+  [[nodiscard]] T& front() {
+    require(!empty(), "RingBuffer::front on empty buffer");
+    return slots_[head_seq_ % capacity_];
+  }
+  [[nodiscard]] const T& front() const {
+    require(!empty(), "RingBuffer::front on empty buffer");
+    return slots_[head_seq_ % capacity_];
+  }
+
+  /// Removes the oldest element.
+  void pop() {
+    require(!empty(), "RingBuffer::pop on empty buffer");
+    ++head_seq_;
+    --size_;
+  }
+
+  /// Access by logical sequence number returned from push().
+  [[nodiscard]] T& at_seq(std::size_t seq) {
+    require(contains_seq(seq), "RingBuffer::at_seq: stale sequence number");
+    return slots_[seq % capacity_];
+  }
+  [[nodiscard]] const T& at_seq(std::size_t seq) const {
+    require(contains_seq(seq), "RingBuffer::at_seq: stale sequence number");
+    return slots_[seq % capacity_];
+  }
+
+  /// i-th element from the front (0 == front).
+  [[nodiscard]] T& at_offset(std::size_t i) {
+    require(i < size_, "RingBuffer::at_offset: out of range");
+    return slots_[(head_seq_ + i) % capacity_];
+  }
+  [[nodiscard]] const T& at_offset(std::size_t i) const {
+    require(i < size_, "RingBuffer::at_offset: out of range");
+    return slots_[(head_seq_ + i) % capacity_];
+  }
+
+  [[nodiscard]] bool contains_seq(std::size_t seq) const {
+    return seq >= head_seq_ && seq < head_seq_ + size_;
+  }
+  [[nodiscard]] std::size_t head_seq() const { return head_seq_; }
+
+  void clear() {
+    head_seq_ += size_;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t capacity_;
+  std::size_t head_seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lpm::util

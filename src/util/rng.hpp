@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The simulator must be reproducible: every stochastic choice flows through
+// an explicitly seeded Rng. We use xoshiro256** (Blackman & Vigna), which is
+// fast, has a 2^256-1 period, and passes BigCrush; std::mt19937_64 would work
+// too but is slower and its distributions are not portable across standard
+// library implementations. All distributions here are hand-rolled so results
+// are bit-identical on every platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lpm::util {
+
+/// xoshiro256** seeded via splitmix64. Copyable (cheap state) so generators
+/// can fork independent streams deterministically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Geometric distribution: number of failures before first success,
+  /// success probability p in (0, 1].
+  std::uint64_t next_geometric(double p);
+
+  /// Exponential with rate lambda > 0.
+  double next_exponential(double lambda);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state small).
+  double next_normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Forks an independent stream: hashes this stream's next output with the
+  /// given tag so sibling streams do not correlate.
+  Rng fork(std::uint64_t tag);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Zipf(N, s) sampler over {0, .., n-1} using precomputed CDF + binary
+/// search. Heavy ranks are the *low* indices, matching the usual convention
+/// for modelling temporal locality (rank-0 block is the hottest).
+class ZipfSampler {
+ public:
+  /// n must be >= 1; s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double skew() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+/// Samples an index from a discrete distribution given by non-negative
+/// weights (need not be normalized). Precomputes a CDF.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lpm::util

@@ -1,0 +1,98 @@
+// Streaming statistics and histogram utilities used by every stats block in
+// the simulator (cache stats, analyzer counters, benchmark reductions).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lpm::util {
+
+/// Welford streaming mean/variance with min/max. O(1) space, numerically
+/// stable for long simulations.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1 divisor)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width bucket histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+  void reset();
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+  /// Value below which `q` (in [0,1]) of the mass lies, interpolated within
+  /// the containing bucket. Under/overflow mass is attributed to the edges.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Multi-line ASCII rendering for logs and benches.
+  [[nodiscard]] std::string to_string(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Numerator/denominator pair with safe division; the bread-and-butter shape
+/// of simulator metrics (miss rate, APC, overlap ratio, ...).
+struct Ratio {
+  std::uint64_t num = 0;
+  std::uint64_t den = 0;
+
+  void add(std::uint64_t n, std::uint64_t d) {
+    num += n;
+    den += d;
+  }
+  [[nodiscard]] double value() const {
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+/// Relative error |a-b| / max(|b|, eps); used by model-validation tests.
+[[nodiscard]] double relative_error(double a, double b, double eps = 1e-12);
+
+/// Arithmetic mean of a vector (0 for empty input).
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+/// Harmonic mean of a vector; returns 0 if any element is <= 0 or empty.
+[[nodiscard]] double harmonic_mean_of(const std::vector<double>& xs);
+
+/// Geometric mean of a vector of positive values; 0 for empty input.
+[[nodiscard]] double geometric_mean_of(const std::vector<double>& xs);
+
+}  // namespace lpm::util

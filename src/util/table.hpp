@@ -1,0 +1,35 @@
+// ASCII table rendering for bench output. Every bench prints the same rows /
+// series the paper reports; this keeps the formatting consistent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lpm::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends one row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::uint64_t v);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and +---+ separators.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (header + rows), for machine-readable bench output.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lpm::util

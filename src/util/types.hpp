@@ -1,0 +1,29 @@
+// Fundamental scalar types shared across the LPM libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace lpm {
+
+/// Simulation time in core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Monotonically increasing identifier for in-flight memory requests.
+using RequestId = std::uint64_t;
+
+/// Core index within a chip multiprocessor.
+using CoreId = std::uint32_t;
+
+/// Sentinel for "no cycle" / "not yet scheduled".
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/// Sentinel for invalid request ids.
+inline constexpr RequestId kNoRequest = ~RequestId{0};
+
+/// Sentinel for "no core" (e.g. aggregate counters).
+inline constexpr CoreId kNoCore = ~CoreId{0};
+
+}  // namespace lpm

@@ -1,0 +1,64 @@
+// The paper's own worked example (Fig. 1 and §II arithmetic) is the golden
+// test of the analyzer: every quoted number must come out exactly.
+#include "camat/fig1.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lpm::camat {
+namespace {
+
+TEST(Fig1, CamatIs1_6) {
+  const CamatMetrics m = fig1_metrics();
+  EXPECT_DOUBLE_EQ(m.camat(), 1.6);
+}
+
+TEST(Fig1, AmatIs3_8) {
+  const CamatMetrics m = fig1_metrics();
+  EXPECT_DOUBLE_EQ(m.amat(), 3.8);
+}
+
+TEST(Fig1, FiveParameters) {
+  const CamatMetrics m = fig1_metrics();
+  EXPECT_DOUBLE_EQ(m.H(), 3.0);
+  EXPECT_DOUBLE_EQ(m.CH(), 2.5);      // 5/2
+  EXPECT_DOUBLE_EQ(m.pMR(), 0.2);     // 1/5
+  EXPECT_DOUBLE_EQ(m.pAMP(), 2.0);
+  EXPECT_DOUBLE_EQ(m.CM(), 1.0);
+}
+
+TEST(Fig1, Eq2EqualsMeasuredCamat) {
+  const CamatMetrics m = fig1_metrics();
+  EXPECT_DOUBLE_EQ(m.camat_eq2(), m.camat());
+}
+
+TEST(Fig1, ConventionalQuantities) {
+  const CamatMetrics m = fig1_metrics();
+  EXPECT_EQ(m.accesses, 5u);
+  EXPECT_EQ(m.hits, 3u);
+  EXPECT_EQ(m.misses, 2u);
+  EXPECT_EQ(m.pure_misses, 1u);
+  EXPECT_DOUBLE_EQ(m.MR(), 0.4);
+  EXPECT_DOUBLE_EQ(m.AMP(), 2.0);  // miss latencies 3 and 1
+}
+
+TEST(Fig1, ConcurrencyDoublesPerformance) {
+  const CamatMetrics m = fig1_metrics();
+  // "concurrency has doubled memory performance": AMAT/C-AMAT = 3.8/1.6.
+  EXPECT_GT(m.amat() / m.camat(), 2.0);
+}
+
+TEST(Fig1, PhaseStructureMatchesFigure) {
+  Analyzer a("fig1");
+  replay_fig1(a);
+  EXPECT_EQ(a.hit_phases(), 4u);        // concurrency runs 2,4,3,1
+  EXPECT_EQ(a.pure_miss_phases(), 1u);  // one pure-miss phase of 2 cycles
+  EXPECT_EQ(a.outstanding_misses(), 0u);
+}
+
+TEST(Fig1, ApcIsReciprocalOfCamat) {
+  const CamatMetrics m = fig1_metrics();
+  EXPECT_DOUBLE_EQ(m.apc() * m.camat(), 1.0);
+}
+
+}  // namespace
+}  // namespace lpm::camat

@@ -1,0 +1,110 @@
+#include "camat/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lpm::camat {
+namespace {
+
+TEST(CamatMetrics, ZeroCountersGiveZeroMetrics) {
+  const CamatMetrics m;
+  EXPECT_DOUBLE_EQ(m.H(), 0.0);
+  EXPECT_DOUBLE_EQ(m.CH(), 0.0);
+  EXPECT_DOUBLE_EQ(m.pMR(), 0.0);
+  EXPECT_DOUBLE_EQ(m.pAMP(), 0.0);
+  EXPECT_DOUBLE_EQ(m.CM(), 0.0);
+  EXPECT_DOUBLE_EQ(m.MR(), 0.0);
+  EXPECT_DOUBLE_EQ(m.AMP(), 0.0);
+  EXPECT_DOUBLE_EQ(m.camat(), 0.0);
+  EXPECT_DOUBLE_EQ(m.apc(), 0.0);
+  EXPECT_DOUBLE_EQ(m.eta1(), 0.0);
+}
+
+TEST(CamatMetrics, HandBuiltCountersProduceExpectedParameters) {
+  CamatMetrics m;
+  m.accesses = 10;
+  m.hits = 8;
+  m.misses = 2;
+  m.pure_misses = 1;
+  m.active_cycles = 20;
+  m.hit_cycles = 15;
+  m.miss_cycles = 8;
+  m.pure_miss_cycles = 5;
+  m.hit_phase_access_cycles = 30;  // H = 3
+  m.hit_access_cycles = 45;        // CH = 3
+  m.miss_access_cycles = 12;       // Cm = 1.5
+  m.pure_access_cycles = 5;        // CM = 1, pAMP = 5
+  m.total_miss_latency = 40;       // AMP = 20
+
+  EXPECT_DOUBLE_EQ(m.H(), 3.0);
+  EXPECT_DOUBLE_EQ(m.CH(), 3.0);
+  EXPECT_DOUBLE_EQ(m.pMR(), 0.1);
+  EXPECT_DOUBLE_EQ(m.pAMP(), 5.0);
+  EXPECT_DOUBLE_EQ(m.CM(), 1.0);
+  EXPECT_DOUBLE_EQ(m.MR(), 0.2);
+  EXPECT_DOUBLE_EQ(m.AMP(), 20.0);
+  EXPECT_DOUBLE_EQ(m.Cm(), 1.5);
+  EXPECT_DOUBLE_EQ(m.apc(), 0.5);
+  EXPECT_DOUBLE_EQ(m.camat(), 2.0);
+  EXPECT_DOUBLE_EQ(m.amat(), 3.0 + 0.2 * 20.0);
+  // eta1 = (pAMP/AMP)*(Cm/CM) = (5/20)*(1.5/1)
+  EXPECT_DOUBLE_EQ(m.eta1(), 0.375);
+}
+
+TEST(CamatMetrics, Eq2MatchesApcIdentityOnConsistentCounters) {
+  // When counters come from a real cycle accounting (hit_phase_access_cycles
+  // distributed over hit cycles, pure cycles over pure misses), Eq. 2 equals
+  // active/accesses exactly. Build such a set: 4 accesses, H=2, one pure miss.
+  CamatMetrics m;
+  m.accesses = 4;
+  m.hits = 3;
+  m.misses = 1;
+  m.pure_misses = 1;
+  m.hit_phase_access_cycles = 8;  // 4 accesses x 2 cycles
+  m.hit_cycles = 5;               // wall hit cycles
+  m.hit_access_cycles = 8;        // concurrency-weighted
+  m.pure_miss_cycles = 3;
+  m.pure_access_cycles = 3;       // one miss outstanding alone
+  m.miss_cycles = 3;
+  m.miss_access_cycles = 3;
+  m.total_miss_latency = 3;
+  m.active_cycles = 8;            // 5 hit + 3 pure
+  EXPECT_DOUBLE_EQ(m.camat_eq2(), m.camat());
+}
+
+TEST(ClosedForms, Eq1Eq2Eq4) {
+  EXPECT_DOUBLE_EQ(amat_eq1(3.0, 0.4, 2.0), 3.8);
+  EXPECT_DOUBLE_EQ(camat_eq2(3.0, 2.5, 0.2, 2.0, 1.0), 1.2 + 0.4);
+  EXPECT_DOUBLE_EQ(camat_recursion_eq4(3.0, 2.5, 0.2, 0.5, 10.0), 1.2 + 1.0);
+}
+
+TEST(ClosedForms, ZeroConcurrencyGuards) {
+  EXPECT_DOUBLE_EQ(camat_eq2(3.0, 0.0, 0.2, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(camat_recursion_eq4(3.0, 0.0, 0.0, 0.0, 5.0), 0.0);
+}
+
+TEST(CamatMetrics, MinusGivesIntervalDeltas) {
+  CamatMetrics a;
+  a.accesses = 100;
+  a.active_cycles = 300;
+  a.misses = 10;
+  CamatMetrics b;
+  b.accesses = 40;
+  b.active_cycles = 120;
+  b.misses = 4;
+  const CamatMetrics d = a.minus(b);
+  EXPECT_EQ(d.accesses, 60u);
+  EXPECT_EQ(d.active_cycles, 180u);
+  EXPECT_EQ(d.misses, 6u);
+}
+
+TEST(CamatMetrics, SummaryMentionsKeyFields) {
+  CamatMetrics m;
+  m.accesses = 5;
+  m.active_cycles = 8;
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("C-AMAT"), std::string::npos);
+  EXPECT_NE(s.find("accesses=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpm::camat

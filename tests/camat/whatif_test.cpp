@@ -1,0 +1,128 @@
+#include "camat/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace lpm::camat {
+namespace {
+
+/// Fig.-1-like measured parameters: H=3, CH=2.5, pMR=0.2, pAMP=2, CM=1.
+CamatMetrics measured() {
+  CamatMetrics m;
+  m.accesses = 5;
+  m.hits = 3;
+  m.misses = 2;
+  m.pure_misses = 1;
+  m.active_cycles = 8;
+  m.hit_cycles = 6;
+  m.pure_miss_cycles = 2;
+  m.miss_cycles = 3;
+  m.hit_phase_access_cycles = 15;
+  m.hit_access_cycles = 15;
+  m.pure_access_cycles = 2;
+  m.miss_access_cycles = 4;
+  m.total_miss_latency = 4;
+  return m;
+}
+
+TEST(WhatIf, IdentityScalesReproduceEq2) {
+  const auto m = measured();
+  EXPECT_DOUBLE_EQ(predict_camat(m, WhatIf{}), m.camat_eq2());
+}
+
+TEST(WhatIf, DoublingHitConcurrencyHalvesHitTerm) {
+  const auto m = measured();
+  const double base = m.camat_eq2();           // 1.2 + 0.4 = 1.6
+  const double better =
+      predict_camat(m, WhatIf::more_hit_concurrency(2.0));
+  EXPECT_DOUBLE_EQ(better, 0.6 + 0.4);
+  EXPECT_LT(better, base);
+}
+
+TEST(WhatIf, DoublingMissConcurrencyHalvesMissTerm) {
+  const auto m = measured();
+  EXPECT_DOUBLE_EQ(predict_camat(m, WhatIf::more_miss_concurrency(2.0)),
+                   1.2 + 0.2);
+}
+
+TEST(WhatIf, HalvingPureMissRateHalvesMissTerm) {
+  const auto m = measured();
+  EXPECT_DOUBLE_EQ(predict_camat(m, WhatIf::fewer_pure_misses(0.5)),
+                   1.2 + 0.2);
+}
+
+TEST(WhatIf, EveryImprovementDirectionHelps) {
+  const auto m = measured();
+  const double base = m.camat_eq2();
+  EXPECT_LT(predict_camat(m, WhatIf::faster_hits(0.5)), base);
+  EXPECT_LT(predict_camat(m, WhatIf::shorter_penalty(0.5)), base);
+  EXPECT_LT(predict_camat(m, WhatIf::more_hit_concurrency(1.5)), base);
+  EXPECT_LT(predict_camat(m, WhatIf::more_miss_concurrency(1.5)), base);
+  EXPECT_LT(predict_camat(m, WhatIf::fewer_pure_misses(0.5)), base);
+}
+
+TEST(WhatIf, StallPredictionUsesEq7Shape) {
+  const auto m = measured();
+  const double stall = predict_stall_per_instr(m, WhatIf{}, 0.4, 0.75);
+  EXPECT_DOUBLE_EQ(stall, 0.4 * m.camat_eq2() * 0.25);
+}
+
+TEST(WhatIf, InvalidScalesThrow) {
+  const auto m = measured();
+  WhatIf w;
+  w.ch_scale = 0.0;
+  EXPECT_THROW(predict_camat(m, w), util::LpmError);
+  w = WhatIf{};
+  w.pmr_scale = -1.0;
+  EXPECT_THROW(predict_camat(m, w), util::LpmError);
+}
+
+TEST(Sensitivity, HitDominatedWorkloadPrefersHitDimensions) {
+  // Hit term 1.2 dominates miss term 0.4: C_H (or H) should win.
+  const auto m = measured();
+  const auto r = sensitivity(m, 2.0);
+  EXPECT_GT(r.ch_gain, r.cm_gain);
+  EXPECT_GT(r.ch_gain, r.pamp_gain);
+  const std::string best = r.best();
+  EXPECT_TRUE(best == "C_H" || best == "H");
+}
+
+TEST(Sensitivity, MissDominatedWorkloadPrefersMissDimensions) {
+  auto m = measured();
+  m.pure_access_cycles = 40;  // CM = 20
+  m.pure_miss_cycles = 2;
+  m.pure_misses = 4;          // pAMP = 10, pMR = 0.8 -> miss term 0.4
+  m.hit_access_cycles = 150;  // CH = 25 -> hit term 0.12
+  const double hit_term = m.H() / m.CH();
+  const double miss_term = m.pMR() * m.pAMP() / m.CM();
+  ASSERT_GT(miss_term, hit_term);
+  const auto r = sensitivity(m, 2.0);
+  EXPECT_GT(std::max({r.cm_gain, r.pmr_gain, r.pamp_gain}), r.ch_gain);
+}
+
+TEST(Sensitivity, GainsAreNonNegativeAndBounded) {
+  const auto m = measured();
+  const auto r = sensitivity(m, 2.0);
+  for (const double g :
+       {r.h_gain, r.ch_gain, r.pmr_gain, r.pamp_gain, r.cm_gain}) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+}
+
+TEST(Sensitivity, FactorMustExceedOne) {
+  EXPECT_THROW(sensitivity(measured(), 1.0), util::LpmError);
+}
+
+TEST(Sensitivity, EmptyMetricsGiveZeroGains) {
+  const CamatMetrics empty;
+  const auto r = sensitivity(empty, 2.0);
+  EXPECT_DOUBLE_EQ(r.ch_gain, 0.0);
+  EXPECT_DOUBLE_EQ(r.cm_gain, 0.0);
+}
+
+}  // namespace
+}  // namespace lpm::camat

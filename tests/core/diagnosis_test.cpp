@@ -1,0 +1,148 @@
+#include "core/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lpm::core {
+namespace {
+
+/// A mismatched measurement skeleton the tests specialize.
+AppMeasurement mismatched() {
+  AppMeasurement m;
+  m.cpi_exe = 0.25;
+  m.fmem = 0.4;
+  m.overlap_ratio = 0.5;
+  m.mr1 = 0.2;
+  m.mr2 = 0.3;
+  m.measured_stall_per_instr = 0.5;
+  m.measured_cpi = 0.8;
+  m.instructions = 100000;
+  // L1: C-AMAT = 4 (active 160k / accesses 40k).
+  m.l1.accesses = 40000;
+  m.l1.hits = 32000;
+  m.l1.misses = 8000;
+  m.l1.pure_misses = 6000;
+  m.l1.active_cycles = 160000;
+  m.l1.hit_cycles = 100000;
+  m.l1.pure_miss_cycles = 60000;
+  m.l1.hit_phase_access_cycles = 120000;
+  m.l1.hit_access_cycles = 120000;
+  m.l1.pure_access_cycles = 120000;  // CM = 2, pAMP = 20
+  m.l1.miss_cycles = 80000;
+  m.l1.miss_access_cycles = 160000;  // Cm = 2
+  m.l1.total_miss_latency = 160000;  // AMP = 20
+  m.l2.accesses = 8000;
+  m.l2.active_cycles = 120000;
+  m.l1_misses_total = 8000;
+  m.l3.accesses = 2000;
+  m.l3.active_cycles = 30000;
+  m.l2_misses_total = 2000;
+  return m;
+}
+
+TEST(Diagnosis, MatchedWhenLpmr1UnderThreshold) {
+  auto m = mismatched();
+  m.overlap_ratio = 0.999;  // T1 explodes
+  const auto d = diagnose(m, HardwareContext{}, 10.0);
+  EXPECT_EQ(d.primary(), Bottleneck::kMatched);
+  EXPECT_TRUE(d.findings.empty());
+  EXPECT_NE(d.narrative().find("matched"), std::string::npos);
+}
+
+TEST(Diagnosis, PortStarvationRankedWhenRejectionsHigh) {
+  const auto m = mismatched();
+  HardwareContext hw;
+  hw.l1_ports = 1;
+  hw.l1_rejections = 30000;  // 0.75 per access
+  hw.mshr_entries = 16;      // Cm=2 << 16: no MSHR signal
+  const auto d = diagnose(m, hw, 10.0);
+  ASSERT_FALSE(d.findings.empty());
+  EXPECT_EQ(d.primary(), Bottleneck::kL1Ports);
+}
+
+TEST(Diagnosis, MshrSaturationDetected) {
+  const auto m = mismatched();  // Cm = 2
+  HardwareContext hw;
+  hw.mshr_entries = 2;  // Cm presses against the file
+  hw.l1_misses = 8000;
+  hw.l1_mshr_wait_cycles = 40000;  // 5 wait cycles per miss
+  const auto d = diagnose(m, hw, 10.0);
+  EXPECT_EQ(d.primary(), Bottleneck::kMshrParallelism);
+}
+
+TEST(Diagnosis, WindowBoundWhenMlpUnexposed) {
+  const auto m = mismatched();  // Cm = 2, stalled heavily
+  HardwareContext hw;
+  hw.mshr_entries = 32;  // plenty of MSHRs, none used
+  const auto d = diagnose(m, hw, 10.0);
+  bool found = false;
+  for (const auto& f : d.findings) {
+    if (f.what == Bottleneck::kWindow) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Diagnosis, L2LayerFlaggedWhenLpmr2AboveT2) {
+  auto m = mismatched();
+  // Give the L1 hit path plenty of concurrency so T2 is positive: the
+  // remaining budget can only be blown by the L2 term.
+  m.l1.hit_access_cycles = 3'000'000;  // C_H = 30
+  m.overlap_ratio = 0.9;               // T1 = 1.0
+  const auto d = diagnose(m, HardwareContext{}, 10.0);
+  // LPMR2 = camat2pm * fmem * mr1 / cpi_exe = 15*0.4*0.2/0.25 = 4.8.
+  ASSERT_GT(d.t2, 0.0);
+  EXPECT_GT(d.lpmr.lpmr2, d.t2);
+  bool found = false;
+  for (const auto& f : d.findings) {
+    if (f.what == Bottleneck::kL2Layer) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Diagnosis, FallsBackToIssueBandwidth) {
+  auto m = mismatched();
+  // Remove every structural signal: no hw context, healthy L2/L3.
+  m.l2.active_cycles = 100;
+  m.l3.active_cycles = 10;
+  m.measured_stall_per_instr = 0.01;  // no window signal
+  const auto d = diagnose(m, HardwareContext{}, 10.0);
+  ASSERT_FALSE(d.findings.empty());
+  EXPECT_EQ(d.primary(), Bottleneck::kIssueBandwidth);
+}
+
+TEST(Diagnosis, FindingsRankedBySeverity) {
+  const auto m = mismatched();
+  HardwareContext hw;
+  hw.l1_ports = 1;
+  hw.l1_rejections = 4000;  // mild: 0.1/access -> severity 1.0
+  hw.mshr_entries = 2;
+  hw.l1_misses = 8000;
+  hw.l1_mshr_wait_cycles = 80000;  // severe: 10 waits/miss
+  const auto d = diagnose(m, hw, 10.0);
+  ASSERT_GE(d.findings.size(), 2u);
+  for (std::size_t i = 1; i < d.findings.size(); ++i) {
+    EXPECT_GE(d.findings[i - 1].severity, d.findings[i].severity);
+  }
+  EXPECT_EQ(d.primary(), Bottleneck::kMshrParallelism);
+}
+
+TEST(Diagnosis, NarrativeListsEveryFinding) {
+  const auto m = mismatched();
+  HardwareContext hw;
+  hw.l1_ports = 1;
+  hw.l1_rejections = 30000;
+  const auto d = diagnose(m, hw, 10.0);
+  const std::string text = d.narrative();
+  for (const auto& f : d.findings) {
+    EXPECT_NE(text.find(to_string(f.what)), std::string::npos);
+  }
+  EXPECT_NE(text.find("LPMR1"), std::string::npos);
+}
+
+TEST(Diagnosis, BottleneckNames) {
+  EXPECT_STREQ(to_string(Bottleneck::kMatched), "matched");
+  EXPECT_STREQ(to_string(Bottleneck::kL1Ports), "L1-ports");
+  EXPECT_STREQ(to_string(Bottleneck::kMemoryLayer), "memory-layer");
+}
+
+}  // namespace
+}  // namespace lpm::core

@@ -1,0 +1,82 @@
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/spec_like.hpp"
+#include "util/error.hpp"
+
+namespace lpm::core {
+namespace {
+
+IntervalStudyConfig fast_cfg(std::uint64_t interval, std::uint64_t cost) {
+  IntervalStudyConfig c;
+  c.interval_cycles = interval;
+  c.processing_cost_cycles = cost;
+  return c;
+}
+
+TEST(IntervalStudy, RequiresPhasedWorkload) {
+  const auto machine = sim::MachineConfig::single_core_default();
+  auto flat = trace::spec_profile(trace::SpecBenchmark::kGcc, 5000);
+  EXPECT_THROW(run_interval_study(machine, flat, fast_cfg(10, 4)),
+               util::LpmError);
+}
+
+TEST(IntervalStudy, RequiresSingleCore) {
+  const auto machine = sim::MachineConfig::nuca16();
+  const auto wl = trace::burst_profile(128, 0.3, 20000);
+  EXPECT_THROW(run_interval_study(machine, wl, fast_cfg(10, 4)),
+               util::LpmError);
+}
+
+TEST(IntervalStudy, FindsBurstsInPhasedWorkload) {
+  const auto machine = sim::MachineConfig::single_core_default();
+  const auto wl = trace::burst_profile(256, 0.3, 60000);
+  const auto r = run_interval_study(machine, wl, fast_cfg(10, 4));
+  EXPECT_GT(r.bursts.size(), 5u);
+  EXPECT_GT(r.intervals, 0u);
+  EXPECT_GT(r.detected_fraction(), 0.5);
+  EXPECT_GT(r.timely_fraction(), 0.3);
+  EXPECT_LE(r.timely_fraction(), 1.0);
+}
+
+TEST(IntervalStudy, TimelyNeverExceedsDetected) {
+  const auto machine = sim::MachineConfig::single_core_default();
+  const auto wl = trace::burst_profile(256, 0.3, 40000);
+  const auto r = run_interval_study(machine, wl, fast_cfg(20, 40));
+  EXPECT_LE(r.timely_fraction(), r.detected_fraction() + 1e-12);
+}
+
+TEST(IntervalStudy, LargerIntervalsDetectFewerBurstsTimely) {
+  const auto machine = sim::MachineConfig::single_core_default();
+  const auto wl = trace::burst_profile(192, 0.3, 60000);
+  const auto fine = run_interval_study(machine, wl, fast_cfg(10, 4));
+  const auto coarse = run_interval_study(machine, wl, fast_cfg(80, 4));
+  EXPECT_GE(fine.timely_fraction(), coarse.timely_fraction());
+}
+
+TEST(IntervalStudy, HigherProcessingCostReducesTimeliness) {
+  const auto machine = sim::MachineConfig::single_core_default();
+  const auto wl = trace::burst_profile(192, 0.3, 60000);
+  const auto cheap = run_interval_study(machine, wl, fast_cfg(20, 4));
+  const auto pricey = run_interval_study(machine, wl, fast_cfg(20, 400));
+  EXPECT_GE(cheap.timely_fraction(), pricey.timely_fraction());
+}
+
+TEST(IntervalStudy, BurstWindowsAreWellFormed) {
+  const auto machine = sim::MachineConfig::single_core_default();
+  const auto wl = trace::burst_profile(256, 0.25, 30000);
+  const auto r = run_interval_study(machine, wl, fast_cfg(10, 4));
+  for (const auto& b : r.bursts) {
+    EXPECT_LE(b.begin, b.end);
+    EXPECT_LE(b.end, r.total_cycles);
+    if (b.timely) EXPECT_TRUE(b.detected);
+    if (b.detected) {
+      EXPECT_GE(b.detected_at, b.begin);
+      EXPECT_LE(b.detected_at, b.end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpm::core

@@ -1,0 +1,223 @@
+#include "core/lpm_algorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lpm::core {
+namespace {
+
+/// Scripted system: each optimize step improves the LPMRs by fixed factors;
+/// reductions worsen LPMR1. Lets the tests drive the algorithm through all
+/// four Fig. 3 cases deterministically.
+class MockTunable final : public LpmTunable {
+ public:
+  MockTunable(double lpmr1, double lpmr2, double t1, double t2)
+      : lpmr1_(lpmr1), lpmr2_(lpmr2), t1_(t1), t2_(t2) {}
+
+  LpmObservation measure() override {
+    ++measurements;
+    LpmObservation obs;
+    obs.lpmr.lpmr1 = lpmr1_;
+    obs.lpmr.lpmr2 = lpmr2_;
+    obs.t1 = t1_;
+    obs.t2 = t2_;
+    obs.config_label = "mock";
+    return obs;
+  }
+  bool optimize_l1() override {
+    ++l1_steps;
+    if (l1_budget == 0) return false;
+    --l1_budget;
+    lpmr1_ *= 0.6;
+    return true;
+  }
+  bool optimize_l2() override {
+    ++l2_steps;
+    if (l2_budget == 0) return false;
+    --l2_budget;
+    lpmr2_ *= 0.5;
+    return true;
+  }
+  bool reduce_overprovision() override {
+    ++reduce_steps;
+    if (reduce_budget == 0) return false;
+    --reduce_budget;
+    lpmr1_ *= 1.5;
+    if (lpmr1_ > t1_) lpmr1_ = t1_;  // a careful reducer never violates T1
+    return true;
+  }
+
+  double lpmr1_;
+  double lpmr2_;
+  double t1_;
+  double t2_;
+  int l1_budget = 100;
+  int l2_budget = 100;
+  int reduce_budget = 100;
+  int measurements = 0;
+  int l1_steps = 0;
+  int l2_steps = 0;
+  int reduce_steps = 0;
+};
+
+LpmAlgorithmConfig cfg(double delta = 1.0, double margin = 0.5) {
+  LpmAlgorithmConfig c;
+  c.delta_percent = delta;
+  c.margin_fraction = margin;
+  c.max_iterations = 64;
+  return c;
+}
+
+TEST(LpmAlgorithm, ClassifyCaseI) {
+  const LpmAlgorithm alg(cfg());
+  LpmObservation obs;
+  obs.lpmr.lpmr1 = 5.0;
+  obs.lpmr.lpmr2 = 5.0;
+  obs.t1 = 1.0;
+  obs.t2 = 1.0;
+  EXPECT_EQ(alg.classify(obs), LpmAction::kOptimizeBoth);
+}
+
+TEST(LpmAlgorithm, ClassifyCaseII) {
+  const LpmAlgorithm alg(cfg());
+  LpmObservation obs;
+  obs.lpmr.lpmr1 = 5.0;
+  obs.lpmr.lpmr2 = 0.5;
+  obs.t1 = 1.0;
+  obs.t2 = 1.0;
+  EXPECT_EQ(alg.classify(obs), LpmAction::kOptimizeL1);
+}
+
+TEST(LpmAlgorithm, ClassifyCaseIIIandIV) {
+  const LpmAlgorithm alg(cfg(1.0, 0.5));
+  LpmObservation obs;
+  obs.lpmr.lpmr2 = 0.1;
+  obs.t1 = 1.0;
+  obs.t2 = 1.0;
+  obs.lpmr.lpmr1 = 0.3;  // 0.3 + 0.5 < 1.0 -> over-provisioned
+  EXPECT_EQ(alg.classify(obs), LpmAction::kReduceOverprovision);
+  obs.lpmr.lpmr1 = 0.7;  // within [T1-delta, T1]
+  EXPECT_EQ(alg.classify(obs), LpmAction::kDone);
+  obs.lpmr.lpmr1 = 1.0;  // exactly at T1 is acceptable
+  EXPECT_EQ(alg.classify(obs), LpmAction::kDone);
+}
+
+TEST(LpmAlgorithm, TrimDisabledSkipsCaseIII) {
+  auto c = cfg();
+  c.trim_overprovision = false;
+  const LpmAlgorithm alg(c);
+  LpmObservation obs;
+  obs.lpmr.lpmr1 = 0.1;
+  obs.lpmr.lpmr2 = 0.1;
+  obs.t1 = 1.0;
+  obs.t2 = 1.0;
+  EXPECT_EQ(alg.classify(obs), LpmAction::kDone);
+}
+
+TEST(LpmAlgorithm, ConvergesFromCaseI) {
+  MockTunable sys(8.0, 9.0, 1.0, 1.0);
+  const LpmAlgorithm alg(cfg());
+  const LpmOutcome out = alg.run(sys);
+  EXPECT_TRUE(out.converged);
+  EXPECT_FALSE(out.exhausted);
+  EXPECT_LE(out.final_observation.lpmr.lpmr1, 1.0);
+  EXPECT_GT(sys.l1_steps, 0);
+  EXPECT_GT(sys.l2_steps, 0);
+  EXPECT_EQ(out.steps.back().action, LpmAction::kDone);
+}
+
+TEST(LpmAlgorithm, CaseIIOnlyTouchesL1) {
+  MockTunable sys(8.0, 0.5, 1.0, 1.0);
+  const LpmAlgorithm alg(cfg());
+  const LpmOutcome out = alg.run(sys);
+  EXPECT_TRUE(out.converged);
+  EXPECT_EQ(sys.l2_steps, 0);
+  EXPECT_GT(sys.l1_steps, 0);
+}
+
+TEST(LpmAlgorithm, OverprovisionTrimmedUntilMargin) {
+  // Starts far below threshold: Case III fires until LPMR1 enters
+  // [T1-delta, T1].
+  MockTunable sys(0.05, 0.1, 1.0, 1.0);
+  const LpmAlgorithm alg(cfg(1.0, 0.5));
+  const LpmOutcome out = alg.run(sys);
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(sys.reduce_steps, 0);
+  EXPECT_GE(out.final_observation.lpmr.lpmr1, 0.5);
+  EXPECT_LE(out.final_observation.lpmr.lpmr1, 1.0);
+}
+
+TEST(LpmAlgorithm, ExhaustionReportedWhenOutOfActions) {
+  MockTunable sys(8.0, 0.5, 1.0, 1.0);
+  sys.l1_budget = 2;  // not enough to reach the threshold
+  const LpmAlgorithm alg(cfg());
+  const LpmOutcome out = alg.run(sys);
+  EXPECT_FALSE(out.converged);
+  EXPECT_TRUE(out.exhausted);
+  EXPECT_GT(out.final_observation.lpmr.lpmr1, 1.0);
+}
+
+TEST(LpmAlgorithm, ReducerExhaustionCountsAsConverged) {
+  // Below threshold but nothing reducible: the config is minimal; Fig. 3
+  // ends the loop.
+  MockTunable sys(0.05, 0.1, 1.0, 1.0);
+  sys.reduce_budget = 0;
+  const LpmAlgorithm alg(cfg());
+  const LpmOutcome out = alg.run(sys);
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(LpmAlgorithm, StepsRecordTrajectory) {
+  MockTunable sys(4.0, 4.0, 1.0, 1.0);
+  const LpmAlgorithm alg(cfg());
+  const LpmOutcome out = alg.run(sys);
+  ASSERT_GE(out.steps.size(), 2u);
+  EXPECT_EQ(out.steps.front().action, LpmAction::kOptimizeBoth);
+  for (std::size_t i = 1; i < out.steps.size(); ++i) {
+    EXPECT_EQ(out.steps[i].iteration, out.steps[i - 1].iteration + 1);
+  }
+}
+
+TEST(LpmAlgorithm, MaxIterationsBoundsRun) {
+  // Optimizers that report success but never improve: the iteration cap
+  // must stop the loop.
+  class Stubborn final : public LpmTunable {
+   public:
+    LpmObservation measure() override {
+      LpmObservation obs;
+      obs.lpmr.lpmr1 = 10.0;
+      obs.lpmr.lpmr2 = 10.0;
+      obs.t1 = 1.0;
+      obs.t2 = 1.0;
+      return obs;
+    }
+    bool optimize_l1() override { return true; }
+    bool optimize_l2() override { return true; }
+    bool reduce_overprovision() override { return true; }
+  };
+  Stubborn sys;
+  auto c = cfg();
+  c.max_iterations = 7;
+  const LpmAlgorithm alg(c);
+  const LpmOutcome out = alg.run(sys);
+  EXPECT_TRUE(out.exhausted);
+  EXPECT_EQ(out.steps.size(), 7u);
+}
+
+TEST(LpmAlgorithm, InvalidConfigThrows) {
+  auto c = cfg();
+  c.delta_percent = 0.0;
+  EXPECT_THROW(LpmAlgorithm{c}, util::LpmError);
+  c = cfg();
+  c.margin_fraction = 1.0;
+  EXPECT_THROW(LpmAlgorithm{c}, util::LpmError);
+  c = cfg();
+  c.max_iterations = 0;
+  EXPECT_THROW(LpmAlgorithm{c}, util::LpmError);
+}
+
+}  // namespace
+}  // namespace lpm::core

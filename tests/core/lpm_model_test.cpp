@@ -1,0 +1,139 @@
+#include "core/lpm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lpm::core {
+namespace {
+
+/// A hand-built measurement with friendly round numbers.
+AppMeasurement synthetic_measurement() {
+  AppMeasurement m;
+  m.app = "synthetic";
+  m.cpi_exe = 0.5;
+  m.fmem = 0.4;
+  m.overlap_ratio = 0.9;
+  m.mr1 = 0.1;
+  m.mr2 = 0.5;
+  m.measured_stall_per_instr = 0.2;
+  m.measured_cpi = 0.7;
+  m.instructions = 1000;
+
+  // L1: C-AMAT1 = 2 (active 800 / accesses 400), H=2, CH=2.
+  m.l1.accesses = 400;
+  m.l1.hits = 360;
+  m.l1.misses = 40;
+  m.l1.pure_misses = 20;
+  m.l1.active_cycles = 800;
+  m.l1.hit_cycles = 400;
+  m.l1.pure_miss_cycles = 400;
+  m.l1.hit_phase_access_cycles = 800;
+  m.l1.hit_access_cycles = 800;
+  m.l1.pure_access_cycles = 800;   // CM = 2, pAMP = 40
+  m.l1.miss_cycles = 500;
+  m.l1.miss_access_cycles = 1500;  // Cm = 3
+  m.l1.total_miss_latency = 2400;  // AMP = 60
+
+  // L2: C-AMAT2 = 25.
+  m.l2.accesses = 40;
+  m.l2.active_cycles = 1000;
+  // L3: C-AMAT3 = 50.
+  m.l3.accesses = 20;
+  m.l3.active_cycles = 1000;
+  return m;
+}
+
+TEST(LpmModel, LpmrFormulas) {
+  const auto m = synthetic_measurement();
+  const LpmrSet r = compute_lpmrs(m);
+  EXPECT_DOUBLE_EQ(r.lpmr1, 2.0 * 0.4 / 0.5);               // Eq. 9
+  EXPECT_DOUBLE_EQ(r.lpmr2, 25.0 * 0.4 * 0.1 / 0.5);        // Eq. 10
+  EXPECT_DOUBLE_EQ(r.lpmr3, 50.0 * 0.4 * 0.1 * 0.5 / 0.5);  // Eq. 11
+}
+
+TEST(LpmModel, LpmrRequiresPositiveCpiExe) {
+  auto m = synthetic_measurement();
+  m.cpi_exe = 0.0;
+  EXPECT_THROW(compute_lpmrs(m), util::LpmError);
+}
+
+TEST(LpmModel, EtaCombined) {
+  const auto m = synthetic_measurement();
+  // eta1 = (pAMP/AMP)*(Cm/CM) = (40/60)*(3/2) = 1; eta = eta1 * pMR/MR
+  //      = 1 * (20/400)/(0.1) = 0.5.
+  EXPECT_NEAR(m.l1.eta1(), 1.0, 1e-12);
+  EXPECT_NEAR(eta_combined(m), 0.5, 1e-12);
+}
+
+TEST(LpmModel, EtaZeroWhenNoMisses) {
+  auto m = synthetic_measurement();
+  m.mr1 = 0.0;
+  EXPECT_DOUBLE_EQ(eta_combined(m), 0.0);
+}
+
+TEST(LpmModel, StallEq7) {
+  const auto m = synthetic_measurement();
+  EXPECT_DOUBLE_EQ(stall_eq7(m), 0.4 * 2.0 * 0.1);
+}
+
+TEST(LpmModel, Eq12MatchesEq7Identically) {
+  const auto m = synthetic_measurement();
+  EXPECT_NEAR(stall_eq12(m), stall_eq7(m), 1e-12);
+}
+
+TEST(LpmModel, Eq13Structure) {
+  const auto m = synthetic_measurement();
+  // (H1*fmem/CH1 + CPIexe*eta*LPMR2)*(1-overlap)
+  const double expected = (2.0 * 0.4 / 2.0 + 0.5 * 0.5 * 2.0) * 0.1;
+  EXPECT_NEAR(stall_eq13(m), expected, 1e-12);
+}
+
+TEST(LpmModel, ThresholdT1) {
+  EXPECT_DOUBLE_EQ(threshold_t1(1.0, 0.9), 0.1);   // 1% / 0.1
+  EXPECT_DOUBLE_EQ(threshold_t1(10.0, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(threshold_t1(10.0, 0.0), 0.1);
+  EXPECT_TRUE(std::isinf(threshold_t1(1.0, 1.0)));
+  EXPECT_THROW(threshold_t1(0.0, 0.5), util::LpmError);
+}
+
+TEST(LpmModel, ThresholdT2ConsistentWithEq13) {
+  // At LPMR2 == T2, Eq. 13 yields exactly delta% * CPIexe.
+  const auto m = synthetic_measurement();
+  const double delta = 25.0;
+  const double t2 = threshold_t2(delta, m);
+  ASSERT_TRUE(std::isfinite(t2));
+  auto probe = m;
+  // stall(LPMR2=t2) = (H*fmem/CH + cpi*eta*t2)*(1-ov)
+  const double stall_at_t2 =
+      (m.l1.H() * m.fmem / m.l1.CH() + m.cpi_exe * eta_combined(m) * t2) *
+      (1.0 - m.overlap_ratio);
+  EXPECT_NEAR(stall_at_t2, delta / 100.0 * m.cpi_exe, 1e-9);
+  (void)probe;
+}
+
+TEST(LpmModel, ThresholdT2InfiniteWhenEtaZero) {
+  auto m = synthetic_measurement();
+  m.mr1 = 0.0;
+  EXPECT_TRUE(std::isinf(threshold_t2(1.0, m)));
+}
+
+TEST(LpmModel, MeetsStallTarget) {
+  auto m = synthetic_measurement();
+  m.measured_stall_per_instr = 0.004;  // vs 1% * 0.5 = 0.005
+  EXPECT_TRUE(meets_stall_target(m, 1.0));
+  m.measured_stall_per_instr = 0.006;
+  EXPECT_FALSE(meets_stall_target(m, 1.0));
+  EXPECT_TRUE(meets_stall_target(m, 10.0));
+}
+
+TEST(LpmModel, FromRunChecksCoreIndex) {
+  sim::SystemResult run;
+  sim::CpiExeResult calib;
+  EXPECT_THROW(AppMeasurement::from_run(run, calib, 0), util::LpmError);
+}
+
+}  // namespace
+}  // namespace lpm::core

@@ -1,0 +1,167 @@
+#include "core/online_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/spec_like.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::core {
+namespace {
+
+struct OnlineRun {
+  sim::SystemResult result;
+  std::uint64_t grow = 0;
+  std::uint64_t release = 0;
+  std::vector<OnlineIntervalRecord> history;
+};
+
+/// A machine with head-room to reconfigure into: many physical MSHRs, but
+/// the runtime knobs start small.
+sim::MachineConfig elastic_machine() {
+  auto m = sim::MachineConfig::single_core_default();
+  m.l1.mshr_entries = 16;  // physical maximum the limit can grow into
+  m.l1.ports = 1;
+  return m;
+}
+
+OnlineRun run_online(const trace::WorkloadProfile& wl, bool enable,
+                     std::uint32_t start_mshr_limit, Cycle interval = 1500) {
+  auto machine = elastic_machine();
+  trace::SyntheticTrace calib(wl);
+  const auto c = sim::measure_cpi_exe(machine, calib);
+
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.push_back(std::make_unique<trace::SyntheticTrace>(wl));
+  sim::System system(machine, std::move(traces));
+  system.l1_cache(0).set_mshr_limit(start_mshr_limit);
+
+  OnlineLpmConfig cfg;
+  cfg.interval_cycles = interval;
+  cfg.delta_percent = kCoarseGrainedDelta;
+  cfg.cpi_exe = c.cpi_exe;
+  cfg.max_ports = 4;
+  OnlineLpmController controller(cfg);
+
+  while (system.step()) {
+    if (enable) controller.observe(system, 0);
+  }
+  OnlineRun out;
+  out.result = system.collect();
+  out.grow = controller.grow_actions();
+  out.release = controller.release_actions();
+  out.history = controller.history();
+  return out;
+}
+
+TEST(OnlineController, ConfigValidation) {
+  OnlineLpmConfig cfg;
+  cfg.interval_cycles = 0;
+  EXPECT_THROW(OnlineLpmController{cfg}, util::LpmError);
+  cfg = OnlineLpmConfig{};
+  cfg.cpi_exe = 0.0;
+  EXPECT_THROW(OnlineLpmController{cfg}, util::LpmError);
+  cfg = OnlineLpmConfig{};
+  cfg.min_ports = 4;
+  cfg.max_ports = 2;
+  EXPECT_THROW(OnlineLpmController{cfg}, util::LpmError);
+}
+
+TEST(OnlineController, GrowsParallelismForStarvedStreamingWorkload) {
+  const auto wl = trace::spec_profile(trace::SpecBenchmark::kBwaves, 120000, 3);
+  const auto adaptive = run_online(wl, true, /*start_mshr_limit=*/2);
+  EXPECT_GT(adaptive.grow, 0u);
+  // The knobs actually moved.
+  ASSERT_FALSE(adaptive.history.empty());
+  const auto& last = adaptive.history.back();
+  EXPECT_TRUE(last.mshr_limit > 2 || last.ports > 1);
+}
+
+TEST(OnlineController, AdaptiveBeatsStaticStarvedConfig) {
+  const auto wl = trace::spec_profile(trace::SpecBenchmark::kBwaves, 120000, 3);
+  const auto fixed = run_online(wl, false, /*start_mshr_limit=*/2);
+  const auto adaptive = run_online(wl, true, /*start_mshr_limit=*/2);
+  ASSERT_TRUE(fixed.result.completed);
+  ASSERT_TRUE(adaptive.result.completed);
+  EXPECT_LT(adaptive.result.cycles, fixed.result.cycles);
+  EXPECT_LT(adaptive.result.cores[0].stall_per_instr(),
+            fixed.result.cores[0].stall_per_instr());
+}
+
+TEST(OnlineController, ReleasesIdleParallelismForComputeWorkload) {
+  // A compute-bound program with the MSHR limit maxed out: Case III should
+  // hand the idle parallelism back.
+  const auto wl = trace::spec_profile(trace::SpecBenchmark::kNamd, 100000, 5);
+  const auto adaptive = run_online(wl, true, /*start_mshr_limit=*/16);
+  EXPECT_GT(adaptive.release, 0u);
+  ASSERT_FALSE(adaptive.history.empty());
+  EXPECT_LT(adaptive.history.back().mshr_limit, 16u);
+}
+
+TEST(OnlineController, ReleaseCostsLittlePerformance) {
+  const auto wl = trace::spec_profile(trace::SpecBenchmark::kNamd, 100000, 5);
+  const auto fixed = run_online(wl, false, 16);
+  const auto adaptive = run_online(wl, true, 16);
+  // Giving back idle MSHRs must not slow the program appreciably.
+  EXPECT_LT(adaptive.result.cycles,
+            static_cast<Cycle>(static_cast<double>(fixed.result.cycles) * 1.05));
+}
+
+TEST(OnlineController, HistoryRecordsIntervalMetrics) {
+  const auto wl = trace::spec_profile(trace::SpecBenchmark::kGcc, 60000, 7);
+  const auto r = run_online(wl, true, 4);
+  ASSERT_GT(r.history.size(), 3u);
+  for (const auto& rec : r.history) {
+    EXPECT_GT(rec.at, 0u);
+    EXPECT_GE(rec.lpmr1, 0.0);
+    EXPECT_GT(rec.t1, 0.0);
+    EXPECT_GE(rec.ports, 1u);
+    EXPECT_GE(rec.mshr_limit, 1u);
+  }
+  // Interval boundaries are strictly increasing.
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_GT(r.history[i].at, r.history[i - 1].at);
+  }
+}
+
+TEST(OnlineController, ReconfigCostAccounted) {
+  const auto wl = trace::spec_profile(trace::SpecBenchmark::kBwaves, 80000, 3);
+  auto machine = elastic_machine();
+  trace::SyntheticTrace calib(wl);
+  const auto c = sim::measure_cpi_exe(machine, calib);
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.push_back(std::make_unique<trace::SyntheticTrace>(wl));
+  sim::System system(machine, std::move(traces));
+  system.l1_cache(0).set_mshr_limit(2);
+  OnlineLpmConfig cfg;
+  cfg.interval_cycles = 1000;
+  cfg.cpi_exe = c.cpi_exe;
+  OnlineLpmController controller(cfg);
+  while (system.step()) controller.observe(system, 0);
+  EXPECT_EQ(controller.reconfiguration_cost_cycles(),
+            (controller.grow_actions() + controller.release_actions()) * 4);
+}
+
+TEST(RuntimeKnobs, CacheSettersClampAndCount) {
+  auto machine = elastic_machine();
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.push_back(std::make_unique<trace::SyntheticTrace>(
+      trace::spec_profile(trace::SpecBenchmark::kGcc, 1000, 1)));
+  sim::System system(machine, std::move(traces));
+  auto& l1 = system.l1_cache(0);
+  const auto before = l1.reconfigurations();
+  l1.set_mshr_limit(99);  // clamps to the physical 16 == current: no-op
+  EXPECT_EQ(l1.mshr_limit(), 16u);
+  l1.set_mshr_limit(0);  // clamps to 1: counted
+  EXPECT_EQ(l1.mshr_limit(), 1u);
+  l1.set_ports(3);  // counted
+  EXPECT_EQ(l1.ports(), 3u);
+  l1.set_ports(3);  // no-op: not counted
+  EXPECT_EQ(l1.reconfigurations(), before + 2);
+  EXPECT_THROW(l1.set_ports(0), util::LpmError);
+}
+
+}  // namespace
+}  // namespace lpm::core

@@ -1,0 +1,172 @@
+// Property sweeps over core configurations with randomized programs: the
+// core must retire every instruction exactly once, keep its stall/overlap
+// partition, respect structural limits, and stay deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cpu/ooo_core.hpp"
+#include "mem/perfect_memory.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace lpm::cpu {
+namespace {
+
+struct CoreShape {
+  std::uint32_t issue;
+  std::uint32_t rob;
+  std::uint32_t lsq;
+};
+
+class CoreProperty : public ::testing::TestWithParam<CoreShape> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoreProperty,
+                         ::testing::Values(CoreShape{1, 1, 1},
+                                           CoreShape{1, 8, 4},
+                                           CoreShape{2, 16, 8},
+                                           CoreShape{4, 32, 16},
+                                           CoreShape{8, 128, 64},
+                                           CoreShape{16, 256, 128}),
+                         [](const auto& info) {
+                           return "i" + std::to_string(info.param.issue) +
+                                  "_r" + std::to_string(info.param.rob) +
+                                  "_l" + std::to_string(info.param.lsq);
+                         });
+
+CoreConfig shape_config(const CoreShape& s) {
+  CoreConfig cfg;
+  cfg.issue_width = s.issue;
+  cfg.dispatch_width = s.issue;
+  cfg.commit_width = s.issue;
+  cfg.iw_size = s.rob;
+  cfg.rob_size = s.rob;
+  cfg.lsq_size = s.lsq;
+  return cfg;
+}
+
+/// A randomized but reproducible program with gnarly dependence structure.
+std::vector<trace::MicroOp> random_program(std::uint64_t seed, int n) {
+  util::Rng rng(seed);
+  std::vector<trace::MicroOp> ops;
+  ops.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    trace::MicroOp op;
+    const double roll = rng.next_double();
+    if (roll < 0.4) {
+      op.type = roll < 0.1 ? trace::OpType::kStore : trace::OpType::kLoad;
+      op.addr = rng.next_below(64 * 1024) & ~Addr{7};
+    } else {
+      op.type = trace::OpType::kAlu;
+      op.exec_latency = static_cast<std::uint8_t>(1 + rng.next_below(4));
+    }
+    if (i > 0 && rng.next_bool(0.5)) {
+      op.dep_dist = static_cast<std::uint32_t>(
+          1 + rng.next_below(std::min<std::uint64_t>(8, i)));
+    }
+    if (i > 1 && rng.next_bool(0.3)) {
+      op.dep_dist2 = static_cast<std::uint32_t>(
+          1 + rng.next_below(std::min<std::uint64_t>(16, i)));
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST_P(CoreProperty, RetiresEveryInstructionExactlyOnce) {
+  const auto program = random_program(GetParam().rob * 31 + 7, 5000);
+  trace::VectorTrace t("fuzz", program);
+  mem::PerfectMemory memory(12, 2);
+  OooCore core(shape_config(GetParam()), &t, &memory, 1);
+  Cycle now = 0;
+  while (!core.finished() && now < 400000) {
+    memory.tick(now);
+    core.tick(now);
+    ++now;
+  }
+  ASSERT_TRUE(core.finished()) << "deadlock or livelock";
+  EXPECT_EQ(core.stats().instructions, program.size());
+  std::uint64_t mem_ops = 0;
+  for (const auto& op : program) {
+    if (trace::is_memory(op.type)) ++mem_ops;
+  }
+  EXPECT_EQ(core.stats().mem_ops, mem_ops);
+  EXPECT_EQ(core.in_flight_mem(), 0u);
+}
+
+TEST_P(CoreProperty, StallOverlapPartitionHolds) {
+  const auto program = random_program(17, 4000);
+  trace::VectorTrace t("fuzz", program);
+  mem::PerfectMemory memory(20, 1);
+  OooCore core(shape_config(GetParam()), &t, &memory, 1);
+  Cycle now = 0;
+  while (!core.finished() && now < 400000) {
+    memory.tick(now);
+    core.tick(now);
+    ++now;
+  }
+  ASSERT_TRUE(core.finished());
+  const auto& s = core.stats();
+  EXPECT_EQ(s.mem_active_cycles, s.overlap_cycles + s.data_stall_cycles);
+  EXPECT_LE(s.data_stall_cycles, s.cycles);
+  EXPECT_LE(s.head_mem_stall_cycles, s.cycles);
+  EXPECT_GE(s.cycles, s.instructions / shape_config(GetParam()).issue_width);
+}
+
+TEST_P(CoreProperty, LsqNeverExceeded) {
+  const auto program = random_program(23, 3000);
+  trace::VectorTrace t("fuzz", program);
+  mem::PerfectMemory memory(30, 4);
+  OooCore core(shape_config(GetParam()), &t, &memory, 1);
+  Cycle now = 0;
+  std::size_t peak = 0;
+  while (!core.finished() && now < 400000) {
+    memory.tick(now);
+    core.tick(now);
+    peak = std::max(peak, core.in_flight_mem());
+    ++now;
+  }
+  ASSERT_TRUE(core.finished());
+  EXPECT_LE(peak, shape_config(GetParam()).lsq_size);
+}
+
+TEST_P(CoreProperty, WiderIsNeverSlowerOnIndependentWork) {
+  // Pure independent ALU work: cycles must not increase with issue width.
+  std::vector<trace::MicroOp> ops(3000);
+  for (auto& op : ops) op.type = trace::OpType::kAlu;
+  const auto run = [&](const CoreConfig& cfg) {
+    trace::VectorTrace t("alu", ops);
+    mem::PerfectMemory memory(5);
+    OooCore core(cfg, &t, &memory, 1);
+    Cycle now = 0;
+    while (!core.finished() && now < 100000) {
+      memory.tick(now);
+      core.tick(now);
+      ++now;
+    }
+    return core.stats().cycles;
+  };
+  const Cycle mine = run(shape_config(GetParam()));
+  const Cycle narrow = run(shape_config(CoreShape{1, 1, 1}));
+  EXPECT_LE(mine, narrow);
+}
+
+TEST_P(CoreProperty, Determinism) {
+  const auto program = random_program(29, 2500);
+  const auto run_once = [&] {
+    trace::VectorTrace t("fuzz", program);
+    mem::PerfectMemory memory(15, 2);
+    OooCore core(shape_config(GetParam()), &t, &memory, 1);
+    Cycle now = 0;
+    while (!core.finished() && now < 400000) {
+      memory.tick(now);
+      core.tick(now);
+      ++now;
+    }
+    return std::make_pair(core.stats().cycles, core.stats().data_stall_cycles);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace lpm::cpu

@@ -1,0 +1,244 @@
+#include "cpu/ooo_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "mem/perfect_memory.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::cpu {
+namespace {
+
+using trace::MicroOp;
+using trace::OpType;
+
+MicroOp alu(std::uint8_t latency = 1, std::uint32_t dep = 0) {
+  MicroOp op;
+  op.type = OpType::kAlu;
+  op.exec_latency = latency;
+  op.dep_dist = dep;
+  return op;
+}
+
+MicroOp load(Addr addr, std::uint32_t dep = 0) {
+  MicroOp op;
+  op.type = OpType::kLoad;
+  op.addr = addr;
+  op.dep_dist = dep;
+  return op;
+}
+
+MicroOp store(Addr addr) {
+  MicroOp op;
+  op.type = OpType::kStore;
+  op.addr = addr;
+  return op;
+}
+
+struct Harness {
+  Harness(CoreConfig cfg, std::vector<MicroOp> ops, std::uint32_t mem_latency = 10,
+          std::uint32_t mem_ports = 0)
+      : trace("t", std::move(ops)),
+        mem(mem_latency, mem_ports),
+        core(std::move(cfg), &trace, &mem, 1) {}
+
+  Cycle run(Cycle limit = 100000) {
+    Cycle now = 0;
+    while (!core.finished() && now < limit) {
+      mem.tick(now);
+      core.tick(now);
+      ++now;
+    }
+    return now;
+  }
+
+  trace::VectorTrace trace;
+  mem::PerfectMemory mem;
+  OooCore core;
+};
+
+CoreConfig wide_core() {
+  CoreConfig cfg;
+  cfg.issue_width = 4;
+  cfg.dispatch_width = 4;
+  cfg.commit_width = 4;
+  cfg.iw_size = 16;
+  cfg.rob_size = 16;
+  cfg.lsq_size = 8;
+  return cfg;
+}
+
+TEST(CoreConfig, ValidationCatchesBadFields) {
+  auto cfg = wide_core();
+  cfg.issue_width = 0;
+  EXPECT_THROW(cfg.validate(), util::LpmError);
+  cfg = wide_core();
+  cfg.iw_size = 32;
+  cfg.rob_size = 16;  // IW > ROB
+  EXPECT_THROW(cfg.validate(), util::LpmError);
+}
+
+TEST(OooCore, RunsAllInstructionsToCompletion) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 100; ++i) ops.push_back(alu());
+  Harness h(wide_core(), ops);
+  h.run();
+  EXPECT_TRUE(h.core.finished());
+  EXPECT_EQ(h.core.stats().instructions, 100u);
+}
+
+TEST(OooCore, IndependentAlusReachIssueWidthIpc) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 4000; ++i) ops.push_back(alu(1, 0));
+  Harness h(wide_core(), ops);
+  h.run();
+  EXPECT_GT(h.core.stats().ipc(), 3.5);
+}
+
+TEST(OooCore, DependentChainSerializes) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 1000; ++i) ops.push_back(alu(1, i == 0 ? 0 : 1));
+  Harness h(wide_core(), ops);
+  h.run();
+  // A dep-distance-1 chain of unit-latency ALUs cannot exceed IPC 1.
+  EXPECT_LE(h.core.stats().ipc(), 1.05);
+}
+
+TEST(OooCore, InOrderConfigSerializesMemory) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 50; ++i) ops.push_back(load(static_cast<Addr>(i) * 64));
+  Harness h(CoreConfig::in_order(), ops, 10);
+  const Cycle cycles = h.run();
+  // Each load takes >= 10 cycles and nothing overlaps.
+  EXPECT_GE(cycles, 50u * 10u);
+  EXPECT_LE(h.core.stats().overlap_ratio(), 0.05);
+}
+
+TEST(OooCore, WideCoreOverlapsIndependentLoads) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 400; ++i) ops.push_back(load(static_cast<Addr>(i) * 64));
+  Harness ooo(wide_core(), ops, 10);
+  const Cycle wide_cycles = ooo.run();
+  Harness narrow(CoreConfig::in_order(), ops, 10);
+  const Cycle narrow_cycles = narrow.run();
+  // MLP: the wide core is several times faster on independent misses.
+  EXPECT_LT(wide_cycles * 3, narrow_cycles);
+}
+
+TEST(OooCore, PointerChaseDefeatsMlp) {
+  std::vector<MicroOp> chased;
+  std::vector<MicroOp> parallel;
+  for (int i = 0; i < 300; ++i) {
+    chased.push_back(load(static_cast<Addr>(i) * 64, i == 0 ? 0 : 1));
+    parallel.push_back(load(static_cast<Addr>(i) * 64, 0));
+  }
+  Harness a(wide_core(), chased, 20);
+  Harness b(wide_core(), parallel, 20);
+  const Cycle serial_cycles = a.run();
+  const Cycle overlap_cycles = b.run();
+  EXPECT_GT(serial_cycles, overlap_cycles * 3);
+}
+
+TEST(OooCore, StoresRetireAtAcceptance) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 100; ++i) ops.push_back(store(static_cast<Addr>(i) * 64));
+  Harness h(wide_core(), ops, 50);
+  const Cycle cycles = h.run();
+  // If stores blocked commit for their full 50-cycle latency, the run would
+  // take >= 100*50/8(lsq) cycles; store-buffer semantics keep it far lower.
+  EXPECT_LT(cycles, 100u * 50u / 4u);
+  EXPECT_EQ(h.core.stats().stores, 100u);
+}
+
+TEST(OooCore, LsqBoundsInFlightMemory) {
+  auto cfg = wide_core();
+  cfg.lsq_size = 2;
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 50; ++i) ops.push_back(load(static_cast<Addr>(i) * 64));
+  Harness h(cfg, ops, 30);
+  Cycle now = 0;
+  std::size_t max_in_flight = 0;
+  while (!h.core.finished() && now < 100000) {
+    h.mem.tick(now);
+    h.core.tick(now);
+    max_in_flight = std::max(max_in_flight, h.core.in_flight_mem());
+    ++now;
+  }
+  EXPECT_LE(max_in_flight, 2u);
+}
+
+TEST(OooCore, StallPlusOverlapEqualsMemActive) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 200; ++i) {
+    ops.push_back(load(static_cast<Addr>(i) * 128));
+    ops.push_back(alu());
+    ops.push_back(alu());
+  }
+  Harness h(wide_core(), ops, 15);
+  h.run();
+  const auto& s = h.core.stats();
+  EXPECT_EQ(s.mem_active_cycles, s.overlap_cycles + s.data_stall_cycles);
+  EXPECT_GT(s.mem_active_cycles, 0u);
+}
+
+TEST(OooCore, FmemMatchesTraceComposition) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 300; ++i) {
+    ops.push_back(load(static_cast<Addr>(i) * 64));
+    ops.push_back(alu());
+    ops.push_back(alu());
+  }
+  Harness h(wide_core(), ops);
+  h.run();
+  EXPECT_NEAR(h.core.stats().fmem(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(OooCore, SecondaryDependenceRespected) {
+  // op2 depends (dep_dist2) on the load; with a long memory latency the ALU
+  // cannot finish before the load returns.
+  std::vector<MicroOp> ops;
+  ops.push_back(load(0));
+  MicroOp dependent = alu();
+  dependent.dep_dist2 = 1;
+  ops.push_back(dependent);
+  Harness h(wide_core(), ops, 40);
+  const Cycle cycles = h.run();
+  EXPECT_GE(cycles, 40u);
+  EXPECT_TRUE(h.core.finished());
+}
+
+TEST(OooCore, RejectionsCountedWhenMemPortsSaturate) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 200; ++i) ops.push_back(load(static_cast<Addr>(i) * 64));
+  Harness h(wide_core(), ops, 5, /*mem_ports=*/1);
+  h.run();
+  EXPECT_GT(h.core.stats().l1_rejections, 0u);
+  EXPECT_EQ(h.core.stats().instructions, 200u);
+}
+
+TEST(OooCore, FinishedCoreStopsAccumulatingCycles) {
+  std::vector<MicroOp> ops = {alu(), alu()};
+  Harness h(wide_core(), ops);
+  h.run();
+  const auto cycles = h.core.stats().cycles;
+  // Extra ticks after completion must not change the stats.
+  for (Cycle c = 0; c < 10; ++c) h.core.tick(1000 + c);
+  EXPECT_EQ(h.core.stats().cycles, cycles);
+}
+
+TEST(OooCore, HeadMemStallTracked) {
+  std::vector<MicroOp> ops;
+  ops.push_back(load(0, 0));
+  MicroOp use = alu();
+  use.dep_dist2 = 1;
+  ops.push_back(use);
+  Harness h(CoreConfig::in_order(), ops, 30);
+  h.run();
+  EXPECT_GT(h.core.stats().head_mem_stall_cycles, 10u);
+}
+
+}  // namespace
+}  // namespace lpm::cpu

@@ -1,0 +1,182 @@
+// Property sweeps (TEST_P) over cache geometry: for any combination of
+// associativity / banks / ports / replacement / prefetch / MSHR shape, a
+// randomized access pattern must satisfy the conservation invariants and
+// the C-AMAT identity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "camat/analyzer.hpp"
+#include "mem/cache.hpp"
+#include "mem/perfect_memory.hpp"
+#include "util/rng.hpp"
+
+namespace lpm::mem {
+namespace {
+
+struct Geometry {
+  std::uint32_t associativity;
+  std::uint32_t banks;
+  std::uint32_t ports;
+  ReplacementPolicy policy;
+  std::uint32_t mshr_entries;
+  std::uint32_t prefetch_degree;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry> {};
+
+std::string geometry_name(const ::testing::TestParamInfo<Geometry>& info) {
+  const Geometry& g = info.param;
+  return "a" + std::to_string(g.associativity) + "_b" +
+         std::to_string(g.banks) + "_p" + std::to_string(g.ports) + "_" +
+         to_string(g.policy) + "_m" + std::to_string(g.mshr_entries) + "_pf" +
+         std::to_string(g.prefetch_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheGeometry,
+    ::testing::Values(
+        Geometry{1, 1, 1, ReplacementPolicy::kLru, 1, 0},
+        Geometry{2, 2, 2, ReplacementPolicy::kFifo, 2, 0},
+        Geometry{4, 1, 1, ReplacementPolicy::kLru, 4, 0},
+        Geometry{4, 4, 2, ReplacementPolicy::kRandom, 8, 0},
+        Geometry{8, 2, 4, ReplacementPolicy::kPlru, 4, 2},
+        Geometry{4, 8, 4, ReplacementPolicy::kSrrip, 8, 4},
+        Geometry{16, 1, 2, ReplacementPolicy::kLru, 16, 1},
+        Geometry{2, 4, 8, ReplacementPolicy::kSrrip, 2, 0}),
+    geometry_name);
+
+class CountingSink final : public ResponseSink {
+ public:
+  void on_response(const MemResponse& rsp) override {
+    ++count;
+    ++per_id[rsp.id];
+  }
+  std::uint64_t count = 0;
+  std::map<RequestId, int> per_id;
+};
+
+TEST_P(CacheGeometry, ConservationUnderRandomTraffic) {
+  const Geometry& g = GetParam();
+  CacheConfig cfg;
+  cfg.name = "prop";
+  cfg.size_bytes = 4096;
+  cfg.block_bytes = 64;
+  cfg.associativity = g.associativity;
+  cfg.hit_latency = 2;
+  cfg.ports = g.ports;
+  cfg.banks = g.banks;
+  cfg.mshr_entries = g.mshr_entries;
+  cfg.mshr_targets = 4;
+  cfg.replacement = g.policy;
+  cfg.prefetch_degree = g.prefetch_degree;
+
+  PerfectMemory below(15);
+  Cache cache(cfg, &below);
+  camat::Analyzer analyzer("prop");
+  cache.set_probe(&analyzer);
+  CountingSink sink;
+
+  util::Rng rng(static_cast<std::uint64_t>(g.associativity) * 1000 + g.banks);
+  Cycle now = 0;
+  RequestId id = 1;
+  std::uint64_t accepted = 0;
+
+  const auto tick = [&] {
+    below.tick(now);
+    cache.tick(now);
+    ++now;
+  };
+  tick();
+  // 4000 cycles of randomized offered load over a 32 KB footprint.
+  for (int c = 0; c < 4000; ++c) {
+    const int tries = static_cast<int>(rng.next_below(4));
+    for (int t = 0; t < tries; ++t) {
+      MemRequest r;
+      r.id = id;
+      r.core = 0;
+      r.addr = rng.next_below(32 * 1024) & ~Addr{7};
+      r.kind = rng.next_bool(0.3) ? AccessKind::kWrite : AccessKind::kRead;
+      r.reply_to = &sink;
+      if (cache.try_access(r)) {
+        ++accepted;
+        ++id;
+      }
+    }
+    tick();
+  }
+  // Drain.
+  Cycle guard = now + 5000;
+  while ((cache.busy() || below.busy()) && now < guard) tick();
+  cache.finalize(now - 1);
+
+  ASSERT_FALSE(cache.busy());
+  // (1) Every accepted access got exactly one response.
+  EXPECT_EQ(sink.count, accepted);
+  for (const auto& [rid, n] : sink.per_id) {
+    EXPECT_EQ(n, 1) << "request " << rid;
+  }
+  // (2) Bookkeeping balances.
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.accesses, accepted);
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_EQ(s.fills, s.misses - s.mshr_coalesced + s.prefetches_issued);
+  // (3) The analyzer's C-AMAT identity holds exactly.
+  const auto& m = analyzer.metrics();
+  EXPECT_EQ(m.accesses, accepted);
+  EXPECT_EQ(m.hits + m.misses, m.accesses);
+  if (m.accesses > 0) {
+    EXPECT_NEAR(m.camat_eq2(), m.camat(), 1e-9 * (1.0 + m.camat()));
+  }
+  EXPECT_EQ(m.active_cycles, m.hit_cycles + m.pure_miss_cycles);
+  EXPECT_LE(m.pure_misses, m.misses);
+  EXPECT_EQ(analyzer.outstanding_misses(), 0u);
+  // (4) Every access spent exactly hit_latency cycles in lookup.
+  EXPECT_EQ(m.hit_phase_access_cycles, m.accesses * cfg.hit_latency);
+}
+
+TEST_P(CacheGeometry, DeterministicAcrossRuns) {
+  const Geometry& g = GetParam();
+  const auto run_once = [&]() -> std::tuple<std::uint64_t, std::uint64_t, Cycle> {
+    CacheConfig cfg;
+    cfg.name = "det";
+    cfg.size_bytes = 2048;
+    cfg.block_bytes = 64;
+    cfg.associativity = g.associativity;
+    cfg.hit_latency = 3;
+    cfg.ports = g.ports;
+    cfg.banks = g.banks;
+    cfg.mshr_entries = g.mshr_entries;
+    cfg.replacement = g.policy;
+    cfg.prefetch_degree = g.prefetch_degree;
+    PerfectMemory below(20);
+    Cache cache(cfg, &below);
+    CountingSink sink;
+    util::Rng rng(99);
+    Cycle now = 0;
+    RequestId id = 1;
+    const auto tick = [&] {
+      below.tick(now);
+      cache.tick(now);
+      ++now;
+    };
+    tick();
+    for (int c = 0; c < 1500; ++c) {
+      MemRequest r;
+      r.id = id;
+      r.addr = rng.next_below(16 * 1024) & ~Addr{7};
+      r.kind = AccessKind::kRead;
+      r.reply_to = &sink;
+      if (cache.try_access(r)) ++id;
+      tick();
+    }
+    Cycle guard = now + 4000;
+    while ((cache.busy() || below.busy()) && now < guard) tick();
+    return {cache.stats().hits, cache.stats().misses, now};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace lpm::mem

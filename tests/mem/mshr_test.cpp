@@ -1,0 +1,97 @@
+#include "mem/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lpm::mem {
+namespace {
+
+MshrTarget target(RequestId id) {
+  MshrTarget t;
+  t.id = id;
+  t.kind = AccessKind::kRead;
+  return t;
+}
+
+TEST(Mshr, AllocateFindRelease) {
+  MshrFile f(2, 4);
+  EXPECT_TRUE(f.can_allocate());
+  const auto idx = f.allocate(0x1000, target(1), 5);
+  EXPECT_EQ(f.in_use(), 1u);
+  ASSERT_TRUE(f.find(0x1000).has_value());
+  EXPECT_EQ(*f.find(0x1000), idx);
+  EXPECT_FALSE(f.find(0x2000).has_value());
+  const auto targets = f.release(idx);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].id, 1u);
+  EXPECT_EQ(f.in_use(), 0u);
+  EXPECT_FALSE(f.find(0x1000).has_value());
+}
+
+TEST(Mshr, CoalescingUpToTargetLimit) {
+  MshrFile f(1, 3);
+  const auto idx = f.allocate(0x40, target(1), 0);
+  EXPECT_TRUE(f.can_add_target(idx));
+  f.add_target(idx, target(2));
+  f.add_target(idx, target(3));
+  EXPECT_FALSE(f.can_add_target(idx));
+  EXPECT_THROW(f.add_target(idx, target(4)), util::LpmError);
+  EXPECT_EQ(f.outstanding_targets(), 3u);
+}
+
+TEST(Mshr, ExhaustionBlocksAllocation) {
+  MshrFile f(2, 2);
+  f.allocate(0x0, target(1), 0);
+  f.allocate(0x40, target(2), 0);
+  EXPECT_FALSE(f.can_allocate());
+  EXPECT_THROW(f.allocate(0x80, target(3), 0), util::LpmError);
+}
+
+TEST(Mshr, DuplicateBlockAllocationThrows) {
+  MshrFile f(2, 2);
+  f.allocate(0x40, target(1), 0);
+  EXPECT_THROW(f.allocate(0x40, target(2), 0), util::LpmError);
+}
+
+TEST(Mshr, ReleaseRecyclesEntries) {
+  MshrFile f(1, 2);
+  const auto a = f.allocate(0x0, target(1), 0);
+  f.release(a);
+  EXPECT_TRUE(f.can_allocate());
+  const auto b = f.allocate(0x40, target(2), 1);
+  EXPECT_TRUE(f.find(0x40).has_value());
+  EXPECT_EQ(f.entry(b).allocated, 1u);
+}
+
+TEST(Mshr, ValidEntriesEnumerates) {
+  MshrFile f(4, 2);
+  f.allocate(0x0, target(1), 0);
+  f.allocate(0x40, target(2), 0);
+  const auto v = f.valid_entries();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Mshr, IssueFlagPersists) {
+  MshrFile f(2, 2);
+  const auto idx = f.allocate(0x0, target(1), 0);
+  EXPECT_FALSE(f.entry(idx).issued);
+  f.entry(idx).issued = true;
+  EXPECT_TRUE(f.entry(idx).issued);
+  f.release(idx);
+  const auto idx2 = f.allocate(0x80, target(2), 1);
+  EXPECT_FALSE(f.entry(idx2).issued);  // reset on reallocation
+}
+
+TEST(Mshr, InvalidConstructionThrows) {
+  EXPECT_THROW(MshrFile(0, 1), util::LpmError);
+  EXPECT_THROW(MshrFile(1, 0), util::LpmError);
+}
+
+TEST(Mshr, ReleaseInvalidThrows) {
+  MshrFile f(2, 2);
+  EXPECT_THROW(f.release(0), util::LpmError);
+}
+
+}  // namespace
+}  // namespace lpm::mem

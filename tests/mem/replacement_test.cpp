@@ -1,0 +1,98 @@
+#include "mem/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lpm::mem {
+namespace {
+
+TEST(Replacement, LruEvictsLeastRecentlyUsed) {
+  ReplacementState st(ReplacementPolicy::kLru, 4);
+  util::Rng rng(1);
+  st.fill(0, 1);
+  st.fill(1, 2);
+  st.fill(2, 3);
+  st.fill(3, 4);
+  st.touch(0, 5);  // way 1 is now LRU
+  EXPECT_EQ(st.victim(rng), 1u);
+  st.touch(1, 6);
+  EXPECT_EQ(st.victim(rng), 2u);
+}
+
+TEST(Replacement, FifoIgnoresTouches) {
+  ReplacementState st(ReplacementPolicy::kFifo, 4);
+  util::Rng rng(1);
+  st.fill(0, 1);
+  st.fill(1, 2);
+  st.fill(2, 3);
+  st.fill(3, 4);
+  st.touch(0, 99);  // touching must not rescue way 0 under FIFO
+  EXPECT_EQ(st.victim(rng), 0u);
+  st.fill(0, 5);
+  EXPECT_EQ(st.victim(rng), 1u);
+}
+
+TEST(Replacement, RandomIsInRangeAndCoversWays) {
+  ReplacementState st(ReplacementPolicy::kRandom, 4);
+  util::Rng rng(7);
+  bool seen[4] = {false, false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    const auto v = st.victim(rng);
+    ASSERT_LT(v, 4u);
+    seen[v] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(Replacement, PlruTracksRecency) {
+  ReplacementState st(ReplacementPolicy::kPlru, 4);
+  util::Rng rng(1);
+  st.fill(0, 1);
+  st.fill(1, 2);
+  st.fill(2, 3);
+  st.fill(3, 4);
+  // After touching 0 and 1, the victim must come from {2, 3}.
+  st.touch(0, 5);
+  st.touch(1, 6);
+  const auto v = st.victim(rng);
+  EXPECT_TRUE(v == 2u || v == 3u);
+  // Touch 2 and 3: victim must come from {0, 1}.
+  st.touch(2, 7);
+  st.touch(3, 8);
+  const auto w = st.victim(rng);
+  EXPECT_TRUE(w == 0u || w == 1u);
+}
+
+TEST(Replacement, PlruNonPow2FallsBackToLru) {
+  ReplacementState st(ReplacementPolicy::kPlru, 3);
+  util::Rng rng(1);
+  st.fill(0, 1);
+  st.fill(1, 2);
+  st.fill(2, 3);
+  st.touch(0, 4);
+  EXPECT_EQ(st.victim(rng), 1u);
+}
+
+TEST(Replacement, DirectMappedAlwaysWayZero) {
+  ReplacementState st(ReplacementPolicy::kLru, 1);
+  util::Rng rng(1);
+  EXPECT_EQ(st.victim(rng), 0u);
+}
+
+TEST(Replacement, BadWayThrows) {
+  ReplacementState st(ReplacementPolicy::kLru, 2);
+  EXPECT_THROW(st.touch(2, 1), util::LpmError);
+  EXPECT_THROW(st.fill(5, 1), util::LpmError);
+}
+
+TEST(Replacement, StringRoundTrip) {
+  for (const auto p : {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+                       ReplacementPolicy::kRandom, ReplacementPolicy::kPlru}) {
+    EXPECT_EQ(replacement_from_string(to_string(p)), p);
+  }
+  EXPECT_THROW(replacement_from_string("mru"), util::LpmError);
+}
+
+}  // namespace
+}  // namespace lpm::mem

@@ -1,0 +1,72 @@
+#include "sched/hsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lpm::sched {
+namespace {
+
+TEST(Hsp, PerfectSharingGivesOne) {
+  EXPECT_DOUBLE_EQ(harmonic_weighted_speedup({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}),
+                   1.0);
+}
+
+TEST(Hsp, UniformSlowdownGivesThatFactor) {
+  EXPECT_NEAR(harmonic_weighted_speedup({2.0, 4.0}, {1.0, 2.0}), 0.5, 1e-12);
+}
+
+TEST(Hsp, HarmonicMeanPenalizesImbalance) {
+  // One program crawling dominates the harmonic mean.
+  const double balanced = harmonic_weighted_speedup({1, 1}, {0.8, 0.8});
+  const double skewed = harmonic_weighted_speedup({1, 1}, {1.0, 0.6});
+  EXPECT_GT(balanced, skewed);
+}
+
+TEST(Hsp, MatchesHandComputedExample) {
+  // WS = {0.5, 1.0}; Hsp = 2 / (2 + 1) = 2/3.
+  EXPECT_NEAR(harmonic_weighted_speedup({2.0, 3.0}, {1.0, 3.0}), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(Hsp, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(harmonic_weighted_speedup({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_weighted_speedup({1.0}, {0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_weighted_speedup({0.0}, {1.0}), 0.0);
+}
+
+TEST(Hsp, SizeMismatchThrows) {
+  EXPECT_THROW(harmonic_weighted_speedup({1.0}, {1.0, 2.0}), util::LpmError);
+}
+
+TEST(Hsp, SpeedupAboveOnePossible) {
+  // Constructive sharing (e.g. prefetch effects) can exceed 1.
+  EXPECT_GT(harmonic_weighted_speedup({1.0}, {1.2}), 1.0);
+}
+
+TEST(WeightedSpeedup, SumsPerProgramRatios) {
+  EXPECT_DOUBLE_EQ(weighted_speedup({2.0, 4.0}, {1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(weighted_speedup({1.0, 1.0}, {1.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(weighted_speedup({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_speedup({1.0}, {0.0}), 0.0);
+  EXPECT_THROW(weighted_speedup({1.0}, {1.0, 2.0}), util::LpmError);
+}
+
+TEST(MinWeightedSpeedup, ReportsFairnessFloor) {
+  EXPECT_DOUBLE_EQ(min_weighted_speedup({1.0, 2.0}, {0.9, 0.5}), 0.25);
+  EXPECT_DOUBLE_EQ(min_weighted_speedup({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(min_weighted_speedup({0.0}, {1.0}), 0.0);
+  EXPECT_THROW(min_weighted_speedup({1.0}, {}), util::LpmError);
+}
+
+TEST(Metrics, HarmonicLiesBelowArithmeticPerProgramMean) {
+  const std::vector<double> alone = {1.0, 1.0, 1.0};
+  const std::vector<double> shared = {0.9, 0.5, 0.7};
+  const double hsp = harmonic_weighted_speedup(alone, shared);
+  const double mean_ws = weighted_speedup(alone, shared) / 3.0;
+  EXPECT_LE(hsp, mean_ws);
+  EXPECT_GE(hsp, min_weighted_speedup(alone, shared));
+}
+
+}  // namespace
+}  // namespace lpm::sched

@@ -1,0 +1,79 @@
+#include "sched/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/spec_like.hpp"
+#include "util/error.hpp"
+
+namespace lpm::sched {
+namespace {
+
+const std::vector<std::uint64_t> kSizes = {4096, 16384, 32768, 65536};
+
+AppProfile profile_of(trace::SpecBenchmark b, std::uint64_t length = 8000) {
+  Profiler profiler(sim::MachineConfig::nuca16());
+  return profiler.profile(trace::spec_profile(b, length, 31), kSizes);
+}
+
+TEST(Profiler, ProducesOnePointPerSize) {
+  const auto p = profile_of(trace::SpecBenchmark::kBzip2);
+  ASSERT_EQ(p.by_size.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.by_size[i].l1_size_bytes, kSizes[i]);
+    EXPECT_GT(p.by_size[i].apc1, 0.0);
+    EXPECT_GT(p.by_size[i].ipc, 0.0);
+  }
+  EXPECT_GT(p.cpi_exe, 0.0);
+  EXPECT_GT(p.fmem, 0.0);
+}
+
+TEST(Profiler, AtSizeLooksUpAndThrowsOnMissing) {
+  const auto p = profile_of(trace::SpecBenchmark::kBzip2);
+  EXPECT_EQ(p.at_size(16384).l1_size_bytes, 16384u);
+  EXPECT_THROW(p.at_size(999), util::LpmError);
+}
+
+TEST(Profiler, Bzip2IsInsensitiveToL1Size) {
+  // Fig. 6: 4 KB is large enough for 401.bzip2.
+  const auto p = profile_of(trace::SpecBenchmark::kBzip2, 12000);
+  const double small = p.by_size.front().apc1;
+  const double big = p.by_size.back().apc1;
+  EXPECT_NEAR(big, small, 0.10 * big);
+}
+
+TEST(Profiler, GccGainsFromEveryStep) {
+  // Fig. 6: 403.gcc needs 64 KB for optimal APC1.
+  const auto p = profile_of(trace::SpecBenchmark::kGcc, 12000);
+  EXPECT_GT(p.by_size.back().apc1, p.by_size.front().apc1 * 1.1);
+  // Fig. 7: and its L2 demand falls with L1 size.
+  EXPECT_LT(p.by_size.back().apc2, p.by_size.front().apc2 * 0.8);
+}
+
+TEST(Profiler, MilcL2DemandInsensitiveToL1) {
+  // Fig. 7: 433.milc's APC2 barely moves with L1 size.
+  const auto p = profile_of(trace::SpecBenchmark::kMilc, 12000);
+  const double small = p.by_size.front().apc2;
+  const double big = p.by_size.back().apc2;
+  EXPECT_NEAR(big, small, 0.25 * small);
+}
+
+TEST(Profiler, LargerL1NeverHurtsLpmr1Much) {
+  for (const auto b : {trace::SpecBenchmark::kGcc, trace::SpecBenchmark::kGamess,
+                       trace::SpecBenchmark::kBzip2}) {
+    const auto p = profile_of(b);
+    for (std::size_t i = 1; i < p.by_size.size(); ++i) {
+      EXPECT_LE(p.by_size[i].lpmr1, p.by_size[i - 1].lpmr1 * 1.15)
+          << p.name << " size " << p.by_size[i].l1_size_bytes;
+    }
+  }
+}
+
+TEST(Profiler, EmptySizesThrow) {
+  Profiler profiler(sim::MachineConfig::nuca16());
+  EXPECT_THROW(profiler.profile(trace::spec_profile(trace::SpecBenchmark::kGcc),
+                                {}),
+               util::LpmError);
+}
+
+}  // namespace
+}  // namespace lpm::sched

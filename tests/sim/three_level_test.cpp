@@ -1,0 +1,175 @@
+// Three-cache-level hierarchy ("the extension to additional cache levels is
+// straightforward", paper SIII): L1 -> private L2 -> shared LLC -> DRAM.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "camat/metrics.hpp"
+#include "core/lpm_model.hpp"
+#include "sim/system.hpp"
+#include "trace/spec_like.hpp"
+#include "trace/synthetic.hpp"
+
+namespace lpm::sim {
+namespace {
+
+std::vector<trace::TraceSourcePtr> one_trace(const trace::WorkloadProfile& p) {
+  std::vector<trace::TraceSourcePtr> v;
+  v.push_back(std::make_unique<trace::SyntheticTrace>(p));
+  return v;
+}
+
+SystemResult run_three_level(const trace::WorkloadProfile& p,
+                             MachineConfig m = MachineConfig::three_level_default()) {
+  System sys(m, one_trace(p));
+  return sys.run();
+}
+
+TEST(ThreeLevel, ConfigValidates) {
+  EXPECT_NO_THROW(MachineConfig::three_level_default().validate());
+}
+
+TEST(ThreeLevel, RunCompletesAndPopulatesAllLevels) {
+  const auto p = trace::spec_profile(trace::SpecBenchmark::kGcc, 20000, 44);
+  const auto r = run_three_level(p);
+  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.has_private_l2());
+  ASSERT_EQ(r.l2_private.size(), 1u);
+  EXPECT_EQ(r.cores[0].instructions, 20000u);
+  EXPECT_GT(r.l2_private[0].accesses, 0u);
+}
+
+TEST(ThreeLevel, TrafficFiltersThroughEachLevel) {
+  auto p = trace::spec_profile(trace::SpecBenchmark::kSoplex, 30000, 45);
+  const auto r = run_three_level(p);
+  ASSERT_TRUE(r.completed);
+  // Demand traffic shrinks down the hierarchy.
+  EXPECT_GT(r.l1_cache[0].accesses, r.l2_private[0].accesses);
+  EXPECT_GT(r.l2_private[0].accesses, 0u);
+  EXPECT_GE(r.l2_private[0].accesses, r.l2.accesses);
+  // Private-L2 demand accesses = L1 fills (demand + prefetch).
+  EXPECT_EQ(r.l2_private[0].accesses,
+            r.l1_cache[0].misses - r.l1_cache[0].mshr_coalesced +
+                r.l1_cache[0].prefetches_issued);
+  // LLC demand accesses = private-L2 fills, same law one level down.
+  EXPECT_EQ(r.l2.accesses,
+            r.l2_private_cache[0].misses - r.l2_private_cache[0].mshr_coalesced +
+                r.l2_private_cache[0].prefetches_issued);
+}
+
+TEST(ThreeLevel, CamatIdentityHoldsAtEveryLevel) {
+  const auto p = trace::spec_profile(trace::SpecBenchmark::kMcf, 20000, 46);
+  const auto r = run_three_level(p);
+  ASSERT_TRUE(r.completed);
+  for (const camat::CamatMetrics* m :
+       {&r.l1[0], &r.l2_private[0], &r.l2}) {
+    if (m->accesses == 0) continue;
+    EXPECT_NEAR(m->camat_eq2(), m->camat(), 1e-9 * (1.0 + m->camat()));
+    EXPECT_EQ(m->active_cycles, m->hit_cycles + m->pure_miss_cycles);
+  }
+}
+
+TEST(ThreeLevel, MeasurementMapsLayersCorrectly) {
+  const auto p = trace::spec_profile(trace::SpecBenchmark::kGcc, 20000, 47);
+  const auto machine = MachineConfig::three_level_default();
+  trace::SyntheticTrace calib(p);
+  const auto c = measure_cpi_exe(machine, calib);
+  const auto r = run_three_level(p, machine);
+  const auto m = core::AppMeasurement::from_run(r, c, 0, p.name);
+  EXPECT_TRUE(m.three_cache_levels);
+  EXPECT_EQ(m.l2.accesses, r.l2_private[0].accesses);
+  EXPECT_EQ(m.l3.accesses, r.l2.accesses);
+  EXPECT_EQ(m.mm.accesses, r.dram.accesses);
+  EXPECT_DOUBLE_EQ(m.mr2, r.l2_private_cache[0].miss_rate());
+  EXPECT_DOUBLE_EQ(m.mr3, r.l2_cache.miss_rate());
+}
+
+TEST(ThreeLevel, FourMatchingRatios) {
+  const auto p = trace::spec_profile(trace::SpecBenchmark::kSoplex, 25000, 48);
+  const auto machine = MachineConfig::three_level_default();
+  trace::SyntheticTrace calib(p);
+  const auto c = measure_cpi_exe(machine, calib);
+  const auto r = run_three_level(p, machine);
+  const auto m = core::AppMeasurement::from_run(r, c, 0, p.name);
+  const auto lpmr = core::compute_lpmrs(m);
+  EXPECT_GT(lpmr.lpmr1, 0.0);
+  EXPECT_GT(lpmr.lpmr2, 0.0);
+  EXPECT_GT(lpmr.lpmr3, 0.0);
+  EXPECT_GT(lpmr.lpmr4, 0.0);  // the new (LLC, MM) ratio
+}
+
+TEST(ThreeLevel, TwoLevelMachineHasNoFourthRatio) {
+  const auto p = trace::spec_profile(trace::SpecBenchmark::kGcc, 15000, 49);
+  const auto machine = MachineConfig::single_core_default();
+  trace::SyntheticTrace calib(p);
+  const auto c = measure_cpi_exe(machine, calib);
+  System sys(machine, one_trace(p));
+  const auto r = sys.run();
+  const auto m = core::AppMeasurement::from_run(r, c, 0, p.name);
+  EXPECT_FALSE(m.three_cache_levels);
+  EXPECT_DOUBLE_EQ(core::compute_lpmrs(m).lpmr4, 0.0);
+  EXPECT_TRUE(r.l2_private.empty());
+}
+
+TEST(ThreeLevel, Eq7StillExact) {
+  const auto p = trace::spec_profile(trace::SpecBenchmark::kGamess, 20000, 50);
+  const auto machine = MachineConfig::three_level_default();
+  trace::SyntheticTrace calib(p);
+  const auto c = measure_cpi_exe(machine, calib);
+  const auto r = run_three_level(p, machine);
+  const auto m = core::AppMeasurement::from_run(r, c, 0, p.name);
+  EXPECT_NEAR(core::stall_eq7(m), m.measured_stall_per_instr,
+              1e-6 + 0.002 * m.measured_stall_per_instr);
+}
+
+TEST(ThreeLevel, PrivateL2CutsLlcPressure) {
+  // Same workload on the two-level and three-level machines: the middle
+  // level must absorb traffic that previously reached the shared cache.
+  auto p = trace::spec_profile(trace::SpecBenchmark::kGcc, 25000, 51);
+  p.working_set_bytes = 192 * 1024;  // beyond L1, inside the private L2
+
+  auto three = MachineConfig::three_level_default();
+  const auto r3 = run_three_level(p, three);
+
+  auto two = MachineConfig::single_core_default();
+  System sys2(two, one_trace(p));
+  const auto r2 = sys2.run();
+
+  ASSERT_TRUE(r2.completed);
+  ASSERT_TRUE(r3.completed);
+  EXPECT_LT(r3.l2.accesses, r2.l2.accesses / 2);
+}
+
+TEST(ThreeLevel, Determinism) {
+  const auto p = trace::spec_profile(trace::SpecBenchmark::kMilc, 15000, 52);
+  const auto a = run_three_level(p);
+  const auto b = run_three_level(p);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.l2_private[0].accesses, b.l2_private[0].accesses);
+  EXPECT_EQ(a.dram_stats.reads, b.dram_stats.reads);
+}
+
+TEST(ThreeLevel, MultiCoreThreeLevel) {
+  auto m = MachineConfig::three_level_default();
+  m.num_cores = 4;
+  m.l1.num_cores = 4;
+  m.l2.num_cores = 4;
+  m.private_l2.num_cores = 4;
+  std::vector<trace::TraceSourcePtr> traces;
+  for (int i = 0; i < 4; ++i) {
+    auto p = trace::spec_profile(trace::SpecBenchmark::kHmmer, 8000,
+                                 60 + static_cast<std::uint64_t>(i));
+    p.addr_base = (static_cast<std::uint64_t>(i) + 1) << 30;
+    traces.push_back(std::make_unique<trace::SyntheticTrace>(p));
+  }
+  System sys(m, std::move(traces));
+  const auto r = sys.run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.l2_private.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.cores[i].instructions, 8000u);
+  }
+}
+
+}  // namespace
+}  // namespace lpm::sim

@@ -1,0 +1,102 @@
+#include "trace/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/spec_like.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::trace {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "/lpm_trace_" + tag + ".bin";
+}
+
+TEST(TraceFile, RoundTripPreservesEveryField) {
+  const auto path = temp_path("roundtrip");
+  auto profile = spec_profile(SpecBenchmark::kMcf, 2000, 3);
+  SyntheticTrace src(profile);
+  const std::uint64_t written = record_trace(src, path);
+  EXPECT_EQ(written, 2000u);
+
+  src.reset();
+  const auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), 2000u);
+  MicroOp op;
+  std::size_t i = 0;
+  while (src.next(op)) {
+    ASSERT_LT(i, loaded.size());
+    EXPECT_EQ(loaded[i].type, op.type);
+    EXPECT_EQ(loaded[i].addr, op.addr);
+    EXPECT_EQ(loaded[i].dep_dist, op.dep_dist);
+    EXPECT_EQ(loaded[i].dep_dist2, op.dep_dist2);
+    EXPECT_EQ(loaded[i].exec_latency, op.exec_latency);
+    ++i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, FileTraceReplaysAndResets) {
+  const auto path = temp_path("filetrace");
+  auto profile = spec_profile(SpecBenchmark::kHmmer, 500, 9);
+  SyntheticTrace src(profile);
+  record_trace(src, path);
+
+  FileTrace ft(path, "hmmer-file");
+  EXPECT_EQ(ft.size(), 500u);
+  EXPECT_EQ(ft.name(), "hmmer-file");
+  MicroOp op;
+  std::uint64_t n = 0;
+  while (ft.next(op)) ++n;
+  EXPECT_EQ(n, 500u);
+  ft.reset();
+  EXPECT_TRUE(ft.next(op));
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/trace.bin"), util::LpmError);
+}
+
+TEST(TraceFile, BadMagicThrows) {
+  const auto path = temp_path("badmagic");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE garbage";
+  }
+  EXPECT_THROW(load_trace(path), util::LpmError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedFileThrows) {
+  const auto path = temp_path("trunc");
+  auto profile = spec_profile(SpecBenchmark::kSjeng, 100, 1);
+  SyntheticTrace src(profile);
+  record_trace(src, path);
+  // Chop off the tail.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+  EXPECT_THROW(load_trace(path), util::LpmError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceIsValid) {
+  const auto path = temp_path("empty");
+  VectorTrace empty("none", {});
+  EXPECT_EQ(record_trace(empty, path), 0u);
+  EXPECT_TRUE(load_trace(path).empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lpm::trace

@@ -1,0 +1,82 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lpm::util {
+namespace {
+
+TEST(KvConfig, ParsesTextWithCommentsAndBlanks) {
+  const auto cfg = KvConfig::from_text(R"(
+# a comment
+cores = 16
+name= bwaves   # trailing comment
+ratio =1.5
+flag=true
+)");
+  EXPECT_EQ(cfg.get_uint_or("cores", 0), 16u);
+  EXPECT_EQ(cfg.get_or("name", ""), "bwaves");
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("ratio", 0.0), 1.5);
+  EXPECT_TRUE(cfg.get_bool_or("flag", false));
+}
+
+TEST(KvConfig, MalformedLineThrows) {
+  EXPECT_THROW(KvConfig::from_text("novalue\n"), LpmError);
+  EXPECT_THROW(KvConfig::from_text("=3\n"), LpmError);
+}
+
+TEST(KvConfig, DefaultsWhenMissing) {
+  const KvConfig cfg;
+  EXPECT_EQ(cfg.get_int_or("x", -7), -7);
+  EXPECT_EQ(cfg.get_or("y", "dflt"), "dflt");
+  EXPECT_FALSE(cfg.get_bool_or("z", false));
+  EXPECT_FALSE(cfg.has("x"));
+}
+
+TEST(KvConfig, TypeErrorsThrow) {
+  auto cfg = KvConfig::from_text("n=abc\nd=1.2.3\nb=maybe\nneg=-1\n");
+  EXPECT_THROW(cfg.get_int_or("n", 0), LpmError);
+  EXPECT_THROW(cfg.get_double_or("d", 0.0), LpmError);
+  EXPECT_THROW(cfg.get_bool_or("b", false), LpmError);
+  EXPECT_THROW(cfg.get_uint_or("neg", 0), LpmError);
+}
+
+TEST(KvConfig, BooleanSpellings) {
+  auto cfg = KvConfig::from_text("a=YES\nb=off\nc=1\nd=False\n");
+  EXPECT_TRUE(cfg.get_bool_or("a", false));
+  EXPECT_FALSE(cfg.get_bool_or("b", true));
+  EXPECT_TRUE(cfg.get_bool_or("c", false));
+  EXPECT_FALSE(cfg.get_bool_or("d", true));
+}
+
+TEST(KvConfig, FromArgsSplitsPositional) {
+  const char* argv[] = {"prog", "runs=3", "positional", "x=y"};
+  const auto cfg = KvConfig::from_args(4, argv);
+  EXPECT_EQ(cfg.get_uint_or("runs", 0), 3u);
+  EXPECT_EQ(cfg.get_or("x", ""), "y");
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "positional");
+}
+
+TEST(KvConfig, UnusedKeysTracksReads) {
+  auto cfg = KvConfig::from_text("used=1\nunused=2\n");
+  (void)cfg.get_int_or("used", 0);
+  const auto unused = cfg.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(KvConfig, MissingFileThrows) {
+  EXPECT_THROW(KvConfig::from_file("/nonexistent/path/cfg.txt"), LpmError);
+}
+
+TEST(KvConfig, SetOverwrites) {
+  KvConfig cfg;
+  cfg.set("k", "1");
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int_or("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace lpm::util

@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lpm::util {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeEqualsCombined) {
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    if (i % 2 == 0) {
+      a.add(x);
+    } else {
+      b.add(x);
+    }
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.add(1.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(StreamingStats, ResetClears) {
+  StreamingStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.999);
+  h.add(2.0);
+  h.add(9.999);
+  h.add(10.0);   // overflow
+  h.add(-0.01);  // underflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bucket_count(1), 10u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), LpmError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), LpmError);
+}
+
+TEST(Histogram, ToStringRendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Ratio, SafeDivision) {
+  Ratio r;
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+  r.add(3, 4);
+  EXPECT_DOUBLE_EQ(r.value(), 0.75);
+  r.add(1, 4);
+  EXPECT_DOUBLE_EQ(r.value(), 0.5);
+}
+
+TEST(Means, ArithmeticHarmonicGeometric) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(mean_of(xs), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(harmonic_mean_of(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+  EXPECT_NEAR(geometric_mean_of(xs), 2.0, 1e-12);
+}
+
+TEST(Means, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean_of({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean_of({1.0, -2.0}), 0.0);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_GT(relative_error(1.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace lpm::util

@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lpm::util {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bee", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string s = t.to_string();
+  // Rendering must not crash and must contain the lone cell.
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(AsciiTable, FormatHelpers) {
+  EXPECT_EQ(AsciiTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(AsciiTable::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(AsciiTable::fmt(0.5, 0), "0");  // rounds to even/away per iostream
+}
+
+TEST(AsciiTable, CsvEscapesSpecials) {
+  AsciiTable t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(AsciiTable, CsvHeaderFirst) {
+  AsciiTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv.substr(0, 4), "x,y\n");
+}
+
+}  // namespace
+}  // namespace lpm::util
