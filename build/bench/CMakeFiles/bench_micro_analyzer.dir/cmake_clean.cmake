@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_analyzer.dir/bench_micro_analyzer.cpp.o"
+  "CMakeFiles/bench_micro_analyzer.dir/bench_micro_analyzer.cpp.o.d"
+  "bench_micro_analyzer"
+  "bench_micro_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

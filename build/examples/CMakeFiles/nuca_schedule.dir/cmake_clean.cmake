@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuca_schedule.dir/nuca_schedule.cpp.o"
+  "CMakeFiles/nuca_schedule.dir/nuca_schedule.cpp.o.d"
+  "nuca_schedule"
+  "nuca_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuca_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

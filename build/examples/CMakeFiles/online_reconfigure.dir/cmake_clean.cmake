@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_reconfigure.dir/online_reconfigure.cpp.o"
+  "CMakeFiles/online_reconfigure.dir/online_reconfigure.cpp.o.d"
+  "online_reconfigure"
+  "online_reconfigure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_reconfigure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfigure.dir/reconfigure.cpp.o"
+  "CMakeFiles/reconfigure.dir/reconfigure.cpp.o.d"
+  "reconfigure"
+  "reconfigure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfigure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

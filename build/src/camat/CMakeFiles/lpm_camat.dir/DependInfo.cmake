@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/camat/analyzer.cpp" "src/camat/CMakeFiles/lpm_camat.dir/analyzer.cpp.o" "gcc" "src/camat/CMakeFiles/lpm_camat.dir/analyzer.cpp.o.d"
+  "/root/repo/src/camat/fig1.cpp" "src/camat/CMakeFiles/lpm_camat.dir/fig1.cpp.o" "gcc" "src/camat/CMakeFiles/lpm_camat.dir/fig1.cpp.o.d"
+  "/root/repo/src/camat/metrics.cpp" "src/camat/CMakeFiles/lpm_camat.dir/metrics.cpp.o" "gcc" "src/camat/CMakeFiles/lpm_camat.dir/metrics.cpp.o.d"
+  "/root/repo/src/camat/whatif.cpp" "src/camat/CMakeFiles/lpm_camat.dir/whatif.cpp.o" "gcc" "src/camat/CMakeFiles/lpm_camat.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/lpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

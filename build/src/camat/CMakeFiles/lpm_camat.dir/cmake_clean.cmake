@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_camat.dir/analyzer.cpp.o"
+  "CMakeFiles/lpm_camat.dir/analyzer.cpp.o.d"
+  "CMakeFiles/lpm_camat.dir/fig1.cpp.o"
+  "CMakeFiles/lpm_camat.dir/fig1.cpp.o.d"
+  "CMakeFiles/lpm_camat.dir/metrics.cpp.o"
+  "CMakeFiles/lpm_camat.dir/metrics.cpp.o.d"
+  "CMakeFiles/lpm_camat.dir/whatif.cpp.o"
+  "CMakeFiles/lpm_camat.dir/whatif.cpp.o.d"
+  "liblpm_camat.a"
+  "liblpm_camat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_camat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

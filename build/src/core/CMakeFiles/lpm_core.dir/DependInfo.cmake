@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/design_space.cpp" "src/core/CMakeFiles/lpm_core.dir/design_space.cpp.o" "gcc" "src/core/CMakeFiles/lpm_core.dir/design_space.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/core/CMakeFiles/lpm_core.dir/diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/lpm_core.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/core/interval.cpp" "src/core/CMakeFiles/lpm_core.dir/interval.cpp.o" "gcc" "src/core/CMakeFiles/lpm_core.dir/interval.cpp.o.d"
+  "/root/repo/src/core/lpm_algorithm.cpp" "src/core/CMakeFiles/lpm_core.dir/lpm_algorithm.cpp.o" "gcc" "src/core/CMakeFiles/lpm_core.dir/lpm_algorithm.cpp.o.d"
+  "/root/repo/src/core/lpm_model.cpp" "src/core/CMakeFiles/lpm_core.dir/lpm_model.cpp.o" "gcc" "src/core/CMakeFiles/lpm_core.dir/lpm_model.cpp.o.d"
+  "/root/repo/src/core/online_controller.cpp" "src/core/CMakeFiles/lpm_core.dir/online_controller.cpp.o" "gcc" "src/core/CMakeFiles/lpm_core.dir/online_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/camat/CMakeFiles/lpm_camat.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lpm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

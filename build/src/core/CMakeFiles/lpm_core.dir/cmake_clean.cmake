@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_core.dir/design_space.cpp.o"
+  "CMakeFiles/lpm_core.dir/design_space.cpp.o.d"
+  "CMakeFiles/lpm_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/lpm_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/lpm_core.dir/interval.cpp.o"
+  "CMakeFiles/lpm_core.dir/interval.cpp.o.d"
+  "CMakeFiles/lpm_core.dir/lpm_algorithm.cpp.o"
+  "CMakeFiles/lpm_core.dir/lpm_algorithm.cpp.o.d"
+  "CMakeFiles/lpm_core.dir/lpm_model.cpp.o"
+  "CMakeFiles/lpm_core.dir/lpm_model.cpp.o.d"
+  "CMakeFiles/lpm_core.dir/online_controller.cpp.o"
+  "CMakeFiles/lpm_core.dir/online_controller.cpp.o.d"
+  "liblpm_core.a"
+  "liblpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

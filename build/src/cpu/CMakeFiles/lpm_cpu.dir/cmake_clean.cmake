@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_cpu.dir/ooo_core.cpp.o"
+  "CMakeFiles/lpm_cpu.dir/ooo_core.cpp.o.d"
+  "liblpm_cpu.a"
+  "liblpm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

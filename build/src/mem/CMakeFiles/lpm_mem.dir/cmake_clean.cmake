@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_mem.dir/cache.cpp.o"
+  "CMakeFiles/lpm_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/lpm_mem.dir/dram.cpp.o"
+  "CMakeFiles/lpm_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/lpm_mem.dir/mshr.cpp.o"
+  "CMakeFiles/lpm_mem.dir/mshr.cpp.o.d"
+  "CMakeFiles/lpm_mem.dir/replacement.cpp.o"
+  "CMakeFiles/lpm_mem.dir/replacement.cpp.o.d"
+  "liblpm_mem.a"
+  "liblpm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

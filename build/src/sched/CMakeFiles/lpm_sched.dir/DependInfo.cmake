@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/evaluate.cpp" "src/sched/CMakeFiles/lpm_sched.dir/evaluate.cpp.o" "gcc" "src/sched/CMakeFiles/lpm_sched.dir/evaluate.cpp.o.d"
+  "/root/repo/src/sched/hsp.cpp" "src/sched/CMakeFiles/lpm_sched.dir/hsp.cpp.o" "gcc" "src/sched/CMakeFiles/lpm_sched.dir/hsp.cpp.o.d"
+  "/root/repo/src/sched/profile.cpp" "src/sched/CMakeFiles/lpm_sched.dir/profile.cpp.o" "gcc" "src/sched/CMakeFiles/lpm_sched.dir/profile.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/lpm_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/lpm_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/camat/CMakeFiles/lpm_camat.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lpm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_sched.dir/evaluate.cpp.o"
+  "CMakeFiles/lpm_sched.dir/evaluate.cpp.o.d"
+  "CMakeFiles/lpm_sched.dir/hsp.cpp.o"
+  "CMakeFiles/lpm_sched.dir/hsp.cpp.o.d"
+  "CMakeFiles/lpm_sched.dir/profile.cpp.o"
+  "CMakeFiles/lpm_sched.dir/profile.cpp.o.d"
+  "CMakeFiles/lpm_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/lpm_sched.dir/scheduler.cpp.o.d"
+  "liblpm_sched.a"
+  "liblpm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

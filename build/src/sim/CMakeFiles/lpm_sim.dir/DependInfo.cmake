@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine_config.cpp" "src/sim/CMakeFiles/lpm_sim.dir/machine_config.cpp.o" "gcc" "src/sim/CMakeFiles/lpm_sim.dir/machine_config.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/lpm_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/lpm_sim.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/lpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/camat/CMakeFiles/lpm_camat.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_sim.dir/machine_config.cpp.o"
+  "CMakeFiles/lpm_sim.dir/machine_config.cpp.o.d"
+  "CMakeFiles/lpm_sim.dir/system.cpp.o"
+  "CMakeFiles/lpm_sim.dir/system.cpp.o.d"
+  "liblpm_sim.a"
+  "liblpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

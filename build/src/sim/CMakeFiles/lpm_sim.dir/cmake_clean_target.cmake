@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpm_sim.a"
+)

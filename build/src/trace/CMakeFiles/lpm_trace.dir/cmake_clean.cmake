@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_trace.dir/spec_like.cpp.o"
+  "CMakeFiles/lpm_trace.dir/spec_like.cpp.o.d"
+  "CMakeFiles/lpm_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/lpm_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/lpm_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/lpm_trace.dir/trace_file.cpp.o.d"
+  "liblpm_trace.a"
+  "liblpm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

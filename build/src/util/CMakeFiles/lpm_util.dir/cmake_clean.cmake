@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_util.dir/config.cpp.o"
+  "CMakeFiles/lpm_util.dir/config.cpp.o.d"
+  "CMakeFiles/lpm_util.dir/log.cpp.o"
+  "CMakeFiles/lpm_util.dir/log.cpp.o.d"
+  "CMakeFiles/lpm_util.dir/rng.cpp.o"
+  "CMakeFiles/lpm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lpm_util.dir/stats.cpp.o"
+  "CMakeFiles/lpm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lpm_util.dir/table.cpp.o"
+  "CMakeFiles/lpm_util.dir/table.cpp.o.d"
+  "liblpm_util.a"
+  "liblpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpm_util.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_camat.dir/camat/analyzer_test.cpp.o"
+  "CMakeFiles/test_camat.dir/camat/analyzer_test.cpp.o.d"
+  "CMakeFiles/test_camat.dir/camat/fig1_test.cpp.o"
+  "CMakeFiles/test_camat.dir/camat/fig1_test.cpp.o.d"
+  "CMakeFiles/test_camat.dir/camat/metrics_test.cpp.o"
+  "CMakeFiles/test_camat.dir/camat/metrics_test.cpp.o.d"
+  "CMakeFiles/test_camat.dir/camat/whatif_test.cpp.o"
+  "CMakeFiles/test_camat.dir/camat/whatif_test.cpp.o.d"
+  "test_camat"
+  "test_camat.pdb"
+  "test_camat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_camat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

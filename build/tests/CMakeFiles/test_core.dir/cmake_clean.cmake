@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/design_space_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/design_space_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/diagnosis_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/diagnosis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/interval_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/interval_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lpm_algorithm_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lpm_algorithm_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lpm_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lpm_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/online_controller_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/online_controller_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

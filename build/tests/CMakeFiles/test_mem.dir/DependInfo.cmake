@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/cache_property_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/cache_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/cache_property_test.cpp.o.d"
+  "/root/repo/tests/mem/cache_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cpp.o.d"
+  "/root/repo/tests/mem/dram_property_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/dram_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/dram_property_test.cpp.o.d"
+  "/root/repo/tests/mem/dram_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/dram_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/dram_test.cpp.o.d"
+  "/root/repo/tests/mem/mshr_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/mshr_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/mshr_test.cpp.o.d"
+  "/root/repo/tests/mem/partition_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/partition_test.cpp.o.d"
+  "/root/repo/tests/mem/prefetch_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/prefetch_test.cpp.o.d"
+  "/root/repo/tests/mem/replacement_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/replacement_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/replacement_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/lpm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/camat/CMakeFiles/lpm_camat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/config_test.cpp" "tests/CMakeFiles/test_util.dir/util/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/config_test.cpp.o.d"
+  "/root/repo/tests/util/ring_buffer_test.cpp" "tests/CMakeFiles/test_util.dir/util/ring_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/ring_buffer_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/lpm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/camat/CMakeFiles/lpm_camat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lpm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
