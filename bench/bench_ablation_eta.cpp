@@ -10,7 +10,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_ablation_eta",
+  util::print_banner("bench_ablation_eta",
                        "Section III eta analysis (Eq. 13 damping)");
 
   const auto machine = sim::MachineConfig::single_core_default();
@@ -28,11 +28,11 @@ int main() {
     const double l2_term = r.m.cpi_exe * eta * lpmr.lpmr2;
     const double share =
         hit_term + l2_term > 0 ? l2_term / (hit_term + l2_term) : 0.0;
-    t.add_row({wl.name, benchx::fmt(r.m.l1.eta1(), 3),
-               benchx::fmt(r.m.mr1 > 0 ? r.m.l1.pMR() / r.m.mr1 : 0.0, 3),
-               benchx::fmt(eta, 3), benchx::fmt(lpmr.lpmr2, 2),
-               benchx::fmt(100 * share, 1) + "%",
-               benchx::fmt(r.m.measured_stall_per_instr, 4)});
+    t.add_row({wl.name, util::fmt(r.m.l1.eta1(), 3),
+               util::fmt(r.m.mr1 > 0 ? r.m.l1.pMR() / r.m.mr1 : 0.0, 3),
+               util::fmt(eta, 3), util::fmt(lpmr.lpmr2, 2),
+               util::fmt(100 * share, 1) + "%",
+               util::fmt(r.m.measured_stall_per_instr, 4)});
     std::printf("measured %s\n", wl.name.c_str());
   }
   std::printf("\n%s\n", t.to_string().c_str());

@@ -11,7 +11,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_ablation_knobs",
+  util::print_banner("bench_ablation_knobs",
                        "Per-knob sensitivity around Table I (ablation)");
 
   const auto base = sim::MachineConfig::single_core_default();
@@ -61,13 +61,13 @@ int main() {
     const auto& m = ex.evaluate(v.knobs);
     const auto lpmr = core::compute_lpmrs(m);
     if (v.knobs == a) base_stall = m.measured_stall_per_instr;
-    t.add_row({v.name, benchx::fmt(lpmr.lpmr1, 2), benchx::fmt(lpmr.lpmr2, 2),
-               benchx::fmt(m.measured_stall_per_instr, 4) + " (" +
-                   benchx::fmt(100 * m.measured_stall_per_instr /
+    t.add_row({v.name, util::fmt(lpmr.lpmr1, 2), util::fmt(lpmr.lpmr2, 2),
+               util::fmt(m.measured_stall_per_instr, 4) + " (" +
+                   util::fmt(100 * m.measured_stall_per_instr /
                                    (base_stall > 0 ? base_stall : 1.0), 0) +
                    "% of A)",
-               benchx::fmt(m.measured_cpi, 3), benchx::fmt(m.l1.CH(), 2),
-               benchx::fmt(m.l1.Cm(), 2)});
+               util::fmt(m.measured_cpi, 3), util::fmt(m.l1.CH(), 2),
+               util::fmt(m.l1.Cm(), 2)});
     std::printf("evaluated %s\n", v.name);
   }
   std::printf("\n%s\n", t.to_string().c_str());

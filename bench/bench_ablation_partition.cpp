@@ -44,7 +44,7 @@ CoRun co_run(const sim::MachineConfig& machine,
 }  // namespace
 
 int main() {
-  benchx::print_banner("bench_ablation_partition",
+  util::print_banner("bench_ablation_partition",
                        "SVII future work: memory parallelism partition "
                        "(per-core LLC MSHR quotas)");
 
@@ -88,8 +88,8 @@ int main() {
     double min_victim = 1e9;
     for (std::size_t i = 1; i < ws.size(); ++i) min_victim = std::min(min_victim, ws[i]);
     t.add_row({quota == 0 ? "shared (no quota)" : "quota " + std::to_string(quota),
-               benchx::fmt(sched::harmonic_weighted_speedup(ipc_alone, r.ipc), 4),
-               benchx::fmt(ws[0], 3), benchx::fmt(min_victim, 3),
+               util::fmt(sched::harmonic_weighted_speedup(ipc_alone, r.ipc), 4),
+               util::fmt(ws[0], 3), util::fmt(min_victim, 3),
                std::to_string(r.quota_waits), std::to_string(r.cycles)});
     std::printf("evaluated quota=%u\n", quota);
   }

@@ -35,7 +35,7 @@ trace::WorkloadProfile scan_reuse_workload() {
 }  // namespace
 
 int main() {
-  benchx::print_banner("bench_ablation_replacement",
+  util::print_banner("bench_ablation_replacement",
                        "SVII future work: selective cache replacement "
                        "(scan-resistant policies)");
 
@@ -49,9 +49,9 @@ int main() {
     machine.l1.replacement = policy;
     machine.l1.prefetch_degree = 0;  // isolate the replacement effect
     const auto r = benchx::run_solo(machine, scan_reuse_workload());
-    t.add_row({mem::to_string(policy), benchx::fmt(1.0 / r.m.measured_cpi, 3),
-               benchx::fmt(r.m.mr1, 4), benchx::fmt(r.m.l1.camat(), 3),
-               benchx::fmt(r.m.measured_stall_per_instr, 4),
+    t.add_row({mem::to_string(policy), util::fmt(1.0 / r.m.measured_cpi, 3),
+               util::fmt(r.m.mr1, 4), util::fmt(r.m.l1.camat(), 3),
+               util::fmt(r.m.measured_stall_per_instr, 4),
                std::to_string(r.run.cycles)});
     std::printf("evaluated %s\n", mem::to_string(policy));
   }

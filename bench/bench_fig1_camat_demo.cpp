@@ -9,7 +9,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_fig1_camat_demo",
+  util::print_banner("bench_fig1_camat_demo",
                        "Fig. 1 + the Section II worked example");
 
   camat::Analyzer analyzer("fig1");
@@ -25,20 +25,20 @@ int main() {
       "  A5 [hit]              H  H  H\n\n");
 
   util::AsciiTable t({"quantity", "paper", "measured"});
-  t.add_row({"C-AMAT (cycles/access)", "1.6", benchx::fmt(m.camat(), 3)});
-  t.add_row({"AMAT (cycles/access)", "3.8", benchx::fmt(m.amat(), 3)});
-  t.add_row({"H", "3", benchx::fmt(m.H(), 3)});
-  t.add_row({"C_H", "2.5 (5/2)", benchx::fmt(m.CH(), 3)});
-  t.add_row({"pMR", "0.2 (1/5)", benchx::fmt(m.pMR(), 3)});
-  t.add_row({"pAMP", "2", benchx::fmt(m.pAMP(), 3)});
-  t.add_row({"C_M", "1", benchx::fmt(m.CM(), 3)});
-  t.add_row({"MR", "0.4", benchx::fmt(m.MR(), 3)});
-  t.add_row({"AMP", "2", benchx::fmt(m.AMP(), 3)});
+  t.add_row({"C-AMAT (cycles/access)", "1.6", util::fmt(m.camat(), 3)});
+  t.add_row({"AMAT (cycles/access)", "3.8", util::fmt(m.amat(), 3)});
+  t.add_row({"H", "3", util::fmt(m.H(), 3)});
+  t.add_row({"C_H", "2.5 (5/2)", util::fmt(m.CH(), 3)});
+  t.add_row({"pMR", "0.2 (1/5)", util::fmt(m.pMR(), 3)});
+  t.add_row({"pAMP", "2", util::fmt(m.pAMP(), 3)});
+  t.add_row({"C_M", "1", util::fmt(m.CM(), 3)});
+  t.add_row({"MR", "0.4", util::fmt(m.MR(), 3)});
+  t.add_row({"AMP", "2", util::fmt(m.AMP(), 3)});
   t.add_row({"hit phases (conc 2,4,3,1)", "4",
              std::to_string(analyzer.hit_phases())});
   t.add_row({"pure miss phases", "1", std::to_string(analyzer.pure_miss_phases())});
   t.add_row({"Eq.2 == Eq.3 (C-AMAT identity)", "exact",
-             benchx::fmt(m.camat_eq2(), 6) + " vs " + benchx::fmt(m.camat(), 6)});
+             util::fmt(m.camat_eq2(), 6) + " vs " + util::fmt(m.camat(), 6)});
   std::printf("%s\n", t.to_string().c_str());
 
   std::printf("Concurrency gain (AMAT / C-AMAT): %.3fx -- \"concurrency has\n"

@@ -5,35 +5,47 @@
 // with every step up to 64 KB; 433.milc is insensitive; 416.gamess improves
 // markedly. APC here is accesses delivered per elapsed cycle (the figures'
 // usage; see sched/profile.hpp).
+#include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
+#include "exp/experiment_engine.hpp"
 #include "sched/profile.hpp"
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_fig6_apc1_vs_l1size",
+  util::print_banner("bench_fig6_apc1_vs_l1size",
                        "Fig. 6 (APC1 vs private L1 data cache size)");
 
   const std::vector<std::uint64_t> sizes = {4096, 16384, 32768, 65536};
-  sched::Profiler profiler(sim::MachineConfig::nuca16());
+  exp::ExperimentEngine& engine = exp::ExperimentEngine::shared();
+  sched::Profiler profiler(sim::MachineConfig::nuca16(), &engine);
+
+  // The whole (application x L1 size) grid is one engine batch, so the
+  // sweep parallelises across every point rather than per application.
+  std::vector<trace::WorkloadProfile> workloads;
+  for (const auto b : trace::all_spec_benchmarks())
+    workloads.push_back(trace::spec_profile(b, 60'000, 29));
+  const auto start = std::chrono::steady_clock::now();
+  const auto profiles = profiler.profile_many(workloads, sizes);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
   util::AsciiTable t({"application", "4 KB", "16 KB", "32 KB", "64 KB",
                       "gain 4K->64K"});
-  for (const auto b : trace::all_spec_benchmarks()) {
-    const auto profile =
-        profiler.profile(trace::spec_profile(b, 60'000, 29), sizes);
+  for (const auto& profile : profiles) {
     std::vector<std::string> row = {profile.name};
-    for (const auto& p : profile.by_size) row.push_back(benchx::fmt(p.apc1, 3));
+    for (const auto& p : profile.by_size) row.push_back(util::fmt(p.apc1, 3));
     const double gain =
         profile.by_size.back().apc1 / profile.by_size.front().apc1;
-    row.push_back(benchx::fmt(gain, 2) + "x");
+    row.push_back(util::fmt(gain, 2) + "x");
     t.add_row(row);
-    std::printf("profiled %s\n", profile.name.c_str());
   }
-  std::printf("\n%s\n", t.to_string().c_str());
+  std::printf("%s\n", t.to_string().c_str());
+  benchx::print_engine_summary(engine, wall);
   std::printf("Shape check (paper): bzip2 ~flat, gcc keeps gaining to 64 KB,\n"
               "milc insensitive, gamess improves noticeably.\n");
   return 0;

@@ -13,7 +13,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_fig7_apc2_vs_l1size",
+  util::print_banner("bench_fig7_apc2_vs_l1size",
                        "Fig. 7 (APC2 vs private L1 data cache size)");
 
   const std::vector<std::uint64_t> sizes = {4096, 16384, 32768, 65536};
@@ -25,10 +25,10 @@ int main() {
     const auto profile =
         profiler.profile(trace::spec_profile(b, 60'000, 29), sizes);
     std::vector<std::string> row = {profile.name};
-    for (const auto& p : profile.by_size) row.push_back(benchx::fmt(p.apc2, 4));
+    for (const auto& p : profile.by_size) row.push_back(util::fmt(p.apc2, 4));
     const double small = profile.by_size.front().apc2;
     const double big = profile.by_size.back().apc2;
-    row.push_back(small > 0 ? benchx::fmt(100.0 * (1.0 - big / small), 1) + "%"
+    row.push_back(small > 0 ? util::fmt(100.0 * (1.0 - big / small), 1) + "%"
                             : "-");
     t.add_row(row);
     std::printf("profiled %s\n", profile.name.c_str());

@@ -19,7 +19,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_fig8_hsp_scheduling",
+  util::print_banner("bench_fig8_hsp_scheduling",
                        "Fig. 8 (Hsp of scheduling schemes on the NUCA CMP)",
                        "Also uses Fig. 5 (the 4x4 heterogeneous-L1 topology).");
 
@@ -27,14 +27,16 @@ int main() {
   const std::vector<std::uint64_t> sizes = {4096, 16384, 32768, 65536};
   constexpr std::uint64_t kLength = 40'000;
 
-  // Profile all sixteen applications over the four L1 sizes.
+  // Profile all sixteen applications over the four L1 sizes — one engine
+  // batch covering the whole 16 x 4 grid.
   sched::Profiler profiler(machine);
-  std::vector<sched::AppProfile> apps;
-  for (const auto b : trace::all_spec_benchmarks()) {
-    apps.push_back(profiler.profile(trace::spec_profile(b, kLength, 53), sizes));
-    std::printf("profiled %s\n", apps.back().name.c_str());
-  }
-  std::printf("\n");
+  std::vector<trace::WorkloadProfile> workloads;
+  for (const auto b : trace::all_spec_benchmarks())
+    workloads.push_back(trace::spec_profile(b, kLength, 53));
+  const std::vector<sched::AppProfile> apps =
+      profiler.profile_many(workloads, sizes);
+  std::printf("profiled %zu applications over %zu L1 sizes\n\n", apps.size(),
+              sizes.size());
 
   util::AsciiTable t({"scheduler", "Hsp (paper)", "Hsp (measured)",
                       "vs Random", "WS (throughput)", "min WS (fairness)",
@@ -48,9 +50,14 @@ int main() {
   {
     sched::RandomScheduler rnd(1234);
     constexpr int kSamples = 5;
+    std::vector<sched::ScheduleCandidate> candidates;
+    for (int i = 0; i < kSamples; ++i)
+      candidates.push_back(
+          {rnd.assign(apps, machine.l1_size_per_core), "Random"});
+    // The five seeded placements co-run as one engine batch.
+    const auto results = sched::evaluate_schedules(machine, apps, candidates);
     for (int i = 0; i < kSamples; ++i) {
-      const auto schedule = rnd.assign(apps, machine.l1_size_per_core);
-      const auto r = sched::evaluate_schedule(machine, apps, schedule, "Random");
+      const auto& r = results[i];
       random_hsp += r.hsp;
       random_ws += r.ws;
       random_min += r.min_ws;
@@ -62,17 +69,17 @@ int main() {
     random_min /= kSamples;
     random_cycles /= kSamples;
   }
-  t.add_row({"Random", "0.7986", benchx::fmt(random_hsp, 4), "-",
-             benchx::fmt(random_ws, 2), benchx::fmt(random_min, 3),
+  t.add_row({"Random", "0.7986", util::fmt(random_hsp, 4), "-",
+             util::fmt(random_ws, 2), util::fmt(random_min, 3),
              std::to_string(random_cycles)});
 
   const auto report = [&](sched::Scheduler& s, const char* paper) {
     const auto schedule = s.assign(apps, machine.l1_size_per_core);
     const auto r = sched::evaluate_schedule(machine, apps, schedule, s.name());
     const double vs = 100.0 * (r.hsp / random_hsp - 1.0);
-    t.add_row({s.name(), paper, benchx::fmt(r.hsp, 4),
-               benchx::fmt(vs, 2) + "%", benchx::fmt(r.ws, 2),
-               benchx::fmt(r.min_ws, 3), std::to_string(r.co_run_cycles)});
+    t.add_row({s.name(), paper, util::fmt(r.hsp, 4),
+               util::fmt(vs, 2) + "%", util::fmt(r.ws, 2),
+               util::fmt(r.min_ws, 3), std::to_string(r.co_run_cycles)});
     return r;
   };
 

@@ -15,7 +15,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_interval_sensitivity",
+  util::print_banner("bench_interval_sensitivity",
                        "Section V interval-size study (96% / 89% / 73%)");
 
   auto machine = sim::MachineConfig::single_core_default();
@@ -47,8 +47,8 @@ int main() {
     cfg.demand_threshold_factor = 2.0;
     const auto r = core::run_interval_study(machine, workload, cfg);
     t.add_row({p.approach, std::to_string(p.interval), std::to_string(p.cost),
-               p.paper, benchx::fmt(100.0 * r.timely_fraction(), 1) + "%",
-               benchx::fmt(100.0 * r.detected_fraction(), 1) + "%",
+               p.paper, util::fmt(100.0 * r.timely_fraction(), 1) + "%",
+               util::fmt(100.0 * r.detected_fraction(), 1) + "%",
                std::to_string(r.bursts.size())});
   }
   std::printf("%s\n", t.to_string().c_str());
@@ -63,8 +63,8 @@ int main() {
     cfg.demand_threshold_factor = 2.0;
     const auto r = core::run_interval_study(machine, workload, cfg);
     sweep.add_row({std::to_string(interval),
-                   benchx::fmt(100.0 * r.timely_fraction(), 1) + "%",
-                   benchx::fmt(100.0 * r.detected_fraction(), 1) + "%",
+                   util::fmt(100.0 * r.timely_fraction(), 1) + "%",
+                   util::fmt(100.0 * r.detected_fraction(), 1) + "%",
                    std::to_string(r.flagged_intervals)});
   }
   std::printf("%s\n", sweep.to_string().c_str());

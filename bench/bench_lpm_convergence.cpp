@@ -12,7 +12,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_lpm_convergence",
+  util::print_banner("bench_lpm_convergence",
                        "Fig. 3 algorithm dynamics (ablation)");
 
   const auto base = sim::MachineConfig::single_core_default();
@@ -35,8 +35,8 @@ int main() {
     t.add_row({delta <= 1.0 ? "fine (1%)" : "coarse (10%)", "A",
                std::to_string(outcome.steps.size()),
                outcome.converged ? "yes" : "no (exhausted)",
-               benchx::fmt(outcome.final_observation.lpmr.lpmr1, 2),
-               benchx::fmt(outcome.final_observation.stall_per_instr /
+               util::fmt(outcome.final_observation.lpmr.lpmr1, 2),
+               util::fmt(outcome.final_observation.stall_per_instr /
                                outcome.final_observation.cpi_exe, 3),
                std::to_string(ex.configs_evaluated()),
                outcome.final_observation.config_label});
@@ -62,8 +62,8 @@ int main() {
     t.add_row({"coarse, trim (Case III)", "overprovisioned",
                std::to_string(outcome.steps.size()),
                outcome.converged ? "yes" : "no (exhausted)",
-               benchx::fmt(outcome.final_observation.lpmr.lpmr1, 2),
-               benchx::fmt(outcome.final_observation.stall_per_instr /
+               util::fmt(outcome.final_observation.lpmr.lpmr1, 2),
+               util::fmt(outcome.final_observation.stall_per_instr /
                                outcome.final_observation.cpi_exe, 3),
                std::to_string(ex.configs_evaluated()),
                outcome.final_observation.config_label});

@@ -15,7 +15,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner("bench_model_validation",
+  util::print_banner("bench_model_validation",
                        "Eqs. 2/3/4/5/7/12/13 (model-vs-measured errors)");
 
   const auto machine = sim::MachineConfig::single_core_default();
@@ -45,10 +45,10 @@ int main() {
     e4.add(eq4);
     e13.add(eq13);
 
-    t.add_row({wl.name, benchx::fmt(100 * eq23, 4) + "%",
-               benchx::fmt(100 * eq7, 4) + "%", benchx::fmt(100 * eq12, 4) + "%",
-               benchx::fmt(100 * eq4, 1) + "%", benchx::fmt(100 * eq13, 1) + "%",
-               benchx::fmt(100 * eq5, 1) + "%"});
+    t.add_row({wl.name, util::fmt(100 * eq23, 4) + "%",
+               util::fmt(100 * eq7, 4) + "%", util::fmt(100 * eq12, 4) + "%",
+               util::fmt(100 * eq4, 1) + "%", util::fmt(100 * eq13, 1) + "%",
+               util::fmt(100 * eq5, 1) + "%"});
     std::printf("validated %s\n", wl.name.c_str());
   }
   std::printf("\n%s\n", t.to_string().c_str());

@@ -12,7 +12,7 @@
 
 int main() {
   using namespace lpm;
-  benchx::print_banner(
+  util::print_banner(
       "bench_stall_reduction",
       "Section I/IV stall-time claims (50-70% unoptimized; LPM reduction)");
 
@@ -33,12 +33,12 @@ int main() {
   for (const auto b : mix) {
     const auto wl = trace::spec_profile(b, 200'000, 19);
     const auto r = benchx::run_solo(config_a_machine, wl);
-    t.add_row({wl.name, benchx::fmt(r.m.measured_cpi, 3),
-               benchx::fmt(r.m.cpi_exe, 3),
-               benchx::fmt(r.m.measured_stall_per_instr, 3),
-               benchx::fmt(100.0 * r.m.measured_stall_per_instr /
+    t.add_row({wl.name, util::fmt(r.m.measured_cpi, 3),
+               util::fmt(r.m.cpi_exe, 3),
+               util::fmt(r.m.measured_stall_per_instr, 3),
+               util::fmt(100.0 * r.m.measured_stall_per_instr /
                                r.m.measured_cpi, 1) + "%",
-               benchx::fmt(r.m.measured_stall_per_instr / r.m.cpi_exe, 2)});
+               util::fmt(r.m.measured_stall_per_instr / r.m.cpi_exe, 2)});
   }
   std::printf("%s\n", t.to_string().c_str());
 
@@ -59,15 +59,15 @@ int main() {
   const auto after = outcome.final_observation;
 
   util::AsciiTable r({"", "before (config A)", "after LPM", "change"});
-  r.add_row({"stall/instr (cycles)", benchx::fmt(before.stall_per_instr, 4),
-             benchx::fmt(after.stall_per_instr, 4),
-             benchx::fmt(before.stall_per_instr / after.stall_per_instr, 2) +
+  r.add_row({"stall/instr (cycles)", util::fmt(before.stall_per_instr, 4),
+             util::fmt(after.stall_per_instr, 4),
+             util::fmt(before.stall_per_instr / after.stall_per_instr, 2) +
                  "x lower"});
   r.add_row({"stall / CPIexe",
-             benchx::fmt(before.stall_per_instr / before.cpi_exe, 3),
-             benchx::fmt(after.stall_per_instr / after.cpi_exe, 3), ""});
-  r.add_row({"LPMR1", benchx::fmt(before.lpmr.lpmr1, 2),
-             benchx::fmt(after.lpmr.lpmr1, 2), ""});
+             util::fmt(before.stall_per_instr / before.cpi_exe, 3),
+             util::fmt(after.stall_per_instr / after.cpi_exe, 3), ""});
+  r.add_row({"LPMR1", util::fmt(before.lpmr.lpmr1, 2),
+             util::fmt(after.lpmr.lpmr1, 2), ""});
   r.add_row({"configuration", before.config_label, after.config_label, ""});
   std::printf("%s\n", r.to_string().c_str());
   std::printf("Configurations simulated: %zu (of 10^6); reconfig ops: %llu\n",

@@ -1,40 +1,37 @@
 #include "common.hpp"
 
 #include <cstdio>
-#include <memory>
 
-#include "trace/synthetic.hpp"
 #include "util/error.hpp"
 
 namespace lpm::benchx {
 
 WorkloadRun run_solo(const sim::MachineConfig& machine,
-                     const trace::WorkloadProfile& workload) {
-  WorkloadRun out;
-  trace::SyntheticTrace calib_trace(workload);
-  out.calib = sim::measure_cpi_exe(machine, calib_trace);
+                     const trace::WorkloadProfile& workload,
+                     exp::ExperimentEngine* engine) {
+  exp::ExperimentEngine& eng =
+      engine != nullptr ? *engine : exp::ExperimentEngine::shared();
+  const exp::SimResultPtr result =
+      eng.run(exp::SimJob::solo(machine, workload, /*calibrate=*/true));
+  util::require(result->run.completed, "bench run hit max_cycles");
 
-  std::vector<trace::TraceSourcePtr> traces;
-  traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
-  sim::System system(machine, std::move(traces));
-  out.run = system.run();
-  util::require(out.run.completed, "bench run hit max_cycles");
+  WorkloadRun out;
+  out.run = result->run;
+  out.calib = result->calib.at(0);
   out.m = core::AppMeasurement::from_run(out.run, out.calib, 0, workload.name);
   return out;
 }
 
-void print_banner(const std::string& bench, const std::string& artefact,
-                  const std::string& notes) {
-  std::printf("==============================================================\n");
-  std::printf("%s\n", bench.c_str());
-  std::printf("Reproduces: %s\n", artefact.c_str());
-  std::printf("Paper: LPM: Concurrency-driven Layered Performance Matching, ICPP'15\n");
-  if (!notes.empty()) std::printf("%s\n", notes.c_str());
-  std::printf("==============================================================\n");
-}
-
-std::string fmt(double v, int precision) {
-  return util::AsciiTable::fmt(v, precision);
+void print_engine_summary(const exp::ExperimentEngine& engine,
+                          double wall_seconds) {
+  const double busy = engine.busy_seconds();
+  std::printf(
+      "engine: %u thread(s) | %llu simulation(s) executed, %llu cache hit(s) "
+      "| sim time %.2fs in %.2fs wall (%.2fx parallel speedup)\n",
+      engine.threads(),
+      static_cast<unsigned long long>(engine.simulations_executed()),
+      static_cast<unsigned long long>(engine.cache_hits()), busy, wall_seconds,
+      wall_seconds > 0 ? busy / wall_seconds : 0.0);
 }
 
 }  // namespace lpm::benchx

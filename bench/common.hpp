@@ -1,11 +1,14 @@
 // Shared helpers for the reproduction benches: every bench prints the same
 // rows/series the paper reports, with a header pointing at the paper
-// artefact it regenerates.
+// artefact it regenerates. Banner/number formatting lives in util/table
+// (util::print_banner, util::fmt); simulations run through the experiment
+// engine (exp::ExperimentEngine), which the helpers here wrap.
 #pragma once
 
 #include <string>
 
 #include "core/lpm_model.hpp"
+#include "exp/experiment_engine.hpp"
 #include "sim/system.hpp"
 #include "trace/workload_profile.hpp"
 #include "util/table.hpp"
@@ -19,15 +22,16 @@ struct WorkloadRun {
 };
 
 /// Runs `workload` solo on `machine` (plus a perfect-cache calibration) and
-/// gathers the LPM measurement.
+/// gathers the LPM measurement. Executes through the experiment engine
+/// (`engine` = nullptr uses the process-wide shared one), so repeated
+/// (machine, workload) points are cache-served.
 WorkloadRun run_solo(const sim::MachineConfig& machine,
-                     const trace::WorkloadProfile& workload);
+                     const trace::WorkloadProfile& workload,
+                     exp::ExperimentEngine* engine = nullptr);
 
-/// Prints the standard bench banner.
-void print_banner(const std::string& bench, const std::string& artefact,
-                  const std::string& notes = "");
-
-/// Formats a double with `precision` decimals.
-std::string fmt(double v, int precision = 3);
+/// Prints the engine's execution summary (threads, simulations, cache hits,
+/// achieved parallel speedup) — benches call this after their sweeps.
+void print_engine_summary(const exp::ExperimentEngine& engine,
+                          double wall_seconds);
 
 }  // namespace lpm::benchx

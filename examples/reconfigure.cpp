@@ -1,11 +1,16 @@
 // Case-Study-I scenario: let the LPM algorithm reconfigure the architecture
 // for a workload, watching each Fig. 3 decision as it happens.
 //
-//   $ ./reconfigure [workload=410.bwaves] [delta=10] [length=300000]
+//   $ ./reconfigure [workload=410.bwaves] [delta=10] [length=300000] [threads=0]
+//
+// threads=N sizes the experiment engine's worker pool (0 = auto: LPM_THREADS
+// or the hardware concurrency). With threads>1 the walk speculatively
+// simulates likely next configurations while the current one is inspected.
 #include <cstdio>
 
 #include "core/design_space.hpp"
 #include "core/lpm_algorithm.hpp"
+#include "exp/experiment_engine.hpp"
 #include "trace/spec_like.hpp"
 #include "util/config.hpp"
 
@@ -15,6 +20,7 @@ int main(int argc, char** argv) {
   const std::string name = args.get_or("workload", "410.bwaves");
   const double delta = args.get_double_or("delta", 10.0);
   const std::uint64_t length = args.get_uint_or("length", 300'000);
+  const std::uint64_t threads = args.get_uint_or("threads", 0);
 
   trace::WorkloadProfile workload;
   bool found = false;
@@ -29,9 +35,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  exp::ExperimentEngine::Options opts;
+  opts.threads = static_cast<unsigned>(threads);
+  exp::ExperimentEngine engine(opts);
+
   core::DesignSpaceExplorer explorer(
       sim::MachineConfig::single_core_default(), workload,
-      core::KnobLevels::standard(), core::ArchKnobs::config_a(), delta);
+      core::KnobLevels::standard(), core::ArchKnobs::config_a(), delta,
+      &engine);
 
   core::LpmAlgorithmConfig cfg;
   cfg.delta_percent = delta;
@@ -63,5 +74,11 @@ int main(int argc, char** argv) {
               outcome.final_observation.stall_per_instr,
               100.0 * outcome.final_observation.stall_per_instr /
                   outcome.final_observation.cpi_exe);
+  std::printf("engine: %u thread(s), %llu simulation(s) executed, "
+              "%llu cache hit(s), %.2fs simulation time\n",
+              engine.threads(),
+              static_cast<unsigned long long>(engine.simulations_executed()),
+              static_cast<unsigned long long>(engine.cache_hits()),
+              engine.busy_seconds());
   return 0;
 }

@@ -4,7 +4,6 @@
 #include <sstream>
 
 #include "core/diagnosis.hpp"
-#include "trace/synthetic.hpp"
 #include "util/error.hpp"
 
 namespace lpm::core {
@@ -67,15 +66,38 @@ std::uint64_t KnobLevels::space_size() const {
 DesignSpaceExplorer::DesignSpaceExplorer(sim::MachineConfig base,
                                          trace::WorkloadProfile workload,
                                          KnobLevels levels, ArchKnobs start,
-                                         double delta_percent)
+                                         double delta_percent,
+                                         exp::ExperimentEngine* engine)
     : base_(std::move(base)),
       workload_(std::move(workload)),
       levels_(std::move(levels)),
       knobs_(start),
-      delta_percent_(delta_percent) {
+      delta_percent_(delta_percent),
+      engine_(engine) {
   util::require(base_.num_cores == 1,
                 "DesignSpaceExplorer: Case Study I explores a single program");
   workload_.validate();
+}
+
+exp::ExperimentEngine& DesignSpaceExplorer::engine() const {
+  return engine_ != nullptr ? *engine_ : exp::ExperimentEngine::shared();
+}
+
+exp::SimJob DesignSpaceExplorer::make_job(const ArchKnobs& knobs) const {
+  return exp::SimJob::solo(knobs.apply(base_), workload_, /*calibrate=*/true,
+                           workload_.name + " | " + knobs.label());
+}
+
+DesignSpaceExplorer::Evaluation DesignSpaceExplorer::to_evaluation(
+    const exp::SimJobResult& result) const {
+  util::require(result.run.completed, "DesignSpaceExplorer: run hit max_cycles");
+  Evaluation ev;
+  ev.measurement =
+      AppMeasurement::from_run(result.run, result.calib.at(0), 0, workload_.name);
+  ev.l1_rejections = result.run.cores[0].l1_rejections;
+  ev.l1_mshr_wait_cycles = result.run.l1_cache[0].mshr_full_waits;
+  ev.l1_misses = result.run.l1_cache[0].misses;
+  return ev;
 }
 
 std::uint32_t DesignSpaceExplorer::step_up(const std::vector<std::uint32_t>& levels,
@@ -110,28 +132,65 @@ void DesignSpaceExplorer::apply_knobs(const ArchKnobs& next) {
 const DesignSpaceExplorer::Evaluation& DesignSpaceExplorer::evaluate_full(
     const ArchKnobs& knobs) {
   if (const auto it = memo_.find(knobs); it != memo_.end()) return it->second;
-
-  const sim::MachineConfig machine = knobs.apply(base_);
-  std::vector<trace::TraceSourcePtr> traces;
-  traces.push_back(std::make_unique<trace::SyntheticTrace>(workload_));
-
-  trace::SyntheticTrace calib_trace(workload_);
-  const sim::CpiExeResult calib = sim::measure_cpi_exe(machine, calib_trace);
-
-  sim::System system(machine, std::move(traces));
-  const sim::SystemResult run = system.run();
-  util::require(run.completed, "DesignSpaceExplorer: run hit max_cycles");
-
-  Evaluation ev;
-  ev.measurement = AppMeasurement::from_run(run, calib, 0, workload_.name);
-  ev.l1_rejections = run.cores[0].l1_rejections;
-  ev.l1_mshr_wait_cycles = run.l1_cache[0].mshr_full_waits;
-  ev.l1_misses = run.l1_cache[0].misses;
-  return memo_.emplace(knobs, std::move(ev)).first->second;
+  const exp::SimResultPtr result = engine().run(make_job(knobs));
+  return memo_.emplace(knobs, to_evaluation(*result)).first->second;
 }
 
 const AppMeasurement& DesignSpaceExplorer::evaluate(const ArchKnobs& knobs) {
   return evaluate_full(knobs).measurement;
+}
+
+void DesignSpaceExplorer::evaluate_batch(const std::vector<ArchKnobs>& batch) {
+  std::vector<ArchKnobs> todo;
+  for (const ArchKnobs& k : batch) {
+    if (memo_.contains(k)) continue;
+    if (std::find(todo.begin(), todo.end(), k) != todo.end()) continue;
+    todo.push_back(k);
+  }
+  if (todo.empty()) return;
+
+  std::vector<exp::SimJob> jobs;
+  jobs.reserve(todo.size());
+  for (const ArchKnobs& k : todo) jobs.push_back(make_job(k));
+  const auto results = engine().run_batch(jobs);
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    memo_.emplace(todo[i], to_evaluation(*results[i]));
+  }
+}
+
+void DesignSpaceExplorer::prefetch_candidates() {
+  // Speculation trades extra simulations for wall-clock: only worth it when
+  // the engine can actually overlap them.
+  if (engine().threads() <= 1) return;
+  std::vector<ArchKnobs> batch;
+  batch.push_back(knobs_);
+  {
+    ArchKnobs n = knobs_;
+    n.l1_ports = step_up(levels_.l1_ports, knobs_.l1_ports);
+    batch.push_back(n);
+  }
+  {
+    ArchKnobs n = knobs_;
+    n.mshr_entries = step_up(levels_.mshr_entries, knobs_.mshr_entries);
+    batch.push_back(n);
+  }
+  {
+    ArchKnobs n = knobs_;
+    n.rob_size = step_up(levels_.rob_size, knobs_.rob_size);
+    n.iw_size = step_up(levels_.iw_size, knobs_.iw_size);
+    batch.push_back(n);
+  }
+  {
+    ArchKnobs n = knobs_;
+    n.issue_width = step_up(levels_.issue_width, knobs_.issue_width);
+    batch.push_back(n);
+  }
+  {
+    ArchKnobs n = knobs_;
+    n.l2_interleave = step_up(levels_.l2_interleave, knobs_.l2_interleave);
+    batch.push_back(n);
+  }
+  evaluate_batch(batch);
 }
 
 LpmObservation DesignSpaceExplorer::observe(const ArchKnobs& knobs) {
@@ -270,6 +329,16 @@ bool DesignSpaceExplorer::reduce_overprovision() {
                    [](const Candidate& a, const Candidate& b) {
                      return a.saving > b.saving;
                    });
+
+  // All trim candidates are independent: simulate them as one engine batch,
+  // then pick the best-saving one that still meets T1. (Deterministic in
+  // the thread count — the batch contents don't depend on it.)
+  {
+    std::vector<ArchKnobs> batch;
+    batch.reserve(candidates.size());
+    for (const Candidate& c : candidates) batch.push_back(c.knobs);
+    evaluate_batch(batch);
+  }
 
   for (const Candidate& c : candidates) {
     const LpmObservation trial = observe(c.knobs);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/lpm_algorithm.hpp"
+#include "exp/experiment_engine.hpp"
 #include "sim/machine_config.hpp"
 #include "trace/workload_profile.hpp"
 
@@ -59,20 +60,28 @@ struct KnobLevels {
   [[nodiscard]] std::uint64_t space_size() const;
 };
 
-/// Runs the workload on a knob configuration and returns its measurement;
-/// memoizes by configuration. The unit the LPM algorithm drives in Case
-/// Study I.
+/// Runs the workload on a knob configuration and returns its measurement.
+/// All simulations go through the experiment engine (parallel + memoized);
+/// derived LPM measurements are additionally memoized per configuration.
+/// The unit the LPM algorithm drives in Case Study I.
 class DesignSpaceExplorer final : public LpmTunable {
  public:
+  /// `engine` = nullptr uses the process-wide shared engine.
   DesignSpaceExplorer(sim::MachineConfig base, trace::WorkloadProfile workload,
                       KnobLevels levels, ArchKnobs start,
-                      double delta_percent = kFineGrainedDelta);
+                      double delta_percent = kFineGrainedDelta,
+                      exp::ExperimentEngine* engine = nullptr);
 
   // --- LpmTunable ---
   LpmObservation measure() override;
   bool optimize_l1() override;
   bool optimize_l2() override;
   bool reduce_overprovision() override;
+  /// Batches the speculative step-up frontier (every knob one level up)
+  /// through the engine so the threshold loop's next measurements are
+  /// already simulating concurrently. No-op on a single-threaded engine,
+  /// where speculation would only add serial work.
+  void prefetch_candidates() override;
 
   [[nodiscard]] const ArchKnobs& current() const { return knobs_; }
   void set_delta_percent(double delta) { delta_percent_ = delta; }
@@ -81,6 +90,11 @@ class DesignSpaceExplorer final : public LpmTunable {
   /// Evaluates an arbitrary configuration (memoized); used by the Table-I
   /// bench to print the fixed A-E columns.
   [[nodiscard]] const AppMeasurement& evaluate(const ArchKnobs& knobs);
+
+  /// Submits every not-yet-memoized configuration in `batch` to the engine
+  /// as one concurrent batch. Subsequent evaluate()/measure() calls on
+  /// these configurations are cache-served.
+  void evaluate_batch(const std::vector<ArchKnobs>& batch);
 
   /// Configurations simulated so far (cache size = distinct configs).
   [[nodiscard]] std::size_t configs_evaluated() const { return memo_.size(); }
@@ -102,6 +116,9 @@ class DesignSpaceExplorer final : public LpmTunable {
 
   const Evaluation& evaluate_full(const ArchKnobs& knobs);
   [[nodiscard]] LpmObservation observe(const ArchKnobs& knobs);
+  [[nodiscard]] exp::ExperimentEngine& engine() const;
+  [[nodiscard]] exp::SimJob make_job(const ArchKnobs& knobs) const;
+  [[nodiscard]] Evaluation to_evaluation(const exp::SimJobResult& result) const;
   /// Next level above `value` in `levels` (returns value if already max).
   [[nodiscard]] static std::uint32_t step_up(const std::vector<std::uint32_t>& levels,
                                              std::uint32_t value);
@@ -114,6 +131,7 @@ class DesignSpaceExplorer final : public LpmTunable {
   KnobLevels levels_;
   ArchKnobs knobs_;
   double delta_percent_;
+  exp::ExperimentEngine* engine_;  ///< non-owning; nullptr = shared engine
   std::map<ArchKnobs, Evaluation> memo_;
   std::uint64_t reconfig_ops_ = 0;
 };

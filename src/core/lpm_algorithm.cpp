@@ -39,6 +39,7 @@ LpmAction LpmAlgorithm::classify(const LpmObservation& obs) const {
 LpmOutcome LpmAlgorithm::run(LpmTunable& system) const {
   LpmOutcome out;
   for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
+    if (cfg_.prefetch_candidates) system.prefetch_candidates();
     LpmObservation obs = system.measure();
     const LpmAction action = classify(obs);
 

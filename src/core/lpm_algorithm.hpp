@@ -48,6 +48,11 @@ class LpmTunable {
   /// Remove one unit of hardware over-provision without violating T1;
   /// false = nothing can be reduced.
   virtual bool reduce_overprovision() = 0;
+  /// Called at the top of each iteration: batch-submit the candidate
+  /// configurations the next measure/optimize calls are likely to need
+  /// (e.g. through the experiment engine) so they simulate concurrently.
+  /// Purely a throughput hint — results must be unaffected.
+  virtual void prefetch_candidates() {}
 };
 
 struct LpmAlgorithmConfig {
@@ -55,6 +60,10 @@ struct LpmAlgorithmConfig {
   double margin_fraction = 0.5;  ///< delta = margin_fraction * T1 (paper: 50%)
   int max_iterations = 64;
   bool trim_overprovision = true;  ///< Case III is optional in the paper
+  /// Let the tunable batch speculative candidate simulations each
+  /// iteration (wall-clock win on multi-core engines; never changes the
+  /// walk itself).
+  bool prefetch_candidates = true;
 };
 
 struct LpmStep {

@@ -1,0 +1,269 @@
+#include "exp/experiment_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "exp/result_sink.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+#include "util/log.hpp"
+
+namespace lpm::exp {
+
+namespace {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) return std::min(requested, 256u);
+  if (const char* env = std::getenv("LPM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(std::min<long>(v, 256));
+    util::log_warn() << "ignoring invalid LPM_THREADS='" << env << "'";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+SimJob SimJob::solo(sim::MachineConfig machine, trace::WorkloadProfile workload,
+                    bool calibrate, std::string tag) {
+  SimJob job;
+  job.machine = std::move(machine);
+  job.machine.num_cores = 1;
+  if (tag.empty()) tag = workload.name;
+  job.workloads.push_back(std::move(workload));
+  job.calibrate = calibrate;
+  job.tag = std::move(tag);
+  return job;
+}
+
+void SimJob::validate() const {
+  machine.validate();
+  util::require(workloads.size() == machine.num_cores,
+                "SimJob: need exactly one workload per core (" +
+                    std::to_string(workloads.size()) + " workloads for " +
+                    std::to_string(machine.num_cores) + " cores)");
+  for (const auto& wl : workloads) wl.validate();
+}
+
+std::uint64_t SimJob::fingerprint() const {
+  util::Fingerprint f;
+  f.mix(std::string("SimJob/v1"));
+  f.mix_u64(util::fingerprint(machine));
+  f.mix(workloads.size());
+  for (const auto& wl : workloads) f.mix_u64(util::fingerprint(wl));
+  f.mix(calibrate);
+  return f.value();
+}
+
+ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
+
+ExperimentEngine::ExperimentEngine(Options opts)
+    : threads_(resolve_threads(opts.threads)),
+      cache_enabled_(opts.cache_enabled),
+      sink_(opts.sink) {
+  // threads_ == 1 means strictly serial: jobs run inline on the submitting
+  // thread and no pool exists (the reference configuration for the
+  // determinism tests).
+  if (threads_ > 1) {
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
+    }
+  }
+}
+
+ExperimentEngine::~ExperimentEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ExperimentEngine::worker_loop(int worker_id) {
+  util::set_thread_worker_id(worker_id);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only reachable when shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ExperimentEngine::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+SimJobResult ExperimentEngine::execute(const SimJob& job) {
+  const auto start = std::chrono::steady_clock::now();
+  SimJobResult out;
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.reserve(job.workloads.size());
+  for (const auto& wl : job.workloads) {
+    traces.push_back(std::make_unique<trace::SyntheticTrace>(wl));
+  }
+  sim::System system(job.machine, std::move(traces));
+  out.run = system.run();
+  if (job.calibrate) {
+    out.calib.reserve(job.workloads.size());
+    for (const auto& wl : job.workloads) {
+      trace::SyntheticTrace calib_trace(wl);
+      out.calib.push_back(sim::measure_cpi_exe(job.machine, calib_trace));
+    }
+  }
+  simulations_executed_.fetch_add(1, std::memory_order_relaxed);
+  busy_nanos_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count(),
+                        std::memory_order_relaxed);
+  return out;
+}
+
+SimResultPtr ExperimentEngine::run(const SimJob& job) {
+  return run_batch({job}).front();
+}
+
+std::vector<SimResultPtr> ExperimentEngine::run_batch(
+    const std::vector<SimJob>& jobs) {
+  std::vector<SimResultPtr> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // Resolve fingerprints and pre-existing cache hits on the submitting
+  // thread; group the rest so each distinct point simulates exactly once.
+  std::vector<std::uint64_t> fps(jobs.size());
+  std::vector<bool> from_cache(jobs.size(), false);
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pending;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].validate();
+    fps[i] = jobs[i].fingerprint();
+    if (cache_enabled_) {
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (const auto it = cache_.find(fps[i]); it != cache_.end()) {
+        results[i] = it->second;
+        from_cache[i] = true;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    pending[fps[i]].push_back(i);
+  }
+
+  if (!pending.empty()) {
+    struct BatchState {
+      std::mutex mutex;
+      std::condition_variable cv;
+      std::size_t remaining = 0;
+      std::exception_ptr error;
+    } state;
+    state.remaining = pending.size();
+
+    for (auto& [fp, indices] : pending) {
+      const SimJob* job = &jobs[indices.front()];
+      const std::vector<std::size_t>* idxs = &indices;
+      auto task = [this, job, fp = fp, idxs, &results, &state] {
+        try {
+          auto result = std::make_shared<SimJobResult>(execute(*job));
+          result->fingerprint = fp;
+          SimResultPtr ptr = std::move(result);
+          if (cache_enabled_) {
+            const std::lock_guard<std::mutex> lock(cache_mutex_);
+            cache_.emplace(fp, ptr);
+          }
+          for (const std::size_t idx : *idxs) results[idx] = ptr;
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(state.mutex);
+          if (!state.error) state.error = std::current_exception();
+        }
+        // Notify while holding the mutex: the submitting thread owns
+        // BatchState on its stack and destroys it as soon as it observes
+        // remaining == 0, so an unlocked notify could signal a dead cv.
+        {
+          const std::lock_guard<std::mutex> lock(state.mutex);
+          --state.remaining;
+          state.cv.notify_one();
+        }
+      };
+      if (threads_ == 1) {
+        task();
+      } else {
+        enqueue(std::move(task));
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.cv.wait(lock, [&state] { return state.remaining == 0; });
+      if (state.error) std::rethrow_exception(state.error);
+    }
+    // Duplicates within the batch were served by the first execution.
+    for (const auto& [fp, indices] : pending) {
+      for (std::size_t k = 1; k < indices.size(); ++k) {
+        from_cache[indices[k]] = true;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Sink records go out on the submitting thread, in submission order, so
+  // structured output is deterministic regardless of worker scheduling.
+  {
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
+    if (sink_ != nullptr) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        sink_->write(ResultRecord::make(jobs[i], *results[i], from_cache[i]));
+      }
+    }
+  }
+  return results;
+}
+
+std::size_t ExperimentEngine::cache_size() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void ExperimentEngine::clear_cache() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+void ExperimentEngine::set_sink(ResultSink* sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = sink;
+}
+
+ExperimentEngine& ExperimentEngine::shared() {
+  // The sink is a separate static constructed first so it outlives the
+  // engine's destructor (which joins the workers).
+  static const std::unique_ptr<ResultSink> sink = []() -> std::unique_ptr<ResultSink> {
+    const char* path = std::getenv("LPM_RESULTS");
+    if (path == nullptr) return nullptr;
+    try {
+      return ResultSink::open(path);
+    } catch (const std::exception& e) {
+      // A bad LPM_RESULTS path shouldn't kill the run — warn and go on.
+      util::log_error() << "LPM_RESULTS disabled: " << e.what();
+      return nullptr;
+    }
+  }();
+  static ExperimentEngine engine{[] {
+    Options opts;
+    opts.sink = sink.get();
+    return opts;
+  }()};
+  return engine;
+}
+
+}  // namespace lpm::exp

@@ -1,0 +1,159 @@
+// The experiment engine: every simulation in the repo runs through here.
+//
+// Consumers (the LPM design-space walk, the NUCA scheduler evaluation, the
+// paper-artefact benches, the examples) used to hand-roll a serial
+// build-System-run-collect loop each. The engine replaces those loops with
+// one abstraction:
+//
+//  * a SimJob describes one experiment point: a MachineConfig, one
+//    WorkloadProfile per core, and whether to also run the perfect-cache
+//    CPIexe calibration;
+//  * a fixed-size worker pool runs independent sim::System instances
+//    concurrently (each System is fully self-contained, so the parallelism
+//    is embarrassing once construction is job-local);
+//  * a memoizing cache keyed by a stable fingerprint of
+//    (MachineConfig, workloads, calibrate) means no point is ever simulated
+//    twice in a process — the LPM threshold loop and the benches get
+//    repeated evaluations for free;
+//  * an optional ResultSink receives one structured (CSV / JSON lines)
+//    record per job, replacing ad-hoc printf tables for machine-readable
+//    output.
+//
+// Determinism: simulations are seeded and share no mutable state, results
+// are returned in submission order, and cache/sink bookkeeping happens on
+// the submitting thread — so an engine with N workers is bit-identical to
+// a serial run (asserted by tests/exp/experiment_engine_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+#include "sim/system.hpp"
+#include "trace/workload_profile.hpp"
+
+namespace lpm::exp {
+
+class ResultSink;
+
+/// One experiment point: what to simulate and what to collect.
+struct SimJob {
+  sim::MachineConfig machine;
+  /// One workload per core (workloads.size() must equal machine.num_cores).
+  std::vector<trace::WorkloadProfile> workloads;
+  /// Also run the perfect-cache CPIexe/fmem calibration for every workload
+  /// (sim::measure_cpi_exe); needed by any consumer computing LPM ratios.
+  bool calibrate = false;
+  /// Free-form label carried into ResultSink records; NOT part of the
+  /// cache key (two jobs differing only in tag share one simulation).
+  std::string tag;
+
+  /// Single-core convenience constructor used by most consumers.
+  [[nodiscard]] static SimJob solo(sim::MachineConfig machine,
+                                   trace::WorkloadProfile workload,
+                                   bool calibrate = true, std::string tag = "");
+
+  void validate() const;
+  /// Stable cache key over machine + workloads + calibrate (not tag).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Everything one job produces.
+struct SimJobResult {
+  std::uint64_t fingerprint = 0;
+  sim::SystemResult run;
+  /// Per-workload calibration, in core order; empty unless job.calibrate.
+  std::vector<sim::CpiExeResult> calib;
+};
+
+/// Results are shared immutable objects: a cache hit returns the *same*
+/// object as the run that produced it.
+using SimResultPtr = std::shared_ptr<const SimJobResult>;
+
+class ExperimentEngine {
+ public:
+  struct Options {
+    /// Worker threads. 0 = auto: $LPM_THREADS if set, else
+    /// std::thread::hardware_concurrency(). 1 = fully serial (no pool).
+    unsigned threads = 0;
+    /// Disable to force every submission to simulate (benchmarking only).
+    bool cache_enabled = true;
+    /// Optional structured-record sink (non-owning; may be nullptr).
+    ResultSink* sink = nullptr;
+  };
+
+  ExperimentEngine();
+  explicit ExperimentEngine(Options opts);
+  ~ExperimentEngine();
+  ExperimentEngine(const ExperimentEngine&) = delete;
+  ExperimentEngine& operator=(const ExperimentEngine&) = delete;
+
+  /// Runs one job (cache-served when possible). Blocking.
+  SimResultPtr run(const SimJob& job);
+
+  /// Runs a batch concurrently across the worker pool; identical jobs
+  /// within the batch are simulated once. Results are returned in
+  /// submission order. Blocking.
+  std::vector<SimResultPtr> run_batch(const std::vector<SimJob>& jobs);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+  /// Simulations actually executed (== distinct points seen).
+  [[nodiscard]] std::uint64_t simulations_executed() const {
+    return simulations_executed_.load(std::memory_order_relaxed);
+  }
+  /// Submissions served from the memo cache.
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  /// Aggregate wall time spent inside simulations, across all workers.
+  /// busy_seconds() / elapsed wall time ~= achieved parallel speedup.
+  [[nodiscard]] double busy_seconds() const {
+    return 1e-9 * static_cast<double>(busy_nanos_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] std::size_t cache_size() const;
+  void clear_cache();
+  void set_sink(ResultSink* sink);
+
+  /// Process-wide engine shared by all consumers that do not bring their
+  /// own: one cache means e.g. a bench and the LPM walk never re-simulate
+  /// each other's points. Thread count from $LPM_THREADS; if $LPM_RESULTS
+  /// is set, every executed job is appended there (.csv or .jsonl).
+  static ExperimentEngine& shared();
+
+ private:
+  void worker_loop(int worker_id);
+  void enqueue(std::function<void()> task);
+  /// Simulates one job (no cache interaction); runs on a worker or, for
+  /// serial engines, on the submitting thread.
+  SimJobResult execute(const SimJob& job);
+
+  unsigned threads_ = 1;
+  bool cache_enabled_ = true;
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::uint64_t, SimResultPtr> cache_;
+
+  std::mutex sink_mutex_;
+  ResultSink* sink_ = nullptr;
+
+  std::atomic<std::uint64_t> simulations_executed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> busy_nanos_{0};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lpm::exp

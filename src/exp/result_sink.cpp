@@ -1,0 +1,113 @@
+#include "exp/result_sink.hpp"
+
+#include <sstream>
+
+#include "exp/experiment_engine.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+#include "util/table.hpp"
+
+namespace lpm::exp {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultRecord ResultRecord::make(const SimJob& job, const SimJobResult& result,
+                                bool from_cache) {
+  ResultRecord r;
+  r.tag = job.tag;
+  r.fingerprint = util::fingerprint_hex(result.fingerprint);
+  r.from_cache = from_cache;
+  r.completed = result.run.completed;
+  r.cycles = result.run.cycles;
+  r.cores = job.machine.num_cores;
+
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  for (const auto& core : result.run.cores) r.instructions += core.instructions;
+  for (const auto& l1 : result.run.l1_cache) {
+    l1_accesses += l1.accesses;
+    l1_misses += l1.misses;
+  }
+  r.ipc = r.cycles == 0 ? 0.0
+                        : static_cast<double>(r.instructions) /
+                              static_cast<double>(r.cycles);
+  r.mr1 = l1_accesses == 0 ? 0.0
+                           : static_cast<double>(l1_misses) /
+                                 static_cast<double>(l1_accesses);
+  r.mr2 = result.run.mr2();
+  if (!result.run.l1.empty()) r.camat1 = result.run.l1.front().camat();
+  r.camat2 = result.run.l2.camat();
+  if (!result.calib.empty()) r.cpi_exe = result.calib.front().cpi_exe;
+  return r;
+}
+
+ResultSink::ResultSink(std::ostream& out, Format format)
+    : out_(&out), format_(format) {}
+
+ResultSink::ResultSink(Format format) : out_(&owned_), format_(format) {}
+
+std::unique_ptr<ResultSink> ResultSink::open(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  auto sink = std::unique_ptr<ResultSink>(
+      new ResultSink(csv ? Format::kCsv : Format::kJsonLines));
+  sink->owned_.open(path, std::ios::out | std::ios::app);
+  util::require(sink->owned_.is_open(),
+                "ResultSink: cannot open '" + path + "' for writing");
+  return sink;
+}
+
+void ResultSink::write(const ResultRecord& r) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  if (format_ == Format::kCsv) {
+    if (!header_written_) {
+      os << "tag,fingerprint,from_cache,completed,cycles,cores,instructions,"
+            "ipc,mr1,mr2,camat1,camat2,cpi_exe\n";
+      header_written_ = true;
+    }
+    // Tags are free-form; quote them CSV-style.
+    os << '"';
+    for (const char c : r.tag) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"' << ',' << r.fingerprint << ',' << (r.from_cache ? 1 : 0) << ','
+       << (r.completed ? 1 : 0) << ',' << r.cycles << ',' << r.cores << ','
+       << r.instructions << ',' << util::fmt(r.ipc, 6) << ','
+       << util::fmt(r.mr1, 6) << ',' << util::fmt(r.mr2, 6) << ','
+       << util::fmt(r.camat1, 6) << ',' << util::fmt(r.camat2, 6) << ','
+       << util::fmt(r.cpi_exe, 6) << "\n";
+  } else {
+    os << "{\"tag\":\"" << json_escape(r.tag) << "\",\"fingerprint\":\""
+       << r.fingerprint << "\",\"from_cache\":" << (r.from_cache ? "true" : "false")
+       << ",\"completed\":" << (r.completed ? "true" : "false")
+       << ",\"cycles\":" << r.cycles << ",\"cores\":" << r.cores
+       << ",\"instructions\":" << r.instructions << ",\"ipc\":" << util::fmt(r.ipc, 6)
+       << ",\"mr1\":" << util::fmt(r.mr1, 6) << ",\"mr2\":" << util::fmt(r.mr2, 6)
+       << ",\"camat1\":" << util::fmt(r.camat1, 6)
+       << ",\"camat2\":" << util::fmt(r.camat2, 6)
+       << ",\"cpi_exe\":" << util::fmt(r.cpi_exe, 6) << "}\n";
+  }
+  *out_ << os.str();
+  out_->flush();
+  ++records_;
+}
+
+}  // namespace lpm::exp

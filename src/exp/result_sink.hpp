@@ -1,0 +1,68 @@
+// Structured result sink: one flat record per experiment-engine job, as CSV
+// or JSON lines. This is the machine-readable counterpart of the benches'
+// ASCII tables — sweeps land in a file a notebook can load directly instead
+// of an ad-hoc printf format per bench.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace lpm::exp {
+
+struct SimJob;
+struct SimJobResult;
+
+/// The flattened per-job record (aggregated over cores where per-core
+/// detail exists; the full SystemResult stays available on SimJobResult).
+struct ResultRecord {
+  std::string tag;
+  std::string fingerprint;  ///< hex cache key
+  bool from_cache = false;
+  bool completed = false;
+  std::uint64_t cycles = 0;
+  std::uint32_t cores = 0;
+  std::uint64_t instructions = 0;  ///< summed over cores
+  double ipc = 0.0;                ///< total instructions / cycles
+  double mr1 = 0.0;                ///< aggregate L1 demand miss rate
+  double mr2 = 0.0;                ///< shared L2/LLC miss rate
+  double camat1 = 0.0;             ///< core-0 L1 C-AMAT (1/APC)
+  double camat2 = 0.0;             ///< shared L2 C-AMAT
+  double cpi_exe = 0.0;            ///< core-0 calibration (0 if not requested)
+
+  [[nodiscard]] static ResultRecord make(const SimJob& job,
+                                         const SimJobResult& result,
+                                         bool from_cache);
+};
+
+class ResultSink {
+ public:
+  enum class Format { kCsv, kJsonLines };
+
+  /// Writes to a caller-owned stream.
+  ResultSink(std::ostream& out, Format format);
+
+  /// Opens `path` for appending; format from the extension (.csv vs
+  /// .jsonl/.ndjson/anything else). Throws util::LpmError if unwritable.
+  [[nodiscard]] static std::unique_ptr<ResultSink> open(const std::string& path);
+
+  /// Appends one record (thread-safe; the CSV header is emitted once).
+  void write(const ResultRecord& record);
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+ private:
+  explicit ResultSink(Format format);  // owned-file variant, used by open()
+
+  std::mutex mutex_;
+  std::ofstream owned_;
+  std::ostream* out_;
+  Format format_;
+  bool header_written_ = false;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace lpm::exp

@@ -1,9 +1,12 @@
-// Co-run evaluation of a schedule on the NUCA CMP (Fig. 8).
+// Co-run evaluation of schedules on the NUCA CMP (Fig. 8). Co-runs execute
+// through the experiment engine: independent candidate schedules simulate
+// concurrently and repeated placements are cache-served.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "exp/experiment_engine.hpp"
 #include "sched/profile.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/system.hpp"
@@ -21,13 +24,29 @@ struct EvalResult {
   Cycle co_run_cycles = 0;
 };
 
+/// One candidate placement to evaluate, with the scheduler name carried
+/// into the result (and the engine's structured output).
+struct ScheduleCandidate {
+  Schedule schedule;
+  std::string scheduler;
+};
+
 /// Runs all applications simultaneously under `schedule` on `machine`
 /// (which must have one core per app) and computes the harmonic weighted
 /// speedup against each app's solo IPC at its assigned core's L1 size
 /// (taken from the profiles; the profiler used the same machine).
+/// `engine` = nullptr uses the process-wide shared engine.
 [[nodiscard]] EvalResult evaluate_schedule(const sim::MachineConfig& machine,
                                            const std::vector<AppProfile>& apps,
                                            const Schedule& schedule,
-                                           std::string scheduler_name);
+                                           std::string scheduler_name,
+                                           exp::ExperimentEngine* engine = nullptr);
+
+/// Evaluates many candidate placements as one engine batch (the co-runs
+/// are independent System instances); results come back in input order.
+[[nodiscard]] std::vector<EvalResult> evaluate_schedules(
+    const sim::MachineConfig& machine, const std::vector<AppProfile>& apps,
+    const std::vector<ScheduleCandidate>& candidates,
+    exp::ExperimentEngine* engine = nullptr);
 
 }  // namespace lpm::sched

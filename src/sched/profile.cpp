@@ -1,9 +1,6 @@
 #include "sched/profile.hpp"
 
-#include <memory>
-
 #include "sim/system.hpp"
-#include "trace/synthetic.hpp"
 #include "util/error.hpp"
 
 namespace lpm::sched {
@@ -16,7 +13,8 @@ const SizePoint& AppProfile::at_size(std::uint64_t l1_size_bytes) const {
                        std::to_string(l1_size_bytes));
 }
 
-Profiler::Profiler(sim::MachineConfig machine) : machine_(std::move(machine)) {
+Profiler::Profiler(sim::MachineConfig machine, exp::ExperimentEngine* engine)
+    : machine_(std::move(machine)), engine_(engine) {
   machine_.num_cores = 1;
   machine_.l1_size_per_core.clear();
   machine_.l1.num_cores = 1;
@@ -26,39 +24,66 @@ Profiler::Profiler(sim::MachineConfig machine) : machine_(std::move(machine)) {
 
 AppProfile Profiler::profile(const trace::WorkloadProfile& workload,
                              const std::vector<std::uint64_t>& l1_sizes) const {
+  return profile_many({workload}, l1_sizes).front();
+}
+
+std::vector<AppProfile> Profiler::profile_many(
+    const std::vector<trace::WorkloadProfile>& workloads,
+    const std::vector<std::uint64_t>& l1_sizes) const {
   util::require(!l1_sizes.empty(), "Profiler: need at least one L1 size");
+  exp::ExperimentEngine& engine =
+      engine_ != nullptr ? *engine_ : exp::ExperimentEngine::shared();
 
-  AppProfile out;
-  out.name = workload.name;
-  out.workload = workload;
+  // One batch covering the whole (application, L1 size) grid. CPIexe does
+  // not depend on the L1 size (perfect cache), so only the first size of
+  // each application carries the calibration.
+  std::vector<exp::SimJob> jobs;
+  jobs.reserve(workloads.size() * l1_sizes.size());
+  for (const auto& workload : workloads) {
+    for (std::size_t s = 0; s < l1_sizes.size(); ++s) {
+      sim::MachineConfig m = machine_;
+      m.l1.size_bytes = l1_sizes[s];
+      jobs.push_back(exp::SimJob::solo(
+          std::move(m), workload, /*calibrate=*/s == 0,
+          workload.name + " | L1=" + std::to_string(l1_sizes[s] / 1024) + "KB"));
+    }
+  }
+  const auto results = engine.run_batch(jobs);
 
-  // CPIexe does not depend on the L1 size; calibrate once.
-  trace::SyntheticTrace calib_trace(workload);
-  const sim::CpiExeResult calib = sim::measure_cpi_exe(machine_, calib_trace);
-  out.cpi_exe = calib.cpi_exe;
-  out.fmem = calib.fmem;
+  std::vector<AppProfile> out;
+  out.reserve(workloads.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const trace::WorkloadProfile& workload = workloads[w];
+    AppProfile profile;
+    profile.name = workload.name;
+    profile.workload = workload;
 
-  for (const std::uint64_t size : l1_sizes) {
-    sim::MachineConfig m = machine_;
-    m.l1.size_bytes = size;
+    const sim::CpiExeResult calib =
+        results[w * l1_sizes.size()]->calib.at(0);
+    profile.cpi_exe = calib.cpi_exe;
+    profile.fmem = calib.fmem;
 
-    std::vector<trace::TraceSourcePtr> traces;
-    traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
-    sim::System system(m, std::move(traces));
-    const sim::SystemResult run = system.run();
-    util::require(run.completed, out.name + ": profiling run hit max_cycles");
+    for (std::size_t s = 0; s < l1_sizes.size(); ++s) {
+      const sim::SystemResult& run = results[w * l1_sizes.size() + s]->run;
+      util::require(run.completed,
+                    profile.name + ": profiling run hit max_cycles");
 
-    SizePoint p;
-    p.l1_size_bytes = size;
-    p.measurement = core::AppMeasurement::from_run(run, calib, 0, workload.name);
-    const auto cycles = static_cast<double>(run.cycles);
-    p.apc1 = cycles > 0 ? static_cast<double>(p.measurement.l1.accesses) / cycles : 0.0;
-    p.apc2 = cycles > 0 ? static_cast<double>(p.measurement.l2.accesses) / cycles : 0.0;
-    p.ipc = run.cores[0].ipc();
-    const core::LpmrSet lpmr = core::compute_lpmrs(p.measurement);
-    p.lpmr1 = lpmr.lpmr1;
-    p.lpmr2 = lpmr.lpmr2;
-    out.by_size.push_back(p);
+      SizePoint p;
+      p.l1_size_bytes = l1_sizes[s];
+      p.measurement =
+          core::AppMeasurement::from_run(run, calib, 0, workload.name);
+      const auto cycles = static_cast<double>(run.cycles);
+      p.apc1 =
+          cycles > 0 ? static_cast<double>(p.measurement.l1.accesses) / cycles : 0.0;
+      p.apc2 =
+          cycles > 0 ? static_cast<double>(p.measurement.l2.accesses) / cycles : 0.0;
+      p.ipc = run.cores[0].ipc();
+      const core::LpmrSet lpmr = core::compute_lpmrs(p.measurement);
+      p.lpmr1 = lpmr.lpmr1;
+      p.lpmr2 = lpmr.lpmr2;
+      profile.by_size.push_back(p);
+    }
+    out.push_back(std::move(profile));
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/lpm_model.hpp"
+#include "exp/experiment_engine.hpp"
 #include "sim/machine_config.hpp"
 #include "trace/workload_profile.hpp"
 
@@ -43,15 +44,24 @@ class Profiler {
  public:
   /// `machine` supplies the core / L2 / DRAM configuration (Fig. 5 CMP);
   /// profiling runs use its single-core equivalent so solo IPC matches the
-  /// resources one core sees.
-  explicit Profiler(sim::MachineConfig machine);
+  /// resources one core sees. `engine` = nullptr uses the shared engine.
+  explicit Profiler(sim::MachineConfig machine,
+                    exp::ExperimentEngine* engine = nullptr);
 
-  /// Profiles one application over the given ascending L1 sizes.
+  /// Profiles one application over the given ascending L1 sizes (one
+  /// engine batch: the size sweep simulates concurrently).
   [[nodiscard]] AppProfile profile(const trace::WorkloadProfile& workload,
                                    const std::vector<std::uint64_t>& l1_sizes) const;
 
+  /// Profiles many applications in a single engine batch covering every
+  /// (application, L1 size) point — the Fig. 6/7/8 sweep shape.
+  [[nodiscard]] std::vector<AppProfile> profile_many(
+      const std::vector<trace::WorkloadProfile>& workloads,
+      const std::vector<std::uint64_t>& l1_sizes) const;
+
  private:
   sim::MachineConfig machine_;
+  exp::ExperimentEngine* engine_;  ///< non-owning; nullptr = shared engine
 };
 
 }  // namespace lpm::sched

@@ -1,0 +1,83 @@
+// Stable FNV-1a fingerprinting of the simulator's configuration structs.
+//
+// A fingerprint is the cache key of the experiment engine: two jobs with the
+// same (MachineConfig, WorkloadProfile) fingerprint are the same simulation
+// and may share a memoized result. The hash therefore covers *every* field
+// of every config struct — over-inclusion only costs a spurious re-run,
+// while omission would silently alias distinct experiments. Each struct
+// hash starts from a versioned type tag so values are stable within a
+// build but never collide across struct kinds.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace lpm::cpu {
+struct CoreConfig;
+}
+namespace lpm::mem {
+struct CacheConfig;
+struct DramConfig;
+}
+namespace lpm::sim {
+struct MachineConfig;
+}
+namespace lpm::trace {
+struct WorkloadProfile;
+}
+
+namespace lpm::util {
+
+/// Incremental 64-bit FNV-1a hasher. Integers are mixed as 8 little-endian
+/// bytes (so the value, not the in-memory width, determines the hash);
+/// doubles by bit pattern; strings length-prefixed.
+class Fingerprint {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x00000100000001b3ull;
+
+  Fingerprint& mix_byte(std::uint8_t b) {
+    hash_ = (hash_ ^ b) * kPrime;
+    return *this;
+  }
+
+  Fingerprint& mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    return *this;
+  }
+
+  template <typename T>
+    requires(std::is_integral_v<T> || std::is_enum_v<T>)
+  Fingerprint& mix(T v) {
+    return mix_u64(static_cast<std::uint64_t>(v));
+  }
+
+  Fingerprint& mix(double v) { return mix_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  Fingerprint& mix(const std::string& s) {
+    mix_u64(s.size());
+    for (const char c : s) mix_byte(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// Field-complete hashes of the configuration structs (see header comment).
+[[nodiscard]] std::uint64_t fingerprint(const cpu::CoreConfig& cfg);
+[[nodiscard]] std::uint64_t fingerprint(const mem::CacheConfig& cfg);
+[[nodiscard]] std::uint64_t fingerprint(const mem::DramConfig& cfg);
+[[nodiscard]] std::uint64_t fingerprint(const sim::MachineConfig& cfg);
+[[nodiscard]] std::uint64_t fingerprint(const trace::WorkloadProfile& wl);
+
+/// Hex rendering for logs / result-sink records.
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fp);
+
+}  // namespace lpm::util

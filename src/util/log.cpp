@@ -1,11 +1,16 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <mutex>
 
 namespace lpm::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Serializes emission: a log line from one thread is never interleaved with
+// another's. The threshold check stays lock-free in LogLine.
+std::mutex g_emit_mutex;
+thread_local int t_worker_id = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,9 +28,16 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+void set_thread_worker_id(int id) { t_worker_id = id; }
+
+int thread_worker_id() { return t_worker_id; }
+
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::cerr << "[lpm " << level_name(level) << "] " << message << "\n";
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[lpm " << level_name(level);
+  if (t_worker_id >= 0) std::cerr << " w" << t_worker_id;
+  std::cerr << "] " << message << "\n";
 }
 }  // namespace detail
 

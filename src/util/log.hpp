@@ -1,5 +1,7 @@
 // Minimal leveled logger. The simulator is a library; logging defaults to
 // warnings-and-above on stderr and can be silenced entirely by tests.
+// Emission is mutex-guarded so concurrent experiment-engine workers never
+// interleave partial lines; messages from worker threads carry a "wN" tag.
 #pragma once
 
 #include <iostream>
@@ -13,6 +15,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold (process-wide; benches/tests set it once up front).
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Tags every message emitted by the calling thread with "wN" (worker N).
+/// The experiment engine sets this in each pool thread; -1 (the default)
+/// means an untagged main-thread message.
+void set_thread_worker_id(int id);
+[[nodiscard]] int thread_worker_id();
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

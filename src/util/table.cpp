@@ -1,10 +1,29 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
 namespace lpm::util {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+void print_banner(const std::string& bench, const std::string& artefact,
+                  const std::string& notes) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", bench.c_str());
+  std::printf("Reproduces: %s\n", artefact.c_str());
+  std::printf("Paper: LPM: Concurrency-driven Layered Performance Matching, ICPP'15\n");
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("==============================================================\n");
+}
 
 AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
 
@@ -13,13 +32,9 @@ void AsciiTable::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
-std::string AsciiTable::fmt(double v, int precision) {
-  std::ostringstream os;
-  os << std::fixed << std::setprecision(precision) << v;
-  return os.str();
-}
+std::string AsciiTable::fmt(double v, int precision) { return util::fmt(v, precision); }
 
-std::string AsciiTable::fmt(std::uint64_t v) { return std::to_string(v); }
+std::string AsciiTable::fmt(std::uint64_t v) { return util::fmt(v); }
 
 std::string AsciiTable::to_string() const {
   std::vector<std::size_t> widths(header_.size());

@@ -8,6 +8,14 @@
 
 namespace lpm::util {
 
+/// Formats a double with `precision` decimals (fixed notation).
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+[[nodiscard]] std::string fmt(std::uint64_t v);
+
+/// Prints the standard bench banner (tool name, paper artefact, notes).
+void print_banner(const std::string& bench, const std::string& artefact,
+                  const std::string& notes = "");
+
 class AsciiTable {
  public:
   explicit AsciiTable(std::vector<std::string> header);

@@ -1,0 +1,228 @@
+// Tier-1 guarantees of the experiment engine: a pooled engine is
+// bit-identical to a serial one, and the memo cache returns the very result
+// object the original simulation produced.
+#include "exp/experiment_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+#include "exp/result_sink.hpp"
+#include "trace/spec_like.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+
+namespace lpm {
+namespace {
+
+void mix_camat(util::Fingerprint& f, const camat::CamatMetrics& m) {
+  f.mix(m.accesses)
+      .mix(m.hits)
+      .mix(m.misses)
+      .mix(m.pure_misses)
+      .mix(m.active_cycles)
+      .mix(m.hit_cycles)
+      .mix(m.miss_cycles)
+      .mix(m.pure_miss_cycles)
+      .mix(m.hit_phase_access_cycles)
+      .mix(m.miss_access_cycles)
+      .mix(m.pure_access_cycles)
+      .mix(m.hit_access_cycles)
+      .mix(m.total_miss_latency);
+}
+
+void mix_cache_stats(util::Fingerprint& f, const mem::CacheStats& s) {
+  f.mix(s.accesses)
+      .mix(s.hits)
+      .mix(s.misses)
+      .mix(s.mshr_coalesced)
+      .mix(s.rejected_ports)
+      .mix(s.rejected_bank)
+      .mix(s.rejected_backlog)
+      .mix(s.mshr_full_waits)
+      .mix(s.writebacks)
+      .mix(s.writeback_hits)
+      .mix(s.writeback_forwards)
+      .mix(s.fills)
+      .mix(s.evictions)
+      .mix(s.deferred_fills)
+      .mix(s.prefetches_issued)
+      .mix(s.prefetch_hits)
+      .mix(s.prefetch_coalesced)
+      .mix(s.quota_waits);
+  for (const auto v : s.core_accesses) f.mix(v);
+  for (const auto v : s.core_misses) f.mix(v);
+}
+
+/// Digest over every counter a simulation produces; two results with equal
+/// digests are bit-identical for all practical purposes.
+std::uint64_t digest(const exp::SimJobResult& r) {
+  util::Fingerprint f;
+  f.mix(r.run.completed).mix(r.run.cycles);
+  for (const auto& c : r.run.cores) {
+    f.mix(c.instructions)
+        .mix(c.mem_ops)
+        .mix(c.loads)
+        .mix(c.stores)
+        .mix(c.cycles)
+        .mix(c.commit_cycles)
+        .mix(c.mem_active_cycles)
+        .mix(c.overlap_cycles)
+        .mix(c.data_stall_cycles)
+        .mix(c.head_mem_stall_cycles)
+        .mix(c.l1_rejections);
+  }
+  for (const auto& m : r.run.l1) mix_camat(f, m);
+  mix_camat(f, r.run.l2);
+  mix_camat(f, r.run.dram);
+  for (const auto& s : r.run.l1_cache) mix_cache_stats(f, s);
+  mix_cache_stats(f, r.run.l2_cache);
+  f.mix(r.run.dram_stats.reads)
+      .mix(r.run.dram_stats.writes)
+      .mix(r.run.dram_stats.row_hits)
+      .mix(r.run.dram_stats.row_misses)
+      .mix(r.run.dram_stats.row_conflicts)
+      .mix(r.run.dram_stats.rejected_full)
+      .mix(r.run.dram_stats.busy_cycles)
+      .mix(r.run.dram_stats.total_read_latency);
+  for (const auto& c : r.calib) {
+    f.mix(std::bit_cast<std::uint64_t>(c.cpi_exe))
+        .mix(std::bit_cast<std::uint64_t>(c.fmem))
+        .mix(c.instructions)
+        .mix(c.cycles);
+  }
+  return f.value();
+}
+
+/// A mixed job set: three solo points (two calibrated) and one two-core
+/// co-run, all short enough for tier-1.
+std::vector<exp::SimJob> test_jobs() {
+  using trace::SpecBenchmark;
+  std::vector<exp::SimJob> jobs;
+
+  auto solo = sim::MachineConfig::single_core_default();
+  jobs.push_back(exp::SimJob::solo(
+      solo, trace::spec_profile(SpecBenchmark::kBwaves, 20'000, 7), true, "a"));
+  jobs.push_back(exp::SimJob::solo(
+      solo, trace::spec_profile(SpecBenchmark::kGcc, 20'000, 7), true, "b"));
+  auto big_l1 = solo;
+  big_l1.l1.size_bytes *= 2;
+  jobs.push_back(exp::SimJob::solo(
+      big_l1, trace::spec_profile(SpecBenchmark::kGcc, 20'000, 7), false, "c"));
+
+  exp::SimJob corun;
+  corun.machine = solo;
+  corun.machine.num_cores = 2;
+  corun.machine.l1.num_cores = 2;
+  corun.machine.l2.num_cores = 2;
+  corun.workloads = {
+      trace::spec_profile(SpecBenchmark::kMilc, 20'000, 7),
+      trace::spec_profile(SpecBenchmark::kMcf, 20'000, 7),
+  };
+  corun.workloads[1].addr_base = 1ULL << 30;
+  corun.tag = "corun";
+  jobs.push_back(corun);
+  return jobs;
+}
+
+TEST(ExperimentEngine, PooledEngineBitIdenticalToSerial) {
+  exp::ExperimentEngine::Options serial_opts;
+  serial_opts.threads = 1;
+  exp::ExperimentEngine serial(serial_opts);
+
+  exp::ExperimentEngine::Options pooled_opts;
+  pooled_opts.threads = 4;
+  exp::ExperimentEngine pooled(pooled_opts);
+  ASSERT_EQ(pooled.threads(), 4u);
+
+  const auto jobs = test_jobs();
+  const auto serial_results = serial.run_batch(jobs);
+  const auto pooled_results = pooled.run_batch(jobs);
+  ASSERT_EQ(serial_results.size(), jobs.size());
+  ASSERT_EQ(pooled_results.size(), jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serial_results[i]->fingerprint, pooled_results[i]->fingerprint);
+    EXPECT_EQ(digest(*serial_results[i]), digest(*pooled_results[i]))
+        << "job " << i << " (" << jobs[i].tag
+        << ") differs between threads=1 and threads=4";
+  }
+}
+
+TEST(ExperimentEngine, CacheHitReturnsSameResultObject) {
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 1;
+  exp::ExperimentEngine engine(opts);
+
+  const auto job = test_jobs()[0];
+  const auto first = engine.run(job);
+  EXPECT_EQ(engine.simulations_executed(), 1u);
+  EXPECT_EQ(engine.cache_hits(), 0u);
+
+  const auto second = engine.run(job);
+  EXPECT_EQ(second.get(), first.get()) << "cache hit must share the object";
+  EXPECT_EQ(engine.simulations_executed(), 1u);
+  EXPECT_EQ(engine.cache_hits(), 1u);
+
+  // The tag is not part of the cache key.
+  auto retagged = job;
+  retagged.tag = "different tag";
+  EXPECT_EQ(engine.run(retagged).get(), first.get());
+  EXPECT_EQ(engine.cache_hits(), 2u);
+
+  engine.clear_cache();
+  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_NE(engine.run(job).get(), first.get());
+  EXPECT_EQ(engine.simulations_executed(), 2u);
+}
+
+TEST(ExperimentEngine, InBatchDuplicatesSimulateOnce) {
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 2;
+  exp::ExperimentEngine engine(opts);
+
+  const auto job = test_jobs()[0];
+  const std::vector<exp::SimJob> batch = {job, job, job};
+  const auto results = engine.run_batch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].get(), results[1].get());
+  EXPECT_EQ(results[0].get(), results[2].get());
+  EXPECT_EQ(engine.simulations_executed(), 1u);
+  EXPECT_EQ(engine.cache_hits(), 2u);
+}
+
+TEST(ExperimentEngine, SinkReceivesOneRecordPerSubmission) {
+  std::ostringstream csv;
+  exp::ResultSink sink(csv, exp::ResultSink::Format::kCsv);
+
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 1;
+  opts.sink = &sink;
+  exp::ExperimentEngine engine(opts);
+
+  const auto job = test_jobs()[0];
+  (void)engine.run(job);
+  (void)engine.run(job);  // cache hit still produces a record
+  EXPECT_EQ(sink.records_written(), 2u);
+
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("tag,fingerprint,from_cache"), std::string::npos)
+      << "CSV header missing:\n"
+      << text;
+  EXPECT_NE(text.find("\n\"a\","), std::string::npos);
+}
+
+TEST(ExperimentEngine, RejectsMalformedJobs) {
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 1;
+  exp::ExperimentEngine engine(opts);
+
+  exp::SimJob job;  // no workloads for a 1-core machine
+  job.machine = sim::MachineConfig::single_core_default();
+  EXPECT_THROW((void)engine.run(job), util::LpmError);
+}
+
+}  // namespace
+}  // namespace lpm

@@ -1,0 +1,155 @@
+// The experiment engine's result cache is only sound if every field that
+// changes simulated behaviour changes the fingerprint. Each test perturbs
+// every field of a config struct in turn and asserts the hash moves.
+#include "util/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/core_config.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "sim/machine_config.hpp"
+#include "trace/workload_profile.hpp"
+
+namespace lpm {
+namespace {
+
+template <typename Config>
+void expect_every_field_matters(
+    const Config& base,
+    const std::vector<std::pair<std::string, std::function<void(Config&)>>>&
+        mutations) {
+  const std::uint64_t base_fp = util::fingerprint(base);
+  EXPECT_EQ(base_fp, util::fingerprint(base)) << "fingerprint must be stable";
+  for (const auto& [field, mutate] : mutations) {
+    Config changed = base;
+    mutate(changed);
+    EXPECT_NE(util::fingerprint(changed), base_fp)
+        << "changing field '" << field << "' did not change the fingerprint";
+  }
+}
+
+TEST(Fingerprint, EveryCoreConfigFieldChangesHash) {
+  expect_every_field_matters<cpu::CoreConfig>(
+      cpu::CoreConfig{},
+      {
+          {"name", [](auto& c) { c.name = "other"; }},
+          {"id", [](auto& c) { c.id = 7; }},
+          {"issue_width", [](auto& c) { c.issue_width += 1; }},
+          {"dispatch_width", [](auto& c) { c.dispatch_width += 1; }},
+          {"commit_width", [](auto& c) { c.commit_width += 1; }},
+          {"iw_size", [](auto& c) { c.iw_size += 1; }},
+          {"rob_size", [](auto& c) { c.rob_size += 1; }},
+          {"lsq_size", [](auto& c) { c.lsq_size += 1; }},
+      });
+}
+
+TEST(Fingerprint, EveryCacheConfigFieldChangesHash) {
+  expect_every_field_matters<mem::CacheConfig>(
+      mem::CacheConfig{},
+      {
+          {"name", [](auto& c) { c.name = "other"; }},
+          {"size_bytes", [](auto& c) { c.size_bytes *= 2; }},
+          {"block_bytes", [](auto& c) { c.block_bytes *= 2; }},
+          {"associativity", [](auto& c) { c.associativity *= 2; }},
+          {"hit_latency", [](auto& c) { c.hit_latency += 1; }},
+          {"ports", [](auto& c) { c.ports += 1; }},
+          {"banks", [](auto& c) { c.banks += 1; }},
+          {"interleave_bytes", [](auto& c) { c.interleave_bytes *= 2; }},
+          {"mshr_entries", [](auto& c) { c.mshr_entries += 1; }},
+          {"mshr_targets", [](auto& c) { c.mshr_targets += 1; }},
+          {"writeback_capacity", [](auto& c) { c.writeback_capacity += 1; }},
+          {"prefetch_degree", [](auto& c) { c.prefetch_degree += 1; }},
+          {"prefetch_accuracy_window",
+           [](auto& c) { c.prefetch_accuracy_window += 1; }},
+          {"mshr_quota_per_core", [](auto& c) { c.mshr_quota_per_core += 1; }},
+          {"replacement",
+           [](auto& c) { c.replacement = mem::ReplacementPolicy::kRandom; }},
+          {"num_cores", [](auto& c) { c.num_cores += 1; }},
+          {"seed", [](auto& c) { c.seed += 1; }},
+      });
+}
+
+TEST(Fingerprint, EveryDramConfigFieldChangesHash) {
+  expect_every_field_matters<mem::DramConfig>(
+      mem::DramConfig{},
+      {
+          {"name", [](auto& c) { c.name = "other"; }},
+          {"banks", [](auto& c) { c.banks += 1; }},
+          {"row_bytes", [](auto& c) { c.row_bytes *= 2; }},
+          {"interleave_bytes", [](auto& c) { c.interleave_bytes *= 2; }},
+          {"t_rcd", [](auto& c) { c.t_rcd += 1; }},
+          {"t_cl", [](auto& c) { c.t_cl += 1; }},
+          {"t_rp", [](auto& c) { c.t_rp += 1; }},
+          {"t_burst", [](auto& c) { c.t_burst += 1; }},
+          {"frontend_latency", [](auto& c) { c.frontend_latency += 1; }},
+          {"queue_capacity", [](auto& c) { c.queue_capacity += 1; }},
+          {"max_issue_per_cycle", [](auto& c) { c.max_issue_per_cycle += 1; }},
+          {"starvation_threshold",
+           [](auto& c) { c.starvation_threshold += 1; }},
+      });
+}
+
+TEST(Fingerprint, EveryMachineConfigFieldChangesHash) {
+  expect_every_field_matters<sim::MachineConfig>(
+      sim::MachineConfig{},
+      {
+          {"num_cores", [](auto& c) { c.num_cores += 1; }},
+          {"core", [](auto& c) { c.core.rob_size += 1; }},
+          {"l1", [](auto& c) { c.l1.size_bytes *= 2; }},
+          {"l2", [](auto& c) { c.l2.size_bytes *= 2; }},
+          {"dram", [](auto& c) { c.dram.banks += 1; }},
+          {"use_private_l2", [](auto& c) { c.use_private_l2 = true; }},
+          {"private_l2", [](auto& c) { c.private_l2.size_bytes *= 2; }},
+          {"l1_size_per_core", [](auto& c) { c.l1_size_per_core = {4096}; }},
+          {"max_cycles", [](auto& c) { c.max_cycles += 1; }},
+      });
+}
+
+TEST(Fingerprint, EveryWorkloadProfileFieldChangesHash) {
+  expect_every_field_matters<trace::WorkloadProfile>(
+      trace::WorkloadProfile{},
+      {
+          {"name", [](auto& w) { w.name = "other"; }},
+          {"fmem", [](auto& w) { w.fmem += 0.01; }},
+          {"store_fraction", [](auto& w) { w.store_fraction += 0.01; }},
+          {"alu_latency", [](auto& w) { w.alu_latency += 1; }},
+          {"alu_dep_fraction", [](auto& w) { w.alu_dep_fraction += 0.01; }},
+          {"working_set_bytes", [](auto& w) { w.working_set_bytes *= 2; }},
+          {"zipf_skew", [](auto& w) { w.zipf_skew += 0.01; }},
+          {"seq_fraction", [](auto& w) { w.seq_fraction += 0.01; }},
+          {"num_streams", [](auto& w) { w.num_streams += 1; }},
+          {"stride_bytes", [](auto& w) { w.stride_bytes *= 2; }},
+          {"pointer_chase_fraction",
+           [](auto& w) { w.pointer_chase_fraction += 0.01; }},
+          {"load_use_fraction", [](auto& w) { w.load_use_fraction += 0.01; }},
+          {"phase_length", [](auto& w) { w.phase_length += 1; }},
+          {"burst_duty", [](auto& w) { w.burst_duty += 0.01; }},
+          {"burst_fmem", [](auto& w) { w.burst_fmem += 0.01; }},
+          {"burst_seq_fraction", [](auto& w) { w.burst_seq_fraction += 0.01; }},
+          {"length", [](auto& w) { w.length += 1; }},
+          {"seed", [](auto& w) { w.seed += 1; }},
+          {"addr_base", [](auto& w) { w.addr_base += 4096; }},
+      });
+}
+
+// Distinct struct types with identical field bytes must not collide: the
+// version tags separate them.
+TEST(Fingerprint, TypeTagsSeparateStructKinds) {
+  EXPECT_NE(util::fingerprint(mem::CacheConfig{}),
+            util::fingerprint(mem::DramConfig{}));
+  EXPECT_NE(util::fingerprint(cpu::CoreConfig{}),
+            util::fingerprint(mem::CacheConfig{}));
+}
+
+TEST(Fingerprint, HexIsStable16Digit) {
+  EXPECT_EQ(util::fingerprint_hex(0), "0000000000000000");
+  EXPECT_EQ(util::fingerprint_hex(0xdeadbeefcafef00dULL), "deadbeefcafef00d");
+}
+
+}  // namespace
+}  // namespace lpm
