@@ -8,7 +8,7 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_ablation_eta",
                        "Section III eta analysis (Eq. 13 damping)");
@@ -41,3 +41,5 @@ int main() {
               "miss-dominated codes (mcf, milc) carry large eta*LPMR2 terms.\n");
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -9,7 +9,7 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_ablation_knobs",
                        "Per-knob sensitivity around Table I (ablation)");
@@ -75,3 +75,5 @@ int main() {
               "point that the knobs must move together, guided by the model.\n");
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -43,7 +43,7 @@ CoRun co_run(const sim::MachineConfig& machine,
 
 }  // namespace
 
-int main() {
+static int run_bench() {
   util::print_banner("bench_ablation_partition",
                        "SVII future work: memory parallelism partition "
                        "(per-core LLC MSHR quotas)");
@@ -98,3 +98,5 @@ int main() {
               "(fairness) at a small cost to the hog; tiny quotas hurt all.\n");
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -34,7 +34,7 @@ trace::WorkloadProfile scan_reuse_workload() {
 
 }  // namespace
 
-int main() {
+static int run_bench() {
   util::print_banner("bench_ablation_replacement",
                        "SVII future work: selective cache replacement "
                        "(scan-resistant policies)");
@@ -62,3 +62,5 @@ int main() {
               "but the C-AMAT/LPM counters surface directly.\n");
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -7,7 +7,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_fig1_camat_demo",
                        "Fig. 1 + the Section II worked example");
@@ -46,3 +46,5 @@ int main() {
               m.amat() / m.camat());
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -14,7 +14,7 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_fig6_apc1_vs_l1size",
                        "Fig. 6 (APC1 vs private L1 data cache size)");
@@ -50,3 +50,5 @@ int main() {
               "milc insensitive, gamess improves noticeably.\n");
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -11,7 +11,7 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_fig7_apc2_vs_l1size",
                        "Fig. 7 (APC2 vs private L1 data cache size)");
@@ -38,3 +38,5 @@ int main() {
               "drops at the first increase, milc insensitive.\n");
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

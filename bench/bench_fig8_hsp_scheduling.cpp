@@ -17,7 +17,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_fig8_hsp_scheduling",
                        "Fig. 8 (Hsp of scheduling schemes on the NUCA CMP)",
@@ -103,3 +103,5 @@ int main() {
               apps.size() * sizes.size());
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

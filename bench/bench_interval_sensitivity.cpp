@@ -13,7 +13,7 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_interval_sensitivity",
                        "Section V interval-size study (96% / 89% / 73%)");
@@ -72,3 +72,5 @@ int main() {
               "40-cycle software point trails the 10-cycle hardware point.\n");
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -10,7 +10,7 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_lpm_convergence",
                        "Fig. 3 algorithm dynamics (ablation)");
@@ -73,3 +73,5 @@ int main() {
   std::printf("\n%s\n", t.to_string().c_str());
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -13,7 +13,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_model_validation",
                        "Eqs. 2/3/4/5/7/12/13 (model-vs-measured errors)");
@@ -60,3 +60,5 @@ int main() {
       100 * e4.mean(), 100 * e13.mean(), 100 * e4.max(), 100 * e13.max());
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

@@ -10,7 +10,7 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner(
       "bench_stall_reduction",
@@ -75,3 +75,5 @@ int main() {
               static_cast<unsigned long long>(explorer.reconfigurations()));
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

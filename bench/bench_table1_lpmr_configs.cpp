@@ -23,7 +23,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 }  // namespace
 
-int main() {
+static int run_bench() {
   using namespace lpm;
   util::print_banner("bench_table1_lpmr_configs",
                        "Table I (LPMRs under configurations A-E) + Case Study I");
@@ -146,3 +146,5 @@ int main() {
   benchx::print_engine_summary(engine, seconds_since(wall_start));
   return 0;
 }
+
+int main() { return lpm::benchx::guarded_main(&run_bench); }

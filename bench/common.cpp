@@ -22,6 +22,20 @@ WorkloadRun run_solo(const sim::MachineConfig& machine,
   return out;
 }
 
+int guarded_main(int (*body)()) {
+  try {
+    return body();
+  } catch (const util::LpmError& e) {
+    std::fprintf(stderr, "error[%s]: %s\n", util::error_code_name(e.code()),
+                 e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error[%s]: %s\n",
+                 util::error_code_name(util::ErrorCode::kGeneric), e.what());
+    return 1;
+  }
+}
+
 void print_engine_summary(const exp::ExperimentEngine& engine,
                           double wall_seconds) {
   const double busy = engine.busy_seconds();

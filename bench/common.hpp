@@ -34,4 +34,10 @@ WorkloadRun run_solo(const sim::MachineConfig& machine,
 void print_engine_summary(const exp::ExperimentEngine& engine,
                           double wall_seconds);
 
+/// Runs a bench body under the standard failure boundary: util::LpmError
+/// becomes a one-line `error[<code>]: <what>` diagnostic on stderr and a
+/// non-zero exit instead of std::terminate. Every bench main is
+/// `return benchx::guarded_main(&run_bench);`.
+int guarded_main(int (*body)());
+
 }  // namespace lpm::benchx

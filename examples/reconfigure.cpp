@@ -13,8 +13,11 @@
 #include "exp/experiment_engine.hpp"
 #include "trace/spec_like.hpp"
 #include "util/config.hpp"
+#include "util/error.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace lpm;
   const auto args = util::KvConfig::from_args(argc, argv);
   const std::string name = args.get_or("workload", "410.bwaves");
@@ -81,4 +84,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(engine.cache_hits()),
               engine.busy_seconds());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const lpm::util::LpmError& e) {
+    std::fprintf(stderr, "error[%s]: %s\n",
+                 lpm::util::error_code_name(e.code()), e.what());
+    return 1;
+  }
 }

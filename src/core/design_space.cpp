@@ -5,6 +5,7 @@
 
 #include "core/diagnosis.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace lpm::core {
 
@@ -132,6 +133,9 @@ void DesignSpaceExplorer::apply_knobs(const ArchKnobs& next) {
 const DesignSpaceExplorer::Evaluation& DesignSpaceExplorer::evaluate_full(
     const ArchKnobs& knobs) {
   if (const auto it = memo_.find(knobs); it != memo_.end()) return it->second;
+  // On-path evaluations are fail-fast by design: the Fig. 3 walk cannot
+  // classify a mismatch it could not measure, so a failure here (after the
+  // engine's own retries) propagates as the job's typed error.
   const exp::SimResultPtr result = engine().run(make_job(knobs));
   return memo_.emplace(knobs, to_evaluation(*result)).first->second;
 }
@@ -152,9 +156,23 @@ void DesignSpaceExplorer::evaluate_batch(const std::vector<ArchKnobs>& batch) {
   std::vector<exp::SimJob> jobs;
   jobs.reserve(todo.size());
   for (const ArchKnobs& k : todo) jobs.push_back(make_job(k));
-  const auto results = engine().run_batch(jobs);
+  // Batched candidates are speculative or independent trials: one failing
+  // point must not abort the others, so collect-and-continue. A failed
+  // candidate stays out of the memo — callers treat it as unavailable, and
+  // an on-path evaluation of the same point would retry and then fail fast
+  // in evaluate_full.
+  const auto outcomes = engine().run_batch_outcomes(
+      jobs, exp::BatchOptions{exp::FailurePolicy::kCollect,
+                              /*consult_journal=*/false});
   for (std::size_t i = 0; i < todo.size(); ++i) {
-    memo_.emplace(todo[i], to_evaluation(*results[i]));
+    if (!outcomes[i].ok()) {
+      util::log_warn() << "design-space candidate '" << jobs[i].tag
+                       << "' failed ("
+                       << util::error_code_name(outcomes[i].error)
+                       << "): " << outcomes[i].error_message;
+      continue;
+    }
+    memo_.emplace(todo[i], to_evaluation(*outcomes[i].result));
   }
 }
 
@@ -341,6 +359,10 @@ bool DesignSpaceExplorer::reduce_overprovision() {
   }
 
   for (const Candidate& c : candidates) {
+    // A candidate whose batched simulation failed is simply not considered
+    // for trimming (re-running it serially would re-fail or stall the walk
+    // on a point we only wanted opportunistically).
+    if (!memo_.contains(c.knobs)) continue;
     const LpmObservation trial = observe(c.knobs);
     if (trial.lpmr.lpmr1 <= trial.t1) {
       apply_knobs(c.knobs);

@@ -93,7 +93,9 @@ class DesignSpaceExplorer final : public LpmTunable {
 
   /// Submits every not-yet-memoized configuration in `batch` to the engine
   /// as one concurrent batch. Subsequent evaluate()/measure() calls on
-  /// these configurations are cache-served.
+  /// these configurations are cache-served. Runs collect-and-continue: a
+  /// failing point is logged and left unmemoized instead of aborting the
+  /// batch (on-path evaluations stay fail-fast; see evaluate_full).
   void evaluate_batch(const std::vector<ArchKnobs>& batch);
 
   /// Configurations simulated so far (cache size = distinct configs).

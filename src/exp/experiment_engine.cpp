@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
 #include "trace/synthetic.hpp"
-#include "util/error.hpp"
 #include "util/fingerprint.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace lpm::exp {
 
@@ -25,7 +26,46 @@ unsigned resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+std::uint64_t env_u64_or(const char* name, std::uint64_t dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return dflt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    util::log_warn() << "ignoring invalid " << name << "='" << env << "'";
+    return dflt;
+  }
+  return v;
+}
+
+/// Error classification for arbitrary exceptions escaping a job.
+util::ErrorCode code_of(const std::exception& e) {
+  if (const auto* lpm = dynamic_cast<const util::LpmError*>(&e)) {
+    return lpm->code() == util::ErrorCode::kNone ? util::ErrorCode::kGeneric
+                                                 : lpm->code();
+  }
+  return util::ErrorCode::kSim;
+}
+
+bool retryable(util::ErrorCode code) {
+  // Config errors are deterministic rejections of the inputs: the retry
+  // would fail identically, so don't burn attempts on it.
+  return code != util::ErrorCode::kConfig;
+}
+
 }  // namespace
+
+const SimResultPtr& SimJobOutcome::value() const {
+  if (result != nullptr) return result;
+  if (skipped) {
+    util::throw_error(util::ErrorCode::kGeneric,
+                      "SimJobOutcome: point " + util::fingerprint_hex(fingerprint) +
+                          " was journal-skipped (no in-process result)");
+  }
+  util::throw_error(error == util::ErrorCode::kNone ? util::ErrorCode::kGeneric
+                                                    : error,
+                    error_message);
+}
 
 SimJob SimJob::solo(sim::MachineConfig machine, trace::WorkloadProfile workload,
                     bool calibrate, std::string tag) {
@@ -63,6 +103,13 @@ ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
 ExperimentEngine::ExperimentEngine(Options opts)
     : threads_(resolve_threads(opts.threads)),
       cache_enabled_(opts.cache_enabled),
+      max_retries_(opts.max_retries),
+      retry_backoff_base_ms_(opts.retry_backoff_base_ms),
+      backoff_seed_(opts.backoff_seed),
+      job_timeout_ms_(opts.job_timeout_ms),
+      default_policy_(opts.policy),
+      fault_plan_(std::move(opts.fault_plan)),
+      journal_(opts.journal),
       sink_(opts.sink) {
   // threads_ == 1 means strictly serial: jobs run inline on the submitting
   // thread and no pool exists (the reference configuration for the
@@ -73,6 +120,9 @@ ExperimentEngine::ExperimentEngine(Options opts)
       workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
     }
   }
+  if (job_timeout_ms_ > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 ExperimentEngine::~ExperimentEngine() {
@@ -82,6 +132,14 @@ ExperimentEngine::~ExperimentEngine() {
   }
   queue_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  if (watchdog_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
 }
 
 void ExperimentEngine::worker_loop(int worker_id) {
@@ -107,8 +165,78 @@ void ExperimentEngine::enqueue(std::function<void()> task) {
   queue_cv_.notify_one();
 }
 
-SimJobResult ExperimentEngine::execute(const SimJob& job) {
+// --- watchdog -------------------------------------------------------------
+
+std::uint64_t ExperimentEngine::watchdog_register(
+    std::shared_ptr<sim::RunGuard> guard) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(job_timeout_ms_);
+  std::uint64_t ticket = 0;
+  {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    ticket = ++watchdog_next_ticket_;
+    watchdog_entries_.emplace(ticket, WatchdogEntry{deadline, std::move(guard)});
+  }
+  watchdog_cv_.notify_all();  // new, possibly nearer deadline
+  return ticket;
+}
+
+void ExperimentEngine::watchdog_unregister(std::uint64_t ticket) {
+  const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  watchdog_entries_.erase(ticket);
+}
+
+void ExperimentEngine::watchdog_loop() {
+  util::set_thread_worker_id(-1);
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    auto wake = std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+    for (const auto& [ticket, entry] : watchdog_entries_) {
+      wake = std::min(wake, entry.deadline);
+    }
+    watchdog_cv_.wait_until(lock, wake);
+    if (watchdog_stop_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = watchdog_entries_.begin(); it != watchdog_entries_.end();) {
+      if (it->second.deadline <= now) {
+        // Mark only: the job notices at its next guard poll and unwinds
+        // through TimeoutError on its own stack.
+        it->second.guard->cancel.store(true, std::memory_order_relaxed);
+        it = watchdog_entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+// --- execution ------------------------------------------------------------
+
+SimJobResult ExperimentEngine::execute(const SimJob& job,
+                                       const sim::RunGuard* guard,
+                                       std::optional<FaultKind> fault) {
   const auto start = std::chrono::steady_clock::now();
+  if (fault.has_value()) {
+    switch (*fault) {
+      case FaultKind::kThrow:
+        throw util::SimError("injected fault: throw (job '" + job.tag + "')");
+      case FaultKind::kIo:
+        throw util::IoError("injected fault: io (job '" + job.tag + "')");
+      case FaultKind::kHang:
+        // A "hang" blocks exactly like a wedged simulation would, but
+        // cooperatively: it waits for the watchdog to flip the cancel
+        // flag, then unwinds the way a real over-budget run does.
+        if (guard == nullptr) {
+          throw util::TimeoutError("injected fault: hang with no watchdog "
+                                   "configured (job '" + job.tag + "')");
+        }
+        while (!guard->cancel.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        throw util::TimeoutError("injected fault: hang cancelled by watchdog "
+                                 "(job '" + job.tag + "')");
+    }
+  }
   SimJobResult out;
   std::vector<trace::TraceSourcePtr> traces;
   traces.reserve(job.workloads.size());
@@ -116,12 +244,12 @@ SimJobResult ExperimentEngine::execute(const SimJob& job) {
     traces.push_back(std::make_unique<trace::SyntheticTrace>(wl));
   }
   sim::System system(job.machine, std::move(traces));
-  out.run = system.run();
+  out.run = system.run(guard);
   if (job.calibrate) {
     out.calib.reserve(job.workloads.size());
     for (const auto& wl : job.workloads) {
       trace::SyntheticTrace calib_trace(wl);
-      out.calib.push_back(sim::measure_cpi_exe(job.machine, calib_trace));
+      out.calib.push_back(sim::measure_cpi_exe(job.machine, calib_trace, guard));
     }
   }
   simulations_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -132,61 +260,194 @@ SimJobResult ExperimentEngine::execute(const SimJob& job) {
   return out;
 }
 
+std::uint64_t ExperimentEngine::retry_backoff_ms(std::uint64_t seed,
+                                                 std::uint64_t fingerprint,
+                                                 unsigned attempt,
+                                                 std::uint64_t base_ms) {
+  if (base_ms == 0) return 0;
+  const unsigned shift = std::min(attempt >= 1 ? attempt - 1 : 0u, 16u);
+  util::Rng rng(seed ^ fingerprint ^ (0x9e37u + attempt));
+  return (base_ms << shift) + rng.next_below(base_ms + 1);
+}
+
+SimJobOutcome ExperimentEngine::execute_with_retry(const SimJob& job,
+                                                   std::uint64_t fingerprint,
+                                                   std::uint64_t fault_index) {
+  SimJobOutcome out;
+  out.fingerprint = fingerprint;
+  for (unsigned attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    std::shared_ptr<sim::RunGuard> guard;
+    std::uint64_t ticket = 0;
+    if (job_timeout_ms_ > 0) {
+      guard = std::make_shared<sim::RunGuard>();
+      ticket = watchdog_register(guard);
+    }
+    try {
+      // Faults fire on the first attempt only: a retried job re-executes
+      // clean, which is exactly the transient-failure scenario retries
+      // exist for (persistent failures are modelled by max_retries = 0).
+      const std::optional<FaultKind> fault =
+          attempt == 1 ? fault_plan_.at(fault_index) : std::nullopt;
+      auto result = std::make_shared<SimJobResult>(execute(job, guard.get(), fault));
+      result->fingerprint = fingerprint;
+      if (guard != nullptr) watchdog_unregister(ticket);
+      out.result = std::move(result);
+      out.error = util::ErrorCode::kNone;
+      out.error_message.clear();
+      return out;
+    } catch (const std::exception& e) {
+      if (guard != nullptr) watchdog_unregister(ticket);
+      out.error = code_of(e);
+      out.error_message = e.what();
+    } catch (...) {
+      // Deliberately the only catch-all left in the engine: it converts an
+      // unknown thrown type into a typed outcome instead of losing it.
+      if (guard != nullptr) watchdog_unregister(ticket);
+      out.error = util::ErrorCode::kSim;
+      out.error_message = "unknown exception type escaped the job";
+    }
+    if (!retryable(out.error) || attempt > max_retries_) {
+      jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+    retries_performed_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t delay =
+        retry_backoff_ms(backoff_seed_, fingerprint, attempt, retry_backoff_base_ms_);
+    util::log_warn() << "job '" << job.tag << "' attempt " << attempt
+                     << " failed (" << util::error_code_name(out.error)
+                     << "): " << out.error_message << " — retrying in " << delay
+                     << "ms";
+    if (delay > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
+// --- batch orchestration --------------------------------------------------
+
 SimResultPtr ExperimentEngine::run(const SimJob& job) {
   return run_batch({job}).front();
 }
 
 std::vector<SimResultPtr> ExperimentEngine::run_batch(
     const std::vector<SimJob>& jobs) {
-  std::vector<SimResultPtr> results(jobs.size());
-  if (jobs.empty()) return results;
+  // The journal is never consulted here: this API promises a result object
+  // per job, which a journal skip cannot provide.
+  auto outcomes = run_batch_impl(jobs, FailurePolicy::kFailFast,
+                                 /*consult_journal=*/false);
+  std::vector<SimResultPtr> results;
+  results.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok() &&
+        outcomes[i].error != util::ErrorCode::kCancelled) {
+      util::throw_error(outcomes[i].error,
+                        "job '" + jobs[i].tag + "' (fingerprint " +
+                            util::fingerprint_hex(outcomes[i].fingerprint) +
+                            ", attempts " + std::to_string(outcomes[i].attempts) +
+                            "): " + outcomes[i].error_message);
+    }
+  }
+  for (auto& outcome : outcomes) results.push_back(std::move(outcome.result));
+  return results;
+}
 
-  // Resolve fingerprints and pre-existing cache hits on the submitting
-  // thread; group the rest so each distinct point simulates exactly once.
-  std::vector<std::uint64_t> fps(jobs.size());
-  std::vector<bool> from_cache(jobs.size(), false);
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pending;
+std::vector<SimJobOutcome> ExperimentEngine::run_batch_outcomes(
+    const std::vector<SimJob>& jobs) {
+  return run_batch_impl(jobs, default_policy_, journal_ != nullptr);
+}
+
+std::vector<SimJobOutcome> ExperimentEngine::run_batch_outcomes(
+    const std::vector<SimJob>& jobs, BatchOptions batch) {
+  return run_batch_impl(jobs, batch.policy, batch.consult_journal);
+}
+
+std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
+    const std::vector<SimJob>& jobs, FailurePolicy policy,
+    bool consult_journal) {
+  std::vector<SimJobOutcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  // Resolve fingerprints, validation failures, cache hits and journal
+  // skips on the submitting thread; group the remainder so each distinct
+  // point simulates exactly once. Groups keep submission order, which also
+  // fixes the fault plan's executed-point numbering independently of the
+  // worker pool.
+  struct Group {
+    std::uint64_t fp = 0;
+    const SimJob* job = nullptr;
+    std::vector<std::size_t> indices;
+    std::uint64_t fault_index = 0;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_of;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    jobs[i].validate();
-    fps[i] = jobs[i].fingerprint();
+    try {
+      jobs[i].validate();
+    } catch (const util::LpmError& e) {
+      outcomes[i].error = util::ErrorCode::kConfig;
+      outcomes[i].error_message = e.what();
+      continue;
+    }
+    const std::uint64_t fp = jobs[i].fingerprint();
+    outcomes[i].fingerprint = fp;
+    if (const auto it = group_of.find(fp); it != group_of.end()) {
+      groups[it->second].indices.push_back(i);
+      continue;
+    }
     if (cache_enabled_) {
       const std::lock_guard<std::mutex> lock(cache_mutex_);
-      if (const auto it = cache_.find(fps[i]); it != cache_.end()) {
-        results[i] = it->second;
-        from_cache[i] = true;
+      if (const auto it = cache_.find(fp); it != cache_.end()) {
+        outcomes[i].result = it->second;
+        outcomes[i].from_cache = true;
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
     }
-    pending[fps[i]].push_back(i);
+    if (consult_journal && journal_ != nullptr && journal_->completed(fp)) {
+      outcomes[i].skipped = true;
+      journal_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    group_of.emplace(fp, groups.size());
+    groups.push_back(Group{fp, &jobs[i], {i}, 0});
+  }
+  for (Group& g : groups) {
+    g.fault_index = fault_cursor_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  if (!pending.empty()) {
+  if (!groups.empty()) {
     struct BatchState {
       std::mutex mutex;
       std::condition_variable cv;
       std::size_t remaining = 0;
-      std::exception_ptr error;
+      std::atomic<bool> abort{false};
     } state;
-    state.remaining = pending.size();
+    state.remaining = groups.size();
 
-    for (auto& [fp, indices] : pending) {
-      const SimJob* job = &jobs[indices.front()];
-      const std::vector<std::size_t>* idxs = &indices;
-      auto task = [this, job, fp = fp, idxs, &results, &state] {
-        try {
-          auto result = std::make_shared<SimJobResult>(execute(*job));
-          result->fingerprint = fp;
-          SimResultPtr ptr = std::move(result);
+    for (Group& group : groups) {
+      const Group* g = &group;
+      auto task = [this, g, policy, &outcomes, &state] {
+        SimJobOutcome out;
+        // Fail-fast: jobs not yet started when an earlier one failed are
+        // reported as cancelled, never silently dropped.
+        if (policy == FailurePolicy::kFailFast &&
+            state.abort.load(std::memory_order_acquire)) {
+          out.fingerprint = g->fp;
+          out.error = util::ErrorCode::kCancelled;
+          out.error_message =
+              "not started: an earlier job in the fail-fast batch failed";
+        } else {
+          out = execute_with_retry(*g->job, g->fp, g->fault_index);
+        }
+        if (out.ok()) {
           if (cache_enabled_) {
             const std::lock_guard<std::mutex> lock(cache_mutex_);
-            cache_.emplace(fp, ptr);
+            cache_.emplace(g->fp, out.result);
           }
-          for (const std::size_t idx : *idxs) results[idx] = ptr;
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(state.mutex);
-          if (!state.error) state.error = std::current_exception();
+        } else if (policy == FailurePolicy::kFailFast &&
+                   out.error != util::ErrorCode::kCancelled) {
+          state.abort.store(true, std::memory_order_release);
         }
+        for (const std::size_t idx : g->indices) outcomes[idx] = out;
         // Notify while holding the mutex: the submitting thread owns
         // BatchState on its stack and destroys it as soon as it observes
         // remaining == 0, so an unlocked notify could signal a dead cv.
@@ -205,28 +466,36 @@ std::vector<SimResultPtr> ExperimentEngine::run_batch(
     {
       std::unique_lock<std::mutex> lock(state.mutex);
       state.cv.wait(lock, [&state] { return state.remaining == 0; });
-      if (state.error) std::rethrow_exception(state.error);
     }
     // Duplicates within the batch were served by the first execution.
-    for (const auto& [fp, indices] : pending) {
-      for (std::size_t k = 1; k < indices.size(); ++k) {
-        from_cache[indices[k]] = true;
+    for (const Group& g : groups) {
+      if (!outcomes[g.indices.front()].ok()) continue;
+      for (std::size_t k = 1; k < g.indices.size(); ++k) {
+        outcomes[g.indices[k]].from_cache = true;
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
 
-  // Sink records go out on the submitting thread, in submission order, so
-  // structured output is deterministic regardless of worker scheduling.
+  // Journal + sink bookkeeping happens on the submitting thread, in
+  // submission order, so structured output is deterministic regardless of
+  // worker scheduling. The journal line is written after the sink record
+  // flushed: a crash between the two re-runs the point (harmless) rather
+  // than losing its data row (not).
   {
     const std::lock_guard<std::mutex> lock(sink_mutex_);
-    if (sink_ != nullptr) {
-      for (std::size_t i = 0; i < jobs.size(); ++i) {
-        sink_->write(ResultRecord::make(jobs[i], *results[i], from_cache[i]));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const SimJobOutcome& out = outcomes[i];
+      if (!out.ok()) continue;
+      if (sink_ != nullptr) {
+        sink_->write(ResultRecord::make(jobs[i], *out.result, out.from_cache));
+      }
+      if (journal_ != nullptr && !out.skipped) {
+        journal_->mark_done(out.fingerprint, jobs[i].tag);
       }
     }
   }
-  return results;
+  return outcomes;
 }
 
 std::size_t ExperimentEngine::cache_size() const {
@@ -245,8 +514,8 @@ void ExperimentEngine::set_sink(ResultSink* sink) {
 }
 
 ExperimentEngine& ExperimentEngine::shared() {
-  // The sink is a separate static constructed first so it outlives the
-  // engine's destructor (which joins the workers).
+  // Sink and journal are separate statics constructed first so they
+  // outlive the engine's destructor (which joins the workers).
   static const std::unique_ptr<ResultSink> sink = []() -> std::unique_ptr<ResultSink> {
     const char* path = std::getenv("LPM_RESULTS");
     if (path == nullptr) return nullptr;
@@ -258,9 +527,26 @@ ExperimentEngine& ExperimentEngine::shared() {
       return nullptr;
     }
   }();
+  static const std::unique_ptr<SweepJournal> journal =
+      []() -> std::unique_ptr<SweepJournal> {
+    const char* path = std::getenv("LPM_JOURNAL");
+    if (path == nullptr) return nullptr;
+    try {
+      return SweepJournal::open(path);
+    } catch (const std::exception& e) {
+      util::log_error() << "LPM_JOURNAL disabled: " << e.what();
+      return nullptr;
+    }
+  }();
   static ExperimentEngine engine{[] {
     Options opts;
     opts.sink = sink.get();
+    opts.journal = journal.get();
+    opts.max_retries =
+        static_cast<unsigned>(env_u64_or("LPM_MAX_RETRIES", 0));
+    opts.retry_backoff_base_ms = env_u64_or("LPM_RETRY_BACKOFF_MS", 10);
+    opts.job_timeout_ms = env_u64_or("LPM_JOB_TIMEOUT_MS", 0);
+    opts.fault_plan = FaultPlan::from_env();
     return opts;
   }()};
   return engine;

@@ -23,27 +23,44 @@
 // are returned in submission order, and cache/sink bookkeeping happens on
 // the submitting thread — so an engine with N workers is bit-identical to
 // a serial run (asserted by tests/exp/experiment_engine_test.cpp).
+//
+// Fault tolerance: a job failure is data, not control flow. Every job in a
+// batch produces a SimJobOutcome — result or a typed (ErrorCode, message)
+// pair — and a FailurePolicy decides whether one failure cancels the rest
+// of the batch (fail-fast) or the sweep keeps going (collect-and-continue).
+// Failed executions retry up to max_retries times with deterministic,
+// seeded jittered backoff; a watchdog thread cancels over-budget jobs
+// cooperatively through sim::RunGuard (never by killing a thread). A
+// FaultPlan injects failures at chosen executed-point indices so all of
+// these paths are testable, and an optional SweepJournal lets a killed
+// sweep resume without re-simulating completed points
+// (tests/exp/fault_injection_test.cpp).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "exp/fault_plan.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/system.hpp"
 #include "trace/workload_profile.hpp"
+#include "util/error.hpp"
 
 namespace lpm::exp {
 
 class ResultSink;
+class SweepJournal;
 
 /// One experiment point: what to simulate and what to collect.
 struct SimJob {
@@ -79,6 +96,49 @@ struct SimJobResult {
 /// object as the run that produced it.
 using SimResultPtr = std::shared_ptr<const SimJobResult>;
 
+/// What a batch does after one of its jobs fails.
+enum class FailurePolicy {
+  /// Stop launching further jobs; jobs never started come back kCancelled.
+  /// The right choice when later work depends on earlier results (the LPM
+  /// walk's on-path evaluations, schedule ranking).
+  kFailFast,
+  /// Run every job regardless; failures are reported per job. The right
+  /// choice for sweeps and speculative batches where each point stands
+  /// alone.
+  kCollect,
+};
+
+/// Result-or-error for one submitted job; batches never silently drop a
+/// failure and never lose its message.
+struct SimJobOutcome {
+  std::uint64_t fingerprint = 0;
+  /// Non-null iff the job succeeded (ok()).
+  SimResultPtr result;
+  util::ErrorCode error = util::ErrorCode::kNone;
+  /// First error of the final attempt (tagged with the job on rethrow).
+  std::string error_message;
+  /// Execution attempts made (0 for cache hits and journal skips).
+  unsigned attempts = 0;
+  bool from_cache = false;
+  /// Skipped because the engine's SweepJournal already marks it done (a
+  /// resumed sweep; the data row is in the previous run's sink file).
+  bool skipped = false;
+
+  [[nodiscard]] bool ok() const { return result != nullptr; }
+  /// Returns the result or rethrows the recorded failure with its
+  /// concrete exception type (util::TimeoutError etc.).
+  [[nodiscard]] const SimResultPtr& value() const;
+};
+
+/// Per-batch knobs for run_batch_outcomes.
+struct BatchOptions {
+  FailurePolicy policy = FailurePolicy::kFailFast;
+  /// Skip points the engine's SweepJournal marks done (returned as
+  /// `skipped` outcomes with no result object). Resumable sweep drivers
+  /// opt in; consumers that need every result object leave this off.
+  bool consult_journal = false;
+};
+
 class ExperimentEngine {
  public:
   struct Options {
@@ -89,6 +149,26 @@ class ExperimentEngine {
     bool cache_enabled = true;
     /// Optional structured-record sink (non-owning; may be nullptr).
     ResultSink* sink = nullptr;
+    /// Re-executions allowed after a retryable failure (sim/io/timeout;
+    /// config errors never retry). 0 = fail on first error.
+    unsigned max_retries = 0;
+    /// Base backoff before retry k: base << (k-1) plus deterministic
+    /// jitter in [0, base] from (backoff_seed, fingerprint, attempt) —
+    /// see retry_backoff_ms(). 0 = retry immediately.
+    std::uint64_t retry_backoff_base_ms = 0;
+    /// Seed for the jittered backoff; fixed so retry schedules are
+    /// reproducible run-to-run.
+    std::uint64_t backoff_seed = 0x5eedbacc0ffULL;
+    /// Wall-clock budget per job execution; 0 = no watchdog. Over-budget
+    /// jobs are cancelled cooperatively (sim::RunGuard) and come back as
+    /// util::ErrorCode::kTimeout.
+    std::uint64_t job_timeout_ms = 0;
+    /// Default policy for run_batch_outcomes(jobs) without BatchOptions.
+    FailurePolicy policy = FailurePolicy::kFailFast;
+    /// Deterministic fault injection (see fault_plan.hpp); empty = none.
+    FaultPlan fault_plan;
+    /// Optional crash-safe sweep journal (non-owning; may be nullptr).
+    SweepJournal* journal = nullptr;
   };
 
   ExperimentEngine();
@@ -97,13 +177,31 @@ class ExperimentEngine {
   ExperimentEngine(const ExperimentEngine&) = delete;
   ExperimentEngine& operator=(const ExperimentEngine&) = delete;
 
-  /// Runs one job (cache-served when possible). Blocking.
+  /// Runs one job (cache-served when possible). Blocking. Throws the
+  /// job's typed error on failure (after exhausting retries).
   SimResultPtr run(const SimJob& job);
 
   /// Runs a batch concurrently across the worker pool; identical jobs
   /// within the batch are simulated once. Results are returned in
-  /// submission order. Blocking.
+  /// submission order. Blocking. Fail-fast: the first failed job's typed
+  /// error is rethrown, tagged with the job's tag and fingerprint; use
+  /// run_batch_outcomes() to observe per-job failures instead.
   std::vector<SimResultPtr> run_batch(const std::vector<SimJob>& jobs);
+
+  /// Like run_batch, but failures become data: one SimJobOutcome per job,
+  /// in submission order, never throwing for job-level errors.
+  std::vector<SimJobOutcome> run_batch_outcomes(const std::vector<SimJob>& jobs);
+  std::vector<SimJobOutcome> run_batch_outcomes(const std::vector<SimJob>& jobs,
+                                                BatchOptions batch);
+
+  /// Deterministic jittered backoff before retry `attempt` (1-based count
+  /// of failures so far): base << (attempt-1) plus a [0, base] jitter
+  /// drawn from (seed, fingerprint, attempt). Pure function — two engines
+  /// with the same seed produce identical retry schedules.
+  [[nodiscard]] static std::uint64_t retry_backoff_ms(std::uint64_t seed,
+                                                      std::uint64_t fingerprint,
+                                                      unsigned attempt,
+                                                      std::uint64_t base_ms);
 
   [[nodiscard]] unsigned threads() const { return threads_; }
   /// Simulations actually executed (== distinct points seen).
@@ -113,6 +211,18 @@ class ExperimentEngine {
   /// Submissions served from the memo cache.
   [[nodiscard]] std::uint64_t cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
+  }
+  /// Re-executions performed after retryable failures.
+  [[nodiscard]] std::uint64_t retries_performed() const {
+    return retries_performed_.load(std::memory_order_relaxed);
+  }
+  /// Jobs whose final attempt failed (after retries, all policies).
+  [[nodiscard]] std::uint64_t jobs_failed() const {
+    return jobs_failed_.load(std::memory_order_relaxed);
+  }
+  /// Points skipped because the journal already marks them done.
+  [[nodiscard]] std::uint64_t journal_skips() const {
+    return journal_skips_.load(std::memory_order_relaxed);
   }
   /// Aggregate wall time spent inside simulations, across all workers.
   /// busy_seconds() / elapsed wall time ~= achieved parallel speedup.
@@ -127,17 +237,45 @@ class ExperimentEngine {
   /// own: one cache means e.g. a bench and the LPM walk never re-simulate
   /// each other's points. Thread count from $LPM_THREADS; if $LPM_RESULTS
   /// is set, every executed job is appended there (.csv or .jsonl).
+  /// Fault-tolerance knobs from $LPM_MAX_RETRIES, $LPM_JOB_TIMEOUT_MS,
+  /// $LPM_FAULT_SPEC and $LPM_JOURNAL.
   static ExperimentEngine& shared();
 
  private:
   void worker_loop(int worker_id);
   void enqueue(std::function<void()> task);
   /// Simulates one job (no cache interaction); runs on a worker or, for
-  /// serial engines, on the submitting thread.
-  SimJobResult execute(const SimJob& job);
+  /// serial engines, on the submitting thread. `fault` injects a failure
+  /// before the simulation starts; `guard` is the watchdog's cancel flag
+  /// (null when no timeout is configured).
+  SimJobResult execute(const SimJob& job, const sim::RunGuard* guard,
+                       std::optional<FaultKind> fault);
+  /// One job with retry/backoff + watchdog registration; never throws for
+  /// job-level failures. `fault_index` is the deterministic executed-point
+  /// index consumed by the fault plan (faults fire on attempt 1 only).
+  SimJobOutcome execute_with_retry(const SimJob& job, std::uint64_t fingerprint,
+                                   std::uint64_t fault_index);
+  std::vector<SimJobOutcome> run_batch_impl(const std::vector<SimJob>& jobs,
+                                            FailurePolicy policy,
+                                            bool consult_journal);
+
+  // Watchdog bookkeeping: execute_with_retry registers each attempt's
+  // guard + deadline; the watchdog thread flips cancel flags once the
+  // deadline passes. Guards are shared_ptr so a late watchdog scan can
+  // never touch a dead flag.
+  std::uint64_t watchdog_register(std::shared_ptr<sim::RunGuard> guard);
+  void watchdog_unregister(std::uint64_t ticket);
+  void watchdog_loop();
 
   unsigned threads_ = 1;
   bool cache_enabled_ = true;
+  unsigned max_retries_ = 0;
+  std::uint64_t retry_backoff_base_ms_ = 0;
+  std::uint64_t backoff_seed_ = 0;
+  std::uint64_t job_timeout_ms_ = 0;
+  FailurePolicy default_policy_ = FailurePolicy::kFailFast;
+  FaultPlan fault_plan_;
+  SweepJournal* journal_ = nullptr;
 
   mutable std::mutex cache_mutex_;
   std::unordered_map<std::uint64_t, SimResultPtr> cache_;
@@ -148,12 +286,29 @@ class ExperimentEngine {
   std::atomic<std::uint64_t> simulations_executed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> busy_nanos_{0};
+  std::atomic<std::uint64_t> retries_performed_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> journal_skips_{0};
+  /// Executed-point cursor for the fault plan; advanced on the submitting
+  /// thread in submission order so injection sites are pool-independent.
+  std::atomic<std::uint64_t> fault_cursor_{0};
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+
+  struct WatchdogEntry {
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<sim::RunGuard> guard;
+  };
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::unordered_map<std::uint64_t, WatchdogEntry> watchdog_entries_;
+  std::uint64_t watchdog_next_ticket_ = 0;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace lpm::exp

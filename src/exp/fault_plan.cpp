@@ -1,0 +1,84 @@
+#include "exp/fault_plan.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace lpm::exp {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kIo: return "io";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream in(spec);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    const auto at = token.find('@');
+    util::require(at != std::string::npos && at > 0 && at + 1 < token.size(),
+                  "FaultPlan: token '" + token + "' is not kind@index");
+    const std::string kind_name = token.substr(0, at);
+    FaultKind kind;
+    if (kind_name == "throw") {
+      kind = FaultKind::kThrow;
+    } else if (kind_name == "hang") {
+      kind = FaultKind::kHang;
+    } else if (kind_name == "io") {
+      kind = FaultKind::kIo;
+    } else {
+      throw util::ConfigError("FaultPlan: unknown fault kind '" + kind_name +
+                              "' (expected throw | hang | io)");
+    }
+    const std::string index_text = token.substr(at + 1);
+    char* end = nullptr;
+    const unsigned long long index = std::strtoull(index_text.c_str(), &end, 10);
+    util::require(end != nullptr && *end == '\0' && index >= 1,
+                  "FaultPlan: bad index '" + index_text + "' (need integer >= 1)");
+    util::require(!plan.points.contains(index),
+                  "FaultPlan: duplicate index " + index_text);
+    plan.points.emplace(index, kind);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("LPM_FAULT_SPEC");
+  if (spec == nullptr || *spec == '\0') return {};
+  try {
+    FaultPlan plan = parse(spec);
+    util::log_warn() << "fault injection active: LPM_FAULT_SPEC="
+                     << plan.to_string();
+    return plan;
+  } catch (const util::LpmError& e) {
+    util::log_error() << "ignoring invalid LPM_FAULT_SPEC: " << e.what();
+    return {};
+  }
+}
+
+std::optional<FaultKind> FaultPlan::at(std::uint64_t index) const {
+  const auto it = points.find(index);
+  if (it == points.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& [index, kind] : points) {
+    if (!out.empty()) out += ',';
+    out += exp::to_string(kind);
+    out += '@';
+    out += std::to_string(index);
+  }
+  return out;
+}
+
+}  // namespace lpm::exp

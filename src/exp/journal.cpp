@@ -1,0 +1,115 @@
+#include "exp/journal.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+#include "util/log.hpp"
+
+namespace lpm::exp {
+
+namespace {
+
+/// Parses one journal line; returns true and fills `fp` for a well-formed
+/// "done <hex> ..." record. Unknown or damaged lines are simply skipped —
+/// the journal is an optimization, never an authority on correctness.
+bool parse_done_line(const std::string& line, std::uint64_t& fp) {
+  std::istringstream in(line);
+  std::string verb;
+  std::string hex;
+  if (!(in >> verb >> hex)) return false;
+  if (verb != "done" || hex.empty()) return false;
+  char* end = nullptr;
+  fp = std::strtoull(hex.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::uintmax_t trim_partial_last_line(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return 0;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return 0;
+  in.seekg(-1, std::ios::end);
+  char last = '\0';
+  in.get(last);
+  if (last == '\n') return 0;
+
+  // Walk back to the final newline; everything after it is the torn tail.
+  std::uintmax_t keep = 0;
+  for (std::uintmax_t offset = size; offset-- > 0;) {
+    in.seekg(static_cast<std::streamoff>(offset));
+    char c = '\0';
+    in.get(c);
+    if (c == '\n') {
+      keep = offset + 1;
+      break;
+    }
+  }
+  in.close();
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) {
+    throw util::IoError("cannot trim torn line in '" + path +
+                        "': " + ec.message());
+  }
+  return size - keep;
+}
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {}
+
+std::unique_ptr<SweepJournal> SweepJournal::open(const std::string& path) {
+  auto journal = std::unique_ptr<SweepJournal>(new SweepJournal(path));
+
+  if (std::filesystem::exists(path)) {
+    const std::uintmax_t trimmed = trim_partial_last_line(path);
+    if (trimmed > 0) {
+      util::log_warn() << "journal '" << path << "': dropped " << trimmed
+                       << " byte(s) of torn final line";
+    }
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::uint64_t fp = 0;
+      if (parse_done_line(line, fp)) journal->done_.insert(fp);
+    }
+  }
+
+  journal->out_.open(path, std::ios::out | std::ios::app);
+  if (!journal->out_.is_open()) {
+    throw util::IoError("SweepJournal: cannot open '" + path + "' for append");
+  }
+  return journal;
+}
+
+bool SweepJournal::completed(std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_.contains(fingerprint);
+}
+
+void SweepJournal::mark_done(std::uint64_t fingerprint, const std::string& tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!done_.insert(fingerprint).second) return;
+  // Tags are free-form; newlines would fake extra records, so flatten them.
+  std::string flat = tag;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  out_ << "done " << util::fingerprint_hex(fingerprint) << ' ' << flat << '\n';
+  out_.flush();
+  if (!out_) {
+    done_.erase(fingerprint);
+    throw util::IoError("SweepJournal: append to '" + path_ + "' failed");
+  }
+}
+
+std::size_t SweepJournal::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_.size();
+}
+
+}  // namespace lpm::exp

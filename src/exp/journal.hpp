@@ -1,0 +1,59 @@
+// Sweep journal: crash-safe record of which experiment points completed.
+//
+// One line per finished point, appended *after* its result reached the
+// sink and flushed immediately:
+//
+//   done <16-hex-fingerprint> <tag>
+//
+// On reopen the journal trims a torn final line (a crash mid-append leaves
+// at most one partial line, which carries no information) and reloads the
+// completed set. A killed sweep rerun against the same journal skips every
+// point already marked done — the engine's run_batch_outcomes() returns
+// those as `skipped` outcomes without re-simulating, and their data rows
+// are already in the (equally crash-safe) ResultSink file from the first
+// run.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace lpm::exp {
+
+/// Truncates `path` to end at its final newline, dropping a torn partial
+/// last line left by a crash mid-append. Returns the number of bytes
+/// removed (0 when the file is absent, empty, or ends cleanly).
+std::uintmax_t trim_partial_last_line(const std::string& path);
+
+class SweepJournal {
+ public:
+  /// Opens (creating if needed) the journal at `path`: trims a torn tail,
+  /// loads the completed set, and positions for appending. Throws
+  /// util::IoError when the path is unwritable.
+  [[nodiscard]] static std::unique_ptr<SweepJournal> open(const std::string& path);
+
+  /// Whether `fingerprint` was marked done (by this process or a previous
+  /// one). Thread-safe.
+  [[nodiscard]] bool completed(std::uint64_t fingerprint) const;
+
+  /// Marks a point done (append + flush); idempotent. Thread-safe.
+  void mark_done(std::uint64_t fingerprint, const std::string& tag);
+
+  /// Completed points currently known.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  explicit SweepJournal(std::string path);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::ofstream out_;
+  std::unordered_set<std::uint64_t> done_;
+};
+
+}  // namespace lpm::exp

@@ -1,10 +1,14 @@
 #include "exp/result_sink.hpp"
 
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "exp/experiment_engine.hpp"
+#include "exp/journal.hpp"
 #include "util/error.hpp"
 #include "util/fingerprint.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace lpm::exp {
@@ -19,14 +23,68 @@ std::string json_escape(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
 }
 
 }  // namespace
+
+std::string csv_field(const std::string& value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (const char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> split_csv_record(const std::string& record) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    const char c = record[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < record.size() && record[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
 
 ResultRecord ResultRecord::make(const SimJob& job, const SimJobResult& result,
                                 bool from_cache) {
@@ -67,9 +125,25 @@ std::unique_ptr<ResultSink> ResultSink::open(const std::string& path) {
   const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
   auto sink = std::unique_ptr<ResultSink>(
       new ResultSink(csv ? Format::kCsv : Format::kJsonLines));
+
+  // Heal a previous crash: a kill mid-append leaves at most one torn line,
+  // which carries no complete record — drop it so every surviving line
+  // parses. Re-runs then append clean records (header only once).
+  if (std::filesystem::exists(path)) {
+    const std::uintmax_t trimmed = trim_partial_last_line(path);
+    if (trimmed > 0) {
+      util::log_warn() << "results file '" << path << "': dropped " << trimmed
+                       << " byte(s) of torn final line";
+    }
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec && size > 0) sink->header_written_ = true;
+  }
+
   sink->owned_.open(path, std::ios::out | std::ios::app);
-  util::require(sink->owned_.is_open(),
-                "ResultSink: cannot open '" + path + "' for writing");
+  if (!sink->owned_.is_open()) {
+    throw util::IoError("ResultSink: cannot open '" + path + "' for writing");
+  }
   return sink;
 }
 
@@ -82,18 +156,12 @@ void ResultSink::write(const ResultRecord& r) {
             "ipc,mr1,mr2,camat1,camat2,cpi_exe\n";
       header_written_ = true;
     }
-    // Tags are free-form; quote them CSV-style.
-    os << '"';
-    for (const char c : r.tag) {
-      if (c == '"') os << '"';
-      os << c;
-    }
-    os << '"' << ',' << r.fingerprint << ',' << (r.from_cache ? 1 : 0) << ','
-       << (r.completed ? 1 : 0) << ',' << r.cycles << ',' << r.cores << ','
-       << r.instructions << ',' << util::fmt(r.ipc, 6) << ','
-       << util::fmt(r.mr1, 6) << ',' << util::fmt(r.mr2, 6) << ','
-       << util::fmt(r.camat1, 6) << ',' << util::fmt(r.camat2, 6) << ','
-       << util::fmt(r.cpi_exe, 6) << "\n";
+    os << csv_field(r.tag) << ',' << r.fingerprint << ','
+       << (r.from_cache ? 1 : 0) << ',' << (r.completed ? 1 : 0) << ','
+       << r.cycles << ',' << r.cores << ',' << r.instructions << ','
+       << util::fmt(r.ipc, 6) << ',' << util::fmt(r.mr1, 6) << ','
+       << util::fmt(r.mr2, 6) << ',' << util::fmt(r.camat1, 6) << ','
+       << util::fmt(r.camat2, 6) << ',' << util::fmt(r.cpi_exe, 6) << "\n";
   } else {
     os << "{\"tag\":\"" << json_escape(r.tag) << "\",\"fingerprint\":\""
        << r.fingerprint << "\",\"from_cache\":" << (r.from_cache ? "true" : "false")
@@ -105,6 +173,8 @@ void ResultSink::write(const ResultRecord& r) {
        << ",\"camat2\":" << util::fmt(r.camat2, 6)
        << ",\"cpi_exe\":" << util::fmt(r.cpi_exe, 6) << "}\n";
   }
+  // Append-then-flush: the record reaches the OS as one write, so a crash
+  // can only ever tear the final line (which open() heals on resume).
   *out_ << os.str();
   out_->flush();
   ++records_;

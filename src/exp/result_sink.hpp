@@ -2,6 +2,11 @@
 // or JSON lines. This is the machine-readable counterpart of the benches'
 // ASCII tables — sweeps land in a file a notebook can load directly instead
 // of an ad-hoc printf format per bench.
+//
+// Crash safety: records are appended and flushed one line at a time, so a
+// killed sweep loses at most its in-flight line. open() heals exactly that
+// case — a torn final line is truncated away before appending resumes, and
+// the CSV header is only written into an empty file.
 #pragma once
 
 #include <cstdint>
@@ -10,11 +15,22 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace lpm::exp {
 
 struct SimJob;
 struct SimJobResult;
+
+/// RFC 4180 CSV field encoding: fields containing commas, quotes, CR or LF
+/// are wrapped in double quotes with embedded quotes doubled; all other
+/// fields pass through unchanged.
+[[nodiscard]] std::string csv_field(const std::string& value);
+
+/// Inverse of csv_field over one CSV record (which may span multiple
+/// physical lines when a quoted field embeds newlines). Splits into
+/// unescaped fields; tolerant of unquoted fields.
+[[nodiscard]] std::vector<std::string> split_csv_record(const std::string& record);
 
 /// The flattened per-job record (aggregated over cores where per-core
 /// detail exists; the full SystemResult stays available on SimJobResult).
@@ -46,7 +62,10 @@ class ResultSink {
   ResultSink(std::ostream& out, Format format);
 
   /// Opens `path` for appending; format from the extension (.csv vs
-  /// .jsonl/.ndjson/anything else). Throws util::LpmError if unwritable.
+  /// .jsonl/.ndjson/anything else). A torn final line from a crashed
+  /// previous run is truncated away, and an existing non-empty CSV file
+  /// keeps its header (no duplicate is emitted). Throws util::IoError if
+  /// unwritable.
   [[nodiscard]] static std::unique_ptr<ResultSink> open(const std::string& path);
 
   /// Appends one record (thread-safe; the CSV header is emitted once).

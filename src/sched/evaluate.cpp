@@ -74,12 +74,25 @@ std::vector<EvalResult> evaluate_schedules(
   for (const ScheduleCandidate& c : candidates) {
     jobs.push_back(make_corun_job(machine, apps, c));
   }
-  const auto results = eng.run_batch(jobs);
+  // Explicitly fail-fast: the Fig. 8 ranking compares every candidate, so
+  // a missing co-run would silently bias the winner. The first failed
+  // candidate's typed error is rethrown tagged with its scheduler name.
+  const auto outcomes = eng.run_batch_outcomes(
+      jobs, exp::BatchOptions{exp::FailurePolicy::kFailFast,
+                              /*consult_journal=*/false});
 
   std::vector<EvalResult> out;
   out.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    out.push_back(to_eval_result(machine, apps, candidates[i], results[i]->run));
+    if (!outcomes[i].ok()) {
+      util::throw_error(
+          outcomes[i].error,
+          "evaluate_schedules: candidate '" + candidates[i].scheduler +
+              "' (#" + std::to_string(i) + ") failed: " +
+              outcomes[i].error_message);
+    }
+    out.push_back(
+        to_eval_result(machine, apps, candidates[i], outcomes[i].result->run));
   }
   return out;
 }

@@ -44,6 +44,9 @@ struct ScheduleCandidate {
 
 /// Evaluates many candidate placements as one engine batch (the co-runs
 /// are independent System instances); results come back in input order.
+/// Explicitly fail-fast (exp::FailurePolicy::kFailFast): the ranking needs
+/// every candidate, so the first failure is rethrown as its typed error,
+/// tagged with the failing candidate's scheduler name.
 [[nodiscard]] std::vector<EvalResult> evaluate_schedules(
     const sim::MachineConfig& machine, const std::vector<AppProfile>& apps,
     const std::vector<ScheduleCandidate>& candidates,

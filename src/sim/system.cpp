@@ -96,8 +96,24 @@ bool System::step() {
   return true;
 }
 
-SystemResult System::run() {
+namespace {
+
+/// Polls the guard every check_interval cycles; throws TimeoutError once a
+/// watchdog has flagged the run as over budget.
+void check_guard(const RunGuard* guard, Cycle now) {
+  if (guard == nullptr) return;
+  const Cycle interval = guard->check_interval == 0 ? 1 : guard->check_interval;
+  if (now % interval == 0 && guard->cancel.load(std::memory_order_relaxed)) {
+    throw util::TimeoutError("simulation cancelled by watchdog at cycle " +
+                             std::to_string(now));
+  }
+}
+
+}  // namespace
+
+SystemResult System::run(const RunGuard* guard) {
   while (now_ < cfg_.max_cycles) {
+    check_guard(guard, now_);
     if (!step()) break;
   }
   if (!finalized_ && now_ > 0) {
@@ -133,7 +149,8 @@ SystemResult System::collect() const {
   return r;
 }
 
-CpiExeResult measure_cpi_exe(const MachineConfig& cfg, trace::TraceSource& trace) {
+CpiExeResult measure_cpi_exe(const MachineConfig& cfg, trace::TraceSource& trace,
+                             const RunGuard* guard) {
   trace.reset();
   // CPIexe is the processor's pure computation capability (Eq. 5): perfect
   // cache with unconstrained ports, so only issue width / window / ROB and
@@ -146,6 +163,7 @@ CpiExeResult measure_cpi_exe(const MachineConfig& cfg, trace::TraceSource& trace
 
   Cycle now = 0;
   while (!core.finished() && now < cfg.max_cycles) {
+    check_guard(guard, now);
     perfect.tick(now);
     core.tick(now);
     ++now;

@@ -3,6 +3,7 @@
 // This is the gem5+DRAMSim2 substitute (DESIGN.md §2).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -38,6 +39,18 @@ struct SystemResult {
   [[nodiscard]] double mr2() const { return l2_cache.miss_rate(); }
 };
 
+/// Cooperative cancellation for run(): an external watchdog (the experiment
+/// engine's, when a job timeout is configured) sets `cancel`; the run loop
+/// polls it every `check_interval` simulated cycles and throws
+/// util::TimeoutError. Threads are never killed — the simulation unwinds
+/// through its own stack, so no System is ever left half-ticked.
+struct RunGuard {
+  std::atomic<bool> cancel{false};
+  /// Cycles between polls. Coarse enough that the atomic load is free,
+  /// fine enough that cancellation lands within microseconds of wall time.
+  Cycle check_interval = 4096;
+};
+
 class System {
  public:
   /// One trace per core (sizes must match cfg.num_cores). Traces are owned
@@ -47,8 +60,10 @@ class System {
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
-  /// Runs to completion (all cores drained) or cfg.max_cycles.
-  SystemResult run();
+  /// Runs to completion (all cores drained) or cfg.max_cycles. A non-null
+  /// `guard` makes the run cancellable: util::TimeoutError is thrown at the
+  /// next check interval after guard->cancel becomes true.
+  SystemResult run(const RunGuard* guard = nullptr);
 
   /// Single-cycle stepping for tests; returns false once finished.
   bool step();
@@ -88,6 +103,7 @@ struct CpiExeResult {
   std::uint64_t instructions = 0;
   Cycle cycles = 0;
 };
-CpiExeResult measure_cpi_exe(const MachineConfig& cfg, trace::TraceSource& trace);
+CpiExeResult measure_cpi_exe(const MachineConfig& cfg, trace::TraceSource& trace,
+                             const RunGuard* guard = nullptr);
 
 }  // namespace lpm::sim

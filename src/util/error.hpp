@@ -1,4 +1,20 @@
-// Error handling helpers: a library exception type plus precondition checks.
+// Error handling: a small exception taxonomy plus precondition checks.
+//
+// Every failure the library can surface is an LpmError carrying an
+// ErrorCode, so callers (most importantly the experiment engine's per-job
+// SimJobOutcome) can branch on the *kind* of failure without string
+// matching:
+//
+//   ConfigError  — invalid user-supplied configuration; never retryable,
+//                  the same inputs will fail the same way forever.
+//   SimError     — a simulation violated an internal expectation at run
+//                  time (also the classification for injected faults).
+//   IoError      — filesystem / stream failures (sinks, journals, traces).
+//   TimeoutError — a run exceeded its cycle or wall-clock budget and was
+//                  cancelled cooperatively (never by killing a thread).
+//
+// kCancelled is not thrown by the library itself: the engine uses it to
+// mark jobs it never started because a fail-fast batch aborted early.
 #pragma once
 
 #include <source_location>
@@ -7,19 +23,88 @@
 
 namespace lpm::util {
 
+/// Machine-checkable failure kind carried by every LpmError.
+enum class ErrorCode {
+  kNone = 0,   ///< no error (the default state of a SimJobOutcome)
+  kGeneric,    ///< untyped LpmError (legacy throw sites)
+  kConfig,     ///< invalid configuration / usage; not retryable
+  kSim,        ///< runtime simulation failure (or injected fault)
+  kIo,         ///< file / stream failure
+  kTimeout,    ///< cooperative cancellation after exceeding a budget
+  kCancelled,  ///< never started: a fail-fast batch aborted first
+};
+
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kGeneric: return "error";
+    case ErrorCode::kConfig: return "config";
+    case ErrorCode::kSim: return "sim";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 /// Exception thrown for configuration and usage errors across the library.
 class LpmError : public std::runtime_error {
  public:
-  explicit LpmError(const std::string& what) : std::runtime_error(what) {}
+  explicit LpmError(const std::string& what, ErrorCode code = ErrorCode::kGeneric)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
-/// Throws LpmError when `cond` is false. Use for validating user-supplied
-/// configuration; internal invariants use assert().
+class ConfigError : public LpmError {
+ public:
+  explicit ConfigError(const std::string& what)
+      : LpmError(what, ErrorCode::kConfig) {}
+};
+
+class SimError : public LpmError {
+ public:
+  explicit SimError(const std::string& what) : LpmError(what, ErrorCode::kSim) {}
+};
+
+class IoError : public LpmError {
+ public:
+  explicit IoError(const std::string& what) : LpmError(what, ErrorCode::kIo) {}
+};
+
+class TimeoutError : public LpmError {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : LpmError(what, ErrorCode::kTimeout) {}
+};
+
+/// Re-raises a failure recorded as (code, message) — e.g. when a
+/// SimJobOutcome is unwrapped — preserving the concrete exception type so
+/// catch(TimeoutError&) style handlers keep working across the store/rethrow
+/// boundary.
+[[noreturn]] inline void throw_error(ErrorCode code, const std::string& message) {
+  switch (code) {
+    case ErrorCode::kConfig: throw ConfigError(message);
+    case ErrorCode::kSim: throw SimError(message);
+    case ErrorCode::kIo: throw IoError(message);
+    case ErrorCode::kTimeout: throw TimeoutError(message);
+    case ErrorCode::kNone:
+    case ErrorCode::kGeneric:
+    case ErrorCode::kCancelled: throw LpmError(message, code);
+  }
+  throw LpmError(message);
+}
+
+/// Throws ConfigError when `cond` is false. Use for validating
+/// user-supplied configuration; internal invariants use assert().
 inline void require(bool cond, const std::string& message,
                     std::source_location loc = std::source_location::current()) {
   if (!cond) {
-    throw LpmError(std::string(loc.file_name()) + ":" +
-                   std::to_string(loc.line()) + ": " + message);
+    throw ConfigError(std::string(loc.file_name()) + ":" +
+                      std::to_string(loc.line()) + ": " + message);
   }
 }
 

@@ -211,7 +211,8 @@ TEST(ExperimentEngine, SinkReceivesOneRecordPerSubmission) {
   EXPECT_NE(text.find("tag,fingerprint,from_cache"), std::string::npos)
       << "CSV header missing:\n"
       << text;
-  EXPECT_NE(text.find("\n\"a\","), std::string::npos);
+  // RFC 4180: a plain tag needs no quotes.
+  EXPECT_NE(text.find("\na,"), std::string::npos);
 }
 
 TEST(ExperimentEngine, RejectsMalformedJobs) {

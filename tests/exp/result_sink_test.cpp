@@ -1,0 +1,155 @@
+// Crash-safe structured output: RFC 4180 CSV encoding round-trips any tag,
+// reopening a sink heals a torn final line without duplicating the header,
+// and JSON records escape every control character.
+#include "exp/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment_engine.hpp"
+#include "trace/spec_like.hpp"
+
+namespace lpm {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CsvField, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(exp::csv_field("plain"), "plain");
+  EXPECT_EQ(exp::csv_field(""), "");
+  EXPECT_EQ(exp::csv_field("has space"), "has space");
+  EXPECT_EQ(exp::csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(exp::csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(exp::csv_field("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(exp::csv_field("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvField, RoundTripsThroughSplit) {
+  const std::vector<std::string> fields = {
+      "plain", "", "a,b", "say \"hi\"", "two\nlines", "mix,\"of\nall\"",
+  };
+  std::string record;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) record += ',';
+    record += exp::csv_field(fields[i]);
+  }
+  EXPECT_EQ(exp::split_csv_record(record), fields);
+}
+
+TEST(ResultSink, CsvTagWithCommaAndQuoteRoundTrips) {
+  std::ostringstream csv;
+  exp::ResultSink sink(csv, exp::ResultSink::Format::kCsv);
+
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 1;
+  opts.sink = &sink;
+  exp::ExperimentEngine engine(opts);
+
+  auto job = exp::SimJob::solo(
+      sim::MachineConfig::single_core_default(),
+      trace::spec_profile(trace::SpecBenchmark::kGcc, 10'000, 7),
+      /*calibrate=*/false, "tricky, \"tag\"");
+  (void)engine.run(job);
+
+  std::istringstream lines(csv.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  const auto fields = exp::split_csv_record(row);
+  ASSERT_FALSE(fields.empty());
+  EXPECT_EQ(fields[0], "tricky, \"tag\"") << "row: " << row;
+}
+
+TEST(ResultSink, ReopenHealsTornLineAndKeepsSingleHeader) {
+  const std::string path = temp_path("lpm_sink_torn.csv");
+
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 1;
+  exp::ExperimentEngine engine(opts);
+  const auto job = exp::SimJob::solo(
+      sim::MachineConfig::single_core_default(),
+      trace::spec_profile(trace::SpecBenchmark::kGcc, 10'000, 7),
+      /*calibrate=*/false, "first");
+
+  {
+    auto sink = exp::ResultSink::open(path);
+    engine.set_sink(sink.get());
+    (void)engine.run(job);
+    engine.set_sink(nullptr);
+  }
+  // Simulate a crash mid-append: a partial record with no newline.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "torn-record,0000";
+  }
+  {
+    auto sink = exp::ResultSink::open(path);
+    engine.set_sink(sink.get());
+    auto again = job;
+    again.tag = "second";
+    (void)engine.run(again);  // cache hit still writes a record
+    engine.set_sink(nullptr);
+  }
+
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.find("torn-record"), std::string::npos)
+      << "torn line must be truncated away:\n"
+      << text;
+  std::istringstream lines(text);
+  std::string line;
+  int headers = 0, rows = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("tag,fingerprint,", 0) == 0) {
+      ++headers;
+    } else if (!line.empty()) {
+      ++rows;
+    }
+  }
+  EXPECT_EQ(headers, 1) << "reopen must not duplicate the header:\n" << text;
+  EXPECT_EQ(rows, 2) << text;
+  std::filesystem::remove(path);
+}
+
+TEST(ResultSink, JsonEscapesControlCharacters) {
+  std::ostringstream json;
+  exp::ResultSink sink(json, exp::ResultSink::Format::kJsonLines);
+
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 1;
+  opts.sink = &sink;
+  exp::ExperimentEngine engine(opts);
+
+  auto job = exp::SimJob::solo(
+      sim::MachineConfig::single_core_default(),
+      trace::spec_profile(trace::SpecBenchmark::kGcc, 10'000, 7),
+      /*calibrate=*/false, std::string("tab\there\nand\rmore\x01"));
+  (void)engine.run(job);
+
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\\t"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\r"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\u0001"), std::string::npos) << text;
+  // The record itself stays one physical line (JSON lines format).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace lpm
