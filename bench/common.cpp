@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace lpm::benchx {
@@ -46,6 +47,7 @@ void print_engine_summary(const exp::ExperimentEngine& engine,
       static_cast<unsigned long long>(engine.simulations_executed()),
       static_cast<unsigned long long>(engine.cache_hits()), busy, wall_seconds,
       wall_seconds > 0 ? busy / wall_seconds : 0.0);
+  std::printf("%s\n", obs::summary_line().c_str());
 }
 
 }  // namespace lpm::benchx

@@ -11,6 +11,7 @@
 #include "core/design_space.hpp"
 #include "core/lpm_algorithm.hpp"
 #include "exp/experiment_engine.hpp"
+#include "obs/metrics.hpp"
 #include "trace/spec_like.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
@@ -83,6 +84,7 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(engine.simulations_executed()),
               static_cast<unsigned long long>(engine.cache_hits()),
               engine.busy_seconds());
+  std::printf("%s\n", lpm::obs::summary_line().c_str());
   return 0;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace lpm::camat {
 
 namespace {
@@ -68,6 +70,23 @@ std::string CamatMetrics::summary() const {
      << " CM=" << CM() << " MR=" << MR() << " AMP=" << AMP() << " Cm=" << Cm()
      << " eta1=" << eta1();
   return os.str();
+}
+
+void CamatMetrics::publish(obs::MetricsRegistry& registry,
+                           const std::string& level) const {
+  registry.counter("sim.camat.pure_misses." + level).add(pure_misses);
+  // Concurrency terms are ratios, not counts: one histogram sample per
+  // window keeps distributions comparable across runs of any length. Empty
+  // windows (no hit/miss activity) carry no concurrency information.
+  const auto bounds = obs::MetricsRegistry::concurrency_bounds();
+  if (hit_cycles > 0) {
+    registry.histogram("sim.camat.hit_concurrency." + level, bounds)
+        .observe(CH());
+  }
+  if (pure_miss_cycles > 0) {
+    registry.histogram("sim.camat.pure_miss_concurrency." + level, bounds)
+        .observe(CM());
+  }
 }
 
 double amat_eq1(double H, double MR, double AMP) { return H + MR * AMP; }

@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <string>
 
+namespace lpm::obs {
+class MetricsRegistry;
+}
+
 namespace lpm::camat {
 
 /// The measured C-AMAT parameter set of one memory layer over one
@@ -49,6 +53,13 @@ struct CamatMetrics {
 
   /// One-line summary for logs and benches.
   [[nodiscard]] std::string summary() const;
+
+  /// Bulk-publishes this window into `registry`: adds pure_misses to
+  /// sim.camat.pure_misses.<level> and samples the hit / pure-miss
+  /// concurrency (CH, CM — the terms feeding Eq. 2) into the
+  /// sim.camat.{hit,pure_miss}_concurrency.<level> histograms. Called once
+  /// per run epilogue, never per cycle. Thread-safe.
+  void publish(obs::MetricsRegistry& registry, const std::string& level) const;
 };
 
 /// Closed-form helpers, usable without a measurement (model-side math).

@@ -1,5 +1,7 @@
 #include "core/lpm_algorithm.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -36,12 +38,51 @@ LpmAction LpmAlgorithm::classify(const LpmObservation& obs) const {
   return LpmAction::kDone;
 }
 
+namespace {
+
+/// Walk-exit telemetry: one call per run(), on every return path.
+void publish_outcome(const LpmOutcome& out) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("lpm.walks").inc();
+  reg.counter("lpm.iterations").add(out.steps.size());
+  // Resolved even when 0 so both names always appear in the snapshot.
+  reg.counter("lpm.converged").add(out.converged ? 1 : 0);
+  reg.counter("lpm.exhausted").add(out.exhausted ? 1 : 0);
+}
+
+/// Per-iteration telemetry: the LPMR trajectory lands both in the lpm.lpmr1/2
+/// histograms (aggregate view) and — when tracing is on — as an "lpm.lpmr"
+/// counter-event series, which Perfetto renders as the walk's trajectory
+/// over time (see OBSERVABILITY.md for the worked example).
+void publish_iteration(const LpmObservation& obs, LpmAction action) {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto bounds = obs::MetricsRegistry::concurrency_bounds();
+  reg.histogram("lpm.lpmr1", bounds).observe(obs.lpmr.lpmr1);
+  reg.histogram("lpm.lpmr2", bounds).observe(obs.lpmr.lpmr2);
+  if (auto* session = obs::TraceSession::global()) {
+    session->counter_event("lpm.lpmr", session->now_us(),
+                           {{"lpmr1", obs.lpmr.lpmr1},
+                            {"lpmr2", obs.lpmr.lpmr2},
+                            {"lpmr3", obs.lpmr.lpmr3}});
+    session->instant_event("lpm.action", "lpm", session->now_us(),
+                           {{"case", static_cast<double>(action)}});
+  }
+}
+
+}  // namespace
+
 LpmOutcome LpmAlgorithm::run(LpmTunable& system) const {
+  OBS_SPAN("lpm.run", "lpm");
   LpmOutcome out;
   for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
+    obs::ScopedSpan iter_span(obs::TraceSession::global(), "lpm.iteration",
+                              "lpm");
     if (cfg_.prefetch_candidates) system.prefetch_candidates();
     LpmObservation obs = system.measure();
     const LpmAction action = classify(obs);
+    iter_span.arg("lpmr1", obs.lpmr.lpmr1);
+    iter_span.arg("lpmr2", obs.lpmr.lpmr2);
+    publish_iteration(obs, action);
 
     LpmStep step;
     step.iteration = iter;
@@ -59,6 +100,7 @@ LpmOutcome LpmAlgorithm::run(LpmTunable& system) const {
         out.steps.push_back(step);
         out.final_observation = obs;
         out.converged = true;
+        publish_outcome(out);
         return out;
       case LpmAction::kOptimizeBoth: {
         const bool a = system.optimize_l1();
@@ -81,11 +123,13 @@ LpmOutcome LpmAlgorithm::run(LpmTunable& system) const {
       out.final_observation = obs;
       out.converged = action == LpmAction::kReduceOverprovision;
       out.exhausted = !out.converged;
+      publish_outcome(out);
       return out;
     }
   }
   out.final_observation = system.measure();
   out.exhausted = true;
+  publish_outcome(out);
   return out;
 }
 

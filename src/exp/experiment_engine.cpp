@@ -6,6 +6,7 @@
 
 #include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
+#include "obs/trace.hpp"
 #include "trace/synthetic.hpp"
 #include "util/fingerprint.hpp"
 #include "util/log.hpp"
@@ -111,6 +112,29 @@ ExperimentEngine::ExperimentEngine(Options opts)
       fault_plan_(std::move(opts.fault_plan)),
       journal_(opts.journal),
       sink_(opts.sink) {
+  // Resolve registry handles (and thereby touch the global registry +
+  // trace session) before any worker exists: the $LPM_METRICS/$LPM_TRACE
+  // exit hooks are then registered ahead of this engine's static-teardown
+  // slot, so a shared() engine joins its pool before the final snapshot
+  // and the trace-file close.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::TraceSession::global();
+  obs_ = Instruments{
+      reg.counter("exp.jobs.submitted"),
+      reg.counter("exp.jobs.executed"),
+      reg.counter("exp.jobs.cache_hits"),
+      reg.counter("exp.jobs.failed"),
+      reg.counter("exp.jobs.retries"),
+      reg.counter("exp.jobs.timeouts"),
+      reg.counter("exp.jobs.faults_injected"),
+      reg.counter("exp.jobs.journal_skips"),
+      reg.histogram("exp.job.queue_wait_ms",
+                    obs::MetricsRegistry::latency_ms_bounds()),
+      reg.histogram("exp.job.run_ms",
+                    obs::MetricsRegistry::latency_ms_bounds()),
+      reg.histogram("exp.batch.size",
+                    {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+  };
   // threads_ == 1 means strictly serial: jobs run inline on the submitting
   // thread and no pool exists (the reference configuration for the
   // determinism tests).
@@ -216,7 +240,10 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
                                        const sim::RunGuard* guard,
                                        std::optional<FaultKind> fault) {
   const auto start = std::chrono::steady_clock::now();
+  obs::ScopedSpan span(obs::TraceSession::global(), "exp.execute", "exp");
+  span.arg("cores", static_cast<double>(job.machine.num_cores));
   if (fault.has_value()) {
+    obs_.faults_injected.inc();
     switch (*fault) {
       case FaultKind::kThrow:
         throw util::SimError("injected fault: throw (job '" + job.tag + "')");
@@ -253,10 +280,13 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
     }
   }
   simulations_executed_.fetch_add(1, std::memory_order_relaxed);
-  busy_nanos_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::steady_clock::now() - start)
-                            .count(),
-                        std::memory_order_relaxed);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  busy_nanos_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  out.duration_seconds = 1e-9 * static_cast<double>(elapsed_ns);
+  obs_.jobs_executed.inc();
+  obs_.run_ms.observe(1e-6 * static_cast<double>(elapsed_ns));
   return out;
 }
 
@@ -300,6 +330,7 @@ SimJobOutcome ExperimentEngine::execute_with_retry(const SimJob& job,
       if (guard != nullptr) watchdog_unregister(ticket);
       out.error = code_of(e);
       out.error_message = e.what();
+      if (out.error == util::ErrorCode::kTimeout) obs_.timeouts.inc();
     } catch (...) {
       // Deliberately the only catch-all left in the engine: it converts an
       // unknown thrown type into a typed outcome instead of losing it.
@@ -309,9 +340,15 @@ SimJobOutcome ExperimentEngine::execute_with_retry(const SimJob& job,
     }
     if (!retryable(out.error) || attempt > max_retries_) {
       jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+      obs_.jobs_failed.inc();
       return out;
     }
     retries_performed_.fetch_add(1, std::memory_order_relaxed);
+    obs_.retries.inc();
+    if (obs::TraceSession* session = obs::TraceSession::global()) {
+      session->instant_event("exp.retry", "exp", session->now_us(),
+                             {{"attempt", static_cast<double>(attempt)}});
+    }
     const std::uint64_t delay =
         retry_backoff_ms(backoff_seed_, fingerprint, attempt, retry_backoff_base_ms_);
     util::log_warn() << "job '" << job.tag << "' attempt " << attempt
@@ -365,6 +402,11 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
     bool consult_journal) {
   std::vector<SimJobOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
+  obs::ScopedSpan batch_span(obs::TraceSession::global(), "exp.run_batch",
+                             "exp");
+  batch_span.arg("jobs", static_cast<double>(jobs.size()));
+  obs_.jobs_submitted.add(jobs.size());
+  obs_.batch_size.observe(static_cast<double>(jobs.size()));
 
   // Resolve fingerprints, validation failures, cache hits and journal
   // skips on the submitting thread; group the remainder so each distinct
@@ -399,12 +441,14 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
         outcomes[i].result = it->second;
         outcomes[i].from_cache = true;
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_.cache_hits.inc();
         continue;
       }
     }
     if (consult_journal && journal_ != nullptr && journal_->completed(fp)) {
       outcomes[i].skipped = true;
       journal_skips_.fetch_add(1, std::memory_order_relaxed);
+      obs_.journal_skips.inc();
       continue;
     }
     group_of.emplace(fp, groups.size());
@@ -425,7 +469,13 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
 
     for (Group& group : groups) {
       const Group* g = &group;
-      auto task = [this, g, policy, &outcomes, &state] {
+      const auto enqueued_at = std::chrono::steady_clock::now();
+      auto task = [this, g, policy, &outcomes, &state, enqueued_at] {
+        obs_.queue_wait_ms.observe(
+            1e-6 * static_cast<double>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - enqueued_at)
+                           .count()));
         SimJobOutcome out;
         // Fail-fast: jobs not yet started when an earlier one failed are
         // reported as cancelled, never silently dropped.
@@ -473,6 +523,7 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
       for (std::size_t k = 1; k < g.indices.size(); ++k) {
         outcomes[g.indices[k]].from_cache = true;
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_.cache_hits.inc();
       }
     }
   }
@@ -491,7 +542,8 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
         sink_->write(ResultRecord::make(jobs[i], *out.result, out.from_cache));
       }
       if (journal_ != nullptr && !out.skipped) {
-        journal_->mark_done(out.fingerprint, jobs[i].tag);
+        journal_->mark_done(out.fingerprint, jobs[i].tag,
+                            1e3 * out.result->duration_seconds);
       }
     }
   }

@@ -35,6 +35,21 @@
 // these paths are testable, and an optional SweepJournal lets a killed
 // sweep resume without re-simulating completed points
 // (tests/exp/fault_injection_test.cpp).
+//
+// Observability: the engine publishes its telemetry (job counts, memo-cache
+// hits/misses, retry/timeout/fault tallies, queue-wait and run-time
+// histograms) to obs::MetricsRegistry::global() and emits exp.run_batch /
+// exp.execute spans on the global trace session — see OBSERVABILITY.md for
+// the name catalogue and the $LPM_METRICS / $LPM_TRACE knobs.
+//
+// Thread safety: run(), run_batch() and run_batch_outcomes() are blocking
+// and may be called from any thread, including concurrently (each batch
+// carries its own completion state); they must NOT be called from inside a
+// worker task (the pool would deadlock waiting on itself). set_sink() and
+// clear_cache() are safe from any thread. The counters
+// (simulations_executed() etc.) and cache_size() are safe from any thread
+// at any time. Options and the engine itself must outlive all in-flight
+// batches; destruction joins the pool.
 #pragma once
 
 #include <atomic>
@@ -52,6 +67,7 @@
 #include <vector>
 
 #include "exp/fault_plan.hpp"
+#include "obs/metrics.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/system.hpp"
 #include "trace/workload_profile.hpp"
@@ -61,6 +77,11 @@ namespace lpm::exp {
 
 class ResultSink;
 class SweepJournal;
+
+/// RAII wall-clock timer feeding a registry histogram (and optionally a
+/// trace span); re-exported here because the engine's consumers time their
+/// sweep phases with it. See obs/metrics.hpp.
+using ScopedTimer = obs::ScopedTimer;
 
 /// One experiment point: what to simulate and what to collect.
 struct SimJob {
@@ -90,6 +111,11 @@ struct SimJobResult {
   sim::SystemResult run;
   /// Per-workload calibration, in core order; empty unless job.calibrate.
   std::vector<sim::CpiExeResult> calib;
+  /// Wall-clock seconds the successful execution took (simulation +
+  /// calibration). Rides the shared result object, so a cache-served
+  /// outcome reports the duration of the run that produced it; sinks and
+  /// the journal record the same number (ResultRecord::duration_ms).
+  double duration_seconds = 0.0;
 };
 
 /// Results are shared immutable objects: a cache hit returns the *same*
@@ -282,6 +308,24 @@ class ExperimentEngine {
 
   std::mutex sink_mutex_;
   ResultSink* sink_ = nullptr;
+
+  /// Registry handles mirroring the atomic counters below into the global
+  /// metrics registry (stable names; see OBSERVABILITY.md). Resolved once
+  /// at construction so the hot paths never do name lookups.
+  struct Instruments {
+    obs::MetricsRegistry::Counter jobs_submitted;
+    obs::MetricsRegistry::Counter jobs_executed;
+    obs::MetricsRegistry::Counter cache_hits;
+    obs::MetricsRegistry::Counter jobs_failed;
+    obs::MetricsRegistry::Counter retries;
+    obs::MetricsRegistry::Counter timeouts;
+    obs::MetricsRegistry::Counter faults_injected;
+    obs::MetricsRegistry::Counter journal_skips;
+    obs::MetricsRegistry::Histogram queue_wait_ms;
+    obs::MetricsRegistry::Histogram run_ms;
+    obs::MetricsRegistry::Histogram batch_size;
+  };
+  Instruments obs_;
 
   std::atomic<std::uint64_t> simulations_executed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

@@ -14,6 +14,13 @@
 // pooled engine (the index is assigned on the submitting thread, not when
 // a worker happens to pick the job up). A fault fires on the job's first
 // attempt only, so a retrying engine recovers deterministically.
+//
+// Thread safety: parsing (FaultPlan::parse / from_env) builds an immutable
+// plan; at(), empty() and to_string() are const lookups, safe from any
+// thread. The executed-point counter lives in the engine (advanced on the
+// submitting thread only); workers receive the already-resolved
+// std::optional<FaultKind> by value, so the plan is never mutated after
+// construction.
 #pragma once
 
 #include <cstdint>

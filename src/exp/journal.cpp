@@ -1,5 +1,6 @@
 #include "exp/journal.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
@@ -91,7 +92,8 @@ bool SweepJournal::completed(std::uint64_t fingerprint) const {
   return done_.contains(fingerprint);
 }
 
-void SweepJournal::mark_done(std::uint64_t fingerprint, const std::string& tag) {
+void SweepJournal::mark_done(std::uint64_t fingerprint, const std::string& tag,
+                             double duration_ms) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!done_.insert(fingerprint).second) return;
   // Tags are free-form; newlines would fake extra records, so flatten them.
@@ -99,7 +101,10 @@ void SweepJournal::mark_done(std::uint64_t fingerprint, const std::string& tag) 
   for (char& c : flat) {
     if (c == '\n' || c == '\r') c = ' ';
   }
-  out_ << "done " << util::fingerprint_hex(fingerprint) << ' ' << flat << '\n';
+  char dur[32];
+  std::snprintf(dur, sizeof(dur), "%.3f", duration_ms < 0 ? 0.0 : duration_ms);
+  out_ << "done " << util::fingerprint_hex(fingerprint) << ' ' << dur << ' '
+       << flat << '\n';
   out_.flush();
   if (!out_) {
     done_.erase(fingerprint);

@@ -3,7 +3,13 @@
 // One line per finished point, appended *after* its result reached the
 // sink and flushed immediately:
 //
-//   done <16-hex-fingerprint> <tag>
+//   done <16-hex-fingerprint> <duration-ms> <tag>
+//
+// duration-ms is the wall-clock execution time of the run that produced
+// the point (the same number the ResultSink records as duration_ms, so the
+// two files agree on timing). Lines from older journals without the
+// duration field still load — the parser only authenticates the verb and
+// fingerprint.
 //
 // On reopen the journal trims a torn final line (a crash mid-append leaves
 // at most one partial line, which carries no information) and reloads the
@@ -12,6 +18,12 @@
 // those as `skipped` outcomes without re-simulating, and their data rows
 // are already in the (equally crash-safe) ResultSink file from the first
 // run.
+//
+// Thread safety: completed(), mark_done() and size() are safe from any
+// thread (one internal mutex); in practice the engine calls them only from
+// the submitting thread so journal order matches submission order. open()
+// must not race another open() of the same path (the reopen-and-truncate
+// dance is not atomic across processes).
 #pragma once
 
 #include <cstdint>
@@ -40,7 +52,10 @@ class SweepJournal {
   [[nodiscard]] bool completed(std::uint64_t fingerprint) const;
 
   /// Marks a point done (append + flush); idempotent. Thread-safe.
-  void mark_done(std::uint64_t fingerprint, const std::string& tag);
+  /// `duration_ms` is the wall-clock execution time recorded in the line
+  /// (0 when the caller has no timing, e.g. hand-written journals).
+  void mark_done(std::uint64_t fingerprint, const std::string& tag,
+                 double duration_ms = 0.0);
 
   /// Completed points currently known.
   [[nodiscard]] std::size_t size() const;

@@ -113,6 +113,7 @@ ResultRecord ResultRecord::make(const SimJob& job, const SimJobResult& result,
   if (!result.run.l1.empty()) r.camat1 = result.run.l1.front().camat();
   r.camat2 = result.run.l2.camat();
   if (!result.calib.empty()) r.cpi_exe = result.calib.front().cpi_exe;
+  r.duration_ms = 1e3 * result.duration_seconds;
   return r;
 }
 
@@ -153,7 +154,7 @@ void ResultSink::write(const ResultRecord& r) {
   if (format_ == Format::kCsv) {
     if (!header_written_) {
       os << "tag,fingerprint,from_cache,completed,cycles,cores,instructions,"
-            "ipc,mr1,mr2,camat1,camat2,cpi_exe\n";
+            "ipc,mr1,mr2,camat1,camat2,cpi_exe,duration_ms\n";
       header_written_ = true;
     }
     os << csv_field(r.tag) << ',' << r.fingerprint << ','
@@ -161,7 +162,8 @@ void ResultSink::write(const ResultRecord& r) {
        << r.cycles << ',' << r.cores << ',' << r.instructions << ','
        << util::fmt(r.ipc, 6) << ',' << util::fmt(r.mr1, 6) << ','
        << util::fmt(r.mr2, 6) << ',' << util::fmt(r.camat1, 6) << ','
-       << util::fmt(r.camat2, 6) << ',' << util::fmt(r.cpi_exe, 6) << "\n";
+       << util::fmt(r.camat2, 6) << ',' << util::fmt(r.cpi_exe, 6) << ','
+       << util::fmt(r.duration_ms, 3) << "\n";
   } else {
     os << "{\"tag\":\"" << json_escape(r.tag) << "\",\"fingerprint\":\""
        << r.fingerprint << "\",\"from_cache\":" << (r.from_cache ? "true" : "false")
@@ -171,7 +173,8 @@ void ResultSink::write(const ResultRecord& r) {
        << ",\"mr1\":" << util::fmt(r.mr1, 6) << ",\"mr2\":" << util::fmt(r.mr2, 6)
        << ",\"camat1\":" << util::fmt(r.camat1, 6)
        << ",\"camat2\":" << util::fmt(r.camat2, 6)
-       << ",\"cpi_exe\":" << util::fmt(r.cpi_exe, 6) << "}\n";
+       << ",\"cpi_exe\":" << util::fmt(r.cpi_exe, 6)
+       << ",\"duration_ms\":" << util::fmt(r.duration_ms, 3) << "}\n";
   }
   // Append-then-flush: the record reaches the OS as one write, so a crash
   // can only ever tear the final line (which open() heals on resume).

@@ -7,6 +7,11 @@
 // killed sweep loses at most its in-flight line. open() heals exactly that
 // case — a torn final line is truncated away before appending resumes, and
 // the CSV header is only written into an empty file.
+//
+// Thread safety: write() is safe from any thread (one internal mutex
+// serializes formatting and the append). ResultRecord::make and the CSV
+// helpers are pure functions. open() must not race another open() of the
+// same path.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +53,9 @@ struct ResultRecord {
   double camat1 = 0.0;             ///< core-0 L1 C-AMAT (1/APC)
   double camat2 = 0.0;             ///< shared L2 C-AMAT
   double cpi_exe = 0.0;            ///< core-0 calibration (0 if not requested)
+  double duration_ms = 0.0;        ///< wall-clock execution time of the run
+                                   ///< that produced the result (cache-served
+                                   ///< rows repeat the producing run's time)
 
   [[nodiscard]] static ResultRecord make(const SimJob& job,
                                          const SimJobResult& result,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace lpm::mem {
@@ -430,6 +431,13 @@ void Cache::finalize(Cycle end_cycle) { sample_activity(end_cycle); }
 bool Cache::busy() const {
   return !pipeline_.empty() || mshr_.in_use() > 0 || !mshr_wait_.empty() ||
          !writeback_q_.empty() || !fill_q_.empty() || !deferred_fill_blocks_.empty();
+}
+
+void CacheStats::publish(obs::MetricsRegistry& registry,
+                         const std::string& level) const {
+  registry.counter("sim.cache.accesses." + level).add(accesses);
+  registry.counter("sim.cache.hits." + level).add(hits);
+  registry.counter("sim.cache.misses." + level).add(misses);
 }
 
 }  // namespace lpm::mem

@@ -28,6 +28,10 @@
 #include "mem/mshr.hpp"
 #include "mem/probe.hpp"
 #include "mem/replacement.hpp"
+
+namespace lpm::obs {
+class MetricsRegistry;
+}
 #include "mem/request.hpp"
 #include "util/rng.hpp"
 
@@ -99,6 +103,11 @@ struct CacheStats {
     return accesses == 0 ? 0.0
                          : static_cast<double>(misses) / static_cast<double>(accesses);
   }
+
+  /// Bulk-adds this stats block to the per-level counters
+  /// sim.cache.{accesses,hits,misses}.<level> in `registry` (called once
+  /// per run epilogue, never per cycle). Thread-safe.
+  void publish(obs::MetricsRegistry& registry, const std::string& level) const;
 };
 
 class Cache final : public MemoryLevel, public ResponseSink {

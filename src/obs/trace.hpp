@@ -1,0 +1,132 @@
+// Structured tracing: Chrome trace_event JSON, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. This is the time-resolved
+// counterpart of the metrics registry — where the registry answers "how
+// many / how long in aggregate", a trace answers "when, on which worker,
+// overlapping what".
+//
+// A TraceSession writes one JSON array of event objects, one event per
+// line. Three event kinds are emitted by the built-in instrumentation:
+//
+//   * complete events ("ph":"X") — spans with a start and duration, e.g.
+//     exp.execute (one simulation), exp.run_batch, lpm.iteration;
+//   * counter events ("ph":"C") — sampled series, e.g. the LPM walk's
+//     lpm.lpmr trajectory (LPMR1/2/3 per iteration);
+//   * instant events ("ph":"i") — point marks, e.g. exp.retry.
+//
+// Timestamps are microseconds on the process steady clock (ts 0 = session
+// construction); tids are small per-thread ordinals assigned on first use,
+// so engine workers show up as separate Perfetto tracks.
+//
+// Thread safety: all emit methods and close() are safe from any thread
+// (one internal mutex serializes the stream; events are formatted outside
+// it). The global() session pointer is stable for the process lifetime:
+// nullptr when $LPM_TRACE is unset, else a session writing to that path,
+// closed (the JSON array terminated) by an atexit hook. Emitting after
+// close() is a silent no-op, never a torn file.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lpm::obs {
+
+/// Key/value pairs attached to an event's "args" object (shown in the
+/// Perfetto side panel when the event is selected).
+using TraceArgs = std::vector<std::pair<std::string, double>>;
+
+class TraceSession {
+ public:
+  /// Opens `path` and writes the array opener. Throws util::IoError when
+  /// the path is unwritable.
+  explicit TraceSession(const std::string& path);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Microseconds since session start (steady clock); the `ts` domain of
+  /// every event. Monotonic, never wall time.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Span: started at `start_us`, lasted `dur_us`. `cat` groups events in
+  /// the viewer ("exp", "sim", "lpm").
+  void complete_event(const std::string& name, const std::string& cat,
+                      std::uint64_t start_us, std::uint64_t dur_us,
+                      const TraceArgs& args = {});
+
+  /// Counter sample: one stacked-series track per `name`.
+  void counter_event(const std::string& name, std::uint64_t ts_us,
+                     const TraceArgs& values);
+
+  /// Point event at `ts_us`.
+  void instant_event(const std::string& name, const std::string& cat,
+                     std::uint64_t ts_us, const TraceArgs& args = {});
+
+  /// Terminates the JSON array and closes the file; further emits are
+  /// no-ops. Idempotent.
+  void close();
+
+  [[nodiscard]] std::uint64_t events_written() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Process-wide session from $LPM_TRACE, or nullptr when tracing is off.
+  /// The pointer never changes after the first call, so callers may cache
+  /// it. First use arms the atexit close.
+  static TraceSession* global();
+
+ private:
+  void emit(const std::string& line);
+
+  std::string path_;
+  std::uint64_t start_ns_ = 0;  ///< steady-clock nanos at construction
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  bool closed_ = false;
+  bool first_event_ = true;
+  std::uint64_t events_ = 0;
+};
+
+/// RAII span on a session: records construction->destruction as a complete
+/// event. A null session makes every operation free, so instrumentation
+/// sites can unconditionally write `ScopedSpan span(TraceSession::global(),
+/// "name", "cat");`.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSession* session, std::string name, std::string cat = "lpm")
+      : session_(session), name_(std::move(name)), cat_(std::move(cat)),
+        start_us_(session ? session->now_us() : 0) {}
+  ~ScopedSpan() {
+    if (session_ != nullptr) {
+      session_->complete_event(name_, cat_, start_us_,
+                               session_->now_us() - start_us_, args_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric argument shown when the span is selected.
+  void arg(std::string key, double value) {
+    if (session_ != nullptr) args_.emplace_back(std::move(key), value);
+  }
+
+ private:
+  TraceSession* session_;
+  std::string name_;
+  std::string cat_;
+  std::uint64_t start_us_;
+  TraceArgs args_;
+};
+
+// Span over the enclosing scope on the global session; free when $LPM_TRACE
+// is unset. Usage: OBS_SPAN("exp.run_batch", "exp");
+#define OBS_SPAN_CONCAT2(a, b) a##b
+#define OBS_SPAN_CONCAT(a, b) OBS_SPAN_CONCAT2(a, b)
+#define OBS_SPAN(name, cat)                                     \
+  ::lpm::obs::ScopedSpan OBS_SPAN_CONCAT(obs_span_, __LINE__)(  \
+      ::lpm::obs::TraceSession::global(), (name), (cat))
+
+}  // namespace lpm::obs

@@ -1,6 +1,8 @@
 #include "sim/system.hpp"
 
 #include "mem/perfect_memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lpm::sim {
@@ -111,7 +113,41 @@ void check_guard(const RunGuard* guard, Cycle now) {
 
 }  // namespace
 
+namespace {
+
+/// Run-epilogue telemetry: bulk-adds one run's totals to the global
+/// registry (per-level cache and C-AMAT counters plus run/cycle tallies).
+/// One call per run — the simulation loop itself is never instrumented, so
+/// telemetry costs nothing per cycle.
+void publish_run(const SystemResult& r, Cycle cycles_simulated) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sim.runs").inc();
+  reg.counter("sim.cycles").add(cycles_simulated);
+  std::uint64_t instructions = 0;
+  for (const auto& core : r.cores) instructions += core.instructions;
+  reg.counter("sim.instructions").add(instructions);
+
+  // Level names are stable regardless of topology: "l2" is always the
+  // shared cache (the LLC when private L2s exist — then "l2p" also
+  // appears); "dram" is the memory layer.
+  for (std::size_t c = 0; c < r.l1_cache.size(); ++c) {
+    r.l1_cache[c].publish(reg, "l1");
+    r.l1[c].publish(reg, "l1");
+  }
+  for (std::size_t c = 0; c < r.l2_private_cache.size(); ++c) {
+    r.l2_private_cache[c].publish(reg, "l2p");
+    r.l2_private[c].publish(reg, "l2p");
+  }
+  r.l2_cache.publish(reg, "l2");
+  r.l2.publish(reg, "l2");
+  r.dram.publish(reg, "dram");
+}
+
+}  // namespace
+
 SystemResult System::run(const RunGuard* guard) {
+  obs::ScopedSpan span(obs::TraceSession::global(), "sim.run", "sim");
+  const Cycle start_cycle = now_;
   while (now_ < cfg_.max_cycles) {
     check_guard(guard, now_);
     if (!step()) break;
@@ -126,6 +162,9 @@ SystemResult System::run(const RunGuard* guard) {
   }
   SystemResult r = collect();
   r.completed = finished();
+  span.arg("cores", static_cast<double>(cfg_.num_cores));
+  span.arg("cycles", static_cast<double>(now_ - start_cycle));
+  publish_run(r, now_ - start_cycle);
   return r;
 }
 
@@ -170,6 +209,7 @@ CpiExeResult measure_cpi_exe(const MachineConfig& cfg, trace::TraceSource& trace
   }
   util::require(core.finished(), "measure_cpi_exe: run did not complete");
 
+  obs::MetricsRegistry::global().counter("sim.calibrations").inc();
   CpiExeResult out;
   out.instructions = core.stats().instructions;
   out.cycles = core.stats().cycles;

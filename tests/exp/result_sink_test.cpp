@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exp/experiment_engine.hpp"
+#include "exp/journal.hpp"
 #include "trace/spec_like.hpp"
 
 namespace lpm {
@@ -125,6 +126,53 @@ TEST(ResultSink, ReopenHealsTornLineAndKeepsSingleHeader) {
   EXPECT_EQ(headers, 1) << "reopen must not duplicate the header:\n" << text;
   EXPECT_EQ(rows, 2) << text;
   std::filesystem::remove(path);
+}
+
+TEST(ResultSink, RecordsWallClockDurationInSinkAndJournal) {
+  const std::string csv_path = temp_path("lpm_sink_duration.csv");
+  const std::string journal_path = temp_path("lpm_sink_duration.journal");
+
+  const auto job = exp::SimJob::solo(
+      sim::MachineConfig::single_core_default(),
+      trace::spec_profile(trace::SpecBenchmark::kGcc, 10'000, 7),
+      /*calibrate=*/false, "timed");
+
+  {
+    auto sink = exp::ResultSink::open(csv_path);
+    auto journal = exp::SweepJournal::open(journal_path);
+    exp::ExperimentEngine::Options opts;
+    opts.threads = 1;
+    opts.sink = sink.get();
+    opts.journal = journal.get();
+    exp::ExperimentEngine engine(opts);
+    const auto results = engine.run_batch({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0]->duration_seconds, 0.0);
+  }
+
+  // CSV: trailing duration_ms column, non-negative and parseable.
+  std::istringstream lines(slurp(csv_path));
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  const auto header_fields = exp::split_csv_record(header);
+  const auto row_fields = exp::split_csv_record(row);
+  ASSERT_FALSE(header_fields.empty());
+  ASSERT_EQ(row_fields.size(), header_fields.size());
+  EXPECT_EQ(header_fields.back(), "duration_ms");
+  EXPECT_GE(std::stod(row_fields.back()), 0.0);
+
+  // Journal: `done <hex> <duration_ms> <tag>`, same shape.
+  std::istringstream jlines(slurp(journal_path));
+  std::string verb, hex, ms, tag;
+  ASSERT_TRUE(jlines >> verb >> hex >> ms >> tag);
+  EXPECT_EQ(verb, "done");
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_GE(std::stod(ms), 0.0);
+  EXPECT_EQ(tag, "timed");
+
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(journal_path);
 }
 
 TEST(ResultSink, JsonEscapesControlCharacters) {

@@ -1,0 +1,220 @@
+// Tier-1 guarantees of the metrics registry: sharded concurrent writes sum
+// to exactly the serial total, histogram bucket edges are upper-inclusive,
+// and snapshots taken while writers are running are safe (TSan-clean) and
+// never overshoot the final total.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lpm::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAddsAndSnapshots) {
+  MetricsRegistry reg;
+  auto c = reg.counter("test.counter");
+  c.inc();
+  c.add(41);
+  const auto snap = reg.snapshot();
+  ASSERT_TRUE(snap.counters.contains("test.counter"));
+  EXPECT_EQ(snap.counters.at("test.counter"), 42u);
+  EXPECT_EQ(snap.counter_or_zero("test.counter"), 42u);
+  EXPECT_EQ(snap.counter_or_zero("absent"), 0u);
+}
+
+TEST(MetricsRegistry, ReRegisteringReturnsSameMetric) {
+  MetricsRegistry reg;
+  auto a = reg.counter("same.name");
+  auto b = reg.counter("same.name");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.snapshot().counters.at("same.name"), 2u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  auto g = reg.gauge("test.gauge");
+  g.set(1.5);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("test.gauge"), 2.5);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsEqualSerialTotal) {
+  MetricsRegistry reg;
+  auto c = reg.counter("test.concurrent");
+  auto h = reg.histogram("test.concurrent_h", {1.0, 2.0, 4.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(t % 4));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.concurrent"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto& hist = snap.histograms.at("test.concurrent_h");
+  EXPECT_EQ(hist.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto n : hist.counts) bucket_total += n;
+  EXPECT_EQ(bucket_total, hist.count);
+}
+
+TEST(MetricsRegistry, HistogramBucketEdgesAreUpperInclusive) {
+  MetricsRegistry reg;
+  auto h = reg.histogram("test.buckets", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1       -> bucket 0
+  h.observe(1.0);    // == edge    -> bucket 0 (upper-inclusive)
+  h.observe(1.0001); // > 1, <= 10 -> bucket 1
+  h.observe(10.0);   //            -> bucket 1
+  h.observe(99.0);   //            -> bucket 2
+  h.observe(1000.0); // > last     -> overflow bucket 3
+
+  const auto hist = reg.snapshot().histograms.at("test.buckets");
+  ASSERT_EQ(hist.bounds.size(), 3u);
+  ASSERT_EQ(hist.counts.size(), 4u);
+  EXPECT_EQ(hist.counts[0], 2u);
+  EXPECT_EQ(hist.counts[1], 2u);
+  EXPECT_EQ(hist.counts[2], 1u);
+  EXPECT_EQ(hist.counts[3], 1u);
+  EXPECT_EQ(hist.count, 6u);
+  EXPECT_DOUBLE_EQ(hist.sum, 0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 1000.0);
+  EXPECT_GT(hist.mean(), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramRejectsBadBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW((void)reg.histogram("bad.empty", {}), util::LpmError);
+  EXPECT_THROW((void)reg.histogram("bad.order", {2.0, 1.0}), util::LpmError);
+  EXPECT_THROW((void)reg.histogram("bad.dup", {1.0, 1.0}), util::LpmError);
+}
+
+// The snapshot-while-writing guarantee: concurrent snapshots observe a
+// monotonically growing (never overshooting) total and no data race. Run
+// under TSan in CI (the -DLPM_SANITIZE=thread job) this is the proof that
+// merge-on-read needs no stop-the-world.
+TEST(MetricsRegistry, SnapshotWhileWritingIsSafeAndMonotonic) {
+  MetricsRegistry reg;
+  auto c = reg.counter("test.racing");
+  auto h = reg.histogram("test.racing_h", MetricsRegistry::latency_ms_bounds());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(1.0);
+      }
+    });
+  }
+
+  // Snapshot continuously while the writers run; the loop terminates when a
+  // snapshot finally reports the exact total (guaranteed once all writers
+  // are done, since snapshots after quiescence are exact).
+  std::uint64_t last = 0;
+  for (;;) {
+    const auto now = reg.snapshot().counter_or_zero("test.racing");
+    EXPECT_GE(now, last);
+    EXPECT_LE(now, kTotal);
+    last = now;
+    if (now == kTotal) break;
+    std::this_thread::yield();
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(reg.snapshot().counter_or_zero("test.racing"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsSnapshot, JsonOutputIsStructurallyValid) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.gauge").set(1.25);
+  reg.histogram("c.hist", {1.0, 2.0}).observe(1.5);
+  std::ostringstream os;
+  reg.snapshot().write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  // Balanced braces/brackets — the CI job runs a real JSON parser on the
+  // file the atexit hook writes; here we sanity-check the shape.
+  int depth = 0;
+  for (const char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, TextOutputListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("z.last").inc();
+  reg.counter("a.first").inc();
+  std::ostringstream os;
+  reg.snapshot().write_text(os);
+  const std::string text = os.str();
+  const auto a = text.find("a.first");
+  const auto z = text.find("z.last");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, z);  // sorted by name, stable run-to-run
+}
+
+TEST(ScopedTimer, ObservesElapsedOnDestruction) {
+  MetricsRegistry reg;
+  auto h = reg.histogram("test.timer_ms", MetricsRegistry::latency_ms_bounds());
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.elapsed_ms(), 0.0);
+  }
+  EXPECT_EQ(reg.snapshot().histograms.at("test.timer_ms").count, 1u);
+}
+
+TEST(MetricsRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(DumpMetrics, WritesJsonFileForJsonPath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lpm_obs_dump_test.json")
+          .string();
+  MetricsRegistry::global().counter("test.dump_marker").inc();
+  ASSERT_TRUE(dump_metrics(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"test.dump_marker\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(DumpMetrics, ReturnsFalseOnUnwritablePath) {
+  EXPECT_FALSE(dump_metrics("/nonexistent-dir/metrics.json"));
+}
+
+}  // namespace
+}  // namespace lpm::obs
