@@ -1,0 +1,178 @@
+#include "perf_lib.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "exp/experiment_engine.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/system.hpp"
+#include "trace/spec_like.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/flat_json.hpp"
+#include "util/table.hpp"
+
+namespace lpm::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return 1e-9 * static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - start)
+                        .count());
+}
+
+/// The machine variants of the System::run phase: the default machine plus
+/// the L1-size neighbours the LPM walk visits first.
+std::vector<sim::MachineConfig> sim_phase_machines(unsigned count) {
+  std::vector<sim::MachineConfig> machines;
+  const std::uint64_t l1_sizes[] = {32 * 1024, 16 * 1024, 64 * 1024,
+                                    8 * 1024, 128 * 1024};
+  for (unsigned i = 0; i < count; ++i) {
+    sim::MachineConfig m = sim::MachineConfig::single_core_default();
+    m.l1.size_bytes = l1_sizes[i % (sizeof(l1_sizes) / sizeof(l1_sizes[0]))];
+    machines.push_back(std::move(m));
+  }
+  return machines;
+}
+
+}  // namespace
+
+PerfReport run_perf_suite(const PerfOptions& opts) {
+  util::require(opts.sim_configs >= 1, "PerfOptions: sim_configs must be >= 1");
+  util::require(opts.engine_jobs >= 1, "PerfOptions: engine_jobs must be >= 1");
+
+  PerfReport report;
+  const trace::WorkloadProfile workload =
+      trace::spec_profile(trace::SpecBenchmark::kBwaves, opts.length, 17);
+
+  // Phase 1: serial System::run throughput (the per-configuration cost the
+  // LPM walk pays at every step).
+  {
+    const auto machines = sim_phase_machines(opts.sim_configs);
+    const auto start = Clock::now();
+    for (const auto& machine : machines) {
+      std::vector<trace::TraceSourcePtr> traces;
+      traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
+      sim::System system(machine, std::move(traces));
+      const sim::SystemResult run = system.run();
+      report.cycles += run.cycles;
+      for (const auto& core : run.cores) report.instructions += core.instructions;
+    }
+    report.wall_seconds_simulate = seconds_since(start);
+  }
+
+  // Phase 2: engine throughput over distinct jobs (cache disabled so every
+  // job simulates; calibration on, as LPM consumers run it).
+  {
+    exp::ExperimentEngine::Options eopts;
+    eopts.threads = opts.engine_threads;
+    eopts.cache_enabled = false;
+    exp::ExperimentEngine engine(eopts);
+
+    std::vector<exp::SimJob> jobs;
+    for (unsigned i = 0; i < opts.engine_jobs; ++i) {
+      trace::WorkloadProfile w = workload;
+      w.seed = 100 + i;  // distinct points, same cost profile
+      jobs.push_back(exp::SimJob::solo(
+          sim::MachineConfig::single_core_default(), std::move(w),
+          /*calibrate=*/true, "perf"));
+    }
+    const auto start = Clock::now();
+    const auto results = engine.run_batch(jobs);
+    report.wall_seconds_engine = seconds_since(start);
+    report.jobs = results.size();
+  }
+
+  const auto rate = [](double amount, double wall) {
+    return wall > 0.0 ? amount / wall : 0.0;
+  };
+  report.sim_cycles_per_sec =
+      rate(static_cast<double>(report.cycles), report.wall_seconds_simulate);
+  report.instructions_per_sec = rate(static_cast<double>(report.instructions),
+                                     report.wall_seconds_simulate);
+  report.engine_jobs_per_sec =
+      rate(static_cast<double>(report.jobs), report.wall_seconds_engine);
+  return report;
+}
+
+std::string to_json(const PerfReport& r) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << r.bench << "\""
+     << ",\"cycles\":" << r.cycles << ",\"instructions\":" << r.instructions
+     << ",\"jobs\":" << r.jobs
+     << ",\"wall_seconds_simulate\":" << util::fmt(r.wall_seconds_simulate, 6)
+     << ",\"wall_seconds_engine\":" << util::fmt(r.wall_seconds_engine, 6)
+     << ",\"sim_cycles_per_sec\":" << util::fmt(r.sim_cycles_per_sec, 1)
+     << ",\"instructions_per_sec\":" << util::fmt(r.instructions_per_sec, 1)
+     << ",\"engine_jobs_per_sec\":" << util::fmt(r.engine_jobs_per_sec, 3)
+     << "}\n";
+  return os.str();
+}
+
+PerfReport parse_report(const std::string& json_text) {
+  const util::FlatJson json = util::FlatJson::parse(json_text);
+  PerfReport r;
+  const auto need = [&json](const std::string& key) {
+    const auto v = json.get_number(key);
+    if (!v.has_value()) {
+      throw util::LpmError("PerfReport: missing or non-numeric key '" + key +
+                           "'");
+    }
+    return *v;
+  };
+  r.bench = json.get_string("bench").value_or("");
+  if (r.bench.empty()) throw util::LpmError("PerfReport: missing key 'bench'");
+  r.cycles = static_cast<std::uint64_t>(need("cycles"));
+  r.instructions = static_cast<std::uint64_t>(need("instructions"));
+  r.jobs = static_cast<std::uint64_t>(need("jobs"));
+  r.wall_seconds_simulate = need("wall_seconds_simulate");
+  r.wall_seconds_engine = need("wall_seconds_engine");
+  r.sim_cycles_per_sec = need("sim_cycles_per_sec");
+  r.instructions_per_sec = need("instructions_per_sec");
+  r.engine_jobs_per_sec = need("engine_jobs_per_sec");
+  return r;
+}
+
+PerfReport load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw util::IoError("perf: cannot open '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_report(text.str());
+}
+
+BaselineCheck check_against_baseline(const PerfReport& current,
+                                     const PerfReport& baseline,
+                                     double tolerance) {
+  util::require(tolerance >= 0.0 && tolerance < 1.0,
+                "perf: tolerance must be in [0, 1)");
+  BaselineCheck check;
+  const auto gate = [&](const char* metric, double now, double base) {
+    const double floor = base * (1.0 - tolerance);
+    if (now < floor) {
+      std::ostringstream os;
+      os << metric << " regressed: " << util::fmt(now, 1) << " < floor "
+         << util::fmt(floor, 1) << " (baseline " << util::fmt(base, 1)
+         << ", tolerance " << util::fmt(100.0 * tolerance, 0) << "%)";
+      check.failures.push_back(os.str());
+      check.ok = false;
+    }
+  };
+  gate("sim_cycles_per_sec", current.sim_cycles_per_sec,
+       baseline.sim_cycles_per_sec);
+  gate("instructions_per_sec", current.instructions_per_sec,
+       baseline.instructions_per_sec);
+  gate("engine_jobs_per_sec", current.engine_jobs_per_sec,
+       baseline.engine_jobs_per_sec);
+  return check;
+}
+
+}  // namespace lpm::perf

@@ -1,0 +1,82 @@
+// The perf-regression harness behind BENCH_simulator.json.
+//
+// Three throughput numbers summarize the simulator (see EXPERIMENTS.md
+// "Performance tracking"):
+//
+//   * sim_cycles_per_sec    — simulated cycles per wall-clock second of a
+//     serial System::run over the bench_lpm_convergence workload
+//     (410.bwaves on the default machine plus L1 variants — the same mix
+//     the LPM walk evaluates). The repo's core scaling metric: every LPMR
+//     evaluation re-runs this loop.
+//   * instructions_per_sec  — committed instructions per second of the
+//     same runs.
+//   * engine_jobs_per_sec   — distinct jobs per second through an
+//     ExperimentEngine worker pool (cache disabled), i.e. end-to-end
+//     sweep throughput including calibration and job bookkeeping.
+//
+// run_perf_suite() measures, to_json()/parse_report() round-trip the flat
+// JSON report, and check_against_baseline() implements the CI gate: a
+// metric regresses when it falls below baseline * (1 - tolerance). Faster
+// is never a failure — baselines are raised intentionally (see
+// EXPERIMENTS.md), not by CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lpm::perf {
+
+struct PerfOptions {
+  /// Micro-ops per workload replay. The default matches
+  /// bench_lpm_convergence's trace length; tests shrink it.
+  std::uint64_t length = 400'000;
+  /// Simulated machine variants in the System::run phase (>= 1).
+  unsigned sim_configs = 3;
+  /// Jobs in the engine-throughput phase.
+  unsigned engine_jobs = 8;
+  /// Worker threads for the engine phase (0 = auto).
+  unsigned engine_threads = 0;
+};
+
+struct PerfReport {
+  std::string bench = "lpm_convergence";
+  std::uint64_t cycles = 0;        ///< simulated cycles, System::run phase
+  std::uint64_t instructions = 0;  ///< committed instructions, same phase
+  std::uint64_t jobs = 0;          ///< jobs executed, engine phase
+  double wall_seconds_simulate = 0.0;
+  double wall_seconds_engine = 0.0;
+  double sim_cycles_per_sec = 0.0;
+  double instructions_per_sec = 0.0;
+  double engine_jobs_per_sec = 0.0;
+};
+
+/// Runs both measurement phases. Deterministic in its simulated work;
+/// wall-clock numbers are machine-dependent by nature.
+[[nodiscard]] PerfReport run_perf_suite(const PerfOptions& opts = {});
+
+/// The flat-JSON BENCH_simulator.json encoding of a report.
+[[nodiscard]] std::string to_json(const PerfReport& report);
+
+/// Inverse of to_json (also reads committed baselines). Throws
+/// util::LpmError on malformed input or missing required keys.
+[[nodiscard]] PerfReport parse_report(const std::string& json_text);
+
+/// Reads and parses a report/baseline file. Throws util::IoError /
+/// util::LpmError.
+[[nodiscard]] PerfReport load_report(const std::string& path);
+
+struct BaselineCheck {
+  bool ok = true;
+  /// One human-readable line per regressed metric.
+  std::vector<std::string> failures;
+};
+
+/// Compares the three throughput metrics against a baseline: metric m
+/// fails when m < baseline.m * (1 - tolerance). tolerance 0.30 absorbs
+/// CI-runner noise; exceeding the baseline never fails.
+[[nodiscard]] BaselineCheck check_against_baseline(const PerfReport& current,
+                                                   const PerfReport& baseline,
+                                                   double tolerance);
+
+}  // namespace lpm::perf

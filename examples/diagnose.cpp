@@ -1,18 +1,13 @@
 // Diagnosis scenario: measure an application on a machine, let the LPM
 // model say what is binding, and quantify the five C-AMAT optimization
 // dimensions with what-if analysis - the "which parameter should be
-// optimized on demand" workflow.
+// optimized on demand" workflow, driven entirely through the lpm.hpp
+// facade.
 //
 //   $ ./diagnose [workload=429.mcf] [length=120000] [delta=10]
 #include <cstdio>
-#include <memory>
 
-#include "camat/whatif.hpp"
-#include "core/diagnosis.hpp"
-#include "sim/system.hpp"
-#include "trace/spec_like.hpp"
-#include "trace/synthetic.hpp"
-#include "util/config.hpp"
+#include "lpm.hpp"
 
 int main(int argc, char** argv) {
   using namespace lpm;
@@ -21,27 +16,17 @@ int main(int argc, char** argv) {
   const std::uint64_t length = args.get_uint_or("length", 120'000);
   const double delta = args.get_double_or("delta", 10.0);
 
-  trace::WorkloadProfile workload;
-  bool found = false;
-  for (const auto b : trace::all_spec_benchmarks()) {
-    if (trace::spec_name(b) == name) {
-      workload = trace::spec_profile(b, length, 13);
-      found = true;
-    }
-  }
-  if (!found) {
-    std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+  TraceSpec spec;
+  try {
+    spec = TraceSpec::spec(name, length, /*seed=*/13);
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
 
-  const auto machine = sim::MachineConfig::single_core_default();
-  trace::SyntheticTrace calib_trace(workload);
-  const auto calib = sim::measure_cpi_exe(machine, calib_trace);
-  std::vector<trace::TraceSourcePtr> traces;
-  traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
-  sim::System system(machine, std::move(traces));
-  const auto run = system.run();
-  const auto m = core::AppMeasurement::from_run(run, calib, 0, name);
+  const sim::MachineConfig machine = sim::MachineConfig::builder().build();
+  const SimulationReport report = simulate(machine, spec);
+  const core::AppMeasurement& m = report.app();
 
   // The LPM diagnosis.
   core::HardwareContext hw;
@@ -49,9 +34,9 @@ int main(int argc, char** argv) {
   hw.l1_ports = machine.l1.ports;
   hw.rob_size = machine.core.rob_size;
   hw.issue_width = machine.core.issue_width;
-  hw.l1_rejections = run.cores[0].l1_rejections;
-  hw.l1_mshr_wait_cycles = run.l1_cache[0].mshr_full_waits;
-  hw.l1_misses = run.l1_cache[0].misses;
+  hw.l1_rejections = report.run.cores[0].l1_rejections;
+  hw.l1_mshr_wait_cycles = report.run.l1_cache[0].mshr_full_waits;
+  hw.l1_misses = report.run.l1_cache[0].misses;
   const auto diag = core::diagnose(m, hw, delta);
 
   std::printf("== %s on the default machine (delta = %.0f%%) ==\n\n%s\n",

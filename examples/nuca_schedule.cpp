@@ -5,10 +5,7 @@
 #include <cstdio>
 #include <string>
 
-#include "sched/evaluate.hpp"
-#include "sched/scheduler.hpp"
-#include "trace/spec_like.hpp"
-#include "util/config.hpp"
+#include "lpm.hpp"
 
 int main(int argc, char** argv) {
   using namespace lpm;

@@ -8,10 +8,7 @@
 
 #include <memory>
 
-#include "sim/system.hpp"
-#include "trace/spec_like.hpp"
-#include "trace/synthetic.hpp"
-#include "util/config.hpp"
+#include "lpm.hpp"
 
 int main(int argc, char** argv) {
   using namespace lpm;

@@ -7,10 +7,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/online_controller.hpp"
-#include "trace/spec_like.hpp"
-#include "trace/synthetic.hpp"
-#include "util/config.hpp"
+#include "lpm.hpp"
 
 int main(int argc, char** argv) {
   using namespace lpm;

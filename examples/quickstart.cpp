@@ -1,15 +1,13 @@
 // Quickstart: build a machine, run a workload, and read the C-AMAT / LPM
-// metrics off it - the five-minute tour of the public API.
+// metrics off it - the five-minute tour of the public API. Everything here
+// comes through the single facade header lpm.hpp: the machine from
+// MachineConfig::builder(), the workload from TraceSpec, the run (with its
+// calibration and LPM measurement) from lpm::simulate().
 //
 //   $ ./quickstart [workload=403.gcc] [length=100000]
 #include <cstdio>
-#include <memory>
 
-#include "core/lpm_model.hpp"
-#include "sim/system.hpp"
-#include "trace/spec_like.hpp"
-#include "trace/synthetic.hpp"
-#include "util/config.hpp"
+#include "lpm.hpp"
 
 int main(int argc, char** argv) {
   using namespace lpm;
@@ -17,44 +15,36 @@ int main(int argc, char** argv) {
   const std::string name = args.get_or("workload", "403.gcc");
   const std::uint64_t length = args.get_uint_or("length", 100'000);
 
-  // 1. Pick a workload profile (a synthetic SPEC CPU2006 analogue).
-  trace::WorkloadProfile workload;
-  bool found = false;
-  for (const auto b : trace::all_spec_benchmarks()) {
-    if (trace::spec_name(b) == name) {
-      workload = trace::spec_profile(b, length, /*seed=*/42);
-      found = true;
-    }
-  }
-  if (!found) {
-    std::fprintf(stderr, "unknown workload '%s'; try 403.gcc, 429.mcf, ...\n",
-                 name.c_str());
+  // 1. Pick a workload (a synthetic SPEC CPU2006 analogue, by name).
+  TraceSpec spec;
+  try {
+    spec = TraceSpec::spec(name, length, /*seed=*/42);
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
 
   // 2. Describe the machine: one out-of-order core, private L1, shared L2,
-  //    DRAM - every knob is a plain struct field.
-  sim::MachineConfig machine = sim::MachineConfig::single_core_default();
-  machine.core.issue_width = 4;
-  machine.l1.mshr_entries = 8;
+  //    DRAM. The builder starts from the single-core default and validates
+  //    the finished config at build().
+  const sim::MachineConfig machine =
+      sim::MachineConfig::builder()
+          .with_core([](cpu::CoreConfig& c) { c.issue_width = 4; })
+          .with_l1([](mem::CacheConfig& c) { c.mshr_entries = 8; })
+          .build();
 
-  // 3. Calibrate CPIexe (perfect-cache run), then simulate for real.
-  trace::SyntheticTrace calib_trace(workload);
-  const sim::CpiExeResult calib = sim::measure_cpi_exe(machine, calib_trace);
-
-  std::vector<trace::TraceSourcePtr> traces;
-  traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
-  sim::System system(machine, std::move(traces));
-  const sim::SystemResult run = system.run();
+  // 3. Simulate: calibration (perfect-cache CPIexe run) plus the real run,
+  //    served through the shared experiment engine.
+  const SimulationReport report = simulate(machine, spec);
 
   // 4. Read the LPM measurement.
-  const auto m = core::AppMeasurement::from_run(run, calib, 0, workload.name);
-  const auto lpmr = core::compute_lpmrs(m);
+  const core::AppMeasurement& m = report.app();
+  const core::LpmrSet& lpmr = report.lpmr;
 
   std::printf("workload            : %s (%llu instructions)\n", name.c_str(),
               static_cast<unsigned long long>(m.instructions));
   std::printf("cycles              : %llu (IPC %.3f, CPIexe %.3f)\n",
-              static_cast<unsigned long long>(run.cycles),
+              static_cast<unsigned long long>(report.run.cycles),
               1.0 / m.measured_cpi, m.cpi_exe);
   std::printf("L1 C-AMAT           : %.3f cycles/access (AMAT would say %.3f)\n",
               m.l1.camat(), m.l1.amat());

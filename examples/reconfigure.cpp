@@ -8,13 +8,8 @@
 // simulates likely next configurations while the current one is inspected.
 #include <cstdio>
 
-#include "core/design_space.hpp"
-#include "core/lpm_algorithm.hpp"
-#include "exp/experiment_engine.hpp"
+#include "lpm.hpp"
 #include "obs/metrics.hpp"
-#include "trace/spec_like.hpp"
-#include "util/config.hpp"
-#include "util/error.hpp"
 
 namespace {
 

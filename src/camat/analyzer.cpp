@@ -49,7 +49,7 @@ void Analyzer::on_hit(RequestId id, Cycle done) {
   ++m_.hits;
   const auto it = std::find_if(in_lookup_.begin(), in_lookup_.end(),
                                [&](const AccessRec& r) { return r.id == id; });
-  util::require(it != in_lookup_.end(), name_ + ": on_hit for unknown access");
+  util::require(it != in_lookup_.end(), "Analyzer: on_hit for unknown access");
   m_.hit_phase_access_cycles += done - it->start;
   in_lookup_.erase(it);
 }
@@ -58,7 +58,7 @@ void Analyzer::on_miss(RequestId id, Cycle start) {
   ++m_.misses;
   const auto it = std::find_if(in_lookup_.begin(), in_lookup_.end(),
                                [&](const AccessRec& r) { return r.id == id; });
-  util::require(it != in_lookup_.end(), name_ + ": on_miss for unknown access");
+  util::require(it != in_lookup_.end(), "Analyzer: on_miss for unknown access");
   m_.hit_phase_access_cycles += start - it->start;
   const Cycle access_start = it->start;
   in_lookup_.erase(it);
@@ -68,7 +68,7 @@ void Analyzer::on_miss(RequestId id, Cycle start) {
 void Analyzer::on_miss_done(RequestId id, Cycle done) {
   const auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
                                [&](const MissRec& r) { return r.id == id; });
-  util::require(it != outstanding_.end(), name_ + ": on_miss_done for unknown miss");
+  util::require(it != outstanding_.end(), "Analyzer: on_miss_done for unknown miss");
   m_.total_miss_latency += done - it->start;
   if (it->pure_cycles > 0) ++m_.pure_misses;
   outstanding_.erase(it);

@@ -1,5 +1,6 @@
 #include "cpu/ooo_core.hpp"
 
+#include "mem/cache.hpp"
 #include "util/error.hpp"
 
 namespace lpm::cpu {
@@ -34,10 +35,26 @@ OooCore::OooCore(CoreConfig cfg, trace::TraceSource* source, mem::MemoryLevel* l
       source_(source),
       l1_(l1),
       rob_(cfg_.rob_size),
-      next_req_id_(id_space << 48) {
+      id_base_(id_space << kSeqBits) {
   cfg_.validate();
   util::require(source_ != nullptr, cfg_.name + ": trace source must exist");
   util::require(l1_ != nullptr, cfg_.name + ": L1 must exist");
+  l1_cache_ = dynamic_cast<mem::Cache*>(l1_);
+  executing_.reserve(cfg_.rob_size);  // executing ALU ops are ROB-bounded
+  // A response is only in flight for an accepted memory op, so the LSQ depth
+  // bounds the response queue.
+  responses_ = util::RingBuffer<mem::MemResponse>(cfg_.lsq_size);
+}
+
+bool OooCore::l1_try_access(const mem::MemRequest& req) {
+  return l1_cache_ != nullptr ? l1_cache_->try_access(req)
+                              : l1_->try_access(req);
+}
+
+bool OooCore::refill_trace() {
+  chunk_len_ = source_->fill(trace_chunk_.data(), kTraceChunk);
+  chunk_pos_ = 0;
+  return chunk_len_ > 0;
 }
 
 bool OooCore::dep_done(std::uint64_t index, std::uint32_t dist) const {
@@ -52,7 +69,7 @@ bool OooCore::deps_ready(const RobEntry& e) const {
   return dep_done(e.index, e.op.dep_dist) && dep_done(e.index, e.op.dep_dist2);
 }
 
-void OooCore::on_response(const mem::MemResponse& rsp) { responses_.push_back(rsp); }
+void OooCore::on_response(const mem::MemResponse& rsp) { responses_.push(rsp); }
 
 void OooCore::tick(Cycle now) {
   if (finished()) return;  // stop accounting once this program is done
@@ -60,15 +77,15 @@ void OooCore::tick(Cycle now) {
   committed_this_cycle_ = 0;
 
   // (1) Absorb memory responses (possibly generated earlier this cycle by
-  // the hierarchy, which ticks before the core).
+  // the hierarchy, which ticks before the core). The ROB sequence number is
+  // recovered straight from the response id (see kSeqBits).
   while (!responses_.empty()) {
     const mem::MemResponse rsp = responses_.front();
-    responses_.pop_front();
-    const auto it = in_flight_.find(rsp.id);
-    util::require(it != in_flight_.end(), cfg_.name + ": response for unknown request");
-    const std::uint64_t seq = it->second;
-    in_flight_.erase(it);
-    util::require(lsq_occupancy_ > 0, cfg_.name + ": LSQ underflow");
+    responses_.pop();
+    const std::uint64_t seq = rsp.id & kSeqMask;
+    util::require((rsp.id & ~kSeqMask) == id_base_ && seq < next_index_,
+                  "OooCore: response for unknown request");
+    util::require(lsq_occupancy_ > 0, "OooCore: LSQ underflow");
     --lsq_occupancy_;
     if (rob_.contains_seq(seq)) {
       RobEntry& e = rob_.at_seq(seq);
@@ -89,7 +106,7 @@ void OooCore::tick(Cycle now) {
   // overlap exactly partition the memory-active cycles (making Eq. 7 an
   // identity).
   ++stats_.cycles;
-  const bool mem_active = !in_flight_.empty();
+  const bool mem_active = lsq_occupancy_ > 0;
   bool head_blocked_on_mem = false;
   if (committed_this_cycle_ == 0 && !rob_.empty()) {
     const RobEntry& head = rob_.front();
@@ -109,10 +126,18 @@ void OooCore::tick(Cycle now) {
 }
 
 void OooCore::do_complete(Cycle now) {
-  for (std::size_t i = 0; i < rob_.size(); ++i) {
-    RobEntry& e = rob_.at_offset(i);
-    if (e.state == State::kExecuting && e.done_at <= now) {
+  // Only ALU ops pass through kExecuting, and an executing entry can neither
+  // commit nor be squashed, so its seq stays valid until completion; scanning
+  // this compact list replaces a full ROB sweep. Removal order within a cycle
+  // is immaterial: every due entry is marked before commit/issue run.
+  for (std::size_t i = 0; i < executing_.size();) {
+    RobEntry& e = rob_.at_seq(executing_[i]);
+    if (e.done_at <= now) {
       e.state = State::kDone;
+      executing_[i] = executing_.back();
+      executing_.pop_back();
+    } else {
+      ++i;
     }
   }
 }
@@ -142,14 +167,20 @@ void OooCore::do_commit(Cycle /*now*/) {
 void OooCore::do_issue(Cycle now) {
   std::uint32_t issued = 0;
   bool mem_port_blocked = false;
-  for (std::size_t i = 0; i < rob_.size() && issued < cfg_.issue_width; ++i) {
+  // iw_occupancy_ counts the kDispatched entries; once the scan has seen
+  // them all, the rest of the ROB holds nothing issuable.
+  std::uint64_t unseen = iw_occupancy_;
+  for (std::size_t i = 0;
+       i < rob_.size() && issued < cfg_.issue_width && unseen > 0; ++i) {
     RobEntry& e = rob_.at_offset(i);
     if (e.state != State::kDispatched) continue;
+    --unseen;
     if (!deps_ready(e)) continue;
 
     if (e.op.type == trace::OpType::kAlu) {
       e.state = State::kExecuting;
       e.done_at = now + e.op.exec_latency;
+      executing_.push_back(e.index);
       --iw_occupancy_;
       ++issued;
       continue;
@@ -158,20 +189,18 @@ void OooCore::do_issue(Cycle now) {
     // Memory op: needs an LSQ slot and an L1 port.
     if (mem_port_blocked || lsq_occupancy_ >= cfg_.lsq_size) continue;
     mem::MemRequest req;
-    req.id = next_req_id_++;
+    req.id = id_base_ | e.index;
     req.core = cfg_.id;
     req.addr = e.op.addr;
     req.kind = e.op.type == trace::OpType::kStore ? mem::AccessKind::kWrite
                                                   : mem::AccessKind::kRead;
     req.created = now;
     req.reply_to = this;
-    if (!l1_->try_access(req)) {
+    if (!l1_try_access(req)) {
       ++stats_.l1_rejections;
-      --next_req_id_;  // id not consumed
       mem_port_blocked = true;  // further memory issues would also bounce
       continue;
     }
-    in_flight_.emplace(req.id, e.index);
     ++lsq_occupancy_;
     --iw_occupancy_;
     ++issued;
@@ -187,17 +216,16 @@ void OooCore::do_dispatch(Cycle /*now*/) {
   std::uint32_t dispatched = 0;
   while (dispatched < cfg_.dispatch_width && !rob_.full() &&
          iw_occupancy_ < cfg_.iw_size && !trace_done_) {
-    trace::MicroOp op;
-    if (!source_->next(op)) {
+    if (chunk_pos_ >= chunk_len_ && !refill_trace()) {
       trace_done_ = true;
       break;
     }
     RobEntry e;
-    e.op = op;
+    e.op = trace_chunk_[chunk_pos_++];
     e.state = State::kDispatched;
     const std::size_t seq = rob_.push(e);
     rob_.at_seq(seq).index = seq;
-    util::require(seq == next_index_, cfg_.name + ": ROB sequence drift");
+    util::require(seq == next_index_, "OooCore: ROB sequence drift");
     ++next_index_;
     ++iw_occupancy_;
     ++dispatched;
@@ -205,7 +233,7 @@ void OooCore::do_dispatch(Cycle /*now*/) {
 }
 
 bool OooCore::finished() const {
-  return trace_done_ && rob_.empty() && in_flight_.empty();
+  return trace_done_ && rob_.empty() && lsq_occupancy_ == 0;
 }
 
 }  // namespace lpm::cpu

@@ -8,13 +8,17 @@
 // forwarding, stores retire at L1 acceptance) are documented in DESIGN.md.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
+#include <array>
+#include <vector>
 
 #include "cpu/core_config.hpp"
 #include "mem/request.hpp"
 #include "trace/trace_source.hpp"
 #include "util/ring_buffer.hpp"
+
+namespace lpm::mem {
+class Cache;
+}
 
 namespace lpm::cpu {
 
@@ -39,7 +43,7 @@ class OooCore final : public mem::ResponseSink {
   [[nodiscard]] const CoreConfig& config() const { return cfg_; }
 
   /// In-flight accepted memory accesses (test hook).
-  [[nodiscard]] std::size_t in_flight_mem() const { return in_flight_.size(); }
+  [[nodiscard]] std::size_t in_flight_mem() const { return lsq_occupancy_; }
 
  private:
   enum class State : std::uint8_t {
@@ -56,23 +60,45 @@ class OooCore final : public mem::ResponseSink {
     RequestId mem_id = kNoRequest;
   };
 
+  /// Micro-ops pulled per TraceSource::fill call: one virtual call amortized
+  /// over a whole chunk instead of one per dispatched instruction.
+  static constexpr std::size_t kTraceChunk = 256;
+
+  /// Memory-request ids carry the ROB sequence number in their low bits
+  /// (the id space tag sits above). Sequence numbers are unique for the
+  /// lifetime of a core, so no in-flight map is needed to route responses.
+  static constexpr std::uint64_t kSeqBits = 48;
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+
   [[nodiscard]] bool deps_ready(const RobEntry& e) const;
   [[nodiscard]] bool dep_done(std::uint64_t index, std::uint32_t dist) const;
   void do_commit(Cycle now);
   void do_complete(Cycle now);
   void do_issue(Cycle now);
   void do_dispatch(Cycle now);
+  /// Pulls the next chunk from the trace; false = source exhausted.
+  bool refill_trace();
+  /// L1 access through the devirtualized fast path when the level below is
+  /// a concrete mem::Cache (the common case; Cache is final, so the call
+  /// resolves statically), else through the MemoryLevel vtable.
+  [[nodiscard]] bool l1_try_access(const mem::MemRequest& req);
 
   CoreConfig cfg_;
   trace::TraceSource* source_;   // non-owning
   mem::MemoryLevel* l1_;         // non-owning
+  mem::Cache* l1_cache_ = nullptr;  // == l1_ when it is a Cache; non-owning
+  // Trace chunk buffer: fill() writes straight into it, dispatch reads it
+  // back out; refilled only when drained, so no wraparound bookkeeping.
+  std::array<trace::MicroOp, kTraceChunk> trace_chunk_;
+  std::size_t chunk_pos_ = 0;
+  std::size_t chunk_len_ = 0;
   util::RingBuffer<RobEntry> rob_;
   std::uint64_t next_index_ = 0;           ///< next dynamic instruction number
   std::uint64_t iw_occupancy_ = 0;         ///< dispatched-not-issued entries
   std::uint64_t lsq_occupancy_ = 0;        ///< memory ops issued-not-completed
-  RequestId next_req_id_;
-  std::unordered_map<RequestId, std::uint64_t> in_flight_;  // req id -> rob seq
-  std::deque<mem::MemResponse> responses_;
+  RequestId id_base_;                      ///< id_space tag above the seq bits
+  std::vector<std::uint64_t> executing_;   ///< ROB seqs of in-flight ALU ops
+  util::RingBuffer<mem::MemResponse> responses_{1};  // sized to LSQ in ctor
   bool trace_done_ = false;
   std::uint64_t committed_this_cycle_ = 0;
   CoreStats stats_;

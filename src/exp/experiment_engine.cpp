@@ -284,7 +284,7 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
   const auto elapsed_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
   busy_nanos_.fetch_add(elapsed_ns, std::memory_order_relaxed);
-  out.duration_seconds = 1e-9 * static_cast<double>(elapsed_ns);
+  out.duration_ms = 1e-6 * static_cast<double>(elapsed_ns);
   obs_.jobs_executed.inc();
   obs_.run_ms.observe(1e-6 * static_cast<double>(elapsed_ns));
   return out;
@@ -543,7 +543,7 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
       }
       if (journal_ != nullptr && !out.skipped) {
         journal_->mark_done(out.fingerprint, jobs[i].tag,
-                            1e3 * out.result->duration_seconds);
+                            out.result->duration_ms);
       }
     }
   }

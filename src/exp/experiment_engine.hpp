@@ -111,11 +111,13 @@ struct SimJobResult {
   sim::SystemResult run;
   /// Per-workload calibration, in core order; empty unless job.calibrate.
   std::vector<sim::CpiExeResult> calib;
-  /// Wall-clock seconds the successful execution took (simulation +
-  /// calibration). Rides the shared result object, so a cache-served
-  /// outcome reports the duration of the run that produced it; sinks and
-  /// the journal record the same number (ResultRecord::duration_ms).
-  double duration_seconds = 0.0;
+  /// Wall-clock milliseconds the successful execution took (simulation +
+  /// calibration). Milliseconds are the one duration unit across the repo:
+  /// sinks (ResultRecord::duration_ms), the sweep journal, and the perf
+  /// harness all record the same field. Rides the shared result object, so
+  /// a cache-served outcome reports the duration of the run that produced
+  /// it.
+  double duration_ms = 0.0;
 };
 
 /// Results are shared immutable objects: a cache hit returns the *same*

@@ -1,6 +1,7 @@
 #include "exp/result_sink.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
@@ -8,6 +9,7 @@
 #include "exp/journal.hpp"
 #include "util/error.hpp"
 #include "util/fingerprint.hpp"
+#include "util/flat_json.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -113,8 +115,127 @@ ResultRecord ResultRecord::make(const SimJob& job, const SimJobResult& result,
   if (!result.run.l1.empty()) r.camat1 = result.run.l1.front().camat();
   r.camat2 = result.run.l2.camat();
   if (!result.calib.empty()) r.cpi_exe = result.calib.front().cpi_exe;
-  r.duration_ms = 1e3 * result.duration_seconds;
+  r.duration_ms = result.duration_ms;
   return r;
+}
+
+namespace {
+
+/// One CSV *record* may span physical lines when a quoted tag embeds a
+/// newline; a record is complete once its double quotes balance.
+bool csv_record_complete(const std::string& record) {
+  std::size_t quotes = 0;
+  for (const char c : record) {
+    if (c == '"') ++quotes;
+  }
+  return quotes % 2 == 0;
+}
+
+std::vector<ResultRecord> load_csv_records(std::ifstream& in) {
+  std::vector<ResultRecord> out;
+  std::string line;
+  if (!std::getline(in, line)) return out;
+  const std::vector<std::string> header = split_csv_record(line);
+  const auto column = [&header](const std::string& name) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+  const auto c_tag = column("tag");
+  const auto c_fp = column("fingerprint");
+  const auto c_cache = column("from_cache");
+  const auto c_done = column("completed");
+  const auto c_cycles = column("cycles");
+  const auto c_cores = column("cores");
+  const auto c_instr = column("instructions");
+  const auto c_ipc = column("ipc");
+  const auto c_mr1 = column("mr1");
+  const auto c_mr2 = column("mr2");
+  const auto c_camat1 = column("camat1");
+  const auto c_camat2 = column("camat2");
+  const auto c_cpi = column("cpi_exe");
+  const auto c_dur_ms = column("duration_ms");
+  const auto c_dur_s = column("duration_seconds");  // legacy files
+
+  std::string record;
+  while (std::getline(in, record)) {
+    std::string extra;
+    while (!csv_record_complete(record) && std::getline(in, extra)) {
+      record += '\n';
+      record += extra;
+    }
+    if (record.empty()) continue;
+    const std::vector<std::string> f = split_csv_record(record);
+    const auto field = [&f](std::ptrdiff_t idx) -> std::string {
+      if (idx < 0 || static_cast<std::size_t>(idx) >= f.size()) return "";
+      return f[static_cast<std::size_t>(idx)];
+    };
+    const auto num = [&field](std::ptrdiff_t idx) -> double {
+      const std::string s = field(idx);
+      return s.empty() ? 0.0 : std::strtod(s.c_str(), nullptr);
+    };
+    ResultRecord r;
+    r.tag = field(c_tag);
+    r.fingerprint = field(c_fp);
+    r.from_cache = num(c_cache) != 0.0;
+    r.completed = num(c_done) != 0.0;
+    r.cycles = static_cast<std::uint64_t>(num(c_cycles));
+    r.cores = static_cast<std::uint32_t>(num(c_cores));
+    r.instructions = static_cast<std::uint64_t>(num(c_instr));
+    r.ipc = num(c_ipc);
+    r.mr1 = num(c_mr1);
+    r.mr2 = num(c_mr2);
+    r.camat1 = num(c_camat1);
+    r.camat2 = num(c_camat2);
+    r.cpi_exe = num(c_cpi);
+    r.duration_ms = c_dur_ms >= 0 ? num(c_dur_ms) : 1e3 * num(c_dur_s);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<ResultRecord> load_jsonl_records(std::ifstream& in) {
+  std::vector<ResultRecord> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const util::FlatJson json = util::FlatJson::parse(line);
+    ResultRecord r;
+    r.tag = json.get_string("tag").value_or("");
+    r.fingerprint = json.get_string("fingerprint").value_or("");
+    r.from_cache = json.get_bool("from_cache").value_or(false);
+    r.completed = json.get_bool("completed").value_or(false);
+    r.cycles = static_cast<std::uint64_t>(json.get_number("cycles").value_or(0));
+    r.cores = static_cast<std::uint32_t>(json.get_number("cores").value_or(0));
+    r.instructions =
+        static_cast<std::uint64_t>(json.get_number("instructions").value_or(0));
+    r.ipc = json.get_number("ipc").value_or(0.0);
+    r.mr1 = json.get_number("mr1").value_or(0.0);
+    r.mr2 = json.get_number("mr2").value_or(0.0);
+    r.camat1 = json.get_number("camat1").value_or(0.0);
+    r.camat2 = json.get_number("camat2").value_or(0.0);
+    r.cpi_exe = json.get_number("cpi_exe").value_or(0.0);
+    if (const auto ms = json.get_number("duration_ms")) {
+      r.duration_ms = *ms;
+    } else {
+      // Files written before the duration-unit unification.
+      r.duration_ms = 1e3 * json.get_number("duration_seconds").value_or(0.0);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ResultRecord> load_result_records(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw util::IoError("load_result_records: cannot open '" + path + "'");
+  }
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  return csv ? load_csv_records(in) : load_jsonl_records(in);
 }
 
 ResultSink::ResultSink(std::ostream& out, Format format)

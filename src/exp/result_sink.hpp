@@ -62,6 +62,15 @@ struct ResultRecord {
                                          bool from_cache);
 };
 
+/// Reads records back from a sink file (CSV vs JSON lines by extension,
+/// same rule as ResultSink::open). Columns/keys are matched by name, so
+/// files survive reordering and unknown fields. Backward compatible with
+/// files written before the duration-unit unification: a legacy
+/// `duration_seconds` column/key is converted to milliseconds on load.
+/// Throws util::IoError if the file cannot be read.
+[[nodiscard]] std::vector<ResultRecord> load_result_records(
+    const std::string& path);
+
 class ResultSink {
  public:
   enum class Format { kCsv, kJsonLines };

@@ -1,0 +1,76 @@
+#include "lpm.hpp"
+
+namespace lpm {
+
+TraceSpec TraceSpec::spec(const std::string& name, std::uint64_t length,
+                          std::uint64_t seed) {
+  for (const auto b : trace::all_spec_benchmarks()) {
+    if (trace::spec_name(b) == name) {
+      return profile(trace::spec_profile(b, length, seed));
+    }
+  }
+  throw util::ConfigError("TraceSpec: unknown workload '" + name +
+                          "'; try 403.gcc, 429.mcf, ...");
+}
+
+TraceSpec TraceSpec::profile(trace::WorkloadProfile workload) {
+  TraceSpec spec;
+  spec.workloads.push_back(std::move(workload));
+  return spec;
+}
+
+TraceSpec TraceSpec::profiles(std::vector<trace::WorkloadProfile> w) {
+  TraceSpec spec;
+  spec.workloads = std::move(w);
+  return spec;
+}
+
+std::vector<trace::WorkloadProfile> TraceSpec::expand(
+    std::uint32_t num_cores) const {
+  util::require(!workloads.empty(), "TraceSpec: no workload given");
+  if (workloads.size() == 1 && num_cores > 1) {
+    return std::vector<trace::WorkloadProfile>(num_cores, workloads.front());
+  }
+  util::require(workloads.size() == num_cores,
+                "TraceSpec: workload count must be 1 or match num_cores");
+  return workloads;
+}
+
+const core::AppMeasurement& SimulationReport::app(std::size_t idx) const {
+  util::require(idx < apps.size(),
+                "SimulationReport: no such app measurement (was the spec "
+                "simulated with calibrate = false?)");
+  return apps[idx];
+}
+
+SimulationReport simulate(const sim::MachineConfig& machine,
+                          const TraceSpec& spec) {
+  exp::SimJob job;
+  job.machine = machine;
+  job.workloads = spec.expand(machine.num_cores);
+  job.calibrate = spec.calibrate;
+  job.tag = spec.tag;
+
+  const exp::SimResultPtr result = exp::ExperimentEngine::shared().run(job);
+
+  SimulationReport report;
+  report.run = result->run;
+  report.calib = result->calib;
+  report.duration_ms = result->duration_ms;
+  if (spec.calibrate) {
+    report.apps.reserve(job.workloads.size());
+    for (std::size_t c = 0; c < job.workloads.size(); ++c) {
+      report.apps.push_back(core::AppMeasurement::from_run(
+          result->run, result->calib.at(c), c, job.workloads[c].name));
+    }
+    report.lpmr = core::compute_lpmrs(report.apps.front());
+  }
+  return report;
+}
+
+core::LpmOutcome run_lpm_walk(core::LpmTunable& system,
+                              const core::LpmAlgorithmConfig& cfg) {
+  return core::LpmAlgorithm(cfg).run(system);
+}
+
+}  // namespace lpm

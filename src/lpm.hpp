@@ -1,0 +1,96 @@
+// lpm.hpp — the single public entry point of the library.
+//
+// Consumers (examples, notebooks, external tools) include this header and
+// nothing else below src/: it re-exports every public subsystem header and
+// adds the two high-level entry points most programs actually want:
+//
+//   * lpm::simulate(machine, spec)  — build the traces, run the machine
+//     through the shared experiment engine (cached, parallel-safe), and
+//     return the run together with its LPM measurement;
+//   * lpm::run_lpm_walk(tunable)    — the Fig. 3 LPMR reduction loop over
+//     any LpmTunable system.
+//
+// Subsystem headers remain includable directly for code that lives inside
+// the repo (tests, benches), but examples demonstrate the facade only.
+#pragma once
+
+#include "camat/fig1.hpp"
+#include "camat/metrics.hpp"
+#include "camat/whatif.hpp"
+#include "core/design_space.hpp"
+#include "core/diagnosis.hpp"
+#include "core/interval.hpp"
+#include "core/lpm_algorithm.hpp"
+#include "core/lpm_model.hpp"
+#include "core/online_controller.hpp"
+#include "exp/experiment_engine.hpp"
+#include "exp/journal.hpp"
+#include "exp/result_sink.hpp"
+#include "sched/evaluate.hpp"
+#include "sched/hsp.hpp"
+#include "sched/profile.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/system.hpp"
+#include "trace/spec_like.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_file.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace lpm {
+
+/// What to run on the machine: one workload per core (a single entry is
+/// replicated across all cores), plus whether to also run the perfect-cache
+/// CPIexe calibration every LPM computation needs.
+struct TraceSpec {
+  std::vector<trace::WorkloadProfile> workloads;
+  /// Run sim::measure_cpi_exe per workload so the report carries
+  /// AppMeasurements and LPMRs; disable for raw-throughput runs.
+  bool calibrate = true;
+  /// Free-form label carried into engine sinks (not part of the cache key).
+  std::string tag;
+
+  /// A synthetic SPEC CPU2006 analogue by name ("403.gcc", "429.mcf", ...).
+  /// Throws util::ConfigError for an unknown name.
+  [[nodiscard]] static TraceSpec spec(const std::string& name,
+                                      std::uint64_t length = 100'000,
+                                      std::uint64_t seed = 1);
+  /// An explicit workload profile.
+  [[nodiscard]] static TraceSpec profile(trace::WorkloadProfile workload);
+  /// One profile per core.
+  [[nodiscard]] static TraceSpec profiles(std::vector<trace::WorkloadProfile> w);
+
+  /// The per-core workload list for a machine with `num_cores` cores
+  /// (replicates a single entry; otherwise sizes must match).
+  [[nodiscard]] std::vector<trace::WorkloadProfile> expand(
+      std::uint32_t num_cores) const;
+};
+
+/// Everything simulate() produces: the raw run, the per-core calibrations,
+/// and the derived LPM measurements.
+struct SimulationReport {
+  sim::SystemResult run;
+  std::vector<sim::CpiExeResult> calib;    ///< per core; empty if !calibrate
+  std::vector<core::AppMeasurement> apps;  ///< per core; empty if !calibrate
+  core::LpmrSet lpmr;                      ///< of app(0); zeros if !calibrate
+  double duration_ms = 0.0;  ///< wall clock of the producing execution
+
+  /// The measurement of core `idx`; throws if calibration was disabled.
+  [[nodiscard]] const core::AppMeasurement& app(std::size_t idx = 0) const;
+};
+
+/// Simulates `spec` on `machine` through the shared experiment engine:
+/// repeated evaluations of the same point are served from its memo cache,
+/// and concurrent callers share one worker pool. Deterministic — equal
+/// inputs produce bit-identical reports.
+[[nodiscard]] SimulationReport simulate(const sim::MachineConfig& machine,
+                                        const TraceSpec& spec);
+
+/// Runs the LPMR Reduction Algorithm (paper Fig. 3) over `system` until
+/// convergence or exhaustion.
+[[nodiscard]] core::LpmOutcome run_lpm_walk(
+    core::LpmTunable& system, const core::LpmAlgorithmConfig& cfg = {});
+
+}  // namespace lpm

@@ -9,11 +9,27 @@ namespace lpm::mem {
 
 namespace {
 [[nodiscard]] bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Rebuilds `rb` with at least `want` capacity, preserving FIFO order.
+/// Never shrinks (pools only ever need to grow on reconfiguration).
+template <typename T>
+void grow_ring(lpm::util::RingBuffer<T>& rb, std::size_t want) {
+  if (rb.capacity() >= want) return;
+  lpm::util::RingBuffer<T> grown(want);
+  while (!rb.empty()) {
+    grown.push(rb.front());
+    rb.pop();
+  }
+  rb = std::move(grown);
+}
 }  // namespace
 
 void CacheConfig::validate() const {
   using util::require;
-  require(is_pow2(block_bytes), name + ": block_bytes must be a power of two");
+  // >= 2 so block-aligned addresses always have a zero low bit, keeping the
+  // all-ones invalid-tag sentinel unambiguous.
+  require(is_pow2(block_bytes) && block_bytes >= 2,
+          name + ": block_bytes must be a power of two >= 2");
   require(is_pow2(size_bytes), name + ": size_bytes must be a power of two");
   require(associativity >= 1, name + ": associativity must be >= 1");
   require(size_bytes >= static_cast<std::uint64_t>(block_bytes) * associativity,
@@ -40,7 +56,8 @@ Cache::Cache(CacheConfig cfg, MemoryLevel* below, std::uint64_t id_space)
       next_fill_id_(id_space << 40) {
   cfg_.validate();
   util::require(below_ != nullptr, cfg_.name + ": lower level must exist");
-  lines_.assign(cfg_.num_sets() * cfg_.associativity, Line{});
+  line_tags_.assign(cfg_.num_sets() * cfg_.associativity, kInvalidTag);
+  line_flags_.assign(cfg_.num_sets() * cfg_.associativity, 0);
   repl_.reserve(cfg_.num_sets());
   for (std::uint64_t s = 0; s < cfg_.num_sets(); ++s) {
     repl_.emplace_back(cfg_.replacement, cfg_.associativity);
@@ -50,10 +67,32 @@ Cache::Cache(CacheConfig cfg, MemoryLevel* below, std::uint64_t id_space)
   stats_.core_misses.assign(cfg_.num_cores, 0);
   effective_prefetch_degree_ = cfg_.prefetch_degree;
   runtime_ports_ = cfg_.ports;
+  runtime_per_bank_ = cfg_.per_bank_limit();
   runtime_mshr_limit_ = cfg_.mshr_entries;
   // Bound the replay queue: enough to absorb a burst, small enough that MSHR
   // saturation back-pressures the upper level instead of hiding in a queue.
   mshr_wait_cap_ = static_cast<std::size_t>(cfg_.mshr_entries) * 2 + 8;
+  reserve_pools();
+  release_scratch_.reserve(cfg_.mshr_targets);
+}
+
+void Cache::reserve_pools() {
+  // Pipeline bound: at most ports accepts per cycle, each resident exactly
+  // hit_latency cycles (lookups never stall in place).
+  const std::size_t in_pipe =
+      static_cast<std::size_t>(runtime_ports_) * cfg_.hit_latency;
+  grow_ring(pipeline_, in_pipe);
+  // Replay bound: admission stops demand once mshr_wait_.size() >=
+  // mshr_wait_cap_, but every access already inside the lookup pipeline may
+  // still miss into the queue after the gate closed.
+  grow_ring(mshr_wait_, mshr_wait_cap_ + in_pipe);
+  // A fill response / deferred install corresponds to a still-valid MSHR
+  // entry, so both queues are bounded by the MSHR file size.
+  grow_ring(fill_q_, cfg_.mshr_entries);
+  grow_ring(deferred_fill_blocks_, cfg_.mshr_entries);
+  // Prefetch candidates are capped at degree*8 (drop-oldest beyond that).
+  grow_ring(prefetch_q_, std::max<std::size_t>(
+                             1, static_cast<std::size_t>(cfg_.prefetch_degree) * 8));
 }
 
 std::uint64_t Cache::set_index(Addr addr) const {
@@ -64,34 +103,21 @@ std::uint32_t Cache::bank_of(Addr addr) const {
   return static_cast<std::uint32_t>((addr / cfg_.interleave_bytes) & (cfg_.banks - 1));
 }
 
-const Cache::Line* Cache::find_line(Addr addr) const {
+std::uint32_t Cache::find_way(Addr addr) const {
   const Addr blk = block_addr(addr);
-  const std::uint64_t set = set_index(addr);
-  const Line* base = &lines_[set * cfg_.associativity];
+  const Addr* base = &line_tags_[set_index(addr) * cfg_.associativity];
   for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
-    if (base[w].valid && base[w].tag == blk) return &base[w];
+    if (base[w] == blk) return w;  // kInvalidTag never equals a block address
   }
-  return nullptr;
+  return kNoWay;
 }
 
-Cache::Line* Cache::find_line_mut(Addr addr, std::uint32_t* way_out) {
-  const Addr blk = block_addr(addr);
-  const std::uint64_t set = set_index(addr);
-  Line* base = &lines_[set * cfg_.associativity];
-  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
-    if (base[w].valid && base[w].tag == blk) {
-      if (way_out != nullptr) *way_out = w;
-      return &base[w];
-    }
-  }
-  return nullptr;
-}
-
-bool Cache::contains_block(Addr addr) const { return find_line(addr) != nullptr; }
+bool Cache::contains_block(Addr addr) const { return find_way(addr) != kNoWay; }
 
 bool Cache::block_dirty(Addr addr) const {
-  const Line* line = find_line(addr);
-  return line != nullptr && line->dirty;
+  const std::uint32_t way = find_way(addr);
+  if (way == kNoWay) return false;
+  return (line_flags_[set_index(addr) * cfg_.associativity + way] & kLineDirty) != 0;
 }
 
 bool Cache::try_access(const MemRequest& req) {
@@ -105,10 +131,7 @@ bool Cache::try_access(const MemRequest& req) {
     return false;
   }
   const std::uint32_t bank = bank_of(req.addr);
-  const std::uint32_t per_bank =
-      cfg_.banks == 1 ? runtime_ports_
-                      : std::max<std::uint32_t>(1, runtime_ports_ / cfg_.banks);
-  if (bank_accepts_[bank] >= per_bank) {
+  if (bank_accepts_[bank] >= runtime_per_bank_) {
     ++stats_.rejected_bank;
     return false;
   }
@@ -120,9 +143,10 @@ bool Cache::try_access(const MemRequest& req) {
 
   ++accepted_this_cycle_;
   ++bank_accepts_[bank];
-  pipeline_.push_back(LookupEntry{req, now + cfg_.hit_latency, is_writeback});
+  pipeline_.push(LookupEntry{req, now + cfg_.hit_latency, is_writeback});
 
   if (!is_writeback) {
+    ++demand_in_pipeline_;
     ++stats_.accesses;
     if (req.core < cfg_.num_cores) ++stats_.core_accesses[req.core];
     if (probe_ != nullptr) {
@@ -132,17 +156,23 @@ bool Cache::try_access(const MemRequest& req) {
   return true;
 }
 
-void Cache::on_response(const MemResponse& rsp) { fill_q_.push_back(rsp); }
+void Cache::on_response(const MemResponse& rsp) { fill_q_.push(rsp); }
 
 void Cache::sample_activity(Cycle cycle) {
   if (probe_ == nullptr) return;
-  // Demand accesses currently in their hit (lookup) phase; writebacks are
-  // bandwidth, not demand accesses, and are excluded from C-AMAT counters.
-  std::uint32_t hit_active = 0;
-  for (const auto& e : pipeline_) {
-    if (!e.is_writeback) ++hit_active;
-  }
-  probe_->on_cycle_activity(cycle, hit_active);
+  // demand_in_pipeline_ counts the demand accesses currently in their hit
+  // (lookup) phase; writebacks are bandwidth, not demand accesses, and are
+  // excluded from C-AMAT counters.
+  //
+  // Once the probe has seen one zero-activity cycle with no outstanding miss
+  // (no demand lookup in flight, no MSHR entry, no replayed miss waiting),
+  // further idle samples cannot change any metric: they only re-zero the
+  // phase-edge state. Skip them so quiet caches cost nothing per cycle.
+  const bool idle = demand_in_pipeline_ == 0 && mshr_.in_use() == 0 &&
+                    mshr_wait_.empty();
+  if (idle && probe_quiesced_) return;
+  probe_->on_cycle_activity(cycle, demand_in_pipeline_);
+  probe_quiesced_ = idle;
 }
 
 void Cache::tick(Cycle now) {
@@ -150,36 +180,48 @@ void Cache::tick(Cycle now) {
   // (including late try_access calls from upper components) are complete.
   if (now > 0) sample_activity(now - 1);
 
-  // (2) Reset per-cycle acceptance accounting.
+  // (2) Reset per-cycle acceptance accounting (bank counters only when
+  // something was accepted; they are already zero otherwise).
   accept_cycle_ = now;
-  accepted_this_cycle_ = 0;
-  std::fill(bank_accepts_.begin(), bank_accepts_.end(), 0);
+  if (accepted_this_cycle_ != 0) {
+    std::fill(bank_accepts_.begin(), bank_accepts_.end(), 0);
+    accepted_this_cycle_ = 0;
+  }
+
+  // Idle fast path: with nothing in flight anywhere, steps (3)-(7) are all
+  // no-ops. This is the common case for upper levels whose working set fits
+  // (and for every level while the core crunches ALU phases).
+  if (pipeline_.empty() && fill_q_.empty() && deferred_fill_blocks_.empty() &&
+      mshr_wait_.empty() && mshr_.in_use() == 0 && writeback_q_.empty() &&
+      prefetch_q_.empty()) {
+    return;
+  }
 
   // (3) Install fills: deferred ones first (FIFO fairness), then new ones.
   for (std::size_t i = deferred_fill_blocks_.size(); i > 0; --i) {
     const Addr blk = deferred_fill_blocks_.front();
-    deferred_fill_blocks_.pop_front();
+    deferred_fill_blocks_.pop();
     if (!try_install_fill(blk, now)) {
-      deferred_fill_blocks_.push_back(blk);
+      deferred_fill_blocks_.push(blk);
       break;  // still blocked on writeback space; keep order
     }
   }
   while (!fill_q_.empty()) {
     const MemResponse rsp = fill_q_.front();
-    fill_q_.pop_front();
+    fill_q_.pop();
     const Addr blk = block_addr(rsp.addr);
     if (!try_install_fill(blk, now)) {
       ++stats_.deferred_fills;
-      deferred_fill_blocks_.push_back(blk);
+      deferred_fill_blocks_.push(blk);
     }
   }
 
   // (4) Retry misses waiting for MSHR resources (entries may have freed).
   for (std::size_t i = mshr_wait_.size(); i > 0; --i) {
-    WaitingMiss wm = mshr_wait_.front();
-    mshr_wait_.pop_front();
+    const WaitingMiss wm = mshr_wait_.front();
+    mshr_wait_.pop();
     if (!try_handle_miss(wm.req, wm.miss_start, now)) {
-      mshr_wait_.push_back(wm);
+      mshr_wait_.push(wm);
       ++stats_.mshr_full_waits;
     }
   }
@@ -187,7 +229,8 @@ void Cache::tick(Cycle now) {
   // (5) Complete lookups whose pipeline latency elapsed.
   while (!pipeline_.empty() && pipeline_.front().ready <= now) {
     const LookupEntry entry = pipeline_.front();
-    pipeline_.pop_front();
+    pipeline_.pop();
+    if (!entry.is_writeback) --demand_in_pipeline_;
     complete_lookup(entry, now);
   }
 
@@ -220,13 +263,14 @@ void Cache::adapt_prefetch_degree() {
 
 void Cache::schedule_prefetches(Addr demand_block, CoreId core) {
   if (effective_prefetch_degree_ == 0) return;
+  // Keep the candidate queue bounded; stale candidates are the least useful,
+  // so the oldest are dropped to make room for fresh ones.
+  const std::size_t cap = static_cast<std::size_t>(cfg_.prefetch_degree) * 8;
   for (std::uint32_t i = 1; i <= effective_prefetch_degree_; ++i) {
-    prefetch_q_.push_back(PrefetchCandidate{
+    while (prefetch_q_.size() >= cap) prefetch_q_.pop();
+    prefetch_q_.push(PrefetchCandidate{
         demand_block + static_cast<Addr>(i) * cfg_.block_bytes, core});
   }
-  // Keep the candidate queue bounded; stale candidates are the least useful.
-  const std::size_t cap = static_cast<std::size_t>(cfg_.prefetch_degree) * 8;
-  while (prefetch_q_.size() > cap) prefetch_q_.pop_front();
 }
 
 void Cache::launch_prefetches(Cycle now) {
@@ -236,13 +280,14 @@ void Cache::launch_prefetches(Cycle now) {
       break;
     }
     const PrefetchCandidate cand = prefetch_q_.front();
-    prefetch_q_.pop_front();
+    prefetch_q_.pop();
     if (contains_block(cand.block) || mshr_.find(cand.block).has_value()) continue;
     if (cfg_.mshr_quota_per_core > 0 && cand.core != kNoCore &&
         mshr_.in_use_by(cand.core) >= cfg_.mshr_quota_per_core) {
       continue;  // prefetches never exceed their core's parallelism share
     }
     mshr_.allocate_prefetch(cand.block, now, cand.core);
+    ++mshr_unissued_;
     ++stats_.prefetches_issued;
     ++pf_window_issued_;
     adapt_prefetch_degree();
@@ -251,12 +296,13 @@ void Cache::launch_prefetches(Cycle now) {
 
 void Cache::complete_lookup(const LookupEntry& entry, Cycle now) {
   const MemRequest& req = entry.req;
-  std::uint32_t way = 0;
-  Line* line = find_line_mut(req.addr, &way);
+  const std::uint32_t way = find_way(req.addr);
+  const std::size_t slot =
+      way == kNoWay ? 0 : set_index(req.addr) * cfg_.associativity + way;
 
   if (entry.is_writeback) {
-    if (line != nullptr) {
-      line->dirty = true;
+    if (way != kNoWay) {
+      line_flags_[slot] |= kLineDirty;
       repl_[set_index(req.addr)].touch(way, ++repl_tick_);
       ++stats_.writeback_hits;
     } else {
@@ -269,17 +315,17 @@ void Cache::complete_lookup(const LookupEntry& entry, Cycle now) {
     return;
   }
 
-  if (line != nullptr) {
+  if (way != kNoWay) {
     ++stats_.hits;
-    if (line->prefetched) {
+    if ((line_flags_[slot] & kLinePrefetched) != 0) {
       // First demand touch of a prefetched line: the stream is live, keep
       // running ahead of it (classic tagged next-N-line prefetching).
       ++stats_.prefetch_hits;
       note_prefetch_useful();
-      line->prefetched = false;
+      line_flags_[slot] &= static_cast<std::uint8_t>(~kLinePrefetched);
       schedule_prefetches(block_addr(req.addr), req.core);
     }
-    if (req.kind == AccessKind::kWrite) line->dirty = true;
+    if (req.kind == AccessKind::kWrite) line_flags_[slot] |= kLineDirty;
     repl_[set_index(req.addr)].touch(way, ++repl_tick_);
     if (probe_ != nullptr) probe_->on_hit(req.id, now);
     if (req.reply_to != nullptr) {
@@ -293,7 +339,7 @@ void Cache::complete_lookup(const LookupEntry& entry, Cycle now) {
   if (req.core < cfg_.num_cores) ++stats_.core_misses[req.core];
   if (probe_ != nullptr) probe_->on_miss(req.id, now);
   if (!try_handle_miss(req, now, now)) {
-    mshr_wait_.push_back(WaitingMiss{req, now});
+    mshr_wait_.push(WaitingMiss{req, now});
   }
   schedule_prefetches(block_addr(req.addr), req.core);
 }
@@ -323,13 +369,16 @@ bool Cache::try_handle_miss(const MemRequest& req, Cycle miss_start, Cycle now) 
     return false;
   }
   mshr_.allocate(blk, target, now);
+  ++mshr_unissued_;
   return true;
 }
 
 void Cache::issue_pending_fills(Cycle now) {
-  for (const std::uint32_t idx : mshr_.valid_entries()) {
+  if (mshr_unissued_ == 0) return;
+  const std::uint32_t cap = mshr_.capacity();
+  for (std::uint32_t idx = 0; idx < cap; ++idx) {
     MshrEntry& e = mshr_.entry(idx);
-    if (e.issued) continue;
+    if (!e.valid || e.issued) continue;
     MemRequest fill;
     fill.id = next_fill_id_++;
     fill.core = e.targets.empty() ? e.core : e.targets.front().core;
@@ -340,6 +389,7 @@ void Cache::issue_pending_fills(Cycle now) {
     if (below_->try_access(fill)) {
       e.issued = true;
       e.fill_id = fill.id;
+      if (--mshr_unissued_ == 0) return;
     }
     // On rejection we simply retry next cycle.
   }
@@ -347,29 +397,28 @@ void Cache::issue_pending_fills(Cycle now) {
 
 bool Cache::try_install_fill(Addr blk, Cycle now) {
   const auto idx = mshr_.find(blk);
-  util::require(idx.has_value(), cfg_.name + ": fill for unknown block");
+  util::require(idx.has_value(), "Cache: fill for unknown block");
 
   const std::uint64_t set = set_index(blk);
-  Line* base = &lines_[set * cfg_.associativity];
+  const std::size_t base = set * cfg_.associativity;
 
   std::uint32_t way = cfg_.associativity;  // sentinel
   for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
-    if (!base[w].valid) {
+    if (line_tags_[base + w] == kInvalidTag) {
       way = w;
       break;
     }
   }
   if (way == cfg_.associativity) {
     way = repl_[set].victim(rng_);
-    Line& victim = base[way];
-    if (victim.dirty) {
+    if ((line_flags_[base + way] & kLineDirty) != 0) {
       if (writeback_q_.size() >= cfg_.writeback_capacity) {
         return false;  // no room to evict; defer the install
       }
       MemRequest wb;
       wb.id = next_fill_id_++;
       wb.core = kNoCore;
-      wb.addr = victim.tag;
+      wb.addr = line_tags_[base + way];
       wb.kind = AccessKind::kWrite;
       wb.created = now;
       wb.reply_to = nullptr;
@@ -381,12 +430,14 @@ bool Cache::try_install_fill(Addr blk, Cycle now) {
 
   const bool pure_prefetch =
       mshr_.entry(*idx).is_prefetch && mshr_.entry(*idx).targets.empty();
-  base[way] = Line{blk, true, false, pure_prefetch};
+  line_tags_[base + way] = blk;
+  line_flags_[base + way] = pure_prefetch ? kLinePrefetched : 0;
   repl_[set].fill(way, ++repl_tick_);
   ++stats_.fills;
 
-  for (const MshrTarget& t : mshr_.release(*idx)) {
-    if (t.kind == AccessKind::kWrite) base[way].dirty = true;
+  mshr_.release_into(*idx, release_scratch_);
+  for (const MshrTarget& t : release_scratch_) {
+    if (t.kind == AccessKind::kWrite) line_flags_[base + way] |= kLineDirty;
     if (probe_ != nullptr) probe_->on_miss_done(t.id, now);
     if (t.reply_to != nullptr) {
       t.reply_to->on_response(MemResponse{t.id, t.core, blk, now});
@@ -399,6 +450,10 @@ void Cache::set_ports(std::uint32_t ports) {
   util::require(ports >= 1, cfg_.name + ": ports must be >= 1");
   if (ports == runtime_ports_) return;
   runtime_ports_ = ports;
+  runtime_per_bank_ = cfg_.banks == 1
+                          ? runtime_ports_
+                          : std::max<std::uint32_t>(1, runtime_ports_ / cfg_.banks);
+  reserve_pools();  // more ports -> deeper pipeline and more in-flight misses
   ++reconfig_ops_;
 }
 
@@ -416,6 +471,7 @@ void Cache::set_prefetch_degree(std::uint32_t degree) {
   }
   cfg_.prefetch_degree = degree;  // new adaptation target
   effective_prefetch_degree_ = degree;
+  reserve_pools();  // a higher degree widens the candidate queue
   ++reconfig_ops_;
 }
 

@@ -33,6 +33,7 @@ namespace lpm::obs {
 class MetricsRegistry;
 }
 #include "mem/request.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace lpm::mem {
@@ -155,12 +156,16 @@ class Cache final : public MemoryLevel, public ResponseSink {
   }
 
  private:
-  struct Line {
-    Addr tag = 0;
-    bool valid = false;
-    bool dirty = false;
-    bool prefetched = false;  ///< filled by prefetch, not yet demand-touched
-  };
+  // Line metadata is structure-of-arrays: the lookup fast path scans only
+  // the contiguous tag array (8 bytes per way); dirty/prefetched bits live
+  // in a separate flag array touched on hit/fill/evict. Validity is encoded
+  // in the tag itself (kInvalidTag never equals a block-aligned address),
+  // so a tag match needs no second load.
+  static constexpr Addr kInvalidTag = ~Addr{0};
+  static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+  static constexpr std::uint8_t kLineDirty = 1u << 0;
+  static constexpr std::uint8_t kLinePrefetched = 1u << 1;
+
   struct LookupEntry {
     MemRequest req;
     Cycle ready = 0;
@@ -169,8 +174,8 @@ class Cache final : public MemoryLevel, public ResponseSink {
 
   [[nodiscard]] std::uint64_t set_index(Addr addr) const;
   [[nodiscard]] std::uint32_t bank_of(Addr addr) const;
-  [[nodiscard]] const Line* find_line(Addr addr) const;
-  [[nodiscard]] Line* find_line_mut(Addr addr, std::uint32_t* way_out = nullptr);
+  /// Way of `addr`'s block within its set, or kNoWay when absent.
+  [[nodiscard]] std::uint32_t find_way(Addr addr) const;
 
   void sample_activity(Cycle cycle);
   void complete_lookup(const LookupEntry& entry, Cycle now);
@@ -187,25 +192,37 @@ class Cache final : public MemoryLevel, public ResponseSink {
   MemoryLevel* below_;          // non-owning
   AccessProbe* probe_ = nullptr;  // non-owning
 
-  std::vector<Line> lines_;     // num_sets * associativity, row-major by set
+  std::vector<Addr> line_tags_;           // num_sets * assoc, row-major by set
+  std::vector<std::uint8_t> line_flags_;  // kLineDirty | kLinePrefetched
   std::vector<ReplacementState> repl_;
   MshrFile mshr_;
   util::Rng rng_;
 
-  std::deque<LookupEntry> pipeline_;   // FIFO: constant hit latency
+  // Hot queues are preallocated ring buffers (no steady-state allocation);
+  // each one's capacity is a provable occupancy bound, re-derived by
+  // reserve_pools() when a reconfiguration knob loosens it. Only
+  // writeback_q_ stays a deque: forwarded upper-level writebacks have no
+  // structural bound when the level below refuses traffic.
+  util::RingBuffer<LookupEntry> pipeline_{1};  // <= ports * hit_latency
   struct WaitingMiss {
     MemRequest req;
     Cycle miss_start = 0;
   };
-  std::deque<WaitingMiss> mshr_wait_;  // bounded replay queue
+  // Replay pool: admission caps demand at mshr_wait_cap_, but accesses
+  // already in the lookup pipeline may still miss into the queue, so the
+  // pool carries ports*hit_latency slack.
+  util::RingBuffer<WaitingMiss> mshr_wait_{1};
+  void reserve_pools();
   std::deque<MemRequest> writeback_q_;
-  std::deque<MemResponse> fill_q_;     // fills from below, pending processing
-  std::deque<Addr> deferred_fill_blocks_;
+  util::RingBuffer<MemResponse> fill_q_{1};  // <= one per MSHR entry
+  util::RingBuffer<Addr> deferred_fill_blocks_{1};  // <= one per MSHR entry
   struct PrefetchCandidate {
     Addr block = 0;
     CoreId core = kNoCore;
   };
-  std::deque<PrefetchCandidate> prefetch_q_;  // candidates awaiting an MSHR
+  // Candidates awaiting an MSHR; at capacity the oldest candidate is
+  // dropped (stale prefetches are the least useful).
+  util::RingBuffer<PrefetchCandidate> prefetch_q_{1};
   std::uint32_t effective_prefetch_degree_ = 0;
   std::uint64_t pf_window_issued_ = 0;
   std::uint64_t pf_window_useful_ = 0;
@@ -215,12 +232,20 @@ class Cache final : public MemoryLevel, public ResponseSink {
   Cycle accept_cycle_ = kNoCycle;
   std::uint32_t accepted_this_cycle_ = 0;
   std::uint32_t runtime_ports_ = 1;       // live value of the ports knob
+  std::uint32_t runtime_per_bank_ = 1;    // derived per-bank acceptance cap
   std::uint32_t runtime_mshr_limit_ = 1;  // live cap on MSHR allocations
   std::uint64_t reconfig_ops_ = 0;
   std::vector<std::uint32_t> bank_accepts_;  // per-bank accepts this cycle
   std::uint64_t repl_tick_ = 0;              // logical time for LRU/FIFO
   RequestId next_fill_id_;
   std::size_t mshr_wait_cap_;
+
+  // Hot-path bookkeeping kept incrementally so per-cycle work is O(1) when
+  // the cache is quiet:
+  std::uint32_t demand_in_pipeline_ = 0;  // non-writeback lookups in flight
+  std::uint32_t mshr_unissued_ = 0;       // valid entries not yet sent below
+  bool probe_quiesced_ = false;  // probe already saw a zero-activity cycle
+  std::vector<MshrTarget> release_scratch_;  // reused by try_install_fill
 
   CacheStats stats_;
 };

@@ -24,6 +24,7 @@ void DramConfig::validate() const {
 Dram::Dram(DramConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.validate();
   banks_.assign(cfg_.banks, Bank{});
+  queue_.reserve(cfg_.queue_capacity);
 }
 
 std::uint32_t Dram::bank_of(Addr addr) const {
@@ -45,29 +46,32 @@ bool Dram::try_access(const MemRequest& req) {
   p.req = req;
   p.accepted = accept_cycle_;
   queue_.push_back(p);
-  if (probe_ != nullptr && req.reply_to != nullptr) {
-    probe_->on_access(req.id, accept_cycle_, req.kind == AccessKind::kWrite);
+  if (req.reply_to != nullptr) {
+    ++demand_in_queue_;
+    if (probe_ != nullptr) {
+      probe_->on_access(req.id, accept_cycle_, req.kind == AccessKind::kWrite);
+    }
   }
   return true;
 }
 
 void Dram::sample_activity(Cycle cycle) {
-  const auto in_flight = static_cast<std::uint32_t>(queue_.size());
-  if (in_flight > 0) ++stats_.busy_cycles;
-  if (probe_ != nullptr) {
-    // Last level: all residency counts as hit activity (see class comment).
-    // Fire-and-forget writes are bandwidth, not demand accesses; exclude.
-    std::uint32_t demand = 0;
-    for (const auto& p : queue_) {
-      if (p.req.reply_to != nullptr) ++demand;
-    }
-    probe_->on_cycle_activity(cycle, demand);
-  }
+  if (!queue_.empty()) ++stats_.busy_cycles;
+  if (probe_ == nullptr) return;
+  // Last level: all residency counts as hit activity (see class comment).
+  // Fire-and-forget writes are bandwidth, not demand accesses; excluded by
+  // demand_in_queue_, which tracks exactly the replied-to residents. A DRAM
+  // probe never sees on_miss, so once one zero-demand cycle is delivered,
+  // further idle samples are metric-neutral and can be skipped.
+  if (demand_in_queue_ == 0 && probe_quiesced_) return;
+  probe_->on_cycle_activity(cycle, demand_in_queue_);
+  probe_quiesced_ = demand_in_queue_ == 0;
 }
 
 void Dram::tick(Cycle now) {
   if (now > 0) sample_activity(now - 1);
   accept_cycle_ = now;
+  if (queue_.empty()) return;  // idle fast path: nothing to complete or issue
 
   complete_finished(now);
   issue_commands(now);
@@ -152,6 +156,7 @@ void Dram::complete_finished(Cycle now) {
       if (p.req.reply_to != nullptr) {
         p.req.reply_to->on_response(
             MemResponse{p.req.id, p.req.core, p.req.addr, now});
+        --demand_in_queue_;
       }
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -89,8 +88,12 @@ class Dram final : public MemoryLevel {
   DramConfig cfg_;
   AccessProbe* probe_ = nullptr;  // non-owning
   std::vector<Bank> banks_;
-  std::deque<Pending> queue_;
+  // Bounded by queue_capacity and scanned in age order by FR-FCFS; a
+  // reserved vector keeps it allocation-free and cache-contiguous.
+  std::vector<Pending> queue_;
   Cycle accept_cycle_ = 0;
+  std::uint32_t demand_in_queue_ = 0;  // queued requests with a reply sink
+  bool probe_quiesced_ = false;  // probe already saw a zero-demand cycle
   DramStats stats_;
 };
 

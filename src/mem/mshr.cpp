@@ -61,13 +61,25 @@ void MshrFile::add_target(std::uint32_t idx, const MshrTarget& target) {
 }
 
 std::vector<MshrTarget> MshrFile::release(std::uint32_t idx) {
+  std::vector<MshrTarget> out;
+  release_into(idx, out);
+  return out;
+}
+
+void MshrFile::release_into(std::uint32_t idx, std::vector<MshrTarget>& out) {
   auto& e = entries_.at(idx);
   util::require(e.valid, "MshrFile::release on invalid entry");
-  std::vector<MshrTarget> out = std::move(e.targets);
-  e = MshrEntry{};
+  out.clear();
+  out.swap(e.targets);  // entry inherits out's old storage
+  e.block_addr = 0;
+  e.valid = false;
+  e.issued = false;
+  e.is_prefetch = false;
+  e.core = kNoCore;
+  e.fill_id = kNoRequest;
+  e.allocated = 0;
   e.targets.reserve(max_targets_);
   ++free_;
-  return out;
 }
 
 MshrEntry& MshrFile::entry(std::uint32_t idx) { return entries_.at(idx); }

@@ -60,6 +60,12 @@ class MshrFile {
   /// Releases entry `idx`, returning its targets for completion.
   std::vector<MshrTarget> release(std::uint32_t idx);
 
+  /// Allocation-free variant: swaps entry `idx`'s targets into `out`
+  /// (clearing `out`'s previous contents) and frees the entry. The entry
+  /// inherits `out`'s old storage, so in steady state no release or
+  /// subsequent coalescing allocates.
+  void release_into(std::uint32_t idx, std::vector<MshrTarget>& out);
+
   [[nodiscard]] MshrEntry& entry(std::uint32_t idx);
   [[nodiscard]] const MshrEntry& entry(std::uint32_t idx) const;
 
@@ -76,7 +82,9 @@ class MshrFile {
   /// Backs the memory-parallelism-partition feature (per-core MSHR quotas).
   [[nodiscard]] std::uint32_t in_use_by(CoreId core) const;
 
-  /// Indices of valid entries (for iteration by the cache).
+  /// Indices of valid entries (for iteration by the cache). Allocates the
+  /// returned vector — test/diagnostic use only; hot paths iterate
+  /// [0, capacity) and check entry(i).valid instead.
   [[nodiscard]] std::vector<std::uint32_t> valid_entries() const;
 
  private:

@@ -103,7 +103,19 @@ Addr SyntheticTrace::sample_address(double seq_fraction) {
 
 bool SyntheticTrace::next(MicroOp& op) {
   if (emitted_ >= profile_.length) return false;
+  generate(op);
+  return true;
+}
 
+std::size_t SyntheticTrace::fill(MicroOp* dst, std::size_t n) {
+  const std::uint64_t left = profile_.length - emitted_;
+  const std::size_t take = static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, left));
+  for (std::size_t i = 0; i < take; ++i) generate(dst[i]);
+  return take;
+}
+
+void SyntheticTrace::generate(MicroOp& op) {
   const PhaseParams phase = current_phase_params();
   op = MicroOp{};
 
@@ -143,7 +155,6 @@ bool SyntheticTrace::next(MicroOp& op) {
   }
 
   ++emitted_;
-  return true;
 }
 
 }  // namespace lpm::trace

@@ -1,6 +1,7 @@
 // Deterministic synthetic instruction stream driven by a WorkloadProfile.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +20,7 @@ class SyntheticTrace final : public TraceSource {
   explicit SyntheticTrace(WorkloadProfile profile);
 
   bool next(MicroOp& op) override;
+  std::size_t fill(MicroOp* dst, std::size_t n) override;
   void reset() override;
   [[nodiscard]] std::string name() const override { return profile_.name; }
 
@@ -41,6 +43,8 @@ class SyntheticTrace final : public TraceSource {
 
   [[nodiscard]] PhaseParams current_phase_params() const;
   [[nodiscard]] Addr sample_address(double seq_fraction);
+  /// Emits one micro-op (shared body of next() and fill()).
+  void generate(MicroOp& op);
 
   WorkloadProfile profile_;
   util::Rng rng_;
@@ -61,6 +65,12 @@ class VectorTrace final : public TraceSource {
     if (pos_ >= ops_.size()) return false;
     op = ops_[pos_++];
     return true;
+  }
+  std::size_t fill(MicroOp* dst, std::size_t n) override {
+    const std::size_t take = std::min(n, ops_.size() - pos_);
+    std::copy_n(ops_.begin() + static_cast<std::ptrdiff_t>(pos_), take, dst);
+    pos_ += take;
+    return take;
   }
   void reset() override { pos_ = 0; }
   [[nodiscard]] std::string name() const override { return name_; }

@@ -5,6 +5,7 @@
 // Record: u8 type | u8 exec_latency | u32 dep_dist | u32 dep_dist2 | u64 addr
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,12 @@ class FileTrace final : public TraceSource {
     if (pos_ >= ops_.size()) return false;
     op = ops_[pos_++];
     return true;
+  }
+  std::size_t fill(MicroOp* dst, std::size_t n) override {
+    const std::size_t take = std::min(n, ops_.size() - pos_);
+    std::copy_n(ops_.begin() + static_cast<std::ptrdiff_t>(pos_), take, dst);
+    pos_ += take;
+    return take;
   }
   void reset() override { pos_ = 0; }
   [[nodiscard]] std::string name() const override { return name_; }

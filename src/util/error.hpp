@@ -98,13 +98,32 @@ class TimeoutError : public LpmError {
   throw LpmError(message);
 }
 
+/// Cold half of require(): builds the decorated message and throws. Kept
+/// out of line so the happy path at a call site is a test and a jump.
+[[noreturn, gnu::noinline]] inline void raise_requirement(
+    const char* message, const std::source_location& loc) {
+  throw ConfigError(std::string(loc.file_name()) + ":" +
+                    std::to_string(loc.line()) + ": " + message);
+}
+
 /// Throws ConfigError when `cond` is false. Use for validating
 /// user-supplied configuration; internal invariants use assert().
+///
+/// Prefer a string-literal message: this overload defers all string work to
+/// the failure path, so checks in per-cycle code are free of allocation.
+/// (The std::string overload below materializes its message temporary even
+/// on success — fine for construction/validation, not for hot loops.)
+inline void require(bool cond, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) [[unlikely]] {
+    raise_requirement(message, loc);
+  }
+}
+
 inline void require(bool cond, const std::string& message,
                     std::source_location loc = std::source_location::current()) {
-  if (!cond) {
-    throw ConfigError(std::string(loc.file_name()) + ":" +
-                      std::to_string(loc.line()) + ": " + message);
+  if (!cond) [[unlikely]] {
+    raise_requirement(message.c_str(), loc);
   }
 }
 

@@ -5,6 +5,7 @@
 // advances.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -16,7 +17,9 @@ template <typename T>
 class RingBuffer {
  public:
   explicit RingBuffer(std::size_t capacity)
-      : slots_(capacity), capacity_(capacity) {
+      : slots_(round_up_pow2(capacity)),
+        capacity_(capacity),
+        mask_(slots_.size() - 1) {
     require(capacity >= 1, "RingBuffer: capacity must be >= 1");
   }
 
@@ -30,19 +33,31 @@ class RingBuffer {
   std::size_t push(T value) {
     require(!full(), "RingBuffer::push on full buffer");
     const std::size_t seq = head_seq_ + size_;
-    slots_[seq % capacity_] = std::move(value);
+    slots_[seq & mask_] = std::move(value);
     ++size_;
     return seq;
+  }
+
+  /// Appends up to `n` elements copied from `src`, bounded by free space;
+  /// returns how many were appended. Batch counterpart of push() for
+  /// producers that generate in chunks (e.g. TraceSource::fill).
+  std::size_t push_bulk(const T* src, std::size_t n) {
+    const std::size_t take = std::min(n, capacity_ - size_);
+    for (std::size_t i = 0; i < take; ++i) {
+      slots_[(head_seq_ + size_) & mask_] = src[i];
+      ++size_;
+    }
+    return take;
   }
 
   /// Oldest element.
   [[nodiscard]] T& front() {
     require(!empty(), "RingBuffer::front on empty buffer");
-    return slots_[head_seq_ % capacity_];
+    return slots_[head_seq_ & mask_];
   }
   [[nodiscard]] const T& front() const {
     require(!empty(), "RingBuffer::front on empty buffer");
-    return slots_[head_seq_ % capacity_];
+    return slots_[head_seq_ & mask_];
   }
 
   /// Removes the oldest element.
@@ -55,21 +70,21 @@ class RingBuffer {
   /// Access by logical sequence number returned from push().
   [[nodiscard]] T& at_seq(std::size_t seq) {
     require(contains_seq(seq), "RingBuffer::at_seq: stale sequence number");
-    return slots_[seq % capacity_];
+    return slots_[seq & mask_];
   }
   [[nodiscard]] const T& at_seq(std::size_t seq) const {
     require(contains_seq(seq), "RingBuffer::at_seq: stale sequence number");
-    return slots_[seq % capacity_];
+    return slots_[seq & mask_];
   }
 
   /// i-th element from the front (0 == front).
   [[nodiscard]] T& at_offset(std::size_t i) {
     require(i < size_, "RingBuffer::at_offset: out of range");
-    return slots_[(head_seq_ + i) % capacity_];
+    return slots_[(head_seq_ + i) & mask_];
   }
   [[nodiscard]] const T& at_offset(std::size_t i) const {
     require(i < size_, "RingBuffer::at_offset: out of range");
-    return slots_[(head_seq_ + i) % capacity_];
+    return slots_[(head_seq_ + i) & mask_];
   }
 
   [[nodiscard]] bool contains_seq(std::size_t seq) const {
@@ -83,8 +98,18 @@ class RingBuffer {
   }
 
  private:
+  // Backing storage is rounded up to a power of two so every slot index is
+  // a mask instead of an integer division (the ROB scan does this per entry
+  // per cycle). capacity_ still enforces the caller's logical bound.
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
   std::vector<T> slots_;
   std::size_t capacity_;
+  std::size_t mask_;
   std::size_t head_seq_ = 0;
   std::size_t size_ = 0;
 };

@@ -147,7 +147,7 @@ TEST(ResultSink, RecordsWallClockDurationInSinkAndJournal) {
     exp::ExperimentEngine engine(opts);
     const auto results = engine.run_batch({job});
     ASSERT_EQ(results.size(), 1u);
-    EXPECT_GT(results[0]->duration_seconds, 0.0);
+    EXPECT_GT(results[0]->duration_ms, 0.0);
   }
 
   // CSV: trailing duration_ms column, non-negative and parseable.
@@ -200,4 +200,79 @@ TEST(ResultSink, JsonEscapesControlCharacters) {
 }
 
 }  // namespace
+TEST(ResultRecords, RoundTripThroughCsvAndJsonl) {
+  exp::ResultRecord r;
+  r.tag = "sweep,one \"quoted\"\nmultiline";
+  r.fingerprint = "00c0ffee";
+  r.from_cache = true;
+  r.completed = true;
+  r.cycles = 123456;
+  r.cores = 4;
+  r.instructions = 654321;
+  r.ipc = 1.25;
+  r.mr1 = 0.03125;
+  r.mr2 = 0.5;
+  r.camat1 = 2.5;
+  r.camat2 = 8.75;
+  r.cpi_exe = 0.375;
+  r.duration_ms = 42.125;
+
+  for (const char* ext : {".csv", ".jsonl"}) {
+    const std::string path = temp_path(std::string("lpm_records") + ext);
+    {
+      auto sink = exp::ResultSink::open(path);
+      sink->write(r);
+      sink->write(r);
+    }
+    const auto loaded = exp::load_result_records(path);
+    ASSERT_EQ(loaded.size(), 2u) << ext;
+    for (const auto& back : loaded) {
+      EXPECT_EQ(back.tag, r.tag) << ext;
+      EXPECT_EQ(back.fingerprint, r.fingerprint) << ext;
+      EXPECT_EQ(back.from_cache, r.from_cache) << ext;
+      EXPECT_EQ(back.completed, r.completed) << ext;
+      EXPECT_EQ(back.cycles, r.cycles) << ext;
+      EXPECT_EQ(back.cores, r.cores) << ext;
+      EXPECT_EQ(back.instructions, r.instructions) << ext;
+      EXPECT_DOUBLE_EQ(back.ipc, r.ipc) << ext;
+      EXPECT_DOUBLE_EQ(back.mr1, r.mr1) << ext;
+      EXPECT_DOUBLE_EQ(back.mr2, r.mr2) << ext;
+      EXPECT_DOUBLE_EQ(back.camat1, r.camat1) << ext;
+      EXPECT_DOUBLE_EQ(back.camat2, r.camat2) << ext;
+      EXPECT_DOUBLE_EQ(back.cpi_exe, r.cpi_exe) << ext;
+      EXPECT_DOUBLE_EQ(back.duration_ms, r.duration_ms) << ext;
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(ResultRecords, LegacyDurationSecondsConvertsToMs) {
+  // Files written before the duration-unit unification carried seconds.
+  const std::string csv_path = temp_path("lpm_legacy.csv");
+  {
+    std::ofstream out(csv_path);
+    out << "tag,fingerprint,from_cache,completed,cycles,cores,instructions,"
+           "ipc,mr1,mr2,camat1,camat2,cpi_exe,duration_seconds\n";
+    out << "old,abcd,0,1,10,1,20,2.0,0.1,0.2,1.5,4.5,0.5,0.125\n";
+  }
+  auto loaded = exp::load_result_records(csv_path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].duration_ms, 125.0);
+  EXPECT_EQ(loaded[0].cycles, 10u);
+  std::filesystem::remove(csv_path);
+
+  const std::string jsonl_path = temp_path("lpm_legacy.jsonl");
+  {
+    std::ofstream out(jsonl_path);
+    out << "{\"tag\":\"old\",\"fingerprint\":\"abcd\",\"from_cache\":false,"
+           "\"completed\":true,\"cycles\":10,\"cores\":1,\"instructions\":20,"
+           "\"ipc\":2.0,\"mr1\":0.1,\"mr2\":0.2,\"camat1\":1.5,"
+           "\"camat2\":4.5,\"cpi_exe\":0.5,\"duration_seconds\":0.125}\n";
+  }
+  loaded = exp::load_result_records(jsonl_path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].duration_ms, 125.0);
+  std::filesystem::remove(jsonl_path);
+}
+
 }  // namespace lpm

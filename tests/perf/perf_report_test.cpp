@@ -1,0 +1,109 @@
+// BENCH_simulator.json schema and the perf-regression gate. The suite runs
+// with a tiny workload — wall-clock values are machine noise, but the
+// schema (required keys, non-negative values) and the gate arithmetic are
+// exact.
+#include <gtest/gtest.h>
+
+#include "perf_lib.hpp"
+#include "util/error.hpp"
+#include "util/flat_json.hpp"
+
+namespace lpm::perf {
+namespace {
+
+PerfOptions tiny_options() {
+  PerfOptions opts;
+  opts.length = 2000;
+  opts.sim_configs = 1;
+  opts.engine_jobs = 2;
+  opts.engine_threads = 1;
+  return opts;
+}
+
+TEST(PerfReport, EmitsRequiredSchema) {
+  const PerfReport report = run_perf_suite(tiny_options());
+  const std::string json = to_json(report);
+  const util::FlatJson parsed = util::FlatJson::parse(json);
+
+  EXPECT_EQ(parsed.get_string("bench"), "lpm_convergence");
+  for (const char* key :
+       {"cycles", "instructions", "jobs", "wall_seconds_simulate",
+        "wall_seconds_engine", "sim_cycles_per_sec", "instructions_per_sec",
+        "engine_jobs_per_sec"}) {
+    const auto value = parsed.get_number(key);
+    ASSERT_TRUE(value.has_value()) << "missing key " << key;
+    EXPECT_GE(*value, 0.0) << key;
+  }
+  // The measured work is real: a run simulates cycles and commits
+  // instructions, and the engine executed every job.
+  EXPECT_GT(report.cycles, 0u);
+  EXPECT_GT(report.instructions, 0u);
+  EXPECT_EQ(report.jobs, 2u);
+  EXPECT_GT(report.sim_cycles_per_sec, 0.0);
+  EXPECT_GT(report.instructions_per_sec, 0.0);
+  EXPECT_GT(report.engine_jobs_per_sec, 0.0);
+}
+
+TEST(PerfReport, JsonRoundTrips) {
+  PerfReport r;
+  r.bench = "lpm_convergence";
+  r.cycles = 123;
+  r.instructions = 456;
+  r.jobs = 7;
+  r.wall_seconds_simulate = 1.5;
+  r.wall_seconds_engine = 2.5;
+  r.sim_cycles_per_sec = 82.0;
+  r.instructions_per_sec = 304.0;
+  r.engine_jobs_per_sec = 2.8;
+
+  const PerfReport back = parse_report(to_json(r));
+  EXPECT_EQ(back.bench, r.bench);
+  EXPECT_EQ(back.cycles, r.cycles);
+  EXPECT_EQ(back.instructions, r.instructions);
+  EXPECT_EQ(back.jobs, r.jobs);
+  EXPECT_DOUBLE_EQ(back.sim_cycles_per_sec, r.sim_cycles_per_sec);
+  EXPECT_DOUBLE_EQ(back.instructions_per_sec, r.instructions_per_sec);
+  EXPECT_DOUBLE_EQ(back.engine_jobs_per_sec, r.engine_jobs_per_sec);
+}
+
+TEST(PerfReport, ParseRejectsMissingKeys) {
+  EXPECT_THROW(parse_report("{\"bench\":\"x\"}"), util::LpmError);
+  EXPECT_THROW(parse_report("not json"), util::LpmError);
+}
+
+TEST(PerfBaseline, GateFailsOnlyBelowTolerance) {
+  PerfReport baseline;
+  baseline.sim_cycles_per_sec = 1000.0;
+  baseline.instructions_per_sec = 2000.0;
+  baseline.engine_jobs_per_sec = 10.0;
+
+  PerfReport current = baseline;
+  EXPECT_TRUE(check_against_baseline(current, baseline, 0.30).ok);
+
+  // 71% of baseline: inside a 30% tolerance.
+  current.sim_cycles_per_sec = 710.0;
+  EXPECT_TRUE(check_against_baseline(current, baseline, 0.30).ok);
+
+  // 69% of baseline: regression.
+  current.sim_cycles_per_sec = 690.0;
+  const BaselineCheck failed = check_against_baseline(current, baseline, 0.30);
+  EXPECT_FALSE(failed.ok);
+  ASSERT_EQ(failed.failures.size(), 1u);
+  EXPECT_NE(failed.failures[0].find("sim_cycles_per_sec"), std::string::npos);
+
+  // Faster than baseline never fails.
+  current.sim_cycles_per_sec = 5000.0;
+  EXPECT_TRUE(check_against_baseline(current, baseline, 0.30).ok);
+}
+
+TEST(PerfBaseline, CommittedBaselineParses) {
+  // The committed baseline must stay loadable — CI depends on it.
+  const PerfReport baseline = load_report(LPM_PERF_BASELINE_PATH);
+  EXPECT_EQ(baseline.bench, "lpm_convergence");
+  EXPECT_GT(baseline.sim_cycles_per_sec, 0.0);
+  EXPECT_GT(baseline.instructions_per_sec, 0.0);
+  EXPECT_GT(baseline.engine_jobs_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace lpm::perf

@@ -1,0 +1,145 @@
+// The fill() contract: the concatenation of batched chunks must be
+// byte-identical to the stream repeated next() calls produce — batching is
+// purely a throughput change. Covered per source (synthetic incl. burst
+// phases, vector, file) and end-to-end: a System fed through a
+// next()-only proxy produces the exact SystemResult of the batched path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+#include "trace/spec_like.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/trace_source.hpp"
+
+namespace lpm::trace {
+namespace {
+
+std::vector<MicroOp> drain_with_next(TraceSource& src) {
+  std::vector<MicroOp> ops;
+  MicroOp op;
+  while (src.next(op)) ops.push_back(op);
+  return ops;
+}
+
+std::vector<MicroOp> drain_with_fill(TraceSource& src, std::size_t chunk) {
+  std::vector<MicroOp> ops;
+  std::vector<MicroOp> buf(chunk);
+  while (true) {
+    const std::size_t got = src.fill(buf.data(), chunk);
+    ops.insert(ops.end(), buf.begin(),
+               buf.begin() + static_cast<std::ptrdiff_t>(got));
+    if (got < chunk) break;
+  }
+  return ops;
+}
+
+void expect_same_stream(const std::vector<MicroOp>& a,
+                        const std::vector<MicroOp>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].type, b[i].type) << "op " << i;
+    ASSERT_EQ(a[i].addr, b[i].addr) << "op " << i;
+    ASSERT_EQ(a[i].dep_dist, b[i].dep_dist) << "op " << i;
+    ASSERT_EQ(a[i].dep_dist2, b[i].dep_dist2) << "op " << i;
+    ASSERT_EQ(a[i].exec_latency, b[i].exec_latency) << "op " << i;
+  }
+}
+
+void expect_fill_matches_next(const WorkloadProfile& profile) {
+  // Chunk sizes around and away from the core's batch size, including a
+  // non-divisor of the trace length and single-op batches.
+  for (const std::size_t chunk : {1ul, 7ul, 256ul, 1000ul}) {
+    SyntheticTrace by_next(profile);
+    SyntheticTrace by_fill(profile);
+    expect_same_stream(drain_with_next(by_next),
+                       drain_with_fill(by_fill, chunk));
+  }
+}
+
+TEST(FillDeterminism, SyntheticMatchesNext) {
+  expect_fill_matches_next(spec_profile(SpecBenchmark::kBwaves, 5000, 17));
+  expect_fill_matches_next(spec_profile(SpecBenchmark::kMcf, 5000, 3));
+}
+
+TEST(FillDeterminism, BurstProfileMatchesNext) {
+  // Phase boundaries exercise the mid-stream profile switches.
+  expect_fill_matches_next(burst_profile(500, 0.5, 6000, 7));
+}
+
+TEST(FillDeterminism, VectorTraceMatchesNext) {
+  SyntheticTrace gen(spec_profile(SpecBenchmark::kGcc, 3000, 5));
+  std::vector<MicroOp> ops;
+  MicroOp op;
+  while (gen.next(op)) ops.push_back(op);
+
+  for (const std::size_t chunk : {1ul, 64ul, 4096ul}) {
+    VectorTrace by_next("v", ops);
+    VectorTrace by_fill("v", ops);
+    expect_same_stream(drain_with_next(by_next),
+                       drain_with_fill(by_fill, chunk));
+  }
+}
+
+TEST(FillDeterminism, FileTraceMatchesNext) {
+  const std::string path = testing::TempDir() + "/lpm_fill_determinism.bin";
+  SyntheticTrace gen(spec_profile(SpecBenchmark::kSoplex, 3000, 11));
+  record_trace(gen, path);
+
+  FileTrace by_next(path);
+  FileTrace by_fill(path);
+  expect_same_stream(drain_with_next(by_next), drain_with_fill(by_fill, 100));
+  std::remove(path.c_str());
+}
+
+/// Forwards next()/reset() only, hiding the wrapped source's fill()
+/// override so the base class's next()-loop fallback runs — i.e. the
+/// unbatched path a pre-fill() TraceSource would take.
+class NextOnlyProxy final : public TraceSource {
+ public:
+  explicit NextOnlyProxy(TraceSourcePtr inner) : inner_(std::move(inner)) {}
+  bool next(MicroOp& op) override { return inner_->next(op); }
+  void reset() override { inner_->reset(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  TraceSourcePtr inner_;
+};
+
+TEST(FillDeterminism, SystemResultIdenticalBatchedVsUnbatched) {
+  const auto profile = spec_profile(SpecBenchmark::kBwaves, 20000, 17);
+  const auto machine = sim::MachineConfig::single_core_default();
+
+  std::vector<TraceSourcePtr> batched;
+  batched.push_back(std::make_unique<SyntheticTrace>(profile));
+  sim::System sys_batched(machine, std::move(batched));
+  const sim::SystemResult a = sys_batched.run();
+
+  std::vector<TraceSourcePtr> unbatched;
+  unbatched.push_back(std::make_unique<NextOnlyProxy>(
+      std::make_unique<SyntheticTrace>(profile)));
+  sim::System sys_unbatched(machine, std::move(unbatched));
+  const sim::SystemResult b = sys_unbatched.run();
+
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.cycles, b.cycles);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  EXPECT_EQ(a.cores[0].instructions, b.cores[0].instructions);
+  EXPECT_EQ(a.cores[0].mem_ops, b.cores[0].mem_ops);
+  EXPECT_EQ(a.cores[0].data_stall_cycles, b.cores[0].data_stall_cycles);
+  EXPECT_EQ(a.cores[0].overlap_cycles, b.cores[0].overlap_cycles);
+  ASSERT_EQ(a.l1_cache.size(), b.l1_cache.size());
+  EXPECT_EQ(a.l1_cache[0].accesses, b.l1_cache[0].accesses);
+  EXPECT_EQ(a.l1_cache[0].misses, b.l1_cache[0].misses);
+  EXPECT_EQ(a.l2_cache.accesses, b.l2_cache.accesses);
+  EXPECT_EQ(a.l2_cache.misses, b.l2_cache.misses);
+  EXPECT_EQ(a.dram_stats.reads, b.dram_stats.reads);
+  EXPECT_EQ(a.l1[0].pure_miss_cycles, b.l1[0].pure_miss_cycles);
+  EXPECT_EQ(a.l2.pure_miss_cycles, b.l2.pure_miss_cycles);
+}
+
+}  // namespace
+}  // namespace lpm::trace
