@@ -51,6 +51,10 @@ struct CamatMetrics {
   /// Counter-wise difference (this - earlier); used for interval snapshots.
   [[nodiscard]] CamatMetrics minus(const CamatMetrics& earlier) const;
 
+  /// Exact counter-wise equality (differential testing compares whole
+  /// metric blocks between the optimized simulator and check::RefSystem).
+  friend bool operator==(const CamatMetrics&, const CamatMetrics&) = default;
+
   /// One-line summary for logs and benches.
   [[nodiscard]] std::string summary() const;
 

@@ -1,0 +1,287 @@
+#include "check/diff.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "check/ref_system.hpp"
+
+namespace lpm::check {
+namespace {
+
+// Appends "prefix.field: optimized=a reference=b" for the first differing
+// field and returns true; the describers below all short-circuit on the
+// first difference so the report names exactly one counter.
+template <typename T>
+bool diff_field(std::ostringstream& out, const std::string& prefix,
+                const char* field, const T& opt, const T& ref) {
+  if (opt == ref) return false;
+  out << prefix << "." << field << ": optimized=" << opt
+      << " reference=" << ref;
+  return true;
+}
+
+bool diff_metrics(std::ostringstream& out, const std::string& prefix,
+                  const camat::CamatMetrics& o, const camat::CamatMetrics& r) {
+  return diff_field(out, prefix, "accesses", o.accesses, r.accesses) ||
+         diff_field(out, prefix, "hits", o.hits, r.hits) ||
+         diff_field(out, prefix, "misses", o.misses, r.misses) ||
+         diff_field(out, prefix, "pure_misses", o.pure_misses,
+                    r.pure_misses) ||
+         diff_field(out, prefix, "active_cycles", o.active_cycles,
+                    r.active_cycles) ||
+         diff_field(out, prefix, "hit_cycles", o.hit_cycles, r.hit_cycles) ||
+         diff_field(out, prefix, "miss_cycles", o.miss_cycles,
+                    r.miss_cycles) ||
+         diff_field(out, prefix, "pure_miss_cycles", o.pure_miss_cycles,
+                    r.pure_miss_cycles) ||
+         diff_field(out, prefix, "hit_phase_access_cycles",
+                    o.hit_phase_access_cycles, r.hit_phase_access_cycles) ||
+         diff_field(out, prefix, "miss_access_cycles", o.miss_access_cycles,
+                    r.miss_access_cycles) ||
+         diff_field(out, prefix, "pure_access_cycles", o.pure_access_cycles,
+                    r.pure_access_cycles) ||
+         diff_field(out, prefix, "hit_access_cycles", o.hit_access_cycles,
+                    r.hit_access_cycles) ||
+         diff_field(out, prefix, "total_miss_latency", o.total_miss_latency,
+                    r.total_miss_latency);
+}
+
+bool diff_cache(std::ostringstream& out, const std::string& prefix,
+                const mem::CacheStats& o, const mem::CacheStats& r) {
+  if (diff_field(out, prefix, "accesses", o.accesses, r.accesses) ||
+      diff_field(out, prefix, "hits", o.hits, r.hits) ||
+      diff_field(out, prefix, "misses", o.misses, r.misses) ||
+      diff_field(out, prefix, "mshr_coalesced", o.mshr_coalesced,
+                 r.mshr_coalesced) ||
+      diff_field(out, prefix, "rejected_ports", o.rejected_ports,
+                 r.rejected_ports) ||
+      diff_field(out, prefix, "rejected_bank", o.rejected_bank,
+                 r.rejected_bank) ||
+      diff_field(out, prefix, "rejected_backlog", o.rejected_backlog,
+                 r.rejected_backlog) ||
+      diff_field(out, prefix, "mshr_full_waits", o.mshr_full_waits,
+                 r.mshr_full_waits) ||
+      diff_field(out, prefix, "writebacks", o.writebacks, r.writebacks) ||
+      diff_field(out, prefix, "writeback_hits", o.writeback_hits,
+                 r.writeback_hits) ||
+      diff_field(out, prefix, "writeback_forwards", o.writeback_forwards,
+                 r.writeback_forwards) ||
+      diff_field(out, prefix, "fills", o.fills, r.fills) ||
+      diff_field(out, prefix, "evictions", o.evictions, r.evictions) ||
+      diff_field(out, prefix, "deferred_fills", o.deferred_fills,
+                 r.deferred_fills) ||
+      diff_field(out, prefix, "prefetches_issued", o.prefetches_issued,
+                 r.prefetches_issued) ||
+      diff_field(out, prefix, "prefetch_hits", o.prefetch_hits,
+                 r.prefetch_hits) ||
+      diff_field(out, prefix, "prefetch_coalesced", o.prefetch_coalesced,
+                 r.prefetch_coalesced) ||
+      diff_field(out, prefix, "quota_waits", o.quota_waits, r.quota_waits)) {
+    return true;
+  }
+  if (o.core_accesses != r.core_accesses) {
+    out << prefix << ".core_accesses differ";
+    return true;
+  }
+  if (o.core_misses != r.core_misses) {
+    out << prefix << ".core_misses differ";
+    return true;
+  }
+  return false;
+}
+
+bool diff_core(std::ostringstream& out, const std::string& prefix,
+               const cpu::CoreStats& o, const cpu::CoreStats& r) {
+  return diff_field(out, prefix, "instructions", o.instructions,
+                    r.instructions) ||
+         diff_field(out, prefix, "mem_ops", o.mem_ops, r.mem_ops) ||
+         diff_field(out, prefix, "loads", o.loads, r.loads) ||
+         diff_field(out, prefix, "stores", o.stores, r.stores) ||
+         diff_field(out, prefix, "cycles", o.cycles, r.cycles) ||
+         diff_field(out, prefix, "commit_cycles", o.commit_cycles,
+                    r.commit_cycles) ||
+         diff_field(out, prefix, "mem_active_cycles", o.mem_active_cycles,
+                    r.mem_active_cycles) ||
+         diff_field(out, prefix, "overlap_cycles", o.overlap_cycles,
+                    r.overlap_cycles) ||
+         diff_field(out, prefix, "data_stall_cycles", o.data_stall_cycles,
+                    r.data_stall_cycles) ||
+         diff_field(out, prefix, "head_mem_stall_cycles",
+                    o.head_mem_stall_cycles, r.head_mem_stall_cycles) ||
+         diff_field(out, prefix, "l1_rejections", o.l1_rejections,
+                    r.l1_rejections);
+}
+
+bool diff_dram(std::ostringstream& out, const std::string& prefix,
+               const mem::DramStats& o, const mem::DramStats& r) {
+  return diff_field(out, prefix, "reads", o.reads, r.reads) ||
+         diff_field(out, prefix, "writes", o.writes, r.writes) ||
+         diff_field(out, prefix, "row_hits", o.row_hits, r.row_hits) ||
+         diff_field(out, prefix, "row_misses", o.row_misses, r.row_misses) ||
+         diff_field(out, prefix, "row_conflicts", o.row_conflicts,
+                    r.row_conflicts) ||
+         diff_field(out, prefix, "rejected_full", o.rejected_full,
+                    r.rejected_full) ||
+         diff_field(out, prefix, "busy_cycles", o.busy_cycles,
+                    r.busy_cycles) ||
+         diff_field(out, prefix, "total_read_latency", o.total_read_latency,
+                    r.total_read_latency);
+}
+
+std::string idx(const char* base, std::size_t i) {
+  return std::string(base) + "[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+sim::SystemResult run_optimized(const ReplayCase& c) {
+  sim::System system(c.machine, c.make_traces());
+  return system.run();
+}
+
+sim::SystemResult run_reference(const ReplayCase& c) {
+  RefSystem system(c.machine, c.make_traces());
+  return system.run();
+}
+
+std::string describe_divergence(const sim::SystemResult& opt,
+                                const sim::SystemResult& ref) {
+  std::ostringstream out;
+  if (diff_field(out, "result", "completed", opt.completed, ref.completed) ||
+      diff_field(out, "result", "cycles", opt.cycles, ref.cycles)) {
+    return out.str();
+  }
+  if (diff_field(out, "result", "cores.size", opt.cores.size(),
+                 ref.cores.size()) ||
+      diff_field(out, "result", "l1.size", opt.l1.size(), ref.l1.size()) ||
+      diff_field(out, "result", "l2_private.size", opt.l2_private.size(),
+                 ref.l2_private.size())) {
+    return out.str();
+  }
+  for (std::size_t i = 0; i < opt.cores.size(); ++i) {
+    if (diff_core(out, idx("cores", i), opt.cores[i], ref.cores[i])) {
+      return out.str();
+    }
+  }
+  for (std::size_t i = 0; i < opt.l1.size(); ++i) {
+    if (diff_metrics(out, idx("l1", i), opt.l1[i], ref.l1[i])) {
+      return out.str();
+    }
+  }
+  for (std::size_t i = 0; i < opt.l1_cache.size(); ++i) {
+    if (diff_cache(out, idx("l1_cache", i), opt.l1_cache[i],
+                   ref.l1_cache[i])) {
+      return out.str();
+    }
+  }
+  for (std::size_t i = 0; i < opt.l2_private.size(); ++i) {
+    if (diff_metrics(out, idx("l2_private", i), opt.l2_private[i],
+                     ref.l2_private[i])) {
+      return out.str();
+    }
+  }
+  for (std::size_t i = 0; i < opt.l2_private_cache.size(); ++i) {
+    if (diff_cache(out, idx("l2_private_cache", i), opt.l2_private_cache[i],
+                   ref.l2_private_cache[i])) {
+      return out.str();
+    }
+  }
+  if (diff_metrics(out, "l2", opt.l2, ref.l2) ||
+      diff_metrics(out, "dram", opt.dram, ref.dram) ||
+      diff_cache(out, "l2_cache", opt.l2_cache, ref.l2_cache) ||
+      diff_dram(out, "dram_stats", opt.dram_stats, ref.dram_stats)) {
+    return out.str();
+  }
+  // operator== disagrees with the describers only if a field was added to
+  // one of the stats structs without updating this file.
+  if (!(opt == ref)) return "results differ in a field unknown to diff.cpp";
+  return {};
+}
+
+bool DiffRunner::diverges(const ReplayCase& c, std::string* why) {
+  sim::SystemResult opt = run_optimized(c);
+  if (opts_.inject_optimized) opts_.inject_optimized(opt);
+  const sim::SystemResult ref = run_reference(c);
+  std::string d = describe_divergence(opt, ref);
+  if (why != nullptr) *why = d;
+  return !d.empty();
+}
+
+std::vector<trace::MicroOp> DiffRunner::ddmin_core(const ReplayCase& base,
+                                                   std::size_t core,
+                                                   std::uint64_t* trials,
+                                                   std::size_t budget) const {
+  // Classic ddmin over one core's op list. Any subsequence of a trace is a
+  // valid trace (dependence ids index *earlier retired ops modulo window*,
+  // so dropping ops only re-aims dependencies — still well-formed), which
+  // makes unguarded subset removal sound. A candidate is only accepted if
+  // the divergence check actually ran and failed; once the trial budget is
+  // exhausted every candidate is treated as non-reproducing, so we never
+  // commit an untested reduction.
+  DiffRunner probe(DiffOptions{opts_.inject_optimized, /*minimize=*/false,
+                               opts_.max_trials});
+  auto reproduces = [&](const std::vector<trace::MicroOp>& candidate) {
+    if (*trials >= budget) return false;
+    ++*trials;
+    ReplayCase c = base;
+    c.ops[core] = candidate;
+    return probe.diverges(c);
+  };
+
+  std::vector<trace::MicroOp> ops = base.ops[core];
+  std::size_t n = 2;
+  while (ops.size() >= 2) {
+    const std::size_t chunk = std::max<std::size_t>(1, ops.size() / n);
+    bool reduced = false;
+    // Pass 1: try each chunk alone.
+    for (std::size_t start = 0; start < ops.size(); start += chunk) {
+      const std::size_t end = std::min(ops.size(), start + chunk);
+      std::vector<trace::MicroOp> subset(ops.begin() + start,
+                                         ops.begin() + end);
+      if (subset.size() < ops.size() && reproduces(subset)) {
+        ops = std::move(subset);
+        n = 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    // Pass 2: try removing each chunk (complement).
+    for (std::size_t start = 0; start < ops.size(); start += chunk) {
+      const std::size_t end = std::min(ops.size(), start + chunk);
+      std::vector<trace::MicroOp> complement(ops.begin(), ops.begin() + start);
+      complement.insert(complement.end(), ops.begin() + end, ops.end());
+      if (complement.size() < ops.size() && reproduces(complement)) {
+        ops = std::move(complement);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    if (chunk == 1) break;  // granularity exhausted: locally minimal
+    n = std::min(ops.size(), n * 2);
+  }
+  return ops;
+}
+
+DiffReport DiffRunner::run(const ReplayCase& c) {
+  DiffReport report;
+  report.minimized = c;
+  ++report.trials;
+  if (!diverges(c, &report.divergence)) return report;
+  report.diverged = true;
+  if (!opts_.minimize) return report;
+
+  // Minimize core-by-core: shrink core 0's trace while holding the others,
+  // then core 1 against the already-shrunk core 0, and so on.
+  for (std::size_t core = 0; core < report.minimized.ops.size(); ++core) {
+    report.minimized.ops[core] =
+        ddmin_core(report.minimized, core, &report.trials, opts_.max_trials);
+  }
+  return report;
+}
+
+}  // namespace lpm::check

@@ -1,0 +1,71 @@
+// Differential runner: executes the optimized sim::System and the
+// reference RefSystem on the same replay case and demands exact
+// counter-for-counter equality of the two SystemResults.
+//
+// On divergence it delta-debugs (ddmin) each core's micro-op list down to a
+// locally minimal trace that still reproduces the divergence — removing any
+// single remaining chunk makes it vanish — ready to be written as a replay
+// file (see replay.hpp) and attached to a bug report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "check/replay.hpp"
+#include "sim/system.hpp"
+
+namespace lpm::check {
+
+/// Runs the optimized simulator on a replay case.
+[[nodiscard]] sim::SystemResult run_optimized(const ReplayCase& c);
+
+/// Runs the reference model on a replay case.
+[[nodiscard]] sim::SystemResult run_reference(const ReplayCase& c);
+
+/// Human-readable description of the first differing counter between two
+/// results ("l1_cache[0].misses: optimized=12 reference=11"); empty when
+/// the results are identical.
+[[nodiscard]] std::string describe_divergence(const sim::SystemResult& opt,
+                                              const sim::SystemResult& ref);
+
+struct DiffOptions {
+  /// Fault-injection hook applied to the optimized result before
+  /// comparison. Used by the harness's own tests to prove the oracle
+  /// catches (and minimizes) a seeded counter bug; leave empty otherwise.
+  std::function<void(sim::SystemResult&)> inject_optimized;
+  /// Delta-debug a divergent trace down to a minimal repro.
+  bool minimize = true;
+  /// Budget on simulator-pair executions spent minimizing.
+  std::size_t max_trials = 600;
+};
+
+struct DiffReport {
+  bool diverged = false;
+  std::string divergence;  ///< first differing counter (of the full case)
+  /// The minimal reproducing case (equals the input case when minimization
+  /// is disabled, the budget ran out immediately, or there is no divergence).
+  ReplayCase minimized;
+  std::uint64_t trials = 0;  ///< simulator-pair executions performed
+};
+
+class DiffRunner {
+ public:
+  explicit DiffRunner(DiffOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Runs both simulators; on divergence, minimizes (when enabled).
+  [[nodiscard]] DiffReport run(const ReplayCase& c);
+
+  /// Single comparison, no minimization. `why` (optional) receives the
+  /// first differing counter.
+  [[nodiscard]] bool diverges(const ReplayCase& c, std::string* why = nullptr);
+
+ private:
+  [[nodiscard]] std::vector<trace::MicroOp> ddmin_core(
+      const ReplayCase& base, std::size_t core, std::uint64_t* trials,
+      std::size_t budget) const;
+
+  DiffOptions opts_;
+};
+
+}  // namespace lpm::check

@@ -1,0 +1,63 @@
+#include "check/ref_analyzer.hpp"
+
+#include "util/error.hpp"
+
+namespace lpm::check {
+
+void RefAnalyzer::on_cycle_activity(Cycle cycle, std::uint32_t hit_active) {
+  // The probe contract (mem/probe.hpp) promises strictly increasing sample
+  // cycles; the reference enforces it rather than asserting.
+  util::require(last_sampled_ == kNoCycle || cycle > last_sampled_,
+                name_ + ": non-monotonic activity sample");
+  last_sampled_ = cycle;
+
+  const auto miss_active = static_cast<std::uint32_t>(outstanding_.size());
+  if (hit_active > 0 || miss_active > 0) ++m_.active_cycles;
+  if (hit_active > 0) {
+    ++m_.hit_cycles;
+    m_.hit_access_cycles += hit_active;
+  }
+  if (miss_active > 0) {
+    ++m_.miss_cycles;
+    m_.miss_access_cycles += miss_active;
+  }
+  if (miss_active > 0 && hit_active == 0) {
+    ++m_.pure_miss_cycles;
+    m_.pure_access_cycles += miss_active;
+    for (auto& [id, miss] : outstanding_) ++miss.pure_cycles;
+  }
+}
+
+void RefAnalyzer::on_access(RequestId id, Cycle start, bool /*is_write*/) {
+  ++m_.accesses;
+  util::require(in_lookup_.emplace(id, start).second,
+                name_ + ": duplicate access id");
+}
+
+void RefAnalyzer::on_hit(RequestId id, Cycle done) {
+  ++m_.hits;
+  const auto it = in_lookup_.find(id);
+  util::require(it != in_lookup_.end(), name_ + ": hit for unknown access");
+  m_.hit_phase_access_cycles += done - it->second;
+  in_lookup_.erase(it);
+}
+
+void RefAnalyzer::on_miss(RequestId id, Cycle start) {
+  ++m_.misses;
+  const auto it = in_lookup_.find(id);
+  util::require(it != in_lookup_.end(), name_ + ": miss for unknown access");
+  m_.hit_phase_access_cycles += start - it->second;
+  in_lookup_.erase(it);
+  util::require(outstanding_.emplace(id, Miss{start, 0}).second,
+                name_ + ": duplicate outstanding miss");
+}
+
+void RefAnalyzer::on_miss_done(RequestId id, Cycle done) {
+  const auto it = outstanding_.find(id);
+  util::require(it != outstanding_.end(), name_ + ": done for unknown miss");
+  m_.total_miss_latency += done - it->second.start;
+  if (it->second.pure_cycles > 0) ++m_.pure_misses;
+  outstanding_.erase(it);
+}
+
+}  // namespace lpm::check

@@ -1,0 +1,53 @@
+// Reference re-implementation of the C-AMAT detecting system (HCD/MCD).
+//
+// Part of the differential oracle (see DESIGN.md "Differential validation"):
+// a deliberately slow, allocation-naive probe that must produce counters
+// exactly equal to camat::Analyzer's. It shares only the AccessProbe
+// interface and the CamatMetrics value type (the comparison currency) with
+// the optimized implementation; all bookkeeping is independent — ordered
+// maps instead of scan-and-erase vectors, and a sample every cycle instead
+// of the analyzer-side idle skip the optimized cache performs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "camat/metrics.hpp"
+#include "mem/probe.hpp"
+#include "util/types.hpp"
+
+namespace lpm::check {
+
+class RefAnalyzer final : public mem::AccessProbe {
+ public:
+  explicit RefAnalyzer(std::string level_name = "ref")
+      : name_(std::move(level_name)) {}
+
+  // --- mem::AccessProbe ---
+  void on_cycle_activity(Cycle cycle, std::uint32_t hit_active) override;
+  void on_access(RequestId id, Cycle start, bool is_write) override;
+  void on_hit(RequestId id, Cycle done) override;
+  void on_miss(RequestId id, Cycle start) override;
+  void on_miss_done(RequestId id, Cycle done) override;
+
+  [[nodiscard]] const camat::CamatMetrics& metrics() const { return m_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t outstanding_misses() const {
+    return outstanding_.size();
+  }
+
+ private:
+  struct Miss {
+    Cycle start = 0;
+    std::uint64_t pure_cycles = 0;
+  };
+
+  std::string name_;
+  camat::CamatMetrics m_;
+  std::map<RequestId, Cycle> in_lookup_;   // id -> lookup start
+  std::map<RequestId, Miss> outstanding_;  // id -> outstanding miss
+  Cycle last_sampled_ = kNoCycle;
+};
+
+}  // namespace lpm::check

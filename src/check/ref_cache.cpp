@@ -1,0 +1,513 @@
+#include "check/ref_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace lpm::check {
+
+// --- RefReplacement ---------------------------------------------------------
+
+RefReplacement::RefReplacement(mem::ReplacementPolicy policy, std::uint32_t ways)
+    : policy_(policy), ways_(ways) {
+  util::require(ways >= 1, "RefReplacement: ways must be >= 1");
+  last_use_.assign(ways, 0);
+  fill_seq_.assign(ways, 0);
+  if (policy_ == mem::ReplacementPolicy::kPlru && tree_plru_usable()) {
+    plru_bits_.assign(ways - 1, 0);
+  }
+  if (policy_ == mem::ReplacementPolicy::kSrrip) {
+    rrpv_.assign(ways, 3);
+  }
+}
+
+bool RefReplacement::tree_plru_usable() const {
+  return ways_ >= 2 && (ways_ & (ways_ - 1)) == 0;
+}
+
+void RefReplacement::touch(std::uint32_t way, std::uint64_t tick) {
+  util::require(way < ways_, "RefReplacement::touch: bad way");
+  last_use_[way] = tick;
+  if (policy_ == mem::ReplacementPolicy::kPlru && tree_plru_usable()) {
+    // Walk the tree from the root, flipping each node to point away from
+    // the touched way (bit value 1 selects the right half as cold).
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = ways_;
+    while (hi - lo > 1) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (way >= mid) {
+        plru_bits_[node] = 0;
+        node = 2 * node + 2;
+        lo = mid;
+      } else {
+        plru_bits_[node] = 1;
+        node = 2 * node + 1;
+        hi = mid;
+      }
+    }
+  }
+  if (policy_ == mem::ReplacementPolicy::kSrrip) rrpv_[way] = 0;
+}
+
+void RefReplacement::fill(std::uint32_t way, std::uint64_t tick) {
+  util::require(way < ways_, "RefReplacement::fill: bad way");
+  fill_seq_[way] = tick;
+  touch(way, tick);
+  if (policy_ == mem::ReplacementPolicy::kSrrip) {
+    rrpv_[way] = 2;  // inserted with a long re-reference prediction
+  }
+}
+
+std::uint32_t RefReplacement::oldest(
+    const std::vector<std::uint64_t>& when) const {
+  // First-minimum scan (ties break toward the lowest way index).
+  std::uint32_t best = 0;
+  for (std::uint32_t w = 1; w < ways_; ++w) {
+    if (when[w] < when[best]) best = w;
+  }
+  return best;
+}
+
+std::uint32_t RefReplacement::victim(util::Rng& rng) {
+  switch (policy_) {
+    case mem::ReplacementPolicy::kRandom:
+      return static_cast<std::uint32_t>(rng.next_below(ways_));
+    case mem::ReplacementPolicy::kFifo:
+      return oldest(fill_seq_);
+    case mem::ReplacementPolicy::kSrrip:
+      // Age every line until some way predicts distant re-reference; the
+      // aging is kept (it is state, not a scratch computation).
+      for (;;) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+          if (rrpv_[w] >= 3) return w;
+        }
+        for (auto& r : rrpv_) ++r;
+      }
+    case mem::ReplacementPolicy::kPlru:
+      if (tree_plru_usable()) {
+        std::uint32_t node = 0;
+        std::uint32_t lo = 0;
+        std::uint32_t hi = ways_;
+        while (hi - lo > 1) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (plru_bits_[node] == 1) {
+            node = 2 * node + 2;
+            lo = mid;
+          } else {
+            node = 2 * node + 1;
+            hi = mid;
+          }
+        }
+        return lo;
+      }
+      [[fallthrough]];  // non-power-of-two associativity degrades to LRU
+    case mem::ReplacementPolicy::kLru:
+      return oldest(last_use_);
+  }
+  return 0;
+}
+
+// --- RefMshr ----------------------------------------------------------------
+
+std::uint32_t RefMshr::in_use() const {
+  std::uint32_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.valid) ++n;
+  }
+  return n;
+}
+
+std::uint32_t RefMshr::in_use_by(CoreId core) const {
+  std::uint32_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.valid && e.core == core) ++n;
+  }
+  return n;
+}
+
+int RefMshr::find(Addr block_addr) const {
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].block_addr == block_addr) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::uint32_t RefMshr::allocate(Addr block_addr, CoreId core, bool is_prefetch) {
+  util::require(find(block_addr) < 0, "RefMshr: duplicate entry for block");
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) {
+      entries_[i] = Entry{};
+      entries_[i].valid = true;
+      entries_[i].block_addr = block_addr;
+      entries_[i].core = core;
+      entries_[i].is_prefetch = is_prefetch;
+      return i;
+    }
+  }
+  throw util::LpmError("RefMshr: allocate without a free entry");
+}
+
+std::vector<mem::MshrTarget> RefMshr::release(std::uint32_t idx) {
+  util::require(entries_.at(idx).valid, "RefMshr: release of invalid entry");
+  std::vector<mem::MshrTarget> out = std::move(entries_[idx].targets);
+  entries_[idx] = Entry{};
+  return out;
+}
+
+// --- RefCache ---------------------------------------------------------------
+
+RefCache::RefCache(mem::CacheConfig cfg, mem::MemoryLevel* below,
+                   std::uint64_t id_space)
+    : cfg_(std::move(cfg)),
+      below_(below),
+      mshr_(cfg_.mshr_entries, cfg_.mshr_targets),
+      rng_(cfg_.seed),
+      next_fill_id_(id_space << 40) {
+  cfg_.validate();
+  util::require(below_ != nullptr, cfg_.name + ": lower level must exist");
+  sets_.reserve(cfg_.num_sets());
+  for (std::uint64_t s = 0; s < cfg_.num_sets(); ++s) {
+    sets_.push_back(SetState{
+        std::vector<Line>(cfg_.associativity),
+        RefReplacement(cfg_.replacement, cfg_.associativity)});
+  }
+  bank_accepts_.assign(cfg_.banks, 0);
+  stats_.core_accesses.assign(cfg_.num_cores, 0);
+  stats_.core_misses.assign(cfg_.num_cores, 0);
+  effective_prefetch_degree_ = cfg_.prefetch_degree;
+  // Same replay-queue admission bound as the optimized cache: it shapes
+  // which demand requests are even accepted, so it is contract, not tuning.
+  mshr_wait_cap_ = static_cast<std::size_t>(cfg_.mshr_entries) * 2 + 8;
+}
+
+int RefCache::find_way(std::uint64_t set, Addr blk) const {
+  const auto& lines = sets_[set].lines;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    if (lines[w].valid && lines[w].tag == blk) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+bool RefCache::contains_block(Addr blk) const {
+  return find_way(set_index(blk), block_addr(blk)) >= 0;
+}
+
+std::uint32_t RefCache::demand_in_pipeline() const {
+  std::uint32_t n = 0;
+  for (const auto& lk : pipeline_) {
+    if (!lk.is_writeback) ++n;
+  }
+  return n;
+}
+
+bool RefCache::try_access(const mem::MemRequest& req) {
+  const Cycle now = accept_cycle_;
+  const bool is_writeback =
+      req.kind == mem::AccessKind::kWrite && req.reply_to == nullptr;
+
+  if (accepted_this_cycle_ >= cfg_.ports) {
+    ++stats_.rejected_ports;
+    return false;
+  }
+  const std::uint32_t bank = bank_of(req.addr);
+  if (bank_accepts_[bank] >= cfg_.per_bank_limit()) {
+    ++stats_.rejected_bank;
+    return false;
+  }
+  if (!is_writeback && mshr_wait_.size() >= mshr_wait_cap_) {
+    ++stats_.rejected_backlog;
+    return false;
+  }
+
+  ++accepted_this_cycle_;
+  ++bank_accepts_[bank];
+  pipeline_.push_back(Lookup{req, now + cfg_.hit_latency, is_writeback});
+
+  if (!is_writeback) {
+    ++stats_.accesses;
+    if (req.core < cfg_.num_cores) ++stats_.core_accesses[req.core];
+    if (probe_ != nullptr) {
+      probe_->on_access(req.id, now, req.kind == mem::AccessKind::kWrite);
+    }
+  }
+  return true;
+}
+
+void RefCache::on_response(const mem::MemResponse& rsp) {
+  fill_q_.push_back(rsp);
+}
+
+void RefCache::sample_activity(Cycle cycle) {
+  // The reference samples every single cycle; the optimized cache's
+  // quiesce skip must be invisible in the resulting metrics.
+  if (probe_ != nullptr) probe_->on_cycle_activity(cycle, demand_in_pipeline());
+}
+
+void RefCache::tick(Cycle now) {
+  // Same cycle phases as the optimized cache, executed naively.
+  // (1) Sample the previous cycle once all its mutations have landed.
+  if (now > 0) sample_activity(now - 1);
+
+  // (2) Reset per-cycle acceptance accounting.
+  accept_cycle_ = now;
+  accepted_this_cycle_ = 0;
+  for (auto& b : bank_accepts_) b = 0;
+
+  // (3) Install fills: deferred installs first (FIFO fairness), then fresh
+  // responses from the level below.
+  for (std::size_t i = deferred_fill_blocks_.size(); i > 0; --i) {
+    const Addr blk = deferred_fill_blocks_.front();
+    deferred_fill_blocks_.pop_front();
+    if (!try_install_fill(blk, now)) {
+      // The optimized cache's ring has no push-front: a still-blocked block
+      // rotates to the back before the loop gives up for this cycle.
+      deferred_fill_blocks_.push_back(blk);
+      break;
+    }
+  }
+  while (!fill_q_.empty()) {
+    const mem::MemResponse rsp = fill_q_.front();
+    fill_q_.pop_front();
+    const Addr blk = block_addr(rsp.addr);
+    if (!try_install_fill(blk, now)) {
+      ++stats_.deferred_fills;
+      deferred_fill_blocks_.push_back(blk);
+    }
+  }
+
+  // (4) Retry misses waiting for MSHR resources.
+  for (std::size_t i = mshr_wait_.size(); i > 0; --i) {
+    const WaitingMiss wm = mshr_wait_.front();
+    mshr_wait_.pop_front();
+    if (!try_handle_miss(wm.req, wm.miss_start, now)) {
+      mshr_wait_.push_back(wm);
+      ++stats_.mshr_full_waits;
+    }
+  }
+
+  // (5) Complete lookups whose pipeline latency elapsed.
+  while (!pipeline_.empty() && pipeline_.front().ready <= now) {
+    const Lookup entry = pipeline_.front();
+    pipeline_.pop_front();
+    complete_lookup(entry, now);
+  }
+
+  // (6) Prefetch candidates become MSHR entries, then unissued fills go
+  // downstream.
+  launch_prefetches(now);
+  issue_pending_fills(now);
+
+  // (7) Drain the writeback buffer.
+  drain_writebacks();
+}
+
+void RefCache::adapt_prefetch_degree() {
+  if (pf_window_issued_ < cfg_.prefetch_accuracy_window) return;
+  const double accuracy = static_cast<double>(pf_window_useful_) /
+                          static_cast<double>(pf_window_issued_);
+  if (accuracy < 0.15) {
+    effective_prefetch_degree_ = 1;
+  } else if (accuracy < 0.40) {
+    effective_prefetch_degree_ =
+        cfg_.prefetch_degree / 2 > 1 ? cfg_.prefetch_degree / 2 : 1;
+  } else {
+    effective_prefetch_degree_ = cfg_.prefetch_degree;
+  }
+  pf_window_issued_ = 0;
+  pf_window_useful_ = 0;
+}
+
+void RefCache::schedule_prefetches(Addr demand_block, CoreId core) {
+  if (effective_prefetch_degree_ == 0) return;
+  const std::size_t cap = static_cast<std::size_t>(cfg_.prefetch_degree) * 8;
+  for (std::uint32_t i = 1; i <= effective_prefetch_degree_; ++i) {
+    while (prefetch_q_.size() >= cap) prefetch_q_.pop_front();
+    prefetch_q_.push_back(PrefetchCandidate{
+        demand_block + static_cast<Addr>(i) * cfg_.block_bytes, core});
+  }
+}
+
+void RefCache::launch_prefetches(Cycle /*now*/) {
+  while (!prefetch_q_.empty()) {
+    // One MSHR entry stays reserved for demand misses.
+    if (mshr_.in_use() + 1 >= mshr_.capacity()) break;
+    const PrefetchCandidate cand = prefetch_q_.front();
+    prefetch_q_.pop_front();
+    if (contains_block(cand.block) || mshr_.find(cand.block) >= 0) continue;
+    if (cfg_.mshr_quota_per_core > 0 && cand.core != kNoCore &&
+        mshr_.in_use_by(cand.core) >= cfg_.mshr_quota_per_core) {
+      continue;
+    }
+    mshr_.allocate(cand.block, cand.core, /*is_prefetch=*/true);
+    ++stats_.prefetches_issued;
+    ++pf_window_issued_;
+    adapt_prefetch_degree();
+  }
+}
+
+void RefCache::complete_lookup(const Lookup& entry, Cycle now) {
+  const mem::MemRequest& req = entry.req;
+  const std::uint64_t set = set_index(req.addr);
+  const int way = find_way(set, block_addr(req.addr));
+
+  if (entry.is_writeback) {
+    if (way >= 0) {
+      Line& line = sets_[set].lines[static_cast<std::uint32_t>(way)];
+      line.dirty = true;
+      sets_[set].repl.touch(static_cast<std::uint32_t>(way), ++repl_tick_);
+      ++stats_.writeback_hits;
+    } else {
+      mem::MemRequest fwd = req;
+      fwd.addr = block_addr(req.addr);
+      writeback_q_.push_back(fwd);
+      ++stats_.writeback_forwards;
+    }
+    return;
+  }
+
+  if (way >= 0) {
+    Line& line = sets_[set].lines[static_cast<std::uint32_t>(way)];
+    ++stats_.hits;
+    if (line.prefetched) {
+      ++stats_.prefetch_hits;
+      note_prefetch_useful();
+      line.prefetched = false;
+      schedule_prefetches(block_addr(req.addr), req.core);
+    }
+    if (req.kind == mem::AccessKind::kWrite) line.dirty = true;
+    sets_[set].repl.touch(static_cast<std::uint32_t>(way), ++repl_tick_);
+    if (probe_ != nullptr) probe_->on_hit(req.id, now);
+    if (req.reply_to != nullptr) {
+      req.reply_to->on_response(mem::MemResponse{req.id, req.core, req.addr, now});
+    }
+    return;
+  }
+
+  ++stats_.misses;
+  if (req.core < cfg_.num_cores) ++stats_.core_misses[req.core];
+  if (probe_ != nullptr) probe_->on_miss(req.id, now);
+  if (!try_handle_miss(req, now, now)) {
+    mshr_wait_.push_back(WaitingMiss{req, now});
+  }
+  schedule_prefetches(block_addr(req.addr), req.core);
+}
+
+bool RefCache::try_handle_miss(const mem::MemRequest& req, Cycle miss_start,
+                               Cycle /*now*/) {
+  const Addr blk = block_addr(req.addr);
+  const mem::MshrTarget target{req.id, req.core, req.kind, req.reply_to,
+                               miss_start};
+
+  const int idx = mshr_.find(blk);
+  if (idx >= 0) {
+    const auto uidx = static_cast<std::uint32_t>(idx);
+    if (!mshr_.can_add_target(uidx)) return false;
+    if (mshr_.entry(uidx).is_prefetch) {
+      ++stats_.prefetch_coalesced;
+      note_prefetch_useful();
+    }
+    mshr_.entry(uidx).targets.push_back(target);
+    ++stats_.mshr_coalesced;
+    return true;
+  }
+  if (!mshr_.can_allocate()) return false;
+  if (cfg_.mshr_quota_per_core > 0 && req.core != kNoCore &&
+      mshr_.in_use_by(req.core) >= cfg_.mshr_quota_per_core) {
+    ++stats_.quota_waits;
+    return false;
+  }
+  const std::uint32_t fresh =
+      mshr_.allocate(blk, req.core, /*is_prefetch=*/false);
+  mshr_.entry(fresh).targets.push_back(target);
+  return true;
+}
+
+void RefCache::issue_pending_fills(Cycle now) {
+  // Fill-request ids advance on every *attempt*, accepted or not — part of
+  // the observable contract (downstream levels see the same id stream).
+  for (std::uint32_t idx = 0; idx < mshr_.capacity(); ++idx) {
+    RefMshr::Entry& e = mshr_.entry(idx);
+    if (!e.valid || e.issued) continue;
+    mem::MemRequest fill;
+    fill.id = next_fill_id_++;
+    fill.core = e.targets.empty() ? e.core : e.targets.front().core;
+    fill.addr = e.block_addr;
+    fill.kind = mem::AccessKind::kRead;
+    fill.created = now;
+    fill.reply_to = this;
+    if (below_->try_access(fill)) e.issued = true;
+  }
+}
+
+bool RefCache::try_install_fill(Addr blk, Cycle now) {
+  const int idx = mshr_.find(blk);
+  util::require(idx >= 0, "RefCache: fill for unknown block");
+
+  const std::uint64_t set = set_index(blk);
+  auto& lines = sets_[set].lines;
+
+  // Prefer the first invalid way; otherwise ask the policy for a victim.
+  std::uint32_t way = cfg_.associativity;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    if (!lines[w].valid) {
+      way = w;
+      break;
+    }
+  }
+  if (way == cfg_.associativity) {
+    way = sets_[set].repl.victim(rng_);
+    if (lines[way].dirty) {
+      if (writeback_q_.size() >= cfg_.writeback_capacity) {
+        return false;  // cannot evict this cycle; defer the install
+      }
+      mem::MemRequest wb;
+      wb.id = next_fill_id_++;
+      wb.core = kNoCore;
+      wb.addr = lines[way].tag;
+      wb.kind = mem::AccessKind::kWrite;
+      wb.created = now;
+      wb.reply_to = nullptr;
+      writeback_q_.push_back(wb);
+      ++stats_.writebacks;
+    }
+    ++stats_.evictions;
+  }
+
+  const auto uidx = static_cast<std::uint32_t>(idx);
+  const bool pure_prefetch =
+      mshr_.entry(uidx).is_prefetch && mshr_.entry(uidx).targets.empty();
+  lines[way].valid = true;
+  lines[way].tag = blk;
+  lines[way].dirty = false;
+  lines[way].prefetched = pure_prefetch;
+  sets_[set].repl.fill(way, ++repl_tick_);
+  ++stats_.fills;
+
+  const std::vector<mem::MshrTarget> targets = mshr_.release(uidx);
+  for (const mem::MshrTarget& t : targets) {
+    if (t.kind == mem::AccessKind::kWrite) lines[way].dirty = true;
+    if (probe_ != nullptr) probe_->on_miss_done(t.id, now);
+    if (t.reply_to != nullptr) {
+      t.reply_to->on_response(mem::MemResponse{t.id, t.core, blk, now});
+    }
+  }
+  return true;
+}
+
+void RefCache::drain_writebacks() {
+  while (!writeback_q_.empty()) {
+    if (!below_->try_access(writeback_q_.front())) break;
+    writeback_q_.pop_front();
+  }
+}
+
+void RefCache::finalize(Cycle end_cycle) { sample_activity(end_cycle); }
+
+bool RefCache::busy() const {
+  return !pipeline_.empty() || mshr_.in_use() > 0 || !mshr_wait_.empty() ||
+         !writeback_q_.empty() || !fill_q_.empty() ||
+         !deferred_fill_blocks_.empty();
+}
+
+}  // namespace lpm::check

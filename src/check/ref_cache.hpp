@@ -1,0 +1,189 @@
+// Reference re-implementation of the non-blocking cache (mem::Cache).
+//
+// This is the oracle half of the differential harness: a scalar,
+// allocation-naive cache that must produce *bit-identical* CacheStats and
+// probe event streams to the optimized implementation for any trace. It
+// deliberately avoids every PR-4 optimization the real cache carries:
+//
+//   * line metadata is an array-of-structs (one Line{valid,tag,dirty,
+//     prefetched} per way) instead of the split tag/flag SoA arrays;
+//   * every queue is a std::deque instead of a preallocated ring pool;
+//   * per-cycle state (demand lookups in flight, unissued MSHR entries) is
+//     recomputed by scanning instead of being tracked incrementally;
+//   * the probe is sampled every cycle — no idle-skip, no quiesce latch;
+//   * there is no devirtualized fast path: cores reach this cache through
+//     the MemoryLevel vtable only.
+//
+// It shares with the optimized cache only the things that define the
+// *contract* rather than the machinery: the config/stats value types, the
+// request/response plumbing, the MshrTarget record, and util::Rng (the
+// random-replacement stream must be the same stream to be comparable).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/probe.hpp"
+#include "mem/request.hpp"
+#include "util/rng.hpp"
+
+namespace lpm::check {
+
+/// Scalar re-derivation of the replacement policies in mem/replacement.cpp.
+/// Victim selection is non-const so SRRIP's persistent aging is explicit
+/// instead of hiding behind a mutable member.
+class RefReplacement {
+ public:
+  RefReplacement(mem::ReplacementPolicy policy, std::uint32_t ways);
+
+  void touch(std::uint32_t way, std::uint64_t tick);
+  void fill(std::uint32_t way, std::uint64_t tick);
+  [[nodiscard]] std::uint32_t victim(util::Rng& rng);
+
+ private:
+  [[nodiscard]] bool tree_plru_usable() const;
+  [[nodiscard]] std::uint32_t oldest(const std::vector<std::uint64_t>& when) const;
+
+  mem::ReplacementPolicy policy_;
+  std::uint32_t ways_;
+  std::vector<std::uint64_t> last_use_;
+  std::vector<std::uint64_t> fill_seq_;
+  std::vector<std::uint8_t> plru_bits_;
+  std::vector<std::uint8_t> rrpv_;
+};
+
+/// Naive MSHR file: a plain vector of entries, first-free allocation,
+/// linear find — re-derived from the MSHR contract, not from MshrFile.
+class RefMshr {
+ public:
+  struct Entry {
+    bool valid = false;
+    bool issued = false;
+    bool is_prefetch = false;
+    Addr block_addr = 0;
+    CoreId core = kNoCore;
+    std::vector<mem::MshrTarget> targets;
+  };
+
+  RefMshr(std::uint32_t entries, std::uint32_t max_targets)
+      : entries_(entries), max_targets_(max_targets) {}
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] std::uint32_t in_use() const;
+  [[nodiscard]] std::uint32_t in_use_by(CoreId core) const;
+  [[nodiscard]] bool can_allocate() const { return in_use() < capacity(); }
+  [[nodiscard]] int find(Addr block_addr) const;  ///< -1 when absent
+  [[nodiscard]] bool can_add_target(std::uint32_t idx) const {
+    return entries_[idx].valid && entries_[idx].targets.size() < max_targets_;
+  }
+
+  std::uint32_t allocate(Addr block_addr, CoreId core, bool is_prefetch);
+  [[nodiscard]] Entry& entry(std::uint32_t idx) { return entries_[idx]; }
+  /// Frees the entry and returns its targets in arrival order.
+  std::vector<mem::MshrTarget> release(std::uint32_t idx);
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint32_t max_targets_;
+};
+
+class RefCache final : public mem::MemoryLevel, public mem::ResponseSink {
+ public:
+  RefCache(mem::CacheConfig cfg, mem::MemoryLevel* below,
+           std::uint64_t id_space = 1);
+
+  void set_probe(mem::AccessProbe* probe) { probe_ = probe; }
+
+  bool try_access(const mem::MemRequest& req) override;
+  void tick(Cycle now) override;
+  void finalize(Cycle end_cycle) override;
+  [[nodiscard]] bool busy() const override;
+  void on_response(const mem::MemResponse& rsp) override;
+
+  [[nodiscard]] const mem::CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const mem::CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    Addr tag = 0;
+    bool dirty = false;
+    bool prefetched = false;
+  };
+  struct SetState {
+    std::vector<Line> lines;
+    RefReplacement repl;
+  };
+  struct Lookup {
+    mem::MemRequest req;
+    Cycle ready = 0;
+    bool is_writeback = false;
+  };
+  struct WaitingMiss {
+    mem::MemRequest req;
+    Cycle miss_start = 0;
+  };
+  struct PrefetchCandidate {
+    Addr block = 0;
+    CoreId core = kNoCore;
+  };
+
+  [[nodiscard]] Addr block_addr(Addr addr) const {
+    return addr & ~static_cast<Addr>(cfg_.block_bytes - 1);
+  }
+  [[nodiscard]] std::uint64_t set_index(Addr addr) const {
+    return (addr / cfg_.block_bytes) & (cfg_.num_sets() - 1);
+  }
+  [[nodiscard]] std::uint32_t bank_of(Addr addr) const {
+    return static_cast<std::uint32_t>((addr / cfg_.interleave_bytes) &
+                                      (cfg_.banks - 1));
+  }
+  [[nodiscard]] int find_way(std::uint64_t set, Addr blk) const;
+  [[nodiscard]] bool contains_block(Addr blk) const;
+  [[nodiscard]] std::uint32_t demand_in_pipeline() const;
+
+  void sample_activity(Cycle cycle);
+  void complete_lookup(const Lookup& entry, Cycle now);
+  bool try_handle_miss(const mem::MemRequest& req, Cycle miss_start, Cycle now);
+  bool try_install_fill(Addr blk, Cycle now);
+  void issue_pending_fills(Cycle now);
+  void drain_writebacks();
+  void schedule_prefetches(Addr demand_block, CoreId core);
+  void launch_prefetches(Cycle now);
+  void note_prefetch_useful() { ++pf_window_useful_; }
+  void adapt_prefetch_degree();
+
+  mem::CacheConfig cfg_;
+  mem::MemoryLevel* below_;
+  mem::AccessProbe* probe_ = nullptr;
+
+  std::vector<SetState> sets_;
+  RefMshr mshr_;
+  util::Rng rng_;
+
+  std::deque<Lookup> pipeline_;
+  std::deque<WaitingMiss> mshr_wait_;
+  std::deque<mem::MemRequest> writeback_q_;
+  std::deque<mem::MemResponse> fill_q_;
+  std::deque<Addr> deferred_fill_blocks_;
+  std::deque<PrefetchCandidate> prefetch_q_;
+
+  std::uint32_t effective_prefetch_degree_ = 0;
+  std::uint64_t pf_window_issued_ = 0;
+  std::uint64_t pf_window_useful_ = 0;
+
+  Cycle accept_cycle_ = kNoCycle;
+  std::uint32_t accepted_this_cycle_ = 0;
+  std::vector<std::uint32_t> bank_accepts_;
+  std::uint64_t repl_tick_ = 0;
+  RequestId next_fill_id_;
+  std::size_t mshr_wait_cap_;
+
+  mem::CacheStats stats_;
+};
+
+}  // namespace lpm::check

@@ -65,6 +65,8 @@ struct LpmrSet {
   double lpmr2 = 0.0;  ///< (L1, next level)
   double lpmr3 = 0.0;  ///< (L2, next level)
   double lpmr4 = 0.0;  ///< (LLC, MM) on three-level machines
+
+  friend bool operator==(const LpmrSet&, const LpmrSet&) = default;
 };
 
 [[nodiscard]] LpmrSet compute_lpmrs(const AppMeasurement& m);

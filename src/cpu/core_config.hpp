@@ -28,6 +28,9 @@ struct CoreConfig {
 };
 
 struct CoreStats {
+  /// Exact counter-wise equality (differential testing).
+  friend bool operator==(const CoreStats&, const CoreStats&) = default;
+
   std::uint64_t instructions = 0;
   std::uint64_t mem_ops = 0;
   std::uint64_t loads = 0;

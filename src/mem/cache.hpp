@@ -105,6 +105,10 @@ struct CacheStats {
                          : static_cast<double>(misses) / static_cast<double>(accesses);
   }
 
+  /// Exact counter-wise equality (differential testing compares whole
+  /// stats blocks between the optimized cache and check::RefCache).
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+
   /// Bulk-adds this stats block to the per-level counters
   /// sim.cache.{accesses,hits,misses}.<level> in `registry` (called once
   /// per run epilogue, never per cycle). Thread-safe.

@@ -46,6 +46,9 @@ struct DramStats {
   std::uint64_t rejected_full = 0;
   std::uint64_t busy_cycles = 0;   ///< cycles with >= 1 request in flight
   std::uint64_t total_read_latency = 0;  ///< accept -> data, summed over reads
+
+  /// Exact counter-wise equality (differential testing).
+  friend bool operator==(const DramStats&, const DramStats&) = default;
 };
 
 /// The bottom of the hierarchy. As the last level, every access is "hit

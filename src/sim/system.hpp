@@ -37,6 +37,11 @@ struct SystemResult {
   [[nodiscard]] double mr1(std::size_t c) const { return l1_cache.at(c).miss_rate(); }
   /// Aggregate L2 miss rate.
   [[nodiscard]] double mr2() const { return l2_cache.miss_rate(); }
+
+  /// Exact whole-run equality: every counter of every layer must match.
+  /// This is the currency of the differential oracle (src/check): the
+  /// optimized System and the reference model must produce == results.
+  friend bool operator==(const SystemResult&, const SystemResult&) = default;
 };
 
 /// Cooperative cancellation for run(): an external watchdog (the experiment

@@ -37,6 +37,9 @@ struct MicroOp {
   std::uint32_t dep_dist = 0;    ///< primary dependence distance, 0 = none
   std::uint32_t dep_dist2 = 0;   ///< secondary dependence distance, 0 = none
   std::uint8_t exec_latency = 1; ///< ALU busy cycles (ignored for memory ops)
+
+  /// Field-wise equality (replay round-trip tests, ddmin bookkeeping).
+  friend bool operator==(const MicroOp&, const MicroOp&) = default;
 };
 
 }  // namespace lpm::trace

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/instruction.hpp"
 
@@ -38,5 +39,22 @@ class TraceSource {
 };
 
 using TraceSourcePtr = std::unique_ptr<TraceSource>;
+
+/// Drains up to `max_ops` micro-ops into a vector. The materialized list
+/// replayed through a VectorTrace is stream-identical to the source (fill()
+/// contract), which is what lets the differential oracle delta-debug a
+/// divergent trace op by op.
+[[nodiscard]] inline std::vector<MicroOp> materialize(TraceSource& source,
+                                                      std::size_t max_ops) {
+  std::vector<MicroOp> ops(max_ops);
+  std::size_t total = 0;
+  while (total < max_ops) {
+    const std::size_t got = source.fill(ops.data() + total, max_ops - total);
+    if (got == 0) break;
+    total += got;
+  }
+  ops.resize(total);
+  return ops;
+}
 
 }  // namespace lpm::trace

@@ -1,0 +1,139 @@
+// The fuzzer's property checkers themselves: on a real completed run both
+// check_metric_identities and check_model_properties must pass, and each
+// class of violation they claim to detect must actually be detected when a
+// counter or measurement is tampered with.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/replay.hpp"
+#include "core/lpm_model.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/system.hpp"
+#include "trace/spec_like.hpp"
+#include "trace/synthetic.hpp"
+
+namespace lpm::check {
+namespace {
+
+struct CuratedRun {
+  sim::SystemResult result;
+  core::AppMeasurement m;
+};
+
+CuratedRun run_curated(trace::SpecBenchmark b) {
+  const auto profile = trace::spec_profile(b, 8000, 17);
+  const auto machine = sim::MachineConfig::single_core_default();
+
+  trace::SyntheticTrace calib_trace(profile);
+  const sim::CpiExeResult calib = sim::measure_cpi_exe(machine, calib_trace);
+
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.push_back(std::make_unique<trace::SyntheticTrace>(profile));
+  sim::System sys(machine, std::move(traces));
+  CuratedRun out;
+  out.result = sys.run();
+  out.m = core::AppMeasurement::from_run(out.result, calib, 0,
+                                         trace::spec_name(b));
+  return out;
+}
+
+TEST(Properties, MetricIdentitiesHoldOnRealRuns) {
+  for (const auto b : {trace::SpecBenchmark::kMcf, trace::SpecBenchmark::kNamd,
+                       trace::SpecBenchmark::kLibquantum}) {
+    const CuratedRun run = run_curated(b);
+    ASSERT_TRUE(run.result.completed);
+    EXPECT_EQ(check_metric_identities(run.result), "")
+        << "for " << trace::spec_name(b);
+  }
+}
+
+TEST(Properties, ModelPropertiesHoldOnRealRuns) {
+  for (const auto b : {trace::SpecBenchmark::kMcf, trace::SpecBenchmark::kBwaves,
+                       trace::SpecBenchmark::kGamess}) {
+    const CuratedRun run = run_curated(b);
+    EXPECT_EQ(check_model_properties(run.m), "")
+        << "for " << trace::spec_name(b);
+  }
+}
+
+TEST(Properties, TamperedConservationCounterIsDetected) {
+  CuratedRun run = run_curated(trace::SpecBenchmark::kMcf);
+  ASSERT_EQ(check_metric_identities(run.result), "");
+  run.result.l1[0].hits += 1;  // breaks hits + misses == accesses
+  const std::string v = check_metric_identities(run.result);
+  EXPECT_NE(v.find("hits + misses != accesses"), std::string::npos) << v;
+}
+
+TEST(Properties, TamperedActivePartitionIsDetected) {
+  CuratedRun run = run_curated(trace::SpecBenchmark::kMcf);
+  run.result.l1[0].active_cycles += 1;
+  const std::string v = check_metric_identities(run.result);
+  EXPECT_NE(v.find("active_cycles"), std::string::npos) << v;
+}
+
+TEST(Properties, TamperedPerCoreAttributionIsDetected) {
+  CuratedRun run = run_curated(trace::SpecBenchmark::kMcf);
+  ASSERT_FALSE(run.result.l1_cache[0].core_accesses.empty());
+  run.result.l1_cache[0].core_accesses[0] += 1;
+  const std::string v = check_metric_identities(run.result);
+  EXPECT_NE(v.find("per-core accesses"), std::string::npos) << v;
+}
+
+TEST(Properties, TamperedStallMeasurementIsDetected) {
+  CuratedRun run = run_curated(trace::SpecBenchmark::kMcf);
+  ASSERT_EQ(check_model_properties(run.m), "");
+  run.m.measured_stall_per_instr += 10.0;  // Eq. 7 can no longer match
+  const std::string v = check_model_properties(run.m);
+  EXPECT_NE(v.find("Eq.7"), std::string::npos) << v;
+}
+
+TEST(Properties, BrokenEtaIsCaughtByTheSanityBand) {
+  // The Eq. 13 band is deliberately loose (factor 8) — this proves it still
+  // has teeth against an order-of-magnitude bug in the damping factor.
+  CuratedRun run = run_curated(trace::SpecBenchmark::kMcf);
+  ASSERT_GT(run.m.l1.pure_misses, 0u);
+  ASSERT_GE(run.m.l1_misses_total, 50u);
+  run.m.l1.pure_miss_cycles *= 100;  // corrupts eta1 and the pMR terms
+  const std::string v = check_model_properties(run.m);
+  EXPECT_FALSE(v.empty());
+}
+
+TEST(Properties, IncompleteRunsSkipCompletionOnlyIdentities) {
+  // A run cut off by max_cycles still satisfies the always-true identities;
+  // the completion-gated ones (Eq. 2, hit_access_cycles pairing) are
+  // skipped rather than reported as violations.
+  const auto profile = trace::spec_profile(trace::SpecBenchmark::kMcf, 50000, 17);
+  auto machine = sim::MachineConfig::single_core_default();
+  machine.max_cycles = 2000;
+  std::vector<trace::TraceSourcePtr> traces;
+  traces.push_back(std::make_unique<trace::SyntheticTrace>(profile));
+  sim::System sys(machine, std::move(traces));
+  const sim::SystemResult r = sys.run();
+  ASSERT_FALSE(r.completed);
+  EXPECT_EQ(check_metric_identities(r), "");
+}
+
+TEST(Properties, FromEnvReadsTheKnobs) {
+  // The env knobs are the CI interface; prove they override the defaults
+  // and that clearing them restores the baked-in seed.
+  ::setenv("LPM_CHECK_SEED", "777", 1);
+  ::setenv("LPM_CHECK_CASES", "3", 1);
+  ::setenv("LPM_CHECK_ARTIFACTS", "some/dir", 1);
+  const FuzzConfig cfg = FuzzConfig::from_env();
+  EXPECT_EQ(cfg.seed, 777u);
+  EXPECT_EQ(cfg.cases, 3u);
+  EXPECT_EQ(cfg.artifact_dir, "some/dir");
+  ::unsetenv("LPM_CHECK_SEED");
+  ::unsetenv("LPM_CHECK_CASES");
+  ::unsetenv("LPM_CHECK_ARTIFACTS");
+  const FuzzConfig fresh = FuzzConfig::from_env();
+  EXPECT_EQ(fresh.seed, FuzzConfig{}.seed);
+  EXPECT_TRUE(fresh.artifact_dir.empty());
+}
+
+}  // namespace
+}  // namespace lpm::check

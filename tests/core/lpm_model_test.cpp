@@ -1,6 +1,7 @@
 #include "core/lpm_model.hpp"
 
 #include <gtest/gtest.h>
+#include "common/tolerance.hpp"
 
 #include <cmath>
 
@@ -64,8 +65,8 @@ TEST(LpmModel, EtaCombined) {
   const auto m = synthetic_measurement();
   // eta1 = (pAMP/AMP)*(Cm/CM) = (40/60)*(3/2) = 1; eta = eta1 * pMR/MR
   //      = 1 * (20/400)/(0.1) = 0.5.
-  EXPECT_NEAR(m.l1.eta1(), 1.0, 1e-12);
-  EXPECT_NEAR(eta_combined(m), 0.5, 1e-12);
+  EXPECT_NEAR(m.l1.eta1(), 1.0, tol::kExact);
+  EXPECT_NEAR(eta_combined(m), 0.5, tol::kExact);
 }
 
 TEST(LpmModel, EtaZeroWhenNoMisses) {
@@ -81,14 +82,14 @@ TEST(LpmModel, StallEq7) {
 
 TEST(LpmModel, Eq12MatchesEq7Identically) {
   const auto m = synthetic_measurement();
-  EXPECT_NEAR(stall_eq12(m), stall_eq7(m), 1e-12);
+  EXPECT_NEAR(stall_eq12(m), stall_eq7(m), tol::kExact);
 }
 
 TEST(LpmModel, Eq13Structure) {
   const auto m = synthetic_measurement();
   // (H1*fmem/CH1 + CPIexe*eta*LPMR2)*(1-overlap)
   const double expected = (2.0 * 0.4 / 2.0 + 0.5 * 0.5 * 2.0) * 0.1;
-  EXPECT_NEAR(stall_eq13(m), expected, 1e-12);
+  EXPECT_NEAR(stall_eq13(m), expected, tol::kExact);
 }
 
 TEST(LpmModel, ThresholdT1) {

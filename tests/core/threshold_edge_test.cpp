@@ -1,0 +1,197 @@
+// Edge cases of the Eq. 14/15 thresholds and the Fig. 3 case boundaries:
+// exact-equality boundaries, degenerate overlap/eta inputs, the optional
+// Case III margin, and the fine-vs-coarse granularity overshoot the fuzzer
+// checks statistically but these tests pin analytically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/tolerance.hpp"
+#include "core/lpm_algorithm.hpp"
+#include "core/lpm_model.hpp"
+#include "util/error.hpp"
+
+namespace lpm::core {
+namespace {
+
+/// Same friendly-round-numbers measurement as lpm_model_test.cpp:
+/// C-AMAT1 = 2, eta = 0.5, fmem = 0.4, cpi_exe = 0.5, overlap = 0.9.
+AppMeasurement synthetic_measurement() {
+  AppMeasurement m;
+  m.app = "synthetic";
+  m.cpi_exe = 0.5;
+  m.fmem = 0.4;
+  m.overlap_ratio = 0.9;
+  m.mr1 = 0.1;
+  m.mr2 = 0.5;
+  m.measured_stall_per_instr = 0.2;
+  m.measured_cpi = 0.7;
+  m.instructions = 1000;
+  m.l1.accesses = 400;
+  m.l1.hits = 360;
+  m.l1.misses = 40;
+  m.l1.pure_misses = 20;
+  m.l1.active_cycles = 800;
+  m.l1.hit_cycles = 400;
+  m.l1.pure_miss_cycles = 400;
+  m.l1.hit_phase_access_cycles = 800;
+  m.l1.hit_access_cycles = 800;
+  m.l1.pure_access_cycles = 800;
+  m.l1.miss_cycles = 500;
+  m.l1.miss_access_cycles = 1500;
+  m.l1.total_miss_latency = 2400;
+  m.l2.accesses = 40;
+  m.l2.active_cycles = 1000;
+  return m;
+}
+
+LpmObservation observe(double lpmr1, double t1, double lpmr2 = 0.0,
+                       double t2 = std::numeric_limits<double>::infinity()) {
+  LpmObservation obs;
+  obs.lpmr.lpmr1 = lpmr1;
+  obs.lpmr.lpmr2 = lpmr2;
+  obs.t1 = t1;
+  obs.t2 = t2;
+  return obs;
+}
+
+TEST(ThresholdEdge, T1IsExactlyLinearInDelta) {
+  for (const double overlap : {0.0, 0.3, 0.9, 0.99}) {
+    const double fine = threshold_t1(1.0, overlap);
+    EXPECT_DOUBLE_EQ(threshold_t1(10.0, overlap), 10.0 * fine)
+        << "overlap=" << overlap;
+  }
+  EXPECT_DOUBLE_EQ(threshold_t1(1.0, 0.0), 0.01);
+  EXPECT_NEAR(threshold_t1(1.0, 0.9), 0.1, tol::kExact);
+}
+
+TEST(ThresholdEdge, T1DegenerateOverlapYieldsInfinity) {
+  // overlap == 1 means stall fully hidden: no finite LPMR1 can violate the
+  // budget, so the threshold saturates rather than dividing by zero.
+  EXPECT_TRUE(std::isinf(threshold_t1(1.0, 1.0)));
+  EXPECT_TRUE(std::isinf(threshold_t1(10.0, 1.5)));  // >1 likewise
+}
+
+TEST(ThresholdEdge, T1RejectsNonPositiveDelta) {
+  EXPECT_THROW((void)threshold_t1(0.0, 0.5), util::LpmError);
+  EXPECT_THROW((void)threshold_t1(-1.0, 0.5), util::LpmError);
+}
+
+TEST(ThresholdEdge, T2MatchesTheClosedForm) {
+  const auto m = synthetic_measurement();
+  // T2 = (T1 - H1*fmem/(CH1*CPIexe)) / eta with T1 = 0.1, H = 2, CH = 2,
+  // so hit_term = 2*0.4/(2*0.5) = 0.8 and T2 = (0.1 - 0.8)/0.5 = -1.4.
+  const double t2 = threshold_t2(1.0, m);
+  EXPECT_NEAR(t2, -1.4, 1e-12);
+}
+
+TEST(ThresholdEdge, T2IsMonotoneInDelta) {
+  const auto m = synthetic_measurement();
+  const double fine = threshold_t2(kFineGrainedDelta, m);
+  const double coarse = threshold_t2(kCoarseGrainedDelta, m);
+  EXPECT_GT(coarse, fine);
+  // And exactly: T2 grows by (T1_coarse - T1_fine)/eta.
+  const double dt1 = threshold_t1(10.0, m.overlap_ratio) -
+                     threshold_t1(1.0, m.overlap_ratio);
+  EXPECT_NEAR(coarse - fine, dt1 / eta_combined(m), 1e-12);
+}
+
+TEST(ThresholdEdge, T2SaturatesWhenEtaVanishes) {
+  // eta <= 0 (no pure misses reach L2) makes the L2 layer irrelevant: T2
+  // is infinite, so Case I (optimize both) can never trigger.
+  auto m = synthetic_measurement();
+  m.mr1 = 0.0;
+  EXPECT_TRUE(std::isinf(threshold_t2(1.0, m)));
+
+  const LpmAlgorithm alg(LpmAlgorithmConfig{});
+  const auto obs = observe(/*lpmr1=*/5.0, /*t1=*/0.1, /*lpmr2=*/1e9,
+                           threshold_t2(1.0, m));
+  EXPECT_EQ(alg.classify(obs), LpmAction::kOptimizeL1);
+}
+
+TEST(ThresholdEdge, ClassifyBoundaryIsMatchedNotOptimize) {
+  // Fig. 3 uses strict inequality: LPMR1 == T1 is Case IV (matched), not
+  // Case I/II.
+  const LpmAlgorithm alg(LpmAlgorithmConfig{});
+  EXPECT_EQ(alg.classify(observe(0.1, 0.1)), LpmAction::kDone);
+  EXPECT_EQ(alg.classify(observe(std::nextafter(0.1, 1.0), 0.1, 0.0, 0.0)),
+            LpmAction::kOptimizeL1);
+  EXPECT_EQ(alg.classify(observe(std::nextafter(0.1, 1.0), 0.1, 1.0, 0.5)),
+            LpmAction::kOptimizeBoth);
+}
+
+TEST(ThresholdEdge, CaseThreeMarginBoundary) {
+  // With margin_fraction = 0.5, delta = T1/2: Case III requires
+  // LPMR1 + delta < T1, i.e. LPMR1 strictly below T1/2.
+  const LpmAlgorithm alg(LpmAlgorithmConfig{});  // margin 0.5, trim on
+  const double t1 = 0.2;
+  EXPECT_EQ(alg.classify(observe(0.1, t1)), LpmAction::kDone)
+      << "LPMR1 + delta == T1 exactly is matched, not over-provisioned";
+  EXPECT_EQ(alg.classify(observe(0.09, t1)), LpmAction::kReduceOverprovision);
+  EXPECT_EQ(alg.classify(observe(0.0, t1)), LpmAction::kReduceOverprovision);
+}
+
+TEST(ThresholdEdge, TrimDisabledTurnsCaseThreeIntoDone) {
+  LpmAlgorithmConfig cfg;
+  cfg.trim_overprovision = false;
+  const LpmAlgorithm alg(cfg);
+  EXPECT_EQ(alg.classify(observe(0.0, 0.2)), LpmAction::kDone);
+}
+
+TEST(ThresholdEdge, ZeroMarginTrimsEverythingBelowT1) {
+  LpmAlgorithmConfig cfg;
+  cfg.margin_fraction = 0.0;
+  const LpmAlgorithm alg(cfg);
+  EXPECT_EQ(alg.classify(observe(std::nextafter(0.2, 0.0), 0.2)),
+            LpmAction::kReduceOverprovision);
+  EXPECT_EQ(alg.classify(observe(0.2, 0.2)), LpmAction::kDone);
+}
+
+TEST(ThresholdEdge, ConfigValidationRejectsDegenerateKnobs) {
+  LpmAlgorithmConfig bad;
+  bad.delta_percent = 0.0;
+  EXPECT_THROW(LpmAlgorithm{bad}, util::LpmError);
+  bad = {};
+  bad.margin_fraction = 1.0;  // delta == T1 would make Case III unreachable
+  EXPECT_THROW(LpmAlgorithm{bad}, util::LpmError);
+  bad = {};
+  bad.max_iterations = 0;
+  EXPECT_THROW(LpmAlgorithm{bad}, util::LpmError);
+}
+
+TEST(ThresholdEdge, CoarseGranularityNeverSendsAMatchedRunBack) {
+  // The Fig. 3 stability property the fuzzer asserts per case, pinned
+  // analytically: T1 grows 10x from 1% to 10%, so an LPMR1 between the two
+  // thresholds is Optimize under fine and Done (or trim) under coarse —
+  // never the reverse.
+  const double overlap = 0.6;
+  const double t1_fine = threshold_t1(kFineGrainedDelta, overlap);
+  const double t1_coarse = threshold_t1(kCoarseGrainedDelta, overlap);
+  const double lpmr1 = 0.5 * (t1_fine + t1_coarse);
+  ASSERT_GT(lpmr1, t1_fine);
+  ASSERT_LT(lpmr1, t1_coarse);
+
+  const LpmAlgorithm fine(LpmAlgorithmConfig{.delta_percent = kFineGrainedDelta});
+  const LpmAlgorithm coarse(
+      LpmAlgorithmConfig{.delta_percent = kCoarseGrainedDelta});
+  const auto fine_action =
+      fine.classify(observe(lpmr1, t1_fine, 0.0, 0.0));
+  const auto coarse_action =
+      coarse.classify(observe(lpmr1, t1_coarse, 0.0, 0.0));
+  EXPECT_EQ(fine_action, LpmAction::kOptimizeL1);
+  EXPECT_EQ(coarse_action, LpmAction::kDone);
+}
+
+TEST(ThresholdEdge, MeetingTheFineTargetImpliesTheCoarseOne) {
+  auto m = synthetic_measurement();
+  m.measured_stall_per_instr = 0.004;  // below 1% of cpi_exe = 0.005
+  ASSERT_TRUE(meets_stall_target(m, kFineGrainedDelta));
+  EXPECT_TRUE(meets_stall_target(m, kCoarseGrainedDelta));
+  m.measured_stall_per_instr = 0.03;  // between the 1% and 10% budgets
+  EXPECT_FALSE(meets_stall_target(m, kFineGrainedDelta));
+  EXPECT_TRUE(meets_stall_target(m, kCoarseGrainedDelta));
+}
+
+}  // namespace
+}  // namespace lpm::core

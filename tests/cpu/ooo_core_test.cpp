@@ -1,6 +1,7 @@
 #include "cpu/ooo_core.hpp"
 
 #include <gtest/gtest.h>
+#include "common/tolerance.hpp"
 
 #include <algorithm>
 #include <memory>
@@ -193,7 +194,7 @@ TEST(OooCore, FmemMatchesTraceComposition) {
   }
   Harness h(wide_core(), ops);
   h.run();
-  EXPECT_NEAR(h.core.stats().fmem(), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(h.core.stats().fmem(), 1.0 / 3.0, tol::kTightRel);
 }
 
 TEST(OooCore, SecondaryDependenceRespected) {

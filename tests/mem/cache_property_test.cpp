@@ -3,6 +3,7 @@
 // randomized access pattern must satisfy the conservation invariants and
 // the C-AMAT identity.
 #include <gtest/gtest.h>
+#include "common/tolerance.hpp"
 
 #include <map>
 #include <tuple>
@@ -127,7 +128,7 @@ TEST_P(CacheGeometry, ConservationUnderRandomTraffic) {
   EXPECT_EQ(m.accesses, accepted);
   EXPECT_EQ(m.hits + m.misses, m.accesses);
   if (m.accesses > 0) {
-    EXPECT_NEAR(m.camat_eq2(), m.camat(), 1e-9 * (1.0 + m.camat()));
+    EXPECT_NEAR(m.camat_eq2(), m.camat(), tol::eq2(m.camat()));
   }
   EXPECT_EQ(m.active_cycles, m.hit_cycles + m.pure_miss_cycles);
   EXPECT_LE(m.pure_misses, m.misses);

@@ -1,0 +1,114 @@
+#include "mem/perfect_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace lpm::mem {
+namespace {
+
+class TestSink final : public ResponseSink {
+ public:
+  void on_response(const MemResponse& rsp) override {
+    responses.push_back(rsp);
+    by_id[rsp.id] = rsp;
+  }
+  [[nodiscard]] bool got(RequestId id) const { return by_id.count(id) > 0; }
+  std::vector<MemResponse> responses;
+  std::map<RequestId, MemResponse> by_id;
+};
+
+MemRequest read(RequestId id, Addr addr, ResponseSink* sink, Cycle now = 0) {
+  MemRequest r;
+  r.id = id;
+  r.core = 0;
+  r.addr = addr;
+  r.kind = AccessKind::kRead;
+  r.created = now;
+  r.reply_to = sink;
+  return r;
+}
+
+TEST(PerfectMemory, CompletesAfterFixedLatency) {
+  PerfectMemory mem(5);
+  TestSink sink;
+  mem.tick(0);
+  ASSERT_TRUE(mem.try_access(read(1, 0x40, &sink)));
+  EXPECT_TRUE(mem.busy());
+  for (Cycle c = 1; c <= 4; ++c) {
+    mem.tick(c);
+    EXPECT_FALSE(sink.got(1)) << "completed early at cycle " << c;
+  }
+  mem.tick(5);
+  ASSERT_TRUE(sink.got(1));
+  EXPECT_EQ(sink.by_id[1].completed, 5u);
+  EXPECT_EQ(sink.by_id[1].addr, 0x40u);
+  EXPECT_FALSE(mem.busy());
+}
+
+TEST(PerfectMemory, ZeroLatencyCompletesOnTheNextTick) {
+  PerfectMemory mem(0);
+  TestSink sink;
+  mem.tick(0);
+  ASSERT_TRUE(mem.try_access(read(1, 0, &sink)));
+  mem.tick(1);  // done_at == 0 <= 1
+  EXPECT_TRUE(sink.got(1));
+}
+
+TEST(PerfectMemory, PortLimitIsPerCycle) {
+  PerfectMemory mem(3, /*ports=*/2);
+  TestSink sink;
+  mem.tick(0);
+  EXPECT_TRUE(mem.try_access(read(1, 0x00, &sink)));
+  EXPECT_TRUE(mem.try_access(read(2, 0x40, &sink)));
+  EXPECT_FALSE(mem.try_access(read(3, 0x80, &sink)))
+      << "third access in one cycle must bounce off the port limit";
+  mem.tick(1);  // the counter resets with the new cycle
+  EXPECT_TRUE(mem.try_access(read(3, 0x80, &sink)));
+  for (Cycle c = 2; c <= 5; ++c) mem.tick(c);
+  EXPECT_EQ(sink.responses.size(), 3u);
+  EXPECT_EQ(mem.accesses(), 3u);
+}
+
+TEST(PerfectMemory, ZeroPortsMeansUnlimited) {
+  PerfectMemory mem(1, /*ports=*/0);
+  TestSink sink;
+  mem.tick(0);
+  for (RequestId id = 1; id <= 64; ++id) {
+    ASSERT_TRUE(mem.try_access(read(id, id * 64, &sink)));
+  }
+  mem.tick(1);
+  EXPECT_EQ(sink.responses.size(), 64u);
+}
+
+TEST(PerfectMemory, FireAndForgetLeavesNothingInFlight) {
+  // Writebacks travel with reply_to == nullptr: counted, never replied to.
+  PerfectMemory mem(10);
+  mem.tick(0);
+  ASSERT_TRUE(mem.try_access(read(7, 0x40, nullptr)));
+  EXPECT_FALSE(mem.busy());
+  EXPECT_EQ(mem.accesses(), 1u);
+}
+
+TEST(PerfectMemory, ResponsesArriveInRequestOrder) {
+  PerfectMemory mem(4);
+  TestSink sink;
+  mem.tick(0);
+  ASSERT_TRUE(mem.try_access(read(10, 0x000, &sink)));
+  mem.tick(1);
+  ASSERT_TRUE(mem.try_access(read(11, 0x040, &sink)));
+  mem.tick(2);
+  ASSERT_TRUE(mem.try_access(read(12, 0x080, &sink)));
+  for (Cycle c = 3; c <= 8; ++c) mem.tick(c);
+  ASSERT_EQ(sink.responses.size(), 3u);
+  EXPECT_EQ(sink.responses[0].id, 10u);
+  EXPECT_EQ(sink.responses[1].id, 11u);
+  EXPECT_EQ(sink.responses[2].id, 12u);
+  EXPECT_EQ(sink.responses[0].completed, 4u);
+  EXPECT_EQ(sink.responses[1].completed, 5u);
+  EXPECT_EQ(sink.responses[2].completed, 6u);
+}
+
+}  // namespace
+}  // namespace lpm::mem

@@ -1,0 +1,195 @@
+// The AccessProbe contract as promised by probe.hpp and relied on by the
+// C-AMAT analyzer (and by check::RefAnalyzer): one activity sample per
+// cycle in increasing order, every access resolved exactly once as a hit
+// or a miss, every miss eventually closed by on_miss_done.
+#include "mem/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/perfect_memory.hpp"
+
+namespace lpm::mem {
+namespace {
+
+class RecordingProbe final : public AccessProbe {
+ public:
+  void on_cycle_activity(Cycle cycle, std::uint32_t hit_active) override {
+    activity.emplace_back(cycle, hit_active);
+  }
+  void on_access(RequestId id, Cycle start, bool is_write) override {
+    accesses.push_back(id);
+    access_start[id] = start;
+    writes[id] = is_write;
+  }
+  void on_hit(RequestId id, Cycle done) override { hits[id] = done; }
+  void on_miss(RequestId id, Cycle start) override { miss_start[id] = start; }
+  void on_miss_done(RequestId id, Cycle done) override { miss_done[id] = done; }
+
+  std::vector<std::pair<Cycle, std::uint32_t>> activity;
+  std::vector<RequestId> accesses;
+  std::map<RequestId, Cycle> access_start;
+  std::map<RequestId, bool> writes;
+  std::map<RequestId, Cycle> hits;
+  std::map<RequestId, Cycle> miss_start;
+  std::map<RequestId, Cycle> miss_done;
+};
+
+class NullSink final : public ResponseSink {
+ public:
+  void on_response(const MemResponse&) override {}
+};
+
+struct Harness {
+  Harness() : below(20), cache(config(), &below) {
+    cache.set_probe(&probe);
+  }
+
+  static CacheConfig config() {
+    CacheConfig cfg;
+    cfg.name = "L1p";
+    cfg.size_bytes = 512;  // 2 sets x 4 ways
+    cfg.block_bytes = 64;
+    cfg.associativity = 4;
+    cfg.hit_latency = 2;
+    cfg.ports = 2;
+    cfg.mshr_entries = 2;
+    cfg.mshr_targets = 2;
+    return cfg;
+  }
+
+  void tick() {
+    below.tick(now);
+    cache.tick(now);
+    ++now;
+  }
+  void access(RequestId id, Addr addr, AccessKind kind = AccessKind::kRead) {
+    MemRequest r;
+    r.id = id;
+    r.core = 0;
+    r.addr = addr;
+    r.kind = kind;
+    r.created = now;
+    r.reply_to = &sink;
+    while (!cache.try_access(r)) tick();
+  }
+  void drain(Cycle limit = 2000) {
+    const Cycle end = now + limit;
+    while ((cache.busy() || below.busy()) && now < end) tick();
+    cache.finalize(now == 0 ? 0 : now - 1);
+  }
+
+  PerfectMemory below;
+  Cache cache;
+  RecordingProbe probe;
+  NullSink sink;
+  Cycle now = 0;
+};
+
+TEST(ProbeContract, OneActivitySamplePerCycleInOrder) {
+  Harness h;
+  for (RequestId id = 1; id <= 20; ++id) {
+    h.tick();  // tick-then-access, as System drives the hierarchy
+    h.access(id, (id % 6) * 64);
+  }
+  h.drain();
+
+  ASSERT_FALSE(h.probe.activity.empty());
+  // Strictly increasing, never duplicated. (The optimized cache may skip
+  // samples for provably idle cycles — a zero sample after quiescing — so
+  // gaps are allowed, repeats and reordering are not.)
+  for (std::size_t i = 1; i < h.probe.activity.size(); ++i) {
+    EXPECT_GT(h.probe.activity[i].first, h.probe.activity[i - 1].first)
+        << "at sample " << i;
+  }
+  EXPECT_EQ(h.probe.activity.front().first, 0u);
+}
+
+TEST(ProbeContract, EveryAccessResolvesExactlyOnce) {
+  Harness h;
+  for (RequestId id = 1; id <= 30; ++id) {
+    const bool write = id % 5 == 0;
+    h.tick();
+    h.access(id, (id % 9) * 64, write ? AccessKind::kWrite : AccessKind::kRead);
+  }
+  h.drain();
+
+  EXPECT_EQ(h.probe.accesses.size(), 30u);
+  for (const RequestId id : h.probe.accesses) {
+    const bool hit = h.probe.hits.count(id) > 0;
+    const bool miss = h.probe.miss_start.count(id) > 0;
+    EXPECT_TRUE(hit != miss) << "access " << id
+                             << " must resolve as exactly one of hit/miss";
+    if (hit) {
+      // The lookup occupies the pipeline for hit_latency cycles.
+      EXPECT_GE(h.probe.hits[id], h.probe.access_start[id] + 2);
+    }
+  }
+  EXPECT_EQ(h.probe.writes.at(5), true);
+  EXPECT_EQ(h.probe.writes.at(1), false);
+}
+
+TEST(ProbeContract, EveryMissIsClosed) {
+  Harness h;
+  // Distinct blocks: all cold misses.
+  for (RequestId id = 1; id <= 12; ++id) {
+    h.tick();
+    h.access(id, id * 64);
+  }
+  h.drain();
+
+  ASSERT_FALSE(h.probe.miss_start.empty());
+  for (const auto& [id, start] : h.probe.miss_start) {
+    ASSERT_TRUE(h.probe.miss_done.count(id) > 0) << "miss " << id << " never closed";
+    EXPECT_GT(h.probe.miss_done[id], start);
+  }
+}
+
+TEST(ProbeContract, ActivitySumMatchesHitPhaseCycles) {
+  // Each accepted demand access spends exactly hit_latency cycles in the
+  // lookup pipeline (hits and misses alike, paper Fig. 1), so the summed
+  // per-cycle activity equals accesses x hit_latency once drained.
+  Harness h;
+  for (RequestId id = 1; id <= 25; ++id) {
+    h.tick();
+    h.access(id, (id % 7) * 64);
+  }
+  h.drain();
+
+  std::uint64_t summed = 0;
+  for (const auto& [cycle, active] : h.probe.activity) summed += active;
+  EXPECT_EQ(summed, h.cache.stats().accesses * 2u);
+}
+
+TEST(ProbeContract, NullProbeIsSupported) {
+  // set_probe(nullptr) (the default) must be safe: the cache runs without
+  // any analyzer attached.
+  PerfectMemory below(20);
+  Cache cache(Harness::config(), &below);
+  NullSink sink;
+  Cycle now = 0;
+  for (RequestId id = 1; id <= 8; ++id) {
+    MemRequest r;
+    r.id = id;
+    r.addr = id * 64;
+    r.core = 0;
+    r.reply_to = &sink;
+    below.tick(now);
+    cache.tick(now);
+    ++now;
+    (void)cache.try_access(r);
+  }
+  while ((cache.busy() || below.busy()) && now < 2000) {
+    below.tick(now);
+    cache.tick(now);
+    ++now;
+  }
+  cache.finalize(now - 1);
+  EXPECT_EQ(cache.stats().accesses, 8u);
+}
+
+}  // namespace
+}  // namespace lpm::mem

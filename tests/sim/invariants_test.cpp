@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "camat/metrics.hpp"
+#include "common/tolerance.hpp"
 #include "core/lpm_model.hpp"
 #include "sim/system.hpp"
 #include "trace/spec_like.hpp"
@@ -68,14 +69,14 @@ TEST_P(InvariantsOverWorkloads, Eq2EqualsApcIdentityAtL1) {
   const auto out = run_workload(GetParam());
   const auto& l1 = out.m.l1;
   ASSERT_GT(l1.accesses, 0u);
-  EXPECT_NEAR(l1.camat_eq2(), l1.camat(), 1e-9 * l1.camat());
+  EXPECT_NEAR(l1.camat_eq2(), l1.camat(), tol::eq2(l1.camat()));
 }
 
 TEST_P(InvariantsOverWorkloads, Eq2EqualsApcIdentityAtL2) {
   const auto out = run_workload(GetParam());
   const auto& l2 = out.m.l2;
   if (l2.accesses == 0) GTEST_SKIP() << "no L2 traffic";
-  EXPECT_NEAR(l2.camat_eq2(), l2.camat(), 1e-9 * l2.camat());
+  EXPECT_NEAR(l2.camat_eq2(), l2.camat(), tol::eq2(l2.camat()));
 }
 
 TEST_P(InvariantsOverWorkloads, Eq7StallIdentityExact) {
@@ -85,7 +86,7 @@ TEST_P(InvariantsOverWorkloads, Eq7StallIdentityExact) {
   const auto out = run_workload(GetParam());
   const double predicted = core::stall_eq7(out.m);
   const double measured = out.m.measured_stall_per_instr;
-  EXPECT_NEAR(predicted, measured, 1e-6 + 0.002 * measured);
+  EXPECT_NEAR(predicted, measured, tol::eq7(measured));
 }
 
 TEST_P(InvariantsOverWorkloads, CoreMemActiveMatchesL1ActiveCycles) {
@@ -100,7 +101,7 @@ TEST_P(InvariantsOverWorkloads, Eq12EquivalentToEq7) {
   const auto out = run_workload(GetParam());
   // Eq. 12 is Eq. 7 rewritten through LPMR1; they must agree identically.
   EXPECT_NEAR(core::stall_eq12(out.m), core::stall_eq7(out.m),
-              1e-9 + 1e-9 * core::stall_eq7(out.m));
+              tol::eq12(core::stall_eq7(out.m)));
 }
 
 TEST_P(InvariantsOverWorkloads, Eq4RecursionHoldsApproximately) {
@@ -117,7 +118,7 @@ TEST_P(InvariantsOverWorkloads, Eq4RecursionHoldsApproximately) {
   const double lhs = l1.camat();
   // The recursion is exact when L2 residency equals L1 outstanding time;
   // queueing and MSHR waits make it approximate in a real hierarchy.
-  EXPECT_NEAR(rhs, lhs, 0.35 * lhs);
+  EXPECT_NEAR(rhs, lhs, tol::model_error(lhs));
 }
 
 TEST_P(InvariantsOverWorkloads, Eq13MatchesEq7WithinModelError) {
@@ -125,7 +126,7 @@ TEST_P(InvariantsOverWorkloads, Eq13MatchesEq7WithinModelError) {
   if (out.m.l1.pure_misses == 0) GTEST_SKIP();
   const double e13 = core::stall_eq13(out.m);
   const double e7 = core::stall_eq7(out.m);
-  EXPECT_NEAR(e13, e7, 0.35 * e7 + 1e-6);
+  EXPECT_NEAR(e13, e7, tol::model_error(e7));
 }
 
 TEST_P(InvariantsOverWorkloads, PureMissBoundedByMiss) {
@@ -138,7 +139,7 @@ TEST_P(InvariantsOverWorkloads, PureMissBoundedByMiss) {
 
 TEST_P(InvariantsOverWorkloads, CamatNeverExceedsAmat) {
   const auto out = run_workload(GetParam());
-  EXPECT_LE(out.m.l1.camat(), out.m.l1.amat() + 1e-9);
+  EXPECT_LE(out.m.l1.camat(), out.m.l1.amat() + tol::kTightRel);
 }
 
 TEST_P(InvariantsOverWorkloads, ActiveCyclesPartitionIntoHitAndPure) {
@@ -167,7 +168,7 @@ TEST_P(InvariantsOverWorkloads, CpiDecomposition) {
   const auto out = run_workload(GetParam());
   const double lhs = out.m.measured_cpi;
   const double rhs = out.m.cpi_exe + out.m.measured_stall_per_instr;
-  EXPECT_NEAR(lhs, rhs, 0.30 * lhs);
+  EXPECT_NEAR(lhs, rhs, tol::kCpiDecompositionRel * lhs);
 }
 
 TEST_P(InvariantsOverWorkloads, LpmrsArePositive) {

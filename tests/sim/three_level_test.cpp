@@ -1,6 +1,7 @@
 // Three-cache-level hierarchy ("the extension to additional cache levels is
 // straightforward", paper SIII): L1 -> private L2 -> shared LLC -> DRAM.
 #include <gtest/gtest.h>
+#include "common/tolerance.hpp"
 
 #include <memory>
 
@@ -64,7 +65,7 @@ TEST(ThreeLevel, CamatIdentityHoldsAtEveryLevel) {
   for (const camat::CamatMetrics* m :
        {&r.l1[0], &r.l2_private[0], &r.l2}) {
     if (m->accesses == 0) continue;
-    EXPECT_NEAR(m->camat_eq2(), m->camat(), 1e-9 * (1.0 + m->camat()));
+    EXPECT_NEAR(m->camat_eq2(), m->camat(), tol::eq2(m->camat()));
     EXPECT_EQ(m->active_cycles, m->hit_cycles + m->pure_miss_cycles);
   }
 }
@@ -119,7 +120,7 @@ TEST(ThreeLevel, Eq7StillExact) {
   const auto r = run_three_level(p, machine);
   const auto m = core::AppMeasurement::from_run(r, c, 0, p.name);
   EXPECT_NEAR(core::stall_eq7(m), m.measured_stall_per_instr,
-              1e-6 + 0.002 * m.measured_stall_per_instr);
+              tol::eq7(m.measured_stall_per_instr));
 }
 
 TEST(ThreeLevel, PrivateL2CutsLlcPressure) {

@@ -1,6 +1,7 @@
 #include "util/stats.hpp"
 
 #include <gtest/gtest.h>
+#include "common/tolerance.hpp"
 
 #include <cmath>
 
@@ -23,7 +24,7 @@ TEST(StreamingStats, BasicMoments) {
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
   EXPECT_EQ(s.count(), 8u);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, tol::kExact);  // sample variance
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
@@ -125,9 +126,9 @@ TEST(Ratio, SafeDivision) {
 
 TEST(Means, ArithmeticHarmonicGeometric) {
   const std::vector<double> xs = {1.0, 2.0, 4.0};
-  EXPECT_NEAR(mean_of(xs), 7.0 / 3.0, 1e-12);
-  EXPECT_NEAR(harmonic_mean_of(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
-  EXPECT_NEAR(geometric_mean_of(xs), 2.0, 1e-12);
+  EXPECT_NEAR(mean_of(xs), 7.0 / 3.0, tol::kExact);
+  EXPECT_NEAR(harmonic_mean_of(xs), 3.0 / (1.0 + 0.5 + 0.25), tol::kExact);
+  EXPECT_NEAR(geometric_mean_of(xs), 2.0, tol::kExact);
 }
 
 TEST(Means, DegenerateInputs) {
@@ -138,7 +139,7 @@ TEST(Means, DegenerateInputs) {
 }
 
 TEST(RelativeError, Basics) {
-  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, tol::kExact);
   EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
   EXPECT_GT(relative_error(1.0, 0.0), 1.0);
 }

@@ -1,0 +1,59 @@
+// Property-fuzz driver for CI and local soak runs: random machines +
+// synthetic traces through the differential oracle and the model-identity
+// checks (see src/check/fuzz.hpp).
+//
+//   $ LPM_CHECK_SEED=7 LPM_CHECK_CASES=500 ./lpm_check_fuzz [artifacts=DIR]
+//   $ ./lpm_check_fuzz cases=50 seed=123 trace_len=800 artifacts=/tmp/repros
+//
+// Command-line keys override the LPM_CHECK_* environment knobs. Minimized
+// repros for any divergence are written to the artifact directory as
+// lpm-repro-<seed>.json (replayable with lpm_replay). Exit status: 0 = all
+// cases clean, 1 = at least one failure, 2 = usage error.
+#include <cstdio>
+
+#include "check/fuzz.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpm;
+  try {
+    const auto args = util::KvConfig::from_args(argc, argv);
+    check::FuzzConfig cfg = check::FuzzConfig::from_env();
+    cfg.seed = args.get_uint_or("seed", cfg.seed);
+    cfg.cases = args.get_uint_or("cases", cfg.cases);
+    cfg.trace_len = args.get_uint_or("trace_len", cfg.trace_len);
+    cfg.artifact_dir = args.get_or("artifacts", cfg.artifact_dir);
+    cfg.minimize = args.get_bool_or("minimize", cfg.minimize);
+    cfg.check_properties = args.get_bool_or("properties", cfg.check_properties);
+
+    std::printf("fuzz: %llu case(s) from seed %llu, %llu ops/core%s%s\n",
+                static_cast<unsigned long long>(cfg.cases),
+                static_cast<unsigned long long>(cfg.seed),
+                static_cast<unsigned long long>(cfg.trace_len),
+                cfg.artifact_dir.empty() ? "" : ", artifacts -> ",
+                cfg.artifact_dir.c_str());
+
+    check::Fuzzer fuzzer(cfg);
+    const check::FuzzSummary summary = fuzzer.run();
+
+    for (const auto& f : summary.failures) {
+      std::printf("FAIL seed=%llu [%s] %s%s%s\n",
+                  static_cast<unsigned long long>(f.case_seed), f.kind.c_str(),
+                  f.detail.c_str(),
+                  f.replay_path.empty() ? "" : " repro=",
+                  f.replay_path.c_str());
+    }
+    std::printf(
+        "fuzz summary: %llu cases, %llu divergences, %llu property failures "
+        "(%llu simulator pairs)\n",
+        static_cast<unsigned long long>(summary.cases_run),
+        static_cast<unsigned long long>(summary.divergences),
+        static_cast<unsigned long long>(summary.property_failures),
+        static_cast<unsigned long long>(summary.simulator_pairs));
+    return summary.ok() ? 0 : 1;
+  } catch (const util::LpmError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

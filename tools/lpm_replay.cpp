@@ -1,0 +1,59 @@
+// Re-executes a replay file (the differential harness's exchange format)
+// against both the optimized simulator and the reference model and reports
+// whether they still diverge — the debugging companion to a fuzzer-written
+// minimized repro.
+//
+//   $ ./lpm_replay replay=/path/to/lpm-repro-123.json [minimize=0] [out=FILE]
+//
+// Exit status: 0 = simulators agree, 1 = divergence, 2 = usage/IO error.
+// With minimize=1 (default) a divergent trace is delta-debugged further and
+// the minimal case is written to `out` (default: <replay>.min.json).
+#include <cstdio>
+
+#include "check/diff.hpp"
+#include "check/replay.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpm;
+  try {
+    const auto args = util::KvConfig::from_args(argc, argv);
+    std::string path = args.get_or("replay", "");
+    if (path.empty() && !args.positional().empty()) path = args.positional().front();
+    if (path.empty()) {
+      std::fprintf(stderr,
+                   "usage: lpm_replay replay=FILE [minimize=0|1] [out=FILE]\n");
+      return 2;
+    }
+    const bool minimize = args.get_bool_or("minimize", true);
+    const std::string out = args.get_or("out", path + ".min.json");
+
+    const check::ReplayCase c = check::load_replay(path);
+    std::size_t total_ops = 0;
+    for (const auto& ops : c.ops) total_ops += ops.size();
+    std::printf("replay: %s (%u core(s), %zu micro-ops)\n", path.c_str(),
+                c.machine.num_cores, total_ops);
+
+    check::DiffRunner runner(
+        check::DiffOptions{{}, minimize, /*max_trials=*/600});
+    const check::DiffReport report = runner.run(c);
+    if (!report.diverged) {
+      std::printf("OK: optimized and reference results are identical\n");
+      return 0;
+    }
+    std::printf("DIVERGENCE: %s\n", report.divergence.c_str());
+    if (minimize) {
+      std::size_t min_ops = 0;
+      for (const auto& ops : report.minimized.ops) min_ops += ops.size();
+      check::save_replay(report.minimized, out);
+      std::printf(
+          "minimized to %zu micro-ops in %llu simulator pairs -> %s\n",
+          min_ops, static_cast<unsigned long long>(report.trials), out.c_str());
+    }
+    return 1;
+  } catch (const util::LpmError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
