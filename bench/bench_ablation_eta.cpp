@@ -8,10 +8,11 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-static int run_bench() {
+static int run_bench(const lpm::benchx::BenchOptions& opt) {
   using namespace lpm;
   util::print_banner("bench_ablation_eta",
                        "Section III eta analysis (Eq. 13 damping)");
+  std::printf("model backend: %s\n", opt.backend.c_str());
 
   const auto machine = sim::MachineConfig::single_core_default();
   util::AsciiTable t({"application", "eta1", "pMR/MR", "eta", "LPMR2",
@@ -19,7 +20,7 @@ static int run_bench() {
 
   for (const auto b : trace::all_spec_benchmarks()) {
     const auto wl = trace::spec_profile(b, 120'000, 23);
-    const auto r = benchx::run_solo(machine, wl);
+    const auto r = benchx::run_solo(machine, wl, nullptr, opt.backend);
     const double eta = core::eta_combined(r.m);
     const auto lpmr = core::compute_lpmrs(r.m);
     const double hit_term = r.m.l1.CH() > 0
@@ -42,4 +43,6 @@ static int run_bench() {
   return 0;
 }
 
-int main() { return lpm::benchx::guarded_main(&run_bench); }
+int main(int argc, char** argv) {
+  return lpm::benchx::guarded_main(argc, argv, &run_bench);
+}

@@ -9,16 +9,19 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-static int run_bench() {
+static int run_bench(const lpm::benchx::BenchOptions& opt) {
   using namespace lpm;
   util::print_banner("bench_ablation_knobs",
                        "Per-knob sensitivity around Table I (ablation)");
+  std::printf("model backend: %s\n", opt.backend.c_str());
 
   const auto base = sim::MachineConfig::single_core_default();
   const auto workload =
       trace::spec_profile(trace::SpecBenchmark::kBwaves, 400'000, 17);
   core::DesignSpaceExplorer ex(base, workload, core::KnobLevels::standard(),
-                               core::ArchKnobs::config_a());
+                               core::ArchKnobs::config_a(),
+                               core::kFineGrainedDelta, /*engine=*/nullptr,
+                               opt.backend);
 
   struct Variant {
     const char* name;
@@ -76,4 +79,6 @@ static int run_bench() {
   return 0;
 }
 
-int main() { return lpm::benchx::guarded_main(&run_bench); }
+int main(int argc, char** argv) {
+  return lpm::benchx::guarded_main(argc, argv, &run_bench);
+}

@@ -43,10 +43,13 @@ CoRun co_run(const sim::MachineConfig& machine,
 
 }  // namespace
 
-static int run_bench() {
+static int run_bench(const lpm::benchx::BenchOptions& opt) {
   util::print_banner("bench_ablation_partition",
                        "SVII future work: memory parallelism partition "
                        "(per-core LLC MSHR quotas)");
+  std::printf("model backend: %s (solo baselines; co-runs are always "
+              "cycle-accurate)\n",
+              opt.backend.c_str());
 
   // Four cores: one DRAM-flooding streamer (the hog) and three moderate
   // programs. The LLC has few MSHRs so its concurrency is contended.
@@ -73,7 +76,7 @@ static int run_bench() {
     solo.l1_size_per_core = {machine.l1_size_per_core[i]};
     solo.l1.num_cores = 1;
     solo.l2.num_cores = 1;
-    const auto r = benchx::run_solo(solo, apps[i]);
+    const auto r = benchx::run_solo(solo, apps[i], nullptr, opt.backend);
     ipc_alone.push_back(1.0 / r.m.measured_cpi);
   }
 
@@ -99,4 +102,6 @@ static int run_bench() {
   return 0;
 }
 
-int main() { return lpm::benchx::guarded_main(&run_bench); }
+int main(int argc, char** argv) {
+  return lpm::benchx::guarded_main(argc, argv, &run_bench);
+}

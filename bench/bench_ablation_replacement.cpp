@@ -34,10 +34,13 @@ trace::WorkloadProfile scan_reuse_workload() {
 
 }  // namespace
 
-static int run_bench() {
+static int run_bench(const lpm::benchx::BenchOptions& opt) {
   util::print_banner("bench_ablation_replacement",
                        "SVII future work: selective cache replacement "
                        "(scan-resistant policies)");
+  std::printf("model backend: %s (note: the analytic backends assume LRU — "
+              "their rows do not differentiate policies)\n",
+              opt.backend.c_str());
 
   util::AsciiTable t({"L1 policy", "IPC", "L1 miss rate", "L1 C-AMAT",
                       "data stall/instr", "cycles"});
@@ -48,7 +51,8 @@ static int run_bench() {
     auto machine = sim::MachineConfig::single_core_default();
     machine.l1.replacement = policy;
     machine.l1.prefetch_degree = 0;  // isolate the replacement effect
-    const auto r = benchx::run_solo(machine, scan_reuse_workload());
+    const auto r =
+        benchx::run_solo(machine, scan_reuse_workload(), nullptr, opt.backend);
     t.add_row({mem::to_string(policy), util::fmt(1.0 / r.m.measured_cpi, 3),
                util::fmt(r.m.mr1, 4), util::fmt(r.m.l1.camat(), 3),
                util::fmt(r.m.measured_stall_per_instr, 4),
@@ -63,4 +67,6 @@ static int run_bench() {
   return 0;
 }
 
-int main() { return lpm::benchx::guarded_main(&run_bench); }
+int main(int argc, char** argv) {
+  return lpm::benchx::guarded_main(argc, argv, &run_bench);
+}

@@ -10,10 +10,11 @@
 #include "trace/spec_like.hpp"
 #include "util/table.hpp"
 
-static int run_bench() {
+static int run_bench(const lpm::benchx::BenchOptions& opt) {
   using namespace lpm;
   util::print_banner("bench_lpm_convergence",
                        "Fig. 3 algorithm dynamics (ablation)");
+  std::printf("model backend: %s\n", opt.backend.c_str());
 
   const auto base = sim::MachineConfig::single_core_default();
   const auto workload =
@@ -26,7 +27,8 @@ static int run_bench() {
   for (const double delta :
        {core::kCoarseGrainedDelta, core::kFineGrainedDelta}) {
     core::DesignSpaceExplorer ex(base, workload, core::KnobLevels::standard(),
-                                 core::ArchKnobs::config_a(), delta);
+                                 core::ArchKnobs::config_a(), delta,
+                                 /*engine=*/nullptr, opt.backend);
     core::LpmAlgorithmConfig acfg;
     acfg.delta_percent = delta;
     acfg.max_iterations = 24;
@@ -52,7 +54,8 @@ static int run_bench() {
     fat.mshr_entries = 64;
     fat.l2_interleave = 16;
     core::DesignSpaceExplorer ex(base, workload, core::KnobLevels::standard(),
-                                 fat, core::kCoarseGrainedDelta);
+                                 fat, core::kCoarseGrainedDelta,
+                                 /*engine=*/nullptr, opt.backend);
     core::LpmAlgorithmConfig acfg;
     acfg.delta_percent = core::kCoarseGrainedDelta;
     acfg.max_iterations = 24;
@@ -74,4 +77,6 @@ static int run_bench() {
   return 0;
 }
 
-int main() { return lpm::benchx::guarded_main(&run_bench); }
+int main(int argc, char** argv) {
+  return lpm::benchx::guarded_main(argc, argv, &run_bench);
+}

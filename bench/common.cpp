@@ -1,19 +1,49 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
+#include "model/analytic.hpp"
+#include "model/backend.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace lpm::benchx {
 
+BenchOptions BenchOptions::from_args(int argc, const char* const* argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    while (!arg.empty() && arg.front() == '-') arg.erase(arg.begin());
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "backend") {
+      opt.backend = value;
+    } else {
+      util::require(false, "unknown bench flag '" + std::string(argv[i]) +
+                               "' (supported: --backend={cycle,rdh,fa})");
+    }
+  }
+  const auto& names = model::backend_names();
+  util::require(
+      std::find(names.begin(), names.end(), opt.backend) != names.end(),
+      "unknown --backend '" + opt.backend + "' (choices: cycle, rdh, fa)");
+  if (opt.backend != exp::kCycleBackend) model::register_analytic_executors();
+  return opt;
+}
+
 WorkloadRun run_solo(const sim::MachineConfig& machine,
                      const trace::WorkloadProfile& workload,
-                     exp::ExperimentEngine* engine) {
+                     exp::ExperimentEngine* engine,
+                     const std::string& backend) {
   exp::ExperimentEngine& eng =
       engine != nullptr ? *engine : exp::ExperimentEngine::shared();
-  const exp::SimResultPtr result =
-      eng.run(exp::SimJob::solo(machine, workload, /*calibrate=*/true));
+  exp::SimJob job = exp::SimJob::solo(machine, workload, /*calibrate=*/true);
+  job.backend = backend;
+  const exp::SimResultPtr result = eng.run(job);
   util::require(result->run.completed, "bench run hit max_cycles");
 
   WorkloadRun out;
@@ -23,7 +53,10 @@ WorkloadRun run_solo(const sim::MachineConfig& machine,
   return out;
 }
 
-int guarded_main(int (*body)()) {
+namespace {
+
+template <typename Body>
+int guarded(Body&& body) {
   try {
     return body();
   } catch (const util::LpmError& e) {
@@ -35,6 +68,15 @@ int guarded_main(int (*body)()) {
                  util::error_code_name(util::ErrorCode::kGeneric), e.what());
     return 1;
   }
+}
+
+}  // namespace
+
+int guarded_main(int (*body)()) { return guarded(body); }
+
+int guarded_main(int argc, const char* const* argv,
+                 int (*body)(const BenchOptions&)) {
+  return guarded([&] { return body(BenchOptions::from_args(argc, argv)); });
 }
 
 void print_engine_summary(const exp::ExperimentEngine& engine,

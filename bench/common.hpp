@@ -21,13 +21,29 @@ struct WorkloadRun {
   sim::CpiExeResult calib;
 };
 
+/// Shared bench command line. Every arg is `key=value`, with any number of
+/// leading dashes tolerated, so `--backend=rdh` and `backend=rdh` are the
+/// same flag. Unknown backend names throw util::ConfigError listing the
+/// choices; selecting an analytic backend registers its engine executors.
+struct BenchOptions {
+  /// Model backend evaluating the bench's points ("cycle", "rdh", "fa").
+  std::string backend = exp::kCycleBackend;
+
+  [[nodiscard]] static BenchOptions from_args(int argc,
+                                              const char* const* argv);
+};
+
 /// Runs `workload` solo on `machine` (plus a perfect-cache calibration) and
 /// gathers the LPM measurement. Executes through the experiment engine
 /// (`engine` = nullptr uses the process-wide shared one), so repeated
-/// (machine, workload) points are cache-served.
+/// (machine, workload) points are cache-served. `backend` picks the model
+/// evaluating the point — the analytic backends synthesize the same
+/// counter blocks the simulator measures, so every downstream table works
+/// unchanged at either fidelity.
 WorkloadRun run_solo(const sim::MachineConfig& machine,
                      const trace::WorkloadProfile& workload,
-                     exp::ExperimentEngine* engine = nullptr);
+                     exp::ExperimentEngine* engine = nullptr,
+                     const std::string& backend = exp::kCycleBackend);
 
 /// Prints the engine's execution summary (threads, simulations, cache hits,
 /// achieved parallel speedup) — benches call this after their sweeps.
@@ -39,5 +55,11 @@ void print_engine_summary(const exp::ExperimentEngine& engine,
 /// non-zero exit instead of std::terminate. Every bench main is
 /// `return benchx::guarded_main(&run_bench);`.
 int guarded_main(int (*body)());
+
+/// Same boundary for benches that take the shared flags: parses argv into
+/// BenchOptions (arg errors go through the same diagnostic path) and calls
+/// the body with them.
+int guarded_main(int argc, const char* const* argv,
+                 int (*body)(const BenchOptions&));
 
 }  // namespace lpm::benchx

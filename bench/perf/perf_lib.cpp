@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "exp/experiment_engine.hpp"
+#include "model/analytic.hpp"
+#include "model/backend.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/system.hpp"
 #include "trace/spec_like.hpp"
@@ -89,6 +91,38 @@ PerfReport run_perf_suite(const PerfOptions& opts) {
     report.jobs = results.size();
   }
 
+  // Phase 3: analytic screening throughput. Distinct configurations through
+  // the "rdh" backend, with the workload's one-off reuse profile and
+  // CPIexe calibration warmed first — exactly the steady state of a
+  // multi-fidelity sweep, where both are paid once and every configuration
+  // afterwards is closed-form.
+  if (opts.analytic_configs >= 1) {
+    model::register_analytic_executors();
+    exp::ExperimentEngine::Options eopts;
+    eopts.threads = opts.engine_threads;
+    eopts.cache_enabled = false;
+    exp::ExperimentEngine engine(eopts);
+
+    std::vector<exp::SimJob> jobs;
+    for (unsigned i = 0; i < opts.analytic_configs; ++i) {
+      sim::MachineConfig m = sim::MachineConfig::single_core_default();
+      m.l1.size_bytes = (4u * 1024u) << (i % 8);  // 4K .. 512K
+      m.l1.mshr_entries = 4u << (i / 8 % 4);      // 4, 8, 16, 32
+      m.l2.size_bytes <<= (i / 32 % 2);
+      exp::SimJob job =
+          exp::SimJob::solo(std::move(m), workload, /*calibrate=*/true,
+                            "perf-analytic");
+      job.backend = model::kRdhBackend;
+      jobs.push_back(std::move(job));
+    }
+    (void)engine.run(jobs.front());  // warm profile + calibration
+
+    const auto start = Clock::now();
+    const auto results = engine.run_batch(jobs);
+    report.wall_seconds_analytic = seconds_since(start);
+    report.analytic_configs = results.size();
+  }
+
   const auto rate = [](double amount, double wall) {
     return wall > 0.0 ? amount / wall : 0.0;
   };
@@ -98,6 +132,9 @@ PerfReport run_perf_suite(const PerfOptions& opts) {
                                      report.wall_seconds_simulate);
   report.engine_jobs_per_sec =
       rate(static_cast<double>(report.jobs), report.wall_seconds_engine);
+  report.analytic_configs_per_sec =
+      rate(static_cast<double>(report.analytic_configs),
+           report.wall_seconds_analytic);
   return report;
 }
 
@@ -106,12 +143,15 @@ std::string to_json(const PerfReport& r) {
   os << "{\"bench\":\"" << r.bench << "\""
      << ",\"cycles\":" << r.cycles << ",\"instructions\":" << r.instructions
      << ",\"jobs\":" << r.jobs
+     << ",\"analytic_configs\":" << r.analytic_configs
      << ",\"wall_seconds_simulate\":" << util::fmt(r.wall_seconds_simulate, 6)
      << ",\"wall_seconds_engine\":" << util::fmt(r.wall_seconds_engine, 6)
+     << ",\"wall_seconds_analytic\":" << util::fmt(r.wall_seconds_analytic, 6)
      << ",\"sim_cycles_per_sec\":" << util::fmt(r.sim_cycles_per_sec, 1)
      << ",\"instructions_per_sec\":" << util::fmt(r.instructions_per_sec, 1)
      << ",\"engine_jobs_per_sec\":" << util::fmt(r.engine_jobs_per_sec, 3)
-     << "}\n";
+     << ",\"analytic_configs_per_sec\":"
+     << util::fmt(r.analytic_configs_per_sec, 1) << "}\n";
   return os.str();
 }
 
@@ -136,6 +176,14 @@ PerfReport parse_report(const std::string& json_text) {
   r.sim_cycles_per_sec = need("sim_cycles_per_sec");
   r.instructions_per_sec = need("instructions_per_sec");
   r.engine_jobs_per_sec = need("engine_jobs_per_sec");
+  // Optional — absent in reports/baselines written before the analytic
+  // screening phase; 0 means "not measured" and is never gated.
+  r.analytic_configs = static_cast<std::uint64_t>(
+      json.get_number("analytic_configs").value_or(0.0));
+  r.wall_seconds_analytic =
+      json.get_number("wall_seconds_analytic").value_or(0.0);
+  r.analytic_configs_per_sec =
+      json.get_number("analytic_configs_per_sec").value_or(0.0);
   return r;
 }
 
@@ -172,6 +220,10 @@ BaselineCheck check_against_baseline(const PerfReport& current,
        baseline.instructions_per_sec);
   gate("engine_jobs_per_sec", current.engine_jobs_per_sec,
        baseline.engine_jobs_per_sec);
+  if (baseline.analytic_configs_per_sec > 0.0) {
+    gate("analytic_configs_per_sec", current.analytic_configs_per_sec,
+         baseline.analytic_configs_per_sec);
+  }
   return check;
 }
 

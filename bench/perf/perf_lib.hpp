@@ -13,6 +13,11 @@
 //   * engine_jobs_per_sec   — distinct jobs per second through an
 //     ExperimentEngine worker pool (cache disabled), i.e. end-to-end
 //     sweep throughput including calibration and job bookkeeping.
+//   * analytic_configs_per_sec — distinct machine configurations per second
+//     through the "rdh" analytic backend after its one-off profiling pass,
+//     i.e. the screening rate of a multi-fidelity sweep. The headline claim
+//     this gate protects: analytic screening stays orders of magnitude
+//     faster than cycle simulation.
 //
 // run_perf_suite() measures, to_json()/parse_report() round-trip the flat
 // JSON report, and check_against_baseline() implements the CI gate: a
@@ -37,6 +42,8 @@ struct PerfOptions {
   unsigned engine_jobs = 8;
   /// Worker threads for the engine phase (0 = auto).
   unsigned engine_threads = 0;
+  /// Distinct configurations in the analytic-screening phase.
+  unsigned analytic_configs = 64;
 };
 
 struct PerfReport {
@@ -44,11 +51,14 @@ struct PerfReport {
   std::uint64_t cycles = 0;        ///< simulated cycles, System::run phase
   std::uint64_t instructions = 0;  ///< committed instructions, same phase
   std::uint64_t jobs = 0;          ///< jobs executed, engine phase
+  std::uint64_t analytic_configs = 0;  ///< configs evaluated, analytic phase
   double wall_seconds_simulate = 0.0;
   double wall_seconds_engine = 0.0;
+  double wall_seconds_analytic = 0.0;
   double sim_cycles_per_sec = 0.0;
   double instructions_per_sec = 0.0;
   double engine_jobs_per_sec = 0.0;
+  double analytic_configs_per_sec = 0.0;
 };
 
 /// Runs both measurement phases. Deterministic in its simulated work;
@@ -72,9 +82,11 @@ struct BaselineCheck {
   std::vector<std::string> failures;
 };
 
-/// Compares the three throughput metrics against a baseline: metric m
-/// fails when m < baseline.m * (1 - tolerance). tolerance 0.30 absorbs
-/// CI-runner noise; exceeding the baseline never fails.
+/// Compares the throughput metrics against a baseline: metric m fails when
+/// m < baseline.m * (1 - tolerance). tolerance 0.30 absorbs CI-runner
+/// noise; exceeding the baseline never fails. analytic_configs_per_sec is
+/// gated only when the baseline carries it (> 0), so baselines written
+/// before the analytic phase keep working.
 [[nodiscard]] BaselineCheck check_against_baseline(const PerfReport& current,
                                                    const PerfReport& baseline,
                                                    double tolerance);

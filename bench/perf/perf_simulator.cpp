@@ -3,7 +3,7 @@
 // point. See EXPERIMENTS.md "Performance tracking".
 //
 //   $ ./perf_simulator [out=BENCH_simulator.json] [baseline=...] \
-//                      [tolerance=0.30] [length=400000] [jobs=8]
+//                      [tolerance=0.30] [length=400000] [jobs=8] [analytic=64]
 #include <cstdio>
 #include <fstream>
 
@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(args.get_uint_or("jobs", opts.engine_jobs));
     opts.engine_threads =
         static_cast<unsigned>(args.get_uint_or("threads", opts.engine_threads));
+    opts.analytic_configs = static_cast<unsigned>(
+        args.get_uint_or("analytic", opts.analytic_configs));
 
     const perf::PerfReport report = perf::run_perf_suite(opts);
     const std::string json = perf::to_json(report);
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
     std::printf("sim cycles/sec      : %.3e\n", report.sim_cycles_per_sec);
     std::printf("instructions/sec    : %.3e\n", report.instructions_per_sec);
     std::printf("engine jobs/sec     : %.3f\n", report.engine_jobs_per_sec);
+    std::printf("analytic configs/sec: %.1f\n", report.analytic_configs_per_sec);
 
     if (!baseline_path.empty()) {
       const perf::PerfReport baseline = perf::load_report(baseline_path);

@@ -1,0 +1,98 @@
+// Fidelity-error harness: quantifies how far the analytic model backends
+// ("rdh", "fa") are from the cycle-accurate simulator, per workload profile.
+//
+// For every one of the 16 SPEC-analogue profiles and every L1 size in the
+// sweep, the harness evaluates the same (machine, workload) point with the
+// cycle backend and with each analytic backend, then reports the relative
+// error of the two quantities the LPM walk actually steers by: the L1 miss
+// rate (MR1) and the L1 C-AMAT. The aggregate worst-case errors are pinned
+// by tests/check/fidelity_test.cpp — retuning the analytic heuristics is
+// visible as a bound change, never as silent drift — and
+// tools/lpm_fidelity_report emits the full report as JSON for CI artifacts.
+//
+// Error metric: |analytic - cycle| / max(|cycle|, floor). The floors keep
+// near-zero denominators (an MR of 1e-4, say) from turning an absolutely
+// tiny deviation into a huge relative one; they are part of the reported
+// contract, not a fudge: an analytic MR within kMrErrorFloor of the cycle
+// MR is "as good as exact" for screening purposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment_engine.hpp"
+
+namespace lpm::check {
+
+/// Absolute floors for the relative-error denominators (see header
+/// comment): errors are measured against max(|cycle value|, floor).
+inline constexpr double kMrErrorFloor = 0.01;
+inline constexpr double kCamatErrorFloor = 0.25;
+
+/// |predicted - measured| / max(|measured|, floor).
+[[nodiscard]] double relative_error(double predicted, double measured,
+                                    double floor);
+
+struct FidelityConfig {
+  std::uint64_t trace_length = 20'000;
+  std::uint64_t seed = 1;
+  /// Analytic backends to compare against the cycle backend.
+  std::vector<std::string> backends = {"rdh", "fa"};
+  /// L1 sizes swept per profile; the machine is otherwise
+  /// sim::MachineConfig::single_core_default().
+  std::vector<std::uint64_t> l1_sizes = {16 * 1024, 32 * 1024, 64 * 1024};
+  /// nullptr = the process-wide shared engine (cycle runs then land in the
+  /// same memo cache every other consumer uses).
+  exp::ExperimentEngine* engine = nullptr;
+};
+
+/// One (profile, L1 size, backend) comparison.
+struct FidelityPoint {
+  std::string benchmark;
+  std::string backend;
+  std::uint64_t l1_size_bytes = 0;
+  double mr1_cycle = 0.0;
+  double mr1_analytic = 0.0;
+  double mr1_rel_error = 0.0;
+  double camat1_cycle = 0.0;
+  double camat1_analytic = 0.0;
+  double camat1_rel_error = 0.0;
+};
+
+/// Per (profile, backend) aggregation over the L1 sweep.
+struct ProfileSummary {
+  std::string benchmark;
+  std::string backend;
+  double mean_mr1_rel_error = 0.0;
+  double max_mr1_rel_error = 0.0;
+  double mean_camat1_rel_error = 0.0;
+  double max_camat1_rel_error = 0.0;
+};
+
+struct FidelityReport {
+  std::vector<FidelityPoint> points;
+  std::vector<ProfileSummary> profiles;
+  /// Worst relative errors across every point of every backend — what the
+  /// committed test bounds pin.
+  double worst_mr1_rel_error = 0.0;
+  double worst_camat1_rel_error = 0.0;
+  /// Error percentiles over all points (p50/p90/max), per metric.
+  double p50_mr1_rel_error = 0.0;
+  double p90_mr1_rel_error = 0.0;
+  double p50_camat1_rel_error = 0.0;
+  double p90_camat1_rel_error = 0.0;
+
+  /// Machine-readable report (the CI artifact format).
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable per-profile table (the EXPERIMENTS.md format).
+  [[nodiscard]] std::string table() const;
+};
+
+/// Runs the full sweep: 16 profiles x l1_sizes x (cycle + each analytic
+/// backend), all submitted as one concurrent engine batch. Throws the
+/// first cycle-run failure (the analytic error is undefined without its
+/// reference).
+[[nodiscard]] FidelityReport run_fidelity_harness(const FidelityConfig& cfg = {});
+
+}  // namespace lpm::check

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/lpm_algorithm.hpp"
+#include "model/analytic.hpp"
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -87,6 +88,28 @@ cpu::CoreConfig random_core(util::Rng& rng) {
   c.rob_size = std::max(c.iw_size, static_cast<std::uint32_t>(rng.next_in(16, 64)));
   c.lsq_size = static_cast<std::uint32_t>(rng.next_in(4, 16));
   return c;
+}
+
+/// A random parametric workload for the analytic-backend property checks
+/// (the ops-vector cases above bypass the profile-based analytic path).
+trace::WorkloadProfile random_workload(std::uint64_t seed, std::uint64_t len) {
+  util::Rng rng(seed * 0xc2b2ae3d27d4eb4fULL + 17);
+  trace::WorkloadProfile wl;
+  wl.name = "analytic-fuzz-" + std::to_string(seed);
+  wl.length = len;
+  wl.seed = rng.next_below(1u << 30);
+  wl.fmem = 0.2 + 0.5 * rng.next_double();
+  wl.store_fraction = 0.1 + 0.3 * rng.next_double();
+  wl.working_set_bytes = 1ull << rng.next_in(12, 20);
+  wl.zipf_skew = rng.next_double();
+  wl.seq_fraction = rng.next_double() * 0.9;
+  wl.num_streams = static_cast<std::uint32_t>(rng.next_in(1, 8));
+  wl.stride_bytes = 1ull << rng.next_in(2, 6);
+  wl.pointer_chase_fraction =
+      rng.next_bool(0.5) ? 0.0 : 0.3 * rng.next_double();
+  wl.alu_dep_fraction = rng.next_double();
+  wl.validate();
+  return wl;
 }
 
 std::vector<trace::MicroOp> random_ops(util::Rng& rng, std::uint64_t len,
@@ -321,6 +344,61 @@ std::string check_model_properties(const core::AppMeasurement& m) {
   return {};
 }
 
+std::string check_analytic_properties(const sim::MachineConfig& machine,
+                                      const trace::WorkloadProfile& wl) {
+  // SimJob::solo runs one core; drop any multicore per-core L1 partition
+  // the fuzzed machine may carry so the solo machine still validates.
+  sim::MachineConfig solo_machine = machine;
+  solo_machine.l1_size_per_core.clear();
+  // (a) The synthesized counter blocks must satisfy the same Eq. 2/3
+  // identities the cycle simulator's counters do — by construction.
+  for (const char* backend : {model::kRdhBackend, model::kFaBackend}) {
+    exp::SimJob job =
+        exp::SimJob::solo(solo_machine, wl, /*calibrate=*/false,
+                          std::string("analytic-fuzz-") + backend);
+    job.backend = backend;
+    const exp::SimJobResult res = model::evaluate_analytic(job);
+    if (std::string v = check_metric_identities(res.run); !v.empty()) {
+      return std::string(backend) + ": " + v;
+    }
+  }
+
+  // (b) Monotone miss curves: under LRU stack semantics, growing the cache
+  // never adds misses — for the demand count and the downstream fills, in
+  // both closed forms, at a fixed coalescing window and no prefetching.
+  const auto profile = model::ProfileCache::global().reuse(wl);
+  constexpr double kWindow = 16.0;
+  const double eps = 1e-9 * static_cast<double>(profile->mem_ops) + 1e-9;
+  model::MissEstimate prev_fa{1e300, 1e300};
+  model::MissEstimate prev_rdh{1e300, 1e300};
+  for (std::uint64_t blocks = 16; blocks <= (1ull << 14); blocks *= 2) {
+    const model::MissEstimate fa =
+        model::fa_misses(*profile, blocks, 0.0, kWindow);
+    const model::MissEstimate rdh =
+        model::rdh_misses(*profile, blocks / 8, 8, 0.0, kWindow);
+    if (fa.fills > fa.demand + eps) {
+      return fail("fa fills exceed demand misses", fa.fills, fa.demand);
+    }
+    if (rdh.fills > rdh.demand + eps) {
+      return fail("rdh fills exceed demand misses", rdh.fills, rdh.demand);
+    }
+    if (fa.demand > prev_fa.demand + eps || fa.fills > prev_fa.fills + eps) {
+      return fail("fa misses increased with capacity " +
+                      std::to_string(blocks) + " blocks",
+                  fa.demand, prev_fa.demand);
+    }
+    if (rdh.demand > prev_rdh.demand + eps ||
+        rdh.fills > prev_rdh.fills + eps) {
+      return fail("rdh misses increased with capacity " +
+                      std::to_string(blocks) + " blocks",
+                  rdh.demand, prev_rdh.demand);
+    }
+    prev_fa = fa;
+    prev_rdh = rdh;
+  }
+  return {};
+}
+
 ReplayCase Fuzzer::generate(std::uint64_t case_seed) const {
   util::Rng rng(case_seed * 0x9e3779b97f4a7c15ULL + 1);
 
@@ -410,6 +488,14 @@ FuzzSummary Fuzzer::run() {
           break;
         }
       }
+    }
+    if (violation.empty() && opt.completed) {
+      // Analytic-backend properties on a deterministic workload pool (a
+      // ReuseProfile is ~10 MB, so cases share 8 cached workloads rather
+      // than profiling a fresh one each).
+      const trace::WorkloadProfile wl =
+          random_workload(cfg_.seed + (i & 7), cfg_.trace_len);
+      violation = check_analytic_properties(c.machine, wl);
     }
     if (!violation.empty()) {
       ++summary.property_failures;

@@ -24,6 +24,7 @@
 #include "check/diff.hpp"
 #include "check/replay.hpp"
 #include "core/lpm_model.hpp"
+#include "trace/workload_profile.hpp"
 
 namespace lpm::check {
 
@@ -69,6 +70,15 @@ struct FuzzSummary {
 /// threshold structure, Fig. 3 granularity stability) on one core's
 /// measurement. Returns the first violation, empty when all hold.
 [[nodiscard]] std::string check_model_properties(const core::AppMeasurement& m);
+
+/// Checks the analytic-backend properties on one (machine, workload) pair:
+/// the "rdh" and "fa" evaluations must synthesize counters that satisfy the
+/// Eq. 2/3 identities exactly (check_metric_identities), and the underlying
+/// closed-form miss curves must be monotone — misses (demand and fills)
+/// never increase when the cache grows, and fills never exceed demand.
+/// Returns the first violation, empty when all hold.
+[[nodiscard]] std::string check_analytic_properties(
+    const sim::MachineConfig& machine, const trace::WorkloadProfile& wl);
 
 class Fuzzer {
  public:

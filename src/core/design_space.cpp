@@ -1,9 +1,12 @@
 #include "core/design_space.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "core/diagnosis.hpp"
+#include "model/analytic.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -68,16 +71,21 @@ DesignSpaceExplorer::DesignSpaceExplorer(sim::MachineConfig base,
                                          trace::WorkloadProfile workload,
                                          KnobLevels levels, ArchKnobs start,
                                          double delta_percent,
-                                         exp::ExperimentEngine* engine)
+                                         exp::ExperimentEngine* engine,
+                                         std::string backend)
     : base_(std::move(base)),
       workload_(std::move(workload)),
       levels_(std::move(levels)),
       knobs_(start),
       delta_percent_(delta_percent),
-      engine_(engine) {
+      engine_(engine),
+      backend_(std::move(backend)) {
   util::require(base_.num_cores == 1,
                 "DesignSpaceExplorer: Case Study I explores a single program");
   workload_.validate();
+  if (backend_ != exp::kCycleBackend) model::register_analytic_executors();
+  util::require(exp::ExperimentEngine::has_backend_executor(backend_),
+                "DesignSpaceExplorer: unknown backend '" + backend_ + "'");
 }
 
 exp::ExperimentEngine& DesignSpaceExplorer::engine() const {
@@ -85,20 +93,21 @@ exp::ExperimentEngine& DesignSpaceExplorer::engine() const {
 }
 
 exp::SimJob DesignSpaceExplorer::make_job(const ArchKnobs& knobs) const {
-  return exp::SimJob::solo(knobs.apply(base_), workload_, /*calibrate=*/true,
-                           workload_.name + " | " + knobs.label());
+  exp::SimJob job =
+      exp::SimJob::solo(knobs.apply(base_), workload_, /*calibrate=*/true,
+                        workload_.name + " | " + knobs.label());
+  job.backend = backend_;
+  return job;
 }
 
-DesignSpaceExplorer::Evaluation DesignSpaceExplorer::to_evaluation(
-    const exp::SimJobResult& result) const {
-  util::require(result.run.completed, "DesignSpaceExplorer: run hit max_cycles");
-  Evaluation ev;
-  ev.measurement =
-      AppMeasurement::from_run(result.run, result.calib.at(0), 0, workload_.name);
-  ev.l1_rejections = result.run.cores[0].l1_rejections;
-  ev.l1_mshr_wait_cycles = result.run.l1_cache[0].mshr_full_waits;
-  ev.l1_misses = result.run.l1_cache[0].misses;
-  return ev;
+const model::LayerEstimates& DesignSpaceExplorer::memoize(
+    const ArchKnobs& knobs, const exp::SimJob& job, exp::SimResultPtr result) {
+  util::require(result->run.completed,
+                "DesignSpaceExplorer: run hit max_cycles");
+  const auto [it, inserted] = memo_.emplace(
+      knobs, model::LayerEstimates::from_result(job, std::move(result)));
+  if (inserted) visited_.push_back(knobs);
+  return it->second;
 }
 
 std::uint32_t DesignSpaceExplorer::step_up(const std::vector<std::uint32_t>& levels,
@@ -130,18 +139,27 @@ void DesignSpaceExplorer::apply_knobs(const ArchKnobs& next) {
   knobs_ = next;
 }
 
-const DesignSpaceExplorer::Evaluation& DesignSpaceExplorer::evaluate_full(
+const model::LayerEstimates& DesignSpaceExplorer::evaluate_full(
     const ArchKnobs& knobs) {
   if (const auto it = memo_.find(knobs); it != memo_.end()) return it->second;
   // On-path evaluations are fail-fast by design: the Fig. 3 walk cannot
   // classify a mismatch it could not measure, so a failure here (after the
   // engine's own retries) propagates as the job's typed error.
-  const exp::SimResultPtr result = engine().run(make_job(knobs));
-  return memo_.emplace(knobs, to_evaluation(*result)).first->second;
+  const exp::SimJob job = make_job(knobs);
+  return memoize(knobs, job, engine().run(job));
 }
 
 const AppMeasurement& DesignSpaceExplorer::evaluate(const ArchKnobs& knobs) {
-  return evaluate_full(knobs).measurement;
+  return evaluate_full(knobs).app(0);
+}
+
+const model::LayerEstimates& DesignSpaceExplorer::estimate(
+    const ArchKnobs& knobs) {
+  return evaluate_full(knobs);
+}
+
+void DesignSpaceExplorer::set_prefetch_hints(std::vector<ArchKnobs> hints) {
+  hints_ = std::move(hints);
 }
 
 void DesignSpaceExplorer::evaluate_batch(const std::vector<ArchKnobs>& batch) {
@@ -172,11 +190,24 @@ void DesignSpaceExplorer::evaluate_batch(const std::vector<ArchKnobs>& batch) {
                        << "): " << outcomes[i].error_message;
       continue;
     }
-    memo_.emplace(todo[i], to_evaluation(*outcomes[i].result));
+    if (!outcomes[i].result->run.completed) {
+      util::log_warn() << "design-space candidate '" << jobs[i].tag
+                       << "' hit max_cycles; skipping";
+      continue;
+    }
+    memoize(todo[i], jobs[i], outcomes[i].result);
   }
 }
 
 void DesignSpaceExplorer::prefetch_candidates() {
+  if (!hints_.empty()) {
+    // One-shot warm-up: the screening trajectory simulates as one
+    // concurrent batch before the first on-path evaluation needs it.
+    std::vector<ArchKnobs> hints;
+    hints.swap(hints_);
+    evaluate_batch(hints);
+  }
+  if (!speculate_) return;
   // Speculation trades extra simulations for wall-clock: only worth it when
   // the engine can actually overlap them.
   if (engine().threads() <= 1) return;
@@ -212,22 +243,24 @@ void DesignSpaceExplorer::prefetch_candidates() {
 }
 
 LpmObservation DesignSpaceExplorer::observe(const ArchKnobs& knobs) {
-  const AppMeasurement& m = evaluate_full(knobs).measurement;
+  const model::LayerEstimates& est = evaluate_full(knobs);
+  const AppMeasurement& m = est.app(0);
   LpmObservation obs;
-  obs.lpmr = compute_lpmrs(m);
+  obs.lpmr = est.lpmr;
   obs.t1 = threshold_t1(delta_percent_, m.overlap_ratio);
   obs.t2 = threshold_t2(delta_percent_, m);
   obs.stall_per_instr = m.measured_stall_per_instr;
   obs.cpi_exe = m.cpi_exe;
   obs.overlap_ratio = m.overlap_ratio;
   obs.config_label = knobs.label();
+  obs.backend = est.backend;
   return obs;
 }
 
 LpmObservation DesignSpaceExplorer::measure() { return observe(knobs_); }
 
 bool DesignSpaceExplorer::optimize_l1() {
-  const Evaluation& ev = evaluate_full(knobs_);
+  const model::LayerEstimates& ev = evaluate_full(knobs_);
 
   // Let the shared LPM diagnosis rank the bottlenecks, then apply the
   // first recommendation that still has head-room in the knob levels.
@@ -236,10 +269,10 @@ bool DesignSpaceExplorer::optimize_l1() {
   hw.l1_ports = knobs_.l1_ports;
   hw.rob_size = knobs_.rob_size;
   hw.issue_width = knobs_.issue_width;
-  hw.l1_rejections = ev.l1_rejections;
-  hw.l1_mshr_wait_cycles = ev.l1_mshr_wait_cycles;
-  hw.l1_misses = ev.l1_misses;
-  const Diagnosis diag = diagnose(ev.measurement, hw, delta_percent_);
+  hw.l1_rejections = ev.hw.l1_rejections;
+  hw.l1_mshr_wait_cycles = ev.hw.l1_mshr_wait_cycles;
+  hw.l1_misses = ev.hw.l1_misses;
+  const Diagnosis diag = diagnose(ev.app(0), hw, delta_percent_);
 
   for (const Finding& finding : diag.findings) {
     ArchKnobs next = knobs_;
@@ -370,6 +403,80 @@ bool DesignSpaceExplorer::reduce_overprovision() {
     }
   }
   return false;
+}
+
+namespace {
+
+/// Ranking shared by the screen and confirm stages: configs meeting the T1
+/// target first (cheapest silicon first), then the rest by how close they
+/// come (smallest LPMR1 excess first).
+void rank(std::vector<RankedConfig>& rows) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const RankedConfig& a, const RankedConfig& b) {
+                     if (a.meets_t1 != b.meets_t1) return a.meets_t1;
+                     if (a.meets_t1) return a.hardware_cost < b.hardware_cost;
+                     return a.lpmr1 - a.t1 < b.lpmr1 - b.t1;
+                   });
+}
+
+RankedConfig make_ranked(DesignSpaceExplorer& explorer, const ArchKnobs& k,
+                         double delta_percent) {
+  const model::LayerEstimates& est = explorer.estimate(k);
+  const AppMeasurement& m = est.app(0);
+  RankedConfig row;
+  row.knobs = k;
+  row.backend = est.backend;
+  row.lpmr1 = est.lpmr.lpmr1;
+  row.t1 = threshold_t1(delta_percent, m.overlap_ratio);
+  row.meets_t1 = row.lpmr1 <= row.t1;
+  row.stall_per_instr = m.measured_stall_per_instr;
+  row.hardware_cost = k.hardware_cost();
+  return row;
+}
+
+}  // namespace
+
+SweepResult screen_then_confirm_sweep(const sim::MachineConfig& base,
+                                      const trace::WorkloadProfile& workload,
+                                      const std::vector<ArchKnobs>& candidates,
+                                      const SweepOptions& opts) {
+  util::require(!candidates.empty(),
+                "screen_then_confirm_sweep: no candidates given");
+  util::require(opts.confirm_top_k >= 1,
+                "screen_then_confirm_sweep: confirm_top_k must be >= 1");
+  obs::MetricsRegistry::global().counter("lpm.screened_sweeps").inc();
+
+  SweepResult out;
+  DesignSpaceExplorer screen(base, workload, KnobLevels::standard(),
+                             candidates.front(), opts.delta_percent,
+                             opts.engine, opts.screen_backend);
+  screen.evaluate_batch(candidates);
+  for (const ArchKnobs& k : candidates) {
+    out.screened.push_back(make_ranked(screen, k, opts.delta_percent));
+  }
+  rank(out.screened);
+  out.analytic_evals = screen.configs_evaluated();
+
+  DesignSpaceExplorer confirm(base, workload, KnobLevels::standard(),
+                              candidates.front(), opts.delta_percent,
+                              opts.engine, exp::kCycleBackend);
+  const std::size_t top_k =
+      std::min(opts.confirm_top_k, out.screened.size());
+  std::vector<ArchKnobs> frontier;
+  frontier.reserve(top_k);
+  for (std::size_t i = 0; i < top_k; ++i) {
+    frontier.push_back(out.screened[i].knobs);
+  }
+  confirm.evaluate_batch(frontier);
+  for (const ArchKnobs& k : frontier) {
+    out.confirmed.push_back(make_ranked(confirm, k, opts.delta_percent));
+  }
+  rank(out.confirmed);
+  out.cycle_evals = confirm.configs_evaluated();
+  util::require(!out.confirmed.empty(),
+                "screen_then_confirm_sweep: every frontier evaluation failed");
+  out.best = out.confirmed.front().knobs;
+  return out;
 }
 
 }  // namespace lpm::core

@@ -14,6 +14,7 @@
 
 #include "core/lpm_algorithm.hpp"
 #include "exp/experiment_engine.hpp"
+#include "model/backend.hpp"
 #include "sim/machine_config.hpp"
 #include "trace/workload_profile.hpp"
 
@@ -61,16 +62,19 @@ struct KnobLevels {
 };
 
 /// Runs the workload on a knob configuration and returns its measurement.
-/// All simulations go through the experiment engine (parallel + memoized);
-/// derived LPM measurements are additionally memoized per configuration.
-/// The unit the LPM algorithm drives in Case Study I.
+/// All evaluations go through the experiment engine (parallel + memoized)
+/// as backend-tagged jobs; derived model::LayerEstimates are additionally
+/// memoized per configuration. The unit the LPM algorithm drives in Case
+/// Study I, at either fidelity: `backend` picks the evaluating model
+/// ("cycle" = sim::System, "rdh"/"fa" = the analytic fast paths).
 class DesignSpaceExplorer final : public LpmTunable {
  public:
   /// `engine` = nullptr uses the process-wide shared engine.
   DesignSpaceExplorer(sim::MachineConfig base, trace::WorkloadProfile workload,
                       KnobLevels levels, ArchKnobs start,
                       double delta_percent = kFineGrainedDelta,
-                      exp::ExperimentEngine* engine = nullptr);
+                      exp::ExperimentEngine* engine = nullptr,
+                      std::string backend = exp::kCycleBackend);
 
   // --- LpmTunable ---
   LpmObservation measure() override;
@@ -86,10 +90,31 @@ class DesignSpaceExplorer final : public LpmTunable {
   [[nodiscard]] const ArchKnobs& current() const { return knobs_; }
   void set_delta_percent(double delta) { delta_percent_ = delta; }
   [[nodiscard]] double delta_percent() const { return delta_percent_; }
+  /// The model backend evaluating this explorer's points.
+  [[nodiscard]] const std::string& backend() const { return backend_; }
 
   /// Evaluates an arbitrary configuration (memoized); used by the Table-I
   /// bench to print the fixed A-E columns.
   [[nodiscard]] const AppMeasurement& evaluate(const ArchKnobs& knobs);
+  /// The full fidelity-tagged estimate of a configuration (memoized).
+  [[nodiscard]] const model::LayerEstimates& estimate(const ArchKnobs& knobs);
+
+  /// Configurations to batch-submit on the next prefetch_candidates()
+  /// call (consumed once). The screen-then-confirm walk passes the
+  /// screening trajectory here so the confirm walk's simulations start
+  /// concurrently up front; purely a throughput hint — failed or unused
+  /// hints never affect the walk.
+  void set_prefetch_hints(std::vector<ArchKnobs> hints);
+  /// Disables the speculative step-up frontier in prefetch_candidates()
+  /// (prefetch hints still fire). The confirm stage turns speculation off:
+  /// the screening trajectory already covers the likely path.
+  void set_speculation(bool on) { speculate_ = on; }
+  /// Every configuration this explorer evaluated, in first-evaluation
+  /// order (on-path and batched alike) — the screening trajectory handed
+  /// to the confirm stage.
+  [[nodiscard]] const std::vector<ArchKnobs>& visited() const {
+    return visited_;
+  }
 
   /// Submits every not-yet-memoized configuration in `batch` to the engine
   /// as one concurrent batch. Subsequent evaluate()/measure() calls on
@@ -109,18 +134,13 @@ class DesignSpaceExplorer final : public LpmTunable {
   static constexpr std::uint64_t kReconfigCostCycles = 4;
 
  private:
-  struct Evaluation {
-    AppMeasurement measurement;
-    std::uint64_t l1_rejections = 0;
-    std::uint64_t l1_mshr_wait_cycles = 0;
-    std::uint64_t l1_misses = 0;
-  };
-
-  const Evaluation& evaluate_full(const ArchKnobs& knobs);
+  const model::LayerEstimates& evaluate_full(const ArchKnobs& knobs);
   [[nodiscard]] LpmObservation observe(const ArchKnobs& knobs);
   [[nodiscard]] exp::ExperimentEngine& engine() const;
   [[nodiscard]] exp::SimJob make_job(const ArchKnobs& knobs) const;
-  [[nodiscard]] Evaluation to_evaluation(const exp::SimJobResult& result) const;
+  const model::LayerEstimates& memoize(const ArchKnobs& knobs,
+                                       const exp::SimJob& job,
+                                       exp::SimResultPtr result);
   /// Next level above `value` in `levels` (returns value if already max).
   [[nodiscard]] static std::uint32_t step_up(const std::vector<std::uint32_t>& levels,
                                              std::uint32_t value);
@@ -134,8 +154,56 @@ class DesignSpaceExplorer final : public LpmTunable {
   ArchKnobs knobs_;
   double delta_percent_;
   exp::ExperimentEngine* engine_;  ///< non-owning; nullptr = shared engine
-  std::map<ArchKnobs, Evaluation> memo_;
+  std::string backend_;
+  std::map<ArchKnobs, model::LayerEstimates> memo_;
+  std::vector<ArchKnobs> visited_;
+  std::vector<ArchKnobs> hints_;
+  bool speculate_ = true;
   std::uint64_t reconfig_ops_ = 0;
 };
+
+/// Screen-then-confirm over an explicit candidate set: rank all candidates
+/// with a cheap analytic backend, then re-evaluate only the surviving
+/// frontier cycle-accurately. The sweep analogue of
+/// LpmAlgorithm::run_two_stage for when the configurations of interest are
+/// enumerable up front (ablation grids, Table-I style comparisons).
+struct SweepOptions {
+  /// Analytic backend ranking the full candidate set.
+  std::string screen_backend = model::kRdhBackend;
+  /// Candidates surviving the screen and re-evaluated cycle-accurately.
+  std::size_t confirm_top_k = 8;
+  double delta_percent = kFineGrainedDelta;
+  /// nullptr = the process-wide shared engine.
+  exp::ExperimentEngine* engine = nullptr;
+};
+
+/// One candidate's ranking entry (screen or confirm fidelity).
+struct RankedConfig {
+  ArchKnobs knobs;
+  std::string backend;
+  bool meets_t1 = false;
+  double lpmr1 = 0.0;
+  double t1 = 0.0;
+  double stall_per_instr = 0.0;
+  double hardware_cost = 0.0;
+};
+
+struct SweepResult {
+  /// Every candidate, analytically ranked: T1-meeting configs first (by
+  /// hardware cost, cheapest first), then the rest by LPMR1 distance.
+  std::vector<RankedConfig> screened;
+  /// The surviving frontier re-ranked from cycle-accurate evaluations.
+  std::vector<RankedConfig> confirmed;
+  /// Best confirmed configuration (first of `confirmed`).
+  ArchKnobs best;
+  std::size_t analytic_evals = 0;
+  std::size_t cycle_evals = 0;
+};
+
+/// Throws util::ConfigError for an empty candidate list or an unknown
+/// screen backend.
+[[nodiscard]] SweepResult screen_then_confirm_sweep(
+    const sim::MachineConfig& base, const trace::WorkloadProfile& workload,
+    const std::vector<ArchKnobs>& candidates, const SweepOptions& opts = {});
 
 }  // namespace lpm::core

@@ -1,97 +1,27 @@
-// The LPM model (paper §III): layered performance matching ratios, the
-// data-stall-time formulas (Eqs. 7, 12, 13) and the optimization thresholds
-// (Eqs. 14, 15).
+// Compatibility aliases: the LPM measurement math (AppMeasurement, the
+// LPMR / stall / threshold formulas) moved to src/model/measurement.hpp
+// when the ModelBackend seam was introduced — the model layer sits below
+// core so analytic backends and the cycle path share one set of equations.
+// Core code and its consumers keep using the core:: names via this shim.
 #pragma once
 
-#include <cstddef>
-#include <string>
-
-#include "camat/metrics.hpp"
-#include "sim/system.hpp"
+#include "model/measurement.hpp"
 
 namespace lpm::core {
 
-/// Everything the LPM math needs about one application's execution on one
-/// machine: its compute intensity, memory intensity, overlap behaviour, and
-/// the measured per-layer C-AMAT metrics.
-struct AppMeasurement {
-  std::string app;
-  double cpi_exe = 1.0;        ///< perfect-cache cycles per instruction
-  double fmem = 0.0;           ///< memory ops per instruction
-  double overlap_ratio = 0.0;  ///< Eq. 8
-  camat::CamatMetrics l1;
-  camat::CamatMetrics l2;
-  camat::CamatMetrics l3;      ///< main-memory layer
-  double mr1 = 0.0;            ///< L1 demand miss rate
-  double mr2 = 0.0;            ///< L2 demand miss rate
-  /// Deeper hierarchies ("the extension to additional cache levels is
-  /// straightforward"): with a private L2, `l2` is that cache, `l3` the
-  /// shared LLC, `mm` main memory, and a fourth matching ratio appears.
-  bool three_cache_levels = false;
-  camat::CamatMetrics mm;      ///< main memory when three cache levels exist
-  double mr3 = 0.0;            ///< LLC demand miss rate (three-level only)
-  double measured_stall_per_instr = 0.0;  ///< from the core's cycle counters
-  double measured_cpi = 0.0;
-  std::uint64_t instructions = 0;
-  /// Total upstream misses feeding each shared layer. MSHR coalescing means
-  /// the L2 sees fewer *fills* than the L1 has misses, but in the paper's
-  /// accounting every L1 miss "occurs on L2" (one cache line is the common
-  /// reply for numerous requests, SIII). The per-miss C-AMAT of a layer is
-  /// therefore its active cycles divided by the upstream miss count.
-  std::uint64_t l1_misses_total = 0;  ///< across all cores feeding the L2
-  std::uint64_t l2_misses_total = 0;
-  std::uint64_t llc_misses_total = 0;  ///< feeding main memory (three-level)
+using AppMeasurement = model::AppMeasurement;
+using LpmrSet = model::LpmrSet;
 
-  /// C-AMAT2 per L1 miss (the quantity Eqs. 4/10/13 expect). Falls back to
-  /// the per-fill value when the miss count is unavailable.
-  [[nodiscard]] double camat2_per_miss() const;
-  /// C-AMAT3 per L2 miss (Eq. 11).
-  [[nodiscard]] double camat3_per_miss() const;
-  /// C-AMAT of main memory per LLC miss (three-level machines).
-  [[nodiscard]] double camat4_per_miss() const;
+using model::compute_lpmrs;
+using model::eta_combined;
+using model::stall_eq7;
+using model::stall_eq12;
+using model::stall_eq13;
+using model::threshold_t1;
+using model::threshold_t2;
+using model::meets_stall_target;
 
-  /// Builds the measurement for core `core_idx` of a run, pairing it with
-  /// its perfect-cache calibration.
-  [[nodiscard]] static AppMeasurement from_run(const sim::SystemResult& run,
-                                               const sim::CpiExeResult& calib,
-                                               std::size_t core_idx,
-                                               std::string app_name = "");
-};
-
-/// The layered performance matching ratios (Eqs. 9-11; lpmr4 extends the
-/// same recurrence one level deeper and is 0 on two-level machines).
-struct LpmrSet {
-  double lpmr1 = 0.0;  ///< (ALU&FPU, L1)
-  double lpmr2 = 0.0;  ///< (L1, next level)
-  double lpmr3 = 0.0;  ///< (L2, next level)
-  double lpmr4 = 0.0;  ///< (LLC, MM) on three-level machines
-
-  friend bool operator==(const LpmrSet&, const LpmrSet&) = default;
-};
-
-[[nodiscard]] LpmrSet compute_lpmrs(const AppMeasurement& m);
-
-/// eta (Eq. 13's damping factor) = eta1 * pMR1 / MR1.
-[[nodiscard]] double eta_combined(const AppMeasurement& m);
-
-/// Eq. 7: stall/instr = fmem * C-AMAT1 * (1 - overlapRatio).
-[[nodiscard]] double stall_eq7(const AppMeasurement& m);
-/// Eq. 12: stall/instr = CPIexe * (1 - overlap) * LPMR1.
-[[nodiscard]] double stall_eq12(const AppMeasurement& m);
-/// Eq. 13: stall/instr = (H1*fmem/CH1 + CPIexe*eta*LPMR2) * (1 - overlap).
-[[nodiscard]] double stall_eq13(const AppMeasurement& m);
-
-/// Eq. 14 threshold: T1 = (delta/100) / (1 - overlap).
-[[nodiscard]] double threshold_t1(double delta_percent, double overlap_ratio);
-/// Eq. 15 threshold: T2 = (1/eta) * (T1 - H1*fmem / (CH1*CPIexe)).
-[[nodiscard]] double threshold_t2(double delta_percent, const AppMeasurement& m);
-
-/// Whether the run's stall time meets the delta% target:
-/// stall/instr <= (delta/100) * CPIexe.
-[[nodiscard]] bool meets_stall_target(const AppMeasurement& m, double delta_percent);
-
-/// Fine-grained (1%) and coarse-grained (10%) targets from §IV.
-inline constexpr double kFineGrainedDelta = 1.0;
-inline constexpr double kCoarseGrainedDelta = 10.0;
+using model::kCoarseGrainedDelta;
+using model::kFineGrainedDelta;
 
 }  // namespace lpm::core

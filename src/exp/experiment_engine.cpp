@@ -54,7 +54,46 @@ bool retryable(util::ErrorCode code) {
   return code != util::ErrorCode::kConfig;
 }
 
+/// Process-wide backend-executor registry. Executors are identified by
+/// name only, so a job's fingerprint stays stable across processes while
+/// the dispatch stays pluggable (src/model registers "rdh" / "fa").
+struct BackendRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, BackendExecutor> executors;
+
+  static BackendRegistry& instance() {
+    static BackendRegistry registry;
+    return registry;
+  }
+
+  std::optional<BackendExecutor> find(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = executors.find(name);
+    if (it == executors.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
 }  // namespace
+
+void ExperimentEngine::register_backend_executor(const std::string& name,
+                                                 BackendExecutor executor) {
+  util::require(!name.empty(), "register_backend_executor: empty name");
+  util::require(name != kCycleBackend,
+                "register_backend_executor: the cycle backend is built in");
+  util::require(executor != nullptr,
+                "register_backend_executor: null executor for '" + name + "'");
+  auto& registry = BackendRegistry::instance();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.executors[name] = std::move(executor);
+}
+
+bool ExperimentEngine::has_backend_executor(const std::string& name) {
+  if (name == kCycleBackend) return true;
+  auto& registry = BackendRegistry::instance();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.executors.contains(name);
+}
 
 const SimResultPtr& SimJobOutcome::value() const {
   if (result != nullptr) return result;
@@ -87,15 +126,21 @@ void SimJob::validate() const {
                     std::to_string(workloads.size()) + " workloads for " +
                     std::to_string(machine.num_cores) + " cores)");
   for (const auto& wl : workloads) wl.validate();
+  util::require(ExperimentEngine::has_backend_executor(backend),
+                "SimJob: unknown backend '" + backend +
+                    "' (no registered executor)");
 }
 
 std::uint64_t SimJob::fingerprint() const {
   util::Fingerprint f;
-  f.mix(std::string("SimJob/v1"));
+  // v2: the backend joined the key so analytic and cycle evaluations of
+  // the same (machine, workloads) never alias in the memo cache.
+  f.mix(std::string("SimJob/v2"));
   f.mix_u64(util::fingerprint(machine));
   f.mix(workloads.size());
   for (const auto& wl : workloads) f.mix_u64(util::fingerprint(wl));
   f.mix(calibrate);
+  f.mix(backend);
   return f.value();
 }
 
@@ -265,20 +310,37 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
     }
   }
   SimJobResult out;
-  std::vector<trace::TraceSourcePtr> traces;
-  traces.reserve(job.workloads.size());
-  for (const auto& wl : job.workloads) {
-    traces.push_back(std::make_unique<trace::SyntheticTrace>(wl));
-  }
-  sim::System system(job.machine, std::move(traces));
-  out.run = system.run(guard);
-  if (job.calibrate) {
-    out.calib.reserve(job.workloads.size());
+  if (job.backend == kCycleBackend) {
+    std::vector<trace::TraceSourcePtr> traces;
+    traces.reserve(job.workloads.size());
     for (const auto& wl : job.workloads) {
-      trace::SyntheticTrace calib_trace(wl);
-      out.calib.push_back(sim::measure_cpi_exe(job.machine, calib_trace, guard));
+      traces.push_back(std::make_unique<trace::SyntheticTrace>(wl));
     }
+    sim::System system(job.machine, std::move(traces));
+    out.run = system.run(guard);
+    if (job.calibrate) {
+      out.calib.reserve(job.workloads.size());
+      for (const auto& wl : job.workloads) {
+        trace::SyntheticTrace calib_trace(wl);
+        out.calib.push_back(
+            sim::measure_cpi_exe(job.machine, calib_trace, guard));
+      }
+    }
+  } else {
+    const auto executor = BackendRegistry::instance().find(job.backend);
+    // validate() already vetted the name; an executor can still vanish if
+    // a test re-registers, so keep the typed error rather than a crash.
+    if (!executor.has_value()) {
+      util::throw_error(util::ErrorCode::kConfig,
+                        "no executor registered for backend '" + job.backend +
+                            "' (job '" + job.tag + "')");
+    }
+    out = (*executor)(job, guard);
   }
+  out.backend = job.backend;
+  obs::MetricsRegistry::global()
+      .counter("model.backend.evals." + job.backend)
+      .inc();
   simulations_executed_.fetch_add(1, std::memory_order_relaxed);
   const auto elapsed = std::chrono::steady_clock::now() - start;
   const auto elapsed_ns =

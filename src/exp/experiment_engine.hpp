@@ -83,6 +83,9 @@ class SweepJournal;
 /// sweep phases with it. See obs/metrics.hpp.
 using ScopedTimer = obs::ScopedTimer;
 
+/// Name of the built-in cycle-accurate backend (the sim::System path).
+inline constexpr const char* kCycleBackend = "cycle";
+
 /// One experiment point: what to simulate and what to collect.
 struct SimJob {
   sim::MachineConfig machine;
@@ -94,6 +97,13 @@ struct SimJob {
   /// Free-form label carried into ResultSink records; NOT part of the
   /// cache key (two jobs differing only in tag share one simulation).
   std::string tag;
+  /// Model backend evaluating this point. kCycleBackend runs sim::System;
+  /// any other name must have been registered through
+  /// ExperimentEngine::register_backend_executor (src/model registers the
+  /// analytic "rdh" / "fa" backends). Part of the cache key: the same
+  /// (machine, workloads) evaluated at different fidelities are different
+  /// points and never alias in the memo cache.
+  std::string backend = kCycleBackend;
 
   /// Single-core convenience constructor used by most consumers.
   [[nodiscard]] static SimJob solo(sim::MachineConfig machine,
@@ -101,13 +111,17 @@ struct SimJob {
                                    bool calibrate = true, std::string tag = "");
 
   void validate() const;
-  /// Stable cache key over machine + workloads + calibrate (not tag).
+  /// Stable cache key over machine + workloads + calibrate + backend
+  /// (not tag).
   [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 /// Everything one job produces.
 struct SimJobResult {
   std::uint64_t fingerprint = 0;
+  /// Backend that produced this result (mirrors SimJob::backend); sink
+  /// records carry it so rows of different fidelities stay distinguishable.
+  std::string backend = kCycleBackend;
   sim::SystemResult run;
   /// Per-workload calibration, in core order; empty unless job.calibrate.
   std::vector<sim::CpiExeResult> calib;
@@ -166,6 +180,14 @@ struct BatchOptions {
   /// opt in; consumers that need every result object leave this off.
   bool consult_journal = false;
 };
+
+/// Evaluates one non-cycle job and returns a fully-populated result (run
+/// counters, optional calibration; fingerprint/duration are filled by the
+/// engine). Must be pure in the job (deterministic, no shared mutable
+/// state) — the memo cache assumes it. `guard` is the watchdog cancel flag
+/// (may be null); long-running executors should poll it.
+using BackendExecutor =
+    std::function<SimJobResult(const SimJob&, const sim::RunGuard*)>;
 
 class ExperimentEngine {
  public:
@@ -268,6 +290,17 @@ class ExperimentEngine {
   /// Fault-tolerance knobs from $LPM_MAX_RETRIES, $LPM_JOB_TIMEOUT_MS,
   /// $LPM_FAULT_SPEC and $LPM_JOURNAL.
   static ExperimentEngine& shared();
+
+  /// Registers (or replaces) the executor for a non-cycle backend name.
+  /// Process-wide and engine-independent — an executor registered once is
+  /// visible to every engine, including shared(). Registering the cycle
+  /// backend is a config error. Thread-safe; idempotent re-registration is
+  /// fine (src/model registers its analytic executors from every backend
+  /// constructor).
+  static void register_backend_executor(const std::string& name,
+                                        BackendExecutor executor);
+  /// True for kCycleBackend and every registered executor name.
+  [[nodiscard]] static bool has_backend_executor(const std::string& name);
 
  private:
   void worker_loop(int worker_id);

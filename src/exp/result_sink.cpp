@@ -93,6 +93,7 @@ ResultRecord ResultRecord::make(const SimJob& job, const SimJobResult& result,
   ResultRecord r;
   r.tag = job.tag;
   r.fingerprint = util::fingerprint_hex(result.fingerprint);
+  r.backend = result.backend;
   r.from_cache = from_cache;
   r.completed = result.run.completed;
   r.cycles = result.run.cycles;
@@ -144,6 +145,7 @@ std::vector<ResultRecord> load_csv_records(std::ifstream& in) {
   };
   const auto c_tag = column("tag");
   const auto c_fp = column("fingerprint");
+  const auto c_backend = column("backend");
   const auto c_cache = column("from_cache");
   const auto c_done = column("completed");
   const auto c_cycles = column("cycles");
@@ -178,6 +180,10 @@ std::vector<ResultRecord> load_csv_records(std::ifstream& in) {
     ResultRecord r;
     r.tag = field(c_tag);
     r.fingerprint = field(c_fp);
+    // Files from before multi-fidelity backends carry no backend column;
+    // every row of that era was cycle-accurate.
+    const std::string backend = field(c_backend);
+    r.backend = backend.empty() ? "cycle" : backend;
     r.from_cache = num(c_cache) != 0.0;
     r.completed = num(c_done) != 0.0;
     r.cycles = static_cast<std::uint64_t>(num(c_cycles));
@@ -204,6 +210,7 @@ std::vector<ResultRecord> load_jsonl_records(std::ifstream& in) {
     ResultRecord r;
     r.tag = json.get_string("tag").value_or("");
     r.fingerprint = json.get_string("fingerprint").value_or("");
+    r.backend = json.get_string("backend").value_or("cycle");
     r.from_cache = json.get_bool("from_cache").value_or(false);
     r.completed = json.get_bool("completed").value_or(false);
     r.cycles = static_cast<std::uint64_t>(json.get_number("cycles").value_or(0));
@@ -274,11 +281,12 @@ void ResultSink::write(const ResultRecord& r) {
   std::ostringstream os;
   if (format_ == Format::kCsv) {
     if (!header_written_) {
-      os << "tag,fingerprint,from_cache,completed,cycles,cores,instructions,"
-            "ipc,mr1,mr2,camat1,camat2,cpi_exe,duration_ms\n";
+      os << "tag,fingerprint,backend,from_cache,completed,cycles,cores,"
+            "instructions,ipc,mr1,mr2,camat1,camat2,cpi_exe,duration_ms\n";
       header_written_ = true;
     }
     os << csv_field(r.tag) << ',' << r.fingerprint << ','
+       << csv_field(r.backend) << ','
        << (r.from_cache ? 1 : 0) << ',' << (r.completed ? 1 : 0) << ','
        << r.cycles << ',' << r.cores << ',' << r.instructions << ','
        << util::fmt(r.ipc, 6) << ',' << util::fmt(r.mr1, 6) << ','
@@ -287,7 +295,8 @@ void ResultSink::write(const ResultRecord& r) {
        << util::fmt(r.duration_ms, 3) << "\n";
   } else {
     os << "{\"tag\":\"" << json_escape(r.tag) << "\",\"fingerprint\":\""
-       << r.fingerprint << "\",\"from_cache\":" << (r.from_cache ? "true" : "false")
+       << r.fingerprint << "\",\"backend\":\"" << json_escape(r.backend)
+       << "\",\"from_cache\":" << (r.from_cache ? "true" : "false")
        << ",\"completed\":" << (r.completed ? "true" : "false")
        << ",\"cycles\":" << r.cycles << ",\"cores\":" << r.cores
        << ",\"instructions\":" << r.instructions << ",\"ipc\":" << util::fmt(r.ipc, 6)

@@ -2,40 +2,6 @@
 
 namespace lpm {
 
-TraceSpec TraceSpec::spec(const std::string& name, std::uint64_t length,
-                          std::uint64_t seed) {
-  for (const auto b : trace::all_spec_benchmarks()) {
-    if (trace::spec_name(b) == name) {
-      return profile(trace::spec_profile(b, length, seed));
-    }
-  }
-  throw util::ConfigError("TraceSpec: unknown workload '" + name +
-                          "'; try 403.gcc, 429.mcf, ...");
-}
-
-TraceSpec TraceSpec::profile(trace::WorkloadProfile workload) {
-  TraceSpec spec;
-  spec.workloads.push_back(std::move(workload));
-  return spec;
-}
-
-TraceSpec TraceSpec::profiles(std::vector<trace::WorkloadProfile> w) {
-  TraceSpec spec;
-  spec.workloads = std::move(w);
-  return spec;
-}
-
-std::vector<trace::WorkloadProfile> TraceSpec::expand(
-    std::uint32_t num_cores) const {
-  util::require(!workloads.empty(), "TraceSpec: no workload given");
-  if (workloads.size() == 1 && num_cores > 1) {
-    return std::vector<trace::WorkloadProfile>(num_cores, workloads.front());
-  }
-  util::require(workloads.size() == num_cores,
-                "TraceSpec: workload count must be 1 or match num_cores");
-  return workloads;
-}
-
 const core::AppMeasurement& SimulationReport::app(std::size_t idx) const {
   util::require(idx < apps.size(),
                 "SimulationReport: no such app measurement (was the spec "
@@ -45,32 +11,60 @@ const core::AppMeasurement& SimulationReport::app(std::size_t idx) const {
 
 SimulationReport simulate(const sim::MachineConfig& machine,
                           const TraceSpec& spec) {
-  exp::SimJob job;
-  job.machine = machine;
-  job.workloads = spec.expand(machine.num_cores);
-  job.calibrate = spec.calibrate;
-  job.tag = spec.tag;
-
-  const exp::SimResultPtr result = exp::ExperimentEngine::shared().run(job);
+  model::CycleSimBackend backend;
+  model::LayerEstimates est = backend.evaluate(machine, spec);
 
   SimulationReport report;
-  report.run = result->run;
-  report.calib = result->calib;
-  report.duration_ms = result->duration_ms;
-  if (spec.calibrate) {
-    report.apps.reserve(job.workloads.size());
-    for (std::size_t c = 0; c < job.workloads.size(); ++c) {
-      report.apps.push_back(core::AppMeasurement::from_run(
-          result->run, result->calib.at(c), c, job.workloads[c].name));
-    }
-    report.lpmr = core::compute_lpmrs(report.apps.front());
-  }
+  report.run = est.result->run;
+  report.calib = est.result->calib;
+  report.duration_ms = est.cost_ms;
+  report.apps = std::move(est.apps);
+  report.lpmr = est.lpmr;
   return report;
+}
+
+model::LayerEstimates estimate(const sim::MachineConfig& machine,
+                               const TraceSpec& spec,
+                               const std::string& backend) {
+  return model::make_backend(backend)->evaluate(machine, spec);
 }
 
 core::LpmOutcome run_lpm_walk(core::LpmTunable& system,
                               const core::LpmAlgorithmConfig& cfg) {
   return core::LpmAlgorithm(cfg).run(system);
+}
+
+ScreenedWalkReport run_lpm_walk_screened(const sim::MachineConfig& base,
+                                         const trace::WorkloadProfile& workload,
+                                         const core::KnobLevels& levels,
+                                         const core::ArchKnobs& start,
+                                         const core::LpmAlgorithmConfig& cfg,
+                                         const std::string& screen_backend,
+                                         exp::ExperimentEngine* engine) {
+  util::require(screen_backend != exp::kCycleBackend,
+                "run_lpm_walk_screened: the screen backend must be analytic "
+                "(rdh or fa); a cycle screen would just walk twice");
+
+  core::DesignSpaceExplorer screen(base, workload, levels, start,
+                                   cfg.delta_percent, engine, screen_backend);
+  core::DesignSpaceExplorer confirm(base, workload, levels, start,
+                                    cfg.delta_percent, engine,
+                                    exp::kCycleBackend);
+
+  const core::LpmAlgorithm algorithm(cfg);
+  ScreenedWalkReport report;
+  report.screen = algorithm.run(screen);
+  // The screening trajectory becomes a one-shot concurrent warm-up batch
+  // for the confirm walk; its own speculative frontier stays off so every
+  // cycle simulation is either on the screened path or on the confirm
+  // walk's own critical path.
+  confirm.set_prefetch_hints(screen.visited());
+  confirm.set_speculation(false);
+  report.confirm = algorithm.run(confirm);
+  report.final_config = confirm.current();
+  report.screen_configs = screen.configs_evaluated();
+  report.confirm_configs = confirm.configs_evaluated();
+  return report;
 }
 
 }  // namespace lpm

@@ -7,8 +7,13 @@
 //   * lpm::simulate(machine, spec)  — build the traces, run the machine
 //     through the shared experiment engine (cached, parallel-safe), and
 //     return the run together with its LPM measurement;
+//   * lpm::estimate(machine, spec, backend) — the same point through any
+//     model backend ("cycle", "rdh", "fa"), returning fidelity-tagged
+//     LayerEstimates (microseconds per config for the analytic backends);
 //   * lpm::run_lpm_walk(tunable)    — the Fig. 3 LPMR reduction loop over
-//     any LpmTunable system.
+//     any LpmTunable system;
+//   * lpm::run_lpm_walk_screened(...) — the multi-fidelity walk: screen
+//     the design space analytically, confirm cycle-accurately.
 //
 // Subsystem headers remain includable directly for code that lives inside
 // the repo (tests, benches), but examples demonstrate the facade only.
@@ -26,6 +31,9 @@
 #include "exp/experiment_engine.hpp"
 #include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
+#include "model/analytic.hpp"
+#include "model/backend.hpp"
+#include "model/trace_spec.hpp"
 #include "sched/evaluate.hpp"
 #include "sched/hsp.hpp"
 #include "sched/profile.hpp"
@@ -41,32 +49,9 @@
 
 namespace lpm {
 
-/// What to run on the machine: one workload per core (a single entry is
-/// replicated across all cores), plus whether to also run the perfect-cache
-/// CPIexe calibration every LPM computation needs.
-struct TraceSpec {
-  std::vector<trace::WorkloadProfile> workloads;
-  /// Run sim::measure_cpi_exe per workload so the report carries
-  /// AppMeasurements and LPMRs; disable for raw-throughput runs.
-  bool calibrate = true;
-  /// Free-form label carried into engine sinks (not part of the cache key).
-  std::string tag;
-
-  /// A synthetic SPEC CPU2006 analogue by name ("403.gcc", "429.mcf", ...).
-  /// Throws util::ConfigError for an unknown name.
-  [[nodiscard]] static TraceSpec spec(const std::string& name,
-                                      std::uint64_t length = 100'000,
-                                      std::uint64_t seed = 1);
-  /// An explicit workload profile.
-  [[nodiscard]] static TraceSpec profile(trace::WorkloadProfile workload);
-  /// One profile per core.
-  [[nodiscard]] static TraceSpec profiles(std::vector<trace::WorkloadProfile> w);
-
-  /// The per-core workload list for a machine with `num_cores` cores
-  /// (replicates a single entry; otherwise sizes must match).
-  [[nodiscard]] std::vector<trace::WorkloadProfile> expand(
-      std::uint32_t num_cores) const;
-};
+/// What to run on the machine (lives in src/model so every ModelBackend
+/// shares one description; re-exported here under its historical name).
+using TraceSpec = model::TraceSpec;
 
 /// Everything simulate() produces: the raw run, the per-core calibrations,
 /// and the derived LPM measurements.
@@ -81,6 +66,15 @@ struct SimulationReport {
   [[nodiscard]] const core::AppMeasurement& app(std::size_t idx = 0) const;
 };
 
+/// Evaluates `spec` on `machine` through the named model backend ("cycle",
+/// "rdh" or "fa"; see model::backend_names) and returns the fidelity-tagged
+/// layer estimates. Same engine cache as simulate() — but analytic and
+/// cycle evaluations of one point are distinct cache entries, never
+/// aliases. Throws util::ConfigError for an unknown backend name.
+[[nodiscard]] model::LayerEstimates estimate(
+    const sim::MachineConfig& machine, const TraceSpec& spec,
+    const std::string& backend = model::kRdhBackend);
+
 /// Simulates `spec` on `machine` through the shared experiment engine:
 /// repeated evaluations of the same point are served from its memo cache,
 /// and concurrent callers share one worker pool. Deterministic — equal
@@ -92,5 +86,29 @@ struct SimulationReport {
 /// convergence or exhaustion.
 [[nodiscard]] core::LpmOutcome run_lpm_walk(
     core::LpmTunable& system, const core::LpmAlgorithmConfig& cfg = {});
+
+/// What run_lpm_walk_screened produces. `final_config` comes from the
+/// confirm (cycle-accurate) walk alone — identical to what a cycle-only
+/// walk would pick — while the screening walk's trajectory warmed the
+/// engine with batched simulations.
+struct ScreenedWalkReport {
+  core::LpmOutcome screen;   ///< the analytic screening walk
+  core::LpmOutcome confirm;  ///< the authoritative cycle walk
+  core::ArchKnobs final_config;
+  std::size_t screen_configs = 0;   ///< configs the screen stage evaluated
+  std::size_t confirm_configs = 0;  ///< configs the confirm stage evaluated
+};
+
+/// The multi-fidelity Fig. 3 walk over the Case Study I design space:
+/// stage 1 walks with an analytic backend (microseconds per config),
+/// stage 2 re-walks cycle-accurately with the screening trajectory as
+/// batched prefetch hints and speculation disabled. Throws
+/// util::ConfigError for an unknown screen backend.
+[[nodiscard]] ScreenedWalkReport run_lpm_walk_screened(
+    const sim::MachineConfig& base, const trace::WorkloadProfile& workload,
+    const core::KnobLevels& levels, const core::ArchKnobs& start,
+    const core::LpmAlgorithmConfig& cfg = {},
+    const std::string& screen_backend = model::kRdhBackend,
+    exp::ExperimentEngine* engine = nullptr);
 
 }  // namespace lpm

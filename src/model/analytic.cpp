@@ -1,0 +1,893 @@
+#include "model/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+
+namespace lpm::model {
+
+namespace {
+
+// Heuristic constants of the concurrency/overlap estimates. They are not
+// free-floating magic: the fidelity harness (src/check/fidelity.hpp) pins
+// the analytic-vs-cycle error they produce, so retuning them is visible.
+// A covered access only becomes a hit when its prefetch completed before
+// the demand arrived — a late prefetch coalesces with the demand miss
+// (prefetch_coalesced) and still counts as one. kPrefetchAlpha is the cap
+// when the streamer fully keeps ahead; the effective alpha scales it by
+// (prefetch lead time) / (downstream fill latency), so DRAM-fed streams
+// see little miss elimination while L2-fed ones see most of the cap.
+constexpr double kPrefetchAlpha = 0.93;   ///< covered misses a prefetcher removes
+constexpr double kOverlapBase = 0.30;     ///< comp/mem overlap floor
+constexpr double kOverlapIlp = 0.45;      ///< overlap gained from independent work
+constexpr double kPurityBeta = 0.60;      ///< how strongly overlap purifies misses
+constexpr double kRowHitRandom = 0.15;    ///< DRAM row-hit prob of random traffic
+constexpr double kConflictDamp = 0.5;     ///< binomial conflict damping below FA capacity
+constexpr double kHitBurst = 1.4;         ///< clustered-issue hit-concurrency boost
+constexpr int kCamatFixedPointIters = 6;  ///< Little's-law CPI fixed point
+
+double clampd(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+std::uint64_t to_count(double v) {
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+/// Fenwick tree over access positions; prefix_sum(i) counts marked
+/// positions <= i. Marked positions are each block's latest access, so the
+/// count strictly between two accesses of one block is its stack distance.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t i, int delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(tree_[i]) + delta);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t prefix(std::size_t i) const {
+    std::uint64_t s = 0;
+    for (++i; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<std::uint32_t> tree_;
+};
+
+/// Miss probability of an access at stack distance d in an (S, A) cache,
+/// for every d up to kMaxTrackedDistance: P[Binom(d, 1/S) >= A], computed
+/// by the truncated pmf recursion. Cached per (S, A) — a design-space walk
+/// revisits few geometries.
+class MissProbTable {
+ public:
+  static std::shared_ptr<const std::vector<double>> get(std::uint64_t sets,
+                                                        std::uint32_t assoc) {
+    static std::mutex mutex;
+    static std::unordered_map<std::uint64_t,
+                              std::shared_ptr<const std::vector<double>>>
+        tables;
+    const std::uint64_t key = sets * 131ull + assoc;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (const auto it = tables.find(key); it != tables.end()) {
+        return it->second;
+      }
+    }
+    auto table = std::make_shared<std::vector<double>>(build(sets, assoc));
+    const std::lock_guard<std::mutex> lock(mutex);
+    return tables.emplace(key, std::move(table)).first->second;
+  }
+
+ private:
+  static std::vector<double> build(std::uint64_t sets, std::uint32_t assoc) {
+    const std::size_t n = ReuseProfile::kMaxTrackedDistance + 1;
+    std::vector<double> miss(n, 1.0);
+    const double q = 1.0 / static_cast<double>(sets);
+    // pmf[k] = P[Binom(d, q) = k] for k < assoc; the mass escaping past
+    // assoc-1 is exactly the miss probability.
+    std::vector<double> pmf(assoc, 0.0);
+    pmf[0] = 1.0;
+    double survive = 1.0;
+    for (std::size_t d = 0; d < n; ++d) {
+      miss[d] = 1.0 - survive;
+      if (survive < 1e-12) {
+        std::fill(miss.begin() + static_cast<std::ptrdiff_t>(d), miss.end(),
+                  1.0);
+        break;
+      }
+      for (std::size_t k = assoc; k-- > 0;) {
+        const double from_below = k > 0 ? pmf[k - 1] * q : 0.0;
+        pmf[k] = pmf[k] * (1.0 - q) + from_below;
+      }
+      survive = 0.0;
+      for (const double v : pmf) survive += v;
+    }
+    return miss;
+  }
+};
+
+}  // namespace
+
+ReuseProfile build_reuse_profile(const trace::WorkloadProfile& wl) {
+  ReuseProfile p;
+  p.hist.assign(ReuseProfile::kMaxTrackedDistance, 0);
+  p.covered.assign(ReuseProfile::kMaxTrackedDistance, 0);
+  for (std::size_t c = 0; c < ReuseProfile::kNumBurstClasses; ++c) {
+    p.followers[c].assign(ReuseProfile::kMaxTrackedDistance + 1, 0);
+    p.followers_covered[c].assign(ReuseProfile::kMaxTrackedDistance + 1, 0);
+  }
+
+  trace::SyntheticTrace trace(wl);
+  Fenwick marked(wl.length + 1);
+  // Per-block state: position of its latest access, plus which histogram
+  // bucket the block's current burst leader landed in (so followers can
+  // add their weight to the same bucket).
+  constexpr std::uint32_t kColdBucket = 0xFFFFFFFFu;
+  constexpr std::uint32_t kOverflowBucket =
+      static_cast<std::uint32_t>(ReuseProfile::kMaxTrackedDistance);
+  struct BlockState {
+    std::uint64_t last_pos = 0;
+    std::uint64_t leader_pos = 0;
+    std::uint32_t bucket = kColdBucket;
+    bool leader_covered = false;
+  };
+  std::unordered_map<Addr, BlockState> blocks;
+  blocks.reserve(4096);
+
+  std::vector<trace::MicroOp> chunk(4096);
+  std::uint64_t mem_idx = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t overflow_covered = 0;
+
+  auto add_follower = [&](std::uint64_t gap, std::uint32_t bucket,
+                          bool leader_covered) {
+    std::size_t cls = 0;
+    while (gap > ReuseProfile::kBurstClassHi[cls]) ++cls;
+    // Cold-leader bursts are tallied separately; overflow leaders share the
+    // kMaxTrackedDistance slot of the per-distance arrays.
+    if (bucket == kColdBucket) {
+      ++p.cold_followers[cls];
+      if (leader_covered) ++p.cold_followers_covered[cls];
+    } else {
+      ++p.followers[cls][bucket];
+      if (leader_covered) ++p.followers_covered[cls][bucket];
+    }
+  };
+
+  for (;;) {
+    const std::size_t got = trace.fill(chunk.data(), chunk.size());
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) {
+      const trace::MicroOp& op = chunk[i];
+      ++p.micro_ops;
+      if (!trace::is_memory(op.type)) continue;
+      ++p.mem_ops;
+      if (op.type == trace::OpType::kLoad) {
+        ++p.loads;
+      } else {
+        ++p.stores;
+      }
+      const Addr block = op.addr / ReuseProfile::kBlockBytes;
+      bool is_covered = false;
+      if (block > 0) {
+        if (const auto it = blocks.find(block - 1); it != blocks.end()) {
+          is_covered = mem_idx - it->second.last_pos <= ReuseProfile::kCoverWindow;
+        }
+      }
+      if (const auto it = blocks.find(block); it != blocks.end()) {
+        BlockState& st = it->second;
+        const std::uint64_t prev = st.last_pos;
+        const std::uint64_t gap = mem_idx - st.leader_pos;
+        if (gap <= ReuseProfile::kMaxBurstWindow) {
+          // Follower: may ride the burst leader's outstanding fill.
+          // Membership is measured from the leader — once the fill's window
+          // has passed, the block is resident and reuse starts a new burst.
+          add_follower(gap, st.bucket, st.leader_covered);
+        } else {
+          // New burst leader: distinct blocks touched strictly between the
+          // two accesses decide its hit/miss.
+          const std::uint64_t d = marked.prefix(mem_idx) - marked.prefix(prev);
+          if (d < ReuseProfile::kMaxTrackedDistance) {
+            ++p.hist[d];
+            if (is_covered) ++p.covered[d];
+            st.bucket = static_cast<std::uint32_t>(d);
+          } else {
+            ++overflow;
+            if (is_covered) ++overflow_covered;
+            st.bucket = kOverflowBucket;
+          }
+          st.leader_pos = mem_idx;
+          st.leader_covered = is_covered;
+        }
+        marked.add(prev, -1);
+        st.last_pos = mem_idx;
+      } else {
+        ++p.cold;
+        if (is_covered) ++p.cold_covered;
+        ++p.distinct_blocks;
+        blocks.emplace(block,
+                       BlockState{mem_idx, mem_idx, kColdBucket, is_covered});
+      }
+      marked.add(mem_idx, +1);
+      ++mem_idx;
+    }
+  }
+
+  p.suffix.assign(ReuseProfile::kMaxTrackedDistance + 1, 0);
+  p.suffix_covered.assign(ReuseProfile::kMaxTrackedDistance + 1, 0);
+  p.suffix[ReuseProfile::kMaxTrackedDistance] = overflow;
+  p.suffix_covered[ReuseProfile::kMaxTrackedDistance] = overflow_covered;
+  for (std::size_t c = 0; c < ReuseProfile::kNumBurstClasses; ++c) {
+    p.suffix_followers[c].assign(ReuseProfile::kMaxTrackedDistance + 1, 0);
+    p.suffix_followers_covered[c].assign(ReuseProfile::kMaxTrackedDistance + 1,
+                                         0);
+    p.suffix_followers[c][ReuseProfile::kMaxTrackedDistance] =
+        p.followers[c][ReuseProfile::kMaxTrackedDistance];
+    p.suffix_followers_covered[c][ReuseProfile::kMaxTrackedDistance] =
+        p.followers_covered[c][ReuseProfile::kMaxTrackedDistance];
+  }
+  for (std::size_t d = ReuseProfile::kMaxTrackedDistance; d-- > 0;) {
+    p.suffix[d] = p.suffix[d + 1] + p.hist[d];
+    p.suffix_covered[d] = p.suffix_covered[d + 1] + p.covered[d];
+    for (std::size_t c = 0; c < ReuseProfile::kNumBurstClasses; ++c) {
+      p.suffix_followers[c][d] = p.suffix_followers[c][d + 1] + p.followers[c][d];
+      p.suffix_followers_covered[c][d] =
+          p.suffix_followers_covered[c][d + 1] + p.followers_covered[c][d];
+    }
+  }
+  return p;
+}
+
+namespace {
+
+/// Fraction of each follower gap class that falls inside a coalescing
+/// window of `w` memory accesses (linear within the class bounds).
+std::array<double, ReuseProfile::kNumBurstClasses> burst_fractions(double w) {
+  std::array<double, ReuseProfile::kNumBurstClasses> f{};
+  for (std::size_t c = 0; c < ReuseProfile::kNumBurstClasses; ++c) {
+    const double lo = static_cast<double>(ReuseProfile::kBurstClassLo[c]);
+    const double hi = static_cast<double>(ReuseProfile::kBurstClassHi[c]);
+    f[c] = clampd((w - lo) / (hi - lo), 0.0, 1.0);
+  }
+  return f;
+}
+
+}  // namespace
+
+MissEstimate fa_misses(const ReuseProfile& p, std::uint64_t capacity_blocks,
+                       double prefetch_alpha, double burst_window) {
+  const std::uint64_t c =
+      std::min<std::uint64_t>(std::max<std::uint64_t>(capacity_blocks, 1),
+                              ReuseProfile::kMaxTrackedDistance);
+  const auto frac = burst_fractions(burst_window);
+  MissEstimate e;
+  const double fills = static_cast<double>(p.cold + p.suffix[c]);
+  const double fills_cov =
+      static_cast<double>(p.cold_covered + p.suffix_covered[c]);
+  double foll = 0.0;
+  double foll_cov = 0.0;
+  for (std::size_t cl = 0; cl < ReuseProfile::kNumBurstClasses; ++cl) {
+    foll += frac[cl] * static_cast<double>(p.cold_followers[cl] +
+                                           p.suffix_followers[cl][c]);
+    foll_cov += frac[cl] * static_cast<double>(
+                               p.cold_followers_covered[cl] +
+                               p.suffix_followers_covered[cl][c]);
+  }
+  e.fills = std::max(0.0, fills - prefetch_alpha * fills_cov);
+  e.demand =
+      std::max(0.0, fills + foll - prefetch_alpha * (fills_cov + foll_cov));
+  return e;
+}
+
+MissEstimate rdh_misses(const ReuseProfile& p, std::uint64_t sets,
+                        std::uint32_t associativity, double prefetch_alpha,
+                        double burst_window) {
+  util::require(sets >= 1 && associativity >= 1,
+                "rdh_misses: bad cache geometry");
+  if (sets == 1) {
+    // Degenerate to the exact fully-associative answer.
+    return fa_misses(p, associativity, prefetch_alpha, burst_window);
+  }
+  const auto table = MissProbTable::get(sets, associativity);
+  const std::vector<double>& miss_prob = *table;
+  const auto frac = burst_fractions(burst_window);
+  const std::uint64_t capacity =
+      sets * static_cast<std::uint64_t>(associativity);
+
+  MissEstimate e;
+  double foll_cold = 0.0;
+  double foll_cold_cov = 0.0;
+  for (std::size_t cl = 0; cl < ReuseProfile::kNumBurstClasses; ++cl) {
+    foll_cold += frac[cl] * static_cast<double>(p.cold_followers[cl]);
+    foll_cold_cov +=
+        frac[cl] * static_cast<double>(p.cold_followers_covered[cl]);
+  }
+  e.fills = static_cast<double>(p.cold) -
+            prefetch_alpha * static_cast<double>(p.cold_covered);
+  e.demand = static_cast<double>(p.cold) + foll_cold -
+             prefetch_alpha *
+                 (static_cast<double>(p.cold_covered) + foll_cold_cov);
+
+  auto followers_at = [&](std::size_t d, double& f, double& f_cov) {
+    for (std::size_t cl = 0; cl < ReuseProfile::kNumBurstClasses; ++cl) {
+      f += frac[cl] * static_cast<double>(p.followers[cl][d]);
+      f_cov += frac[cl] * static_cast<double>(p.followers_covered[cl][d]);
+    }
+  };
+  auto suffix_followers_at = [&](std::size_t d, double& f, double& f_cov) {
+    for (std::size_t cl = 0; cl < ReuseProfile::kNumBurstClasses; ++cl) {
+      f += frac[cl] * static_cast<double>(p.suffix_followers[cl][d]);
+      f_cov +=
+          frac[cl] * static_cast<double>(p.suffix_followers_covered[cl][d]);
+    }
+  };
+  auto add_tail = [&](std::size_t d) {
+    double f = 0.0, f_cov = 0.0;
+    suffix_followers_at(d, f, f_cov);
+    e.fills += static_cast<double>(p.suffix[d]) -
+               prefetch_alpha * static_cast<double>(p.suffix_covered[d]);
+    e.demand +=
+        static_cast<double>(p.suffix[d]) + f -
+        prefetch_alpha * (static_cast<double>(p.suffix_covered[d]) + f_cov);
+  };
+  // Once P[miss] saturates at 1, the remaining tail is just the suffix sum.
+  for (std::size_t d = 0; d < ReuseProfile::kMaxTrackedDistance; ++d) {
+    const double pm = miss_prob[d];
+    if (pm >= 1.0 - 1e-12) {
+      add_tail(d);
+      e.fills = std::max(0.0, e.fills);
+      e.demand = std::max(0.0, e.demand);
+      return e;
+    }
+    double f = 0.0, f_cov = 0.0;
+    followers_at(d, f, f_cov);
+    if (p.hist[d] == 0 && f == 0.0) continue;
+    // Below FA capacity the binomial (random-mapping) model overpredicts:
+    // real address streams index sets far more uniformly than random, so
+    // only a damped fraction of the predicted conflicts materialize.
+    const double pm_eff =
+        d < capacity ? kConflictDamp * pm : pm;
+    e.fills += pm_eff * (static_cast<double>(p.hist[d]) -
+                         prefetch_alpha * static_cast<double>(p.covered[d]));
+    e.demand +=
+        pm_eff * (static_cast<double>(p.hist[d]) + f -
+                  prefetch_alpha * (static_cast<double>(p.covered[d]) + f_cov));
+  }
+  add_tail(ReuseProfile::kMaxTrackedDistance);
+  e.fills = std::max(0.0, e.fills);
+  e.demand = std::max(0.0, e.demand);
+  return e;
+}
+
+// --- profile / calibration cache -------------------------------------------
+
+ProfileCache& ProfileCache::global() {
+  static ProfileCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ReuseProfile> ProfileCache::reuse(
+    const trace::WorkloadProfile& wl) {
+  const std::uint64_t key = util::fingerprint(wl);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = profiles_.find(key); it != profiles_.end()) {
+      obs::MetricsRegistry::global()
+          .counter("model.backend.profile_cache_hits")
+          .inc();
+      return it->second;
+    }
+  }
+  // Build outside the lock: profiles of different workloads build in
+  // parallel; a rare duplicate build of the same workload is benign (both
+  // results are identical and the map keeps the first).
+  auto built = std::make_shared<const ReuseProfile>(build_reuse_profile(wl));
+  obs::MetricsRegistry::global().counter("model.backend.profile_builds").inc();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++profile_builds_;
+  return profiles_.emplace(key, std::move(built)).first->second;
+}
+
+std::shared_ptr<const sim::CpiExeResult> ProfileCache::calibration(
+    const sim::MachineConfig& machine, const trace::WorkloadProfile& wl) {
+  // CPIexe depends on the core and the L1's hit latency / port count only
+  // (measure_cpi_exe runs against a perfect memory): one calibration is
+  // shared by every cache geometry of a sweep.
+  util::Fingerprint f;
+  f.mix(std::string("AnalyticCalib/v1"));
+  f.mix_u64(util::fingerprint(machine.core));
+  f.mix(machine.l1.hit_latency);
+  f.mix(machine.l1.ports);
+  f.mix_u64(util::fingerprint(wl));
+  const std::uint64_t key = f.value();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = calibrations_.find(key); it != calibrations_.end()) {
+      obs::MetricsRegistry::global()
+          .counter("model.backend.calibration_cache_hits")
+          .inc();
+      return it->second;
+    }
+  }
+  trace::SyntheticTrace calib_trace(wl);
+  auto calib = std::make_shared<const sim::CpiExeResult>(
+      sim::measure_cpi_exe(machine, calib_trace, nullptr));
+  obs::MetricsRegistry::global().counter("model.backend.calibrations").inc();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++calibration_runs_;
+  return calibrations_.emplace(key, std::move(calib)).first->second;
+}
+
+std::uint64_t ProfileCache::profile_builds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return profile_builds_;
+}
+
+std::uint64_t ProfileCache::calibration_runs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return calibration_runs_;
+}
+
+// --- analytic evaluation ----------------------------------------------------
+
+namespace {
+
+/// Closed-form miss prediction for one cache level under one backend.
+MissEstimate level_misses(const std::string& backend, const ReuseProfile& p,
+                          const mem::CacheConfig& c, std::uint32_t share,
+                          double alpha, double burst_window) {
+  if (backend == kFaBackend) {
+    const std::uint64_t cap =
+        std::max<std::uint64_t>(1, c.size_bytes / c.block_bytes / share);
+    return fa_misses(p, cap, alpha, burst_window);
+  }
+  const std::uint64_t sets = std::max<std::uint64_t>(1, c.num_sets() / share);
+  return rdh_misses(p, sets, c.associativity, alpha, burst_window);
+}
+
+/// Synthesizes a counter block whose derived parameters reproduce the
+/// intended (H, CH, MR, purity, CM) and whose Eq. 2 / Eq. 3 identities
+/// hold exactly (active := hit + pure-miss cycles; hit_access_cycles :=
+/// hit_phase_access_cycles; Cm := CM).
+camat::CamatMetrics synth_level(std::uint64_t accesses, double H, double CH,
+                                double MR, double purity, double CM,
+                                double camat_down_per_miss) {
+  camat::CamatMetrics m;
+  m.accesses = accesses;
+  if (accesses == 0) return m;
+  const double a = static_cast<double>(accesses);
+  m.misses = std::min<std::uint64_t>(accesses, to_count(MR * a));
+  m.hits = accesses - m.misses;
+  m.hit_phase_access_cycles = std::max<std::uint64_t>(1, to_count(a * H));
+  m.hit_access_cycles = m.hit_phase_access_cycles;
+  m.hit_cycles = std::max<std::uint64_t>(
+      1, to_count(static_cast<double>(m.hit_phase_access_cycles) / CH));
+  if (m.misses > 0) {
+    const double amp = std::max(1.0, CM * camat_down_per_miss);
+    m.total_miss_latency =
+        std::max<std::uint64_t>(m.misses, to_count(static_cast<double>(m.misses) * amp));
+    m.miss_access_cycles = m.total_miss_latency;
+    m.miss_cycles = std::max<std::uint64_t>(
+        1, to_count(static_cast<double>(m.miss_access_cycles) / CM));
+    m.pure_misses = std::min<std::uint64_t>(
+        m.misses, to_count(purity * static_cast<double>(m.misses)));
+    if (m.pure_misses > 0) {
+      m.pure_access_cycles = std::max<std::uint64_t>(
+          m.pure_misses,
+          to_count(static_cast<double>(m.pure_misses) * purity * amp));
+      m.pure_miss_cycles = std::min<std::uint64_t>(
+          m.miss_cycles,
+          std::max<std::uint64_t>(
+              1, to_count(static_cast<double>(m.pure_access_cycles) / CM)));
+    }
+  }
+  m.active_cycles = m.hit_cycles + m.pure_miss_cycles;
+  return m;
+}
+
+mem::CacheStats synth_cache_stats(std::uint64_t accesses, std::uint64_t misses,
+                                  std::vector<std::uint64_t> per_core_accesses,
+                                  std::vector<std::uint64_t> per_core_misses,
+                                  std::uint64_t mshr_wait_cycles) {
+  mem::CacheStats s;
+  s.accesses = accesses;
+  s.misses = misses;
+  s.hits = accesses - misses;
+  s.fills = misses;
+  s.mshr_full_waits = mshr_wait_cycles;
+  s.core_accesses = std::move(per_core_accesses);
+  s.core_misses = std::move(per_core_misses);
+  return s;
+}
+
+/// Everything the per-core chain computation produces.
+struct CoreChain {
+  // Demand traffic / demand misses per level (L1 outward).
+  std::uint64_t a1 = 0, m1 = 0;
+  std::uint64_t a2p = 0, m2p = 0;  ///< private L2 (three-level only)
+  std::uint64_t a2 = 0, m2 = 0;    ///< shared L2 / LLC
+  std::uint64_t a3 = 0;            ///< DRAM accesses
+  camat::CamatMetrics l1, l2p, l2, dram;
+  cpu::CoreStats stats;
+  double mshr_pressure_cycles = 0.0;
+};
+
+struct LevelShape {
+  double H = 1.0;
+  double CH = 1.0;
+  double purity = 1.0;
+  double CM = 1.0;
+};
+
+CoreChain evaluate_core(const exp::SimJob& job, const trace::WorkloadProfile& wl,
+                        const ReuseProfile& p, const sim::CpiExeResult& calib) {
+  const sim::MachineConfig& mc = job.machine;
+  const std::uint32_t cores = std::max(1u, mc.num_cores);
+  CoreChain out;
+
+  // --- fill traffic, top-down (no prefetch correction) ---------------------
+  // Downstream traffic is unique fills (the MSHR dedups the burst), and
+  // prefetch-eliminated demand misses are still fetched from below. Below
+  // L1 the burst is already coalesced: every level sees the unique fill
+  // stream, so fills-based estimates drive both misses and traffic.
+  constexpr double kAnyWindow = ReuseProfile::kMaxBurstWindow;
+  out.a1 = p.mem_ops;
+  const double m1_traffic =
+      level_misses(job.backend, p, mc.l1, 1, 0.0, kAnyWindow).fills;
+  double upstream_traffic = std::max(m1_traffic, 1.0);
+  double upstream_misses = m1_traffic;
+  if (mc.use_private_l2) {
+    out.a2p = to_count(upstream_traffic);
+    const double m2p = std::min(
+        upstream_misses,
+        level_misses(job.backend, p, mc.private_l2, 1, 0.0, kAnyWindow).fills);
+    out.m2p = std::min<std::uint64_t>(out.a2p, to_count(m2p));
+    upstream_traffic = std::max(m2p, 0.0);
+    upstream_misses = m2p;
+  }
+  out.a2 = to_count(std::max(upstream_traffic, 0.0));
+  const double m2 = std::min(
+      upstream_misses,
+      level_misses(job.backend, p, mc.l2, cores, 0.0, kAnyWindow).fills);
+  out.m2 = std::min<std::uint64_t>(out.a2, to_count(m2));
+  out.a3 = out.m2;
+
+  // DRAM service latency per access: row-hit probability from the
+  // workload's spatial locality (streams walk open rows).
+  const double seq = clampd(wl.seq_fraction, 0.0, 1.0);
+  const double blocks_per_row = std::max(
+      1.0, static_cast<double>(mc.dram.row_bytes) /
+               static_cast<double>(ReuseProfile::kBlockBytes));
+  const double row_hit =
+      clampd(seq * (1.0 - 1.0 / blocks_per_row) + (1.0 - seq) * kRowHitRandom,
+             0.0, 0.95);
+  const double dram_service =
+      static_cast<double>(mc.dram.frontend_latency + mc.dram.t_cl +
+                          mc.dram.t_burst) +
+      (1.0 - row_hit) * static_cast<double>(mc.dram.t_rcd + mc.dram.t_rp);
+
+  // --- demand misses with the prefetch correction --------------------------
+  // Where do L1 fills come from, and how long do they stay outstanding?
+  const double next_hit_latency = static_cast<double>(
+      mc.use_private_l2 ? mc.private_l2.hit_latency : mc.l2.hit_latency);
+  const double dram_frac = clampd(
+      static_cast<double>(out.a3) / std::max(1.0, m1_traffic), 0.0, 1.0);
+  const double fill_latency = std::max(
+      1.0, (1.0 - dram_frac) * next_hit_latency + dram_frac * dram_service);
+  // The coalescing window (memory accesses issued while one fill is
+  // outstanding) and the streamer's usable lead time both depend on the
+  // achieved CPI — which depends on C-AMAT1, which depends on the demand
+  // misses. The fixed point below re-estimates all three per iteration:
+  // memory-bound workloads stall, which slows the issue rate and shrinks
+  // the window toward what the simulator actually coalesces.
+  const double leaders =
+      std::max(1.0, static_cast<double>(p.cold + p.suffix[0]));
+  const double mean_burst =
+      static_cast<double>(p.mem_ops) / leaders;  // accesses per block
+
+  // --- concurrency / latency shapes ----------------------------------------
+  const double chase = clampd(wl.pointer_chase_fraction, 0.0, 1.0);
+  const double dep = clampd(wl.alu_dep_fraction, 0.0, 1.0);
+  const double fmem = p.fmem();
+  // Independent in-flight misses the core can sustain (LSQ window scaled
+  // by the fraction of loads that are not serially dependent).
+  const double core_mlp = std::max(
+      1.0, 1.0 + (1.0 - chase) *
+                     (0.5 * static_cast<double>(mc.core.lsq_size) - 1.0));
+  const double overlap =
+      clampd(kOverlapBase + kOverlapIlp * (1.0 - chase) * (1.0 - 0.5 * dep) -
+                 0.25 * fmem,
+             0.05, 0.95);
+  const double purity = clampd(1.0 - kPurityBeta * overlap, 0.15, 1.0);
+
+  // Miss concurrency narrows down the hierarchy: each level's MSHR file
+  // caps it, DRAM banks cap the bottom.
+  double conc = core_mlp;
+  conc = std::min(conc, static_cast<double>(std::max(1u, mc.l1.mshr_entries)));
+  const double cm1 = std::max(1.0, conc);
+  if (mc.use_private_l2) {
+    conc = std::min(conc,
+                    static_cast<double>(std::max(1u, mc.private_l2.mshr_entries)));
+  }
+  const double cm2p = std::max(1.0, conc);
+  conc = std::min(conc, static_cast<double>(std::max(1u, mc.l2.mshr_entries)));
+  const double cm2 = std::max(1.0, conc);
+  conc = std::min(conc, static_cast<double>(std::max(1u, mc.dram.banks)));
+  const double cm_dram = std::max(1.0, conc);
+
+  const double instr = std::max<double>(1.0, static_cast<double>(p.micro_ops));
+  double mr1 = 0.0;
+
+  // --- Little's-law fixed point for the hit concurrencies ------------------
+  // Access rate per cycle needs the CPI, which needs C-AMAT1, which needs
+  // CH: iterate the closed-form chain a few times from CPIexe.
+  LevelShape l1s, l2ps, l2s;
+  double camat1 = static_cast<double>(mc.l1.hit_latency);
+  double cpi = std::max(0.1, calib.cpi_exe);
+  double dram_sojourn = dram_service;
+  double mshr_over = 1.0;
+  for (int iter = 0; iter < kCamatFixedPointIters; ++iter) {
+    // Demand misses at the current CPI estimate: the issue rate while a
+    // fill is outstanding sets the coalescing window, and the streamer
+    // eliminates a covered missing burst only when its prefetch completes
+    // before the stream reaches the block (lead = degree x cycles the
+    // core spends per block, need = the fill latency).
+    const double mem_rate = std::max(0.05, fmem) / cpi;
+    const double burst_window =
+        clampd(fill_latency * mem_rate, 1.0, ReuseProfile::kMaxBurstWindow);
+    // Demand-fill MSHR occupancy (Little's law): oversubscription both
+    // starves the prefetcher and serializes misses behind a full file.
+    const double fill_rate = m1_traffic / instr / cpi;  // fills per cycle
+    const double mshr_util =
+        fill_rate * fill_latency /
+        static_cast<double>(std::max(1u, mc.l1.mshr_entries));
+    double alpha1 = 0.0;
+    if (mc.l1.prefetch_degree > 0 && m1_traffic > 0.0) {
+      const double cycles_per_block = mean_burst / mem_rate;
+      const double lead =
+          static_cast<double>(mc.l1.prefetch_degree) * cycles_per_block;
+      // A prefetch needs a free MSHR entry: when demand fills already keep
+      // the file near-full (DRAM-bound streams), the streamer is starved
+      // and the simulator eliminates almost nothing. Quadratic in the
+      // utilization: a half-full file still has a free entry most cycles.
+      const double mshr_free = clampd(1.0 - mshr_util * mshr_util, 0.0, 1.0);
+      alpha1 = kPrefetchAlpha * std::min(1.0, lead / fill_latency) * mshr_free;
+    }
+    const MissEstimate m1_est =
+        level_misses(job.backend, p, mc.l1, 1, alpha1, burst_window);
+    out.m1 = std::min<std::uint64_t>(out.a1, to_count(m1_est.demand));
+    mr1 = static_cast<double>(out.m1) /
+          std::max(1.0, static_cast<double>(out.a1));
+
+    auto hit_conc = [&](double accesses, const mem::CacheConfig& c) {
+      const double rate = accesses / instr / cpi;  // accesses per cycle
+      const double h = static_cast<double>(c.hit_latency);
+      // kHitBurst > 1: a superscalar front end issues memory ops in
+      // clumps, so the concurrency *while hits are in flight* exceeds the
+      // time-averaged Little's-law value.
+      return clampd(rate * h * kHitBurst, 1.0,
+                    std::max(1.0, static_cast<double>(c.ports) * h));
+    };
+    l1s = {static_cast<double>(mc.l1.hit_latency),
+           hit_conc(static_cast<double>(out.a1), mc.l1), purity, cm1};
+    if (mc.use_private_l2) {
+      l2ps = {static_cast<double>(mc.private_l2.hit_latency),
+              hit_conc(static_cast<double>(out.a2p), mc.private_l2), purity,
+              cm2p};
+    }
+    l2s = {static_cast<double>(mc.l2.hit_latency),
+           hit_conc(static_cast<double>(out.a2), mc.l2), purity, cm2};
+
+    // DRAM queueing: at high bank utilization the sojourn time inflates
+    // past the raw service time (M/D/1 mean wait = rho*s / (2(1-rho))).
+    const double dram_rate = static_cast<double>(out.a3) / instr / cpi;
+    const double rho = clampd(
+        dram_rate * dram_service /
+            static_cast<double>(std::max(1u, mc.dram.banks)),
+        0.0, 0.95);
+    dram_sojourn = dram_service * (1.0 + rho / (2.0 * (1.0 - rho)));
+    const double camat_dram = dram_sojourn / cm_dram;
+    // Per-miss C-AMAT of each downstream level (active / upstream misses).
+    const double dram_active = static_cast<double>(out.a3) * camat_dram;
+    const double camat_dram_pm =
+        dram_active / std::max(1.0, static_cast<double>(out.m2));
+    const double camat2 =
+        l2s.H / l2s.CH +
+        purity * purity *
+            (static_cast<double>(out.m2) /
+             std::max(1.0, static_cast<double>(out.a2))) *
+            camat_dram_pm;
+    double camat_up_pm = static_cast<double>(out.a2) * camat2 /
+                         std::max(1.0, static_cast<double>(
+                                           mc.use_private_l2 ? out.m2p : out.m1));
+    if (mc.use_private_l2) {
+      const double camat2p =
+          l2ps.H / l2ps.CH +
+          purity * purity *
+              (static_cast<double>(out.m2p) /
+               std::max(1.0, static_cast<double>(out.a2p))) *
+              camat_up_pm;
+      camat_up_pm = static_cast<double>(out.a2p) * camat2p /
+                    std::max(1.0, static_cast<double>(out.m1));
+    }
+    // A demand-fill rate past the MSHR file's capacity serializes misses
+    // behind it: each waits out the backlog before it can even allocate.
+    mshr_over = std::max(1.0, mshr_util);
+    camat1 = l1s.H / l1s.CH + purity * purity * mr1 * camat_up_pm * mshr_over;
+    // Damped update: the window->misses->CPI feedback is two-way, and an
+    // undamped step can oscillate between the stalled and unstalled rates.
+    const double cpi_next =
+        std::max(0.1, calib.cpi_exe + fmem * camat1 * (1.0 - overlap));
+    cpi = 0.5 * (cpi + cpi_next);
+  }
+
+  // --- counter synthesis, bottom-up ----------------------------------------
+  out.dram = synth_level(out.a3, dram_sojourn, cm_dram, 0.0, 1.0, 1.0, 0.0);
+  const double dram_pm = static_cast<double>(out.dram.active_cycles) /
+                         std::max(1.0, static_cast<double>(out.m2));
+  out.l2 = synth_level(out.a2, l2s.H, l2s.CH,
+                       static_cast<double>(out.m2) /
+                           std::max(1.0, static_cast<double>(out.a2)),
+                       purity, cm2, dram_pm);
+  double up_pm = static_cast<double>(out.l2.active_cycles) /
+                 std::max(1.0, static_cast<double>(
+                                   mc.use_private_l2 ? out.m2p : out.m1));
+  if (mc.use_private_l2) {
+    out.l2p = synth_level(out.a2p, l2ps.H, l2ps.CH,
+                          static_cast<double>(out.m2p) /
+                              std::max(1.0, static_cast<double>(out.a2p)),
+                          purity, cm2p, up_pm);
+    up_pm = static_cast<double>(out.l2p.active_cycles) /
+            std::max(1.0, static_cast<double>(out.m1));
+  }
+  // The MSHR-full backlog is part of what the L1 counters measure as miss
+  // time, so the synthesized per-miss AMP carries the same inflation.
+  out.l1 = synth_level(out.a1, l1s.H, l1s.CH, mr1, purity, cm1,
+                       up_pm * mshr_over);
+
+  // --- core stats consistent with Eq. 5 / Eq. 7 ----------------------------
+  cpu::CoreStats& cs = out.stats;
+  cs.instructions = p.micro_ops;
+  cs.mem_ops = p.mem_ops;
+  cs.loads = p.loads;
+  cs.stores = p.stores;
+  cs.mem_active_cycles = out.l1.active_cycles;
+  cs.overlap_cycles = std::min<std::uint64_t>(
+      cs.mem_active_cycles,
+      to_count(overlap * static_cast<double>(cs.mem_active_cycles)));
+  cs.data_stall_cycles = cs.mem_active_cycles - cs.overlap_cycles;
+  const std::uint64_t exe_cycles =
+      std::max<std::uint64_t>(1, to_count(calib.cpi_exe * instr));
+  cs.cycles = exe_cycles + cs.data_stall_cycles;
+  cs.commit_cycles = exe_cycles;
+  cs.head_mem_stall_cycles = cs.data_stall_cycles;
+  cs.l1_rejections = 0;
+
+  // MSHR-pressure signal for the concurrency diagnosis: how many wanted
+  // in-flight misses the L1 MSHR file turns away, scaled to miss cycles.
+  const double want = std::max(
+      1.0, 1.0 + (1.0 - chase) *
+                     (0.5 * static_cast<double>(mc.core.lsq_size) - 1.0));
+  const double have = static_cast<double>(std::max(1u, mc.l1.mshr_entries));
+  if (want > have) {
+    out.mshr_pressure_cycles = (want - have) / want *
+                               static_cast<double>(out.l1.miss_cycles);
+  }
+  return out;
+}
+
+exp::SimJobResult execute_analytic(const exp::SimJob& job,
+                                   const sim::RunGuard* guard) {
+  if (guard != nullptr && guard->cancel.load(std::memory_order_relaxed)) {
+    throw util::TimeoutError("analytic evaluation cancelled (job '" +
+                             job.tag + "')");
+  }
+  return evaluate_analytic(job);
+}
+
+}  // namespace
+
+exp::SimJobResult evaluate_analytic(const exp::SimJob& job) {
+  util::require(job.backend == kRdhBackend || job.backend == kFaBackend,
+                "evaluate_analytic: backend must be rdh or fa, got '" +
+                    job.backend + "'");
+  register_analytic_executors();
+  job.validate();
+
+  exp::SimJobResult out;
+  out.backend = job.backend;
+  sim::SystemResult& run = out.run;
+  run.completed = true;
+
+  const std::uint32_t cores = std::max(1u, job.machine.num_cores);
+  ProfileCache& cache = ProfileCache::global();
+
+  std::uint64_t l2_acc = 0, l2_miss = 0, dram_acc = 0;
+  std::vector<std::uint64_t> l2_core_acc, l2_core_miss;
+  std::uint64_t l2_active_agg = 0;
+  camat::CamatMetrics l2_agg, dram_agg;
+
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    const trace::WorkloadProfile& wl = job.workloads.at(c);
+    const auto profile = cache.reuse(wl);
+    // CPIexe comes from the real perfect-cache calibration (cached across
+    // cache geometries); the cache behaviour itself never ticks a cycle.
+    const auto calib = cache.calibration(job.machine, wl);
+    const CoreChain chain = evaluate_core(job, wl, *profile, *calib);
+
+    run.cores.push_back(chain.stats);
+    run.l1.push_back(chain.l1);
+    run.l1_cache.push_back(synth_cache_stats(
+        chain.a1, chain.m1, {chain.a1}, {chain.m1},
+        to_count(chain.mshr_pressure_cycles)));
+    if (job.machine.use_private_l2) {
+      run.l2_private.push_back(chain.l2p);
+      run.l2_private_cache.push_back(
+          synth_cache_stats(chain.a2p, chain.m2p, {chain.a2p}, {chain.m2p}, 0));
+    }
+    l2_acc += chain.a2;
+    l2_miss += chain.m2;
+    dram_acc += chain.a3;
+    l2_core_acc.push_back(chain.a2);
+    l2_core_miss.push_back(chain.m2);
+    l2_active_agg += chain.l2.active_cycles;
+
+    // Aggregate the shared levels counter-wise (per-core slices modelled
+    // independently; see header caveats for the multicore approximation).
+    auto add = [](camat::CamatMetrics& agg, const camat::CamatMetrics& m) {
+      agg.accesses += m.accesses;
+      agg.hits += m.hits;
+      agg.misses += m.misses;
+      agg.pure_misses += m.pure_misses;
+      agg.active_cycles += m.active_cycles;
+      agg.hit_cycles += m.hit_cycles;
+      agg.miss_cycles += m.miss_cycles;
+      agg.pure_miss_cycles += m.pure_miss_cycles;
+      agg.hit_phase_access_cycles += m.hit_phase_access_cycles;
+      agg.miss_access_cycles += m.miss_access_cycles;
+      agg.pure_access_cycles += m.pure_access_cycles;
+      agg.hit_access_cycles += m.hit_access_cycles;
+      agg.total_miss_latency += m.total_miss_latency;
+    };
+    add(l2_agg, chain.l2);
+    add(dram_agg, chain.dram);
+
+    if (job.calibrate) out.calib.push_back(*calib);
+  }
+
+  run.l2 = l2_agg;
+  run.dram = dram_agg;
+  run.l2_cache =
+      synth_cache_stats(l2_acc, l2_miss, std::move(l2_core_acc),
+                        std::move(l2_core_miss), 0);
+  run.dram_stats.reads = dram_acc;
+  run.dram_stats.busy_cycles = dram_agg.active_cycles;
+  run.dram_stats.total_read_latency = dram_agg.hit_phase_access_cycles;
+  for (const auto& cs : run.cores) {
+    run.cycles = std::max<Cycle>(run.cycles, cs.cycles);
+  }
+  (void)l2_active_agg;
+  return out;
+}
+
+void register_analytic_executors() {
+  static const bool registered = [] {
+    exp::ExperimentEngine::register_backend_executor(kRdhBackend,
+                                                     &execute_analytic);
+    exp::ExperimentEngine::register_backend_executor(kFaBackend,
+                                                     &execute_analytic);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace lpm::model

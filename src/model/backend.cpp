@@ -1,0 +1,172 @@
+#include "model/backend.hpp"
+
+#include <utility>
+
+#include "model/analytic.hpp"
+#include "util/error.hpp"
+
+namespace lpm::model {
+
+const char* to_string(Fidelity f) {
+  switch (f) {
+    case Fidelity::kCycleAccurate: return "cycle-accurate";
+    case Fidelity::kAnalytic: return "analytic";
+  }
+  return "?";
+}
+
+const AppMeasurement& LayerEstimates::app(std::size_t idx) const {
+  util::require(idx < apps.size(),
+                "LayerEstimates: no such app measurement (was the spec "
+                "evaluated with calibrate = false?)");
+  return apps[idx];
+}
+
+LayerEstimates LayerEstimates::from_result(const exp::SimJob& job,
+                                           exp::SimResultPtr result) {
+  util::require(result != nullptr, "LayerEstimates: null result");
+  const sim::SystemResult& run = result->run;
+  LayerEstimates est;
+  est.backend = result->backend;
+  est.fidelity = result->backend == exp::kCycleBackend
+                     ? Fidelity::kCycleAccurate
+                     : Fidelity::kAnalytic;
+  est.cost_ms = result->duration_ms;
+  est.fingerprint = result->fingerprint;
+
+  if (job.calibrate && !result->calib.empty()) {
+    est.apps.reserve(run.cores.size());
+    for (std::size_t c = 0; c < run.cores.size(); ++c) {
+      const std::string app_name =
+          c < job.workloads.size() ? job.workloads[c].name : "";
+      est.apps.push_back(AppMeasurement::from_run(run, result->calib.at(c), c,
+                                                  app_name));
+    }
+    const AppMeasurement& m = est.apps.front();
+    est.lpmr = compute_lpmrs(m);
+    est.stall_per_instr_eq12 = stall_eq12(m);
+    est.stall_per_instr_eq13 = stall_eq13(m);
+  }
+
+  // The per-level summary is derivable from run counters alone, so it is
+  // present even without calibration.
+  if (!run.l1.empty()) {
+    std::uint64_t l1_misses = 0;
+    for (const auto& c : run.l1_cache) l1_misses += c.misses;
+    Level l1;
+    l1.name = "l1";
+    l1.mr = run.mr1(0);
+    l1.pmr = run.l1.front().pMR();
+    l1.camat = run.l1.front().camat();
+    l1.camat_per_miss = l1.camat;
+    est.levels.push_back(l1);
+
+    std::uint64_t upstream = run.l1_cache.front().misses;
+    if (run.has_private_l2()) {
+      Level l2p;
+      l2p.name = "l2p";
+      l2p.mr = run.l2_private_cache.front().miss_rate();
+      l2p.pmr = run.l2_private.front().pMR();
+      l2p.camat = run.l2_private.front().camat();
+      l2p.camat_per_miss =
+          upstream > 0
+              ? static_cast<double>(run.l2_private.front().active_cycles) /
+                    static_cast<double>(upstream)
+              : l2p.camat;
+      est.levels.push_back(l2p);
+      upstream = 0;
+      for (const auto& c : run.l2_private_cache) upstream += c.misses;
+    } else {
+      upstream = l1_misses;
+    }
+
+    Level l2;
+    l2.name = "l2";
+    l2.mr = run.l2_cache.miss_rate();
+    l2.pmr = run.l2.pMR();
+    l2.camat = run.l2.camat();
+    l2.camat_per_miss =
+        upstream > 0 ? static_cast<double>(run.l2.active_cycles) /
+                           static_cast<double>(upstream)
+                     : l2.camat;
+    est.levels.push_back(l2);
+
+    Level dram;
+    dram.name = "dram";
+    dram.pmr = run.dram.pMR();
+    dram.camat = run.dram.camat();
+    const std::uint64_t llc_misses = run.l2_cache.misses;
+    dram.camat_per_miss =
+        llc_misses > 0 ? static_cast<double>(run.dram.active_cycles) /
+                             static_cast<double>(llc_misses)
+                       : dram.camat;
+    est.levels.push_back(dram);
+
+    est.hw.l1_misses = l1_misses;
+    est.hw.l1_rejections = 0;
+    for (const auto& core : run.cores) est.hw.l1_rejections += core.l1_rejections;
+    for (const auto& c : run.l1_cache) {
+      est.hw.l1_mshr_wait_cycles += c.mshr_full_waits;
+    }
+  }
+
+  est.result = std::move(result);
+  return est;
+}
+
+EngineBackend::EngineBackend(std::string name, Fidelity fidelity,
+                             exp::ExperimentEngine* engine)
+    : name_(std::move(name)), fidelity_(fidelity), engine_(engine) {}
+
+exp::ExperimentEngine& EngineBackend::engine() const {
+  return engine_ != nullptr ? *engine_ : exp::ExperimentEngine::shared();
+}
+
+exp::SimJob EngineBackend::make_job(const sim::MachineConfig& machine,
+                                    const TraceSpec& spec) const {
+  exp::SimJob job;
+  job.machine = machine;
+  job.workloads = spec.expand(machine.num_cores);
+  job.calibrate = spec.calibrate;
+  job.tag = spec.tag;
+  job.backend = name_;
+  return job;
+}
+
+LayerEstimates EngineBackend::evaluate(const sim::MachineConfig& machine,
+                                       const TraceSpec& spec) {
+  const exp::SimJob job = make_job(machine, spec);
+  return LayerEstimates::from_result(job, engine().run(job));
+}
+
+CycleSimBackend::CycleSimBackend(exp::ExperimentEngine* engine)
+    : EngineBackend(exp::kCycleBackend, Fidelity::kCycleAccurate, engine) {}
+
+AnalyticBackend::AnalyticBackend(std::string name,
+                                 exp::ExperimentEngine* engine)
+    : EngineBackend(std::move(name), Fidelity::kAnalytic, engine) {
+  register_analytic_executors();
+  util::require(exp::ExperimentEngine::has_backend_executor(this->name()),
+                "AnalyticBackend: unknown analytic backend '" + this->name() +
+                    "' (expected rdh or fa)");
+}
+
+const std::vector<std::string>& backend_names() {
+  static const std::vector<std::string> names = {exp::kCycleBackend,
+                                                 kRdhBackend, kFaBackend};
+  return names;
+}
+
+std::unique_ptr<ModelBackend> make_backend(const std::string& name,
+                                           exp::ExperimentEngine* engine) {
+  if (name == exp::kCycleBackend) {
+    return std::make_unique<CycleSimBackend>(engine);
+  }
+  if (name == kRdhBackend || name == kFaBackend) {
+    return std::make_unique<AnalyticBackend>(name, engine);
+  }
+  throw util::ConfigError("make_backend: unknown backend '" + name +
+                          "'; expected cycle, rdh or fa");
+}
+
+}  // namespace lpm::model

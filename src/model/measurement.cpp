@@ -1,10 +1,10 @@
-#include "core/lpm_model.hpp"
+#include "model/measurement.hpp"
 
 #include <limits>
 
 #include "util/error.hpp"
 
-namespace lpm::core {
+namespace lpm::model {
 
 AppMeasurement AppMeasurement::from_run(const sim::SystemResult& run,
                                         const sim::CpiExeResult& calib,
@@ -119,4 +119,4 @@ bool meets_stall_target(const AppMeasurement& m, double delta_percent) {
   return m.measured_stall_per_instr <= (delta_percent / 100.0) * m.cpi_exe;
 }
 
-}  // namespace lpm::core
+}  // namespace lpm::model

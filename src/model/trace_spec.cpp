@@ -1,0 +1,42 @@
+#include "model/trace_spec.hpp"
+
+#include "trace/spec_like.hpp"
+#include "util/error.hpp"
+
+namespace lpm::model {
+
+TraceSpec TraceSpec::spec(const std::string& name, std::uint64_t length,
+                          std::uint64_t seed) {
+  for (const auto b : trace::all_spec_benchmarks()) {
+    if (trace::spec_name(b) == name) {
+      return profile(trace::spec_profile(b, length, seed));
+    }
+  }
+  throw util::ConfigError("TraceSpec: unknown workload '" + name +
+                          "'; try 403.gcc, 429.mcf, ...");
+}
+
+TraceSpec TraceSpec::profile(trace::WorkloadProfile workload) {
+  TraceSpec spec;
+  spec.workloads.push_back(std::move(workload));
+  return spec;
+}
+
+TraceSpec TraceSpec::profiles(std::vector<trace::WorkloadProfile> w) {
+  TraceSpec spec;
+  spec.workloads = std::move(w);
+  return spec;
+}
+
+std::vector<trace::WorkloadProfile> TraceSpec::expand(
+    std::uint32_t num_cores) const {
+  util::require(!workloads.empty(), "TraceSpec: no workload given");
+  if (workloads.size() == 1 && num_cores > 1) {
+    return std::vector<trace::WorkloadProfile>(num_cores, workloads.front());
+  }
+  util::require(workloads.size() == num_cores,
+                "TraceSpec: workload count must be 1 or match num_cores");
+  return workloads;
+}
+
+}  // namespace lpm::model

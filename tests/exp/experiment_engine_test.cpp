@@ -178,6 +178,42 @@ TEST(ExperimentEngine, CacheHitReturnsSameResultObject) {
   EXPECT_EQ(engine.simulations_executed(), 2u);
 }
 
+TEST(ExperimentEngine, BackendIsPartOfTheCacheKey) {
+  // Regression guard for the multi-fidelity seam: an analytic evaluation of
+  // a point must never be served a cycle result of the same point (or vice
+  // versa). A fake executor stands in for the analytic model so this stays
+  // a pure engine test.
+  exp::ExperimentEngine::register_backend_executor(
+      "fake-analytic", [](const exp::SimJob& job, const sim::RunGuard*) {
+        exp::SimJobResult out;
+        out.backend = job.backend;
+        return out;
+      });
+
+  exp::ExperimentEngine::Options opts;
+  opts.threads = 1;
+  exp::ExperimentEngine engine(opts);
+
+  const auto cycle_job = test_jobs()[0];
+  auto tagged = cycle_job;
+  tagged.backend = "fake-analytic";
+  ASSERT_NE(cycle_job.fingerprint(), tagged.fingerprint())
+      << "the backend must feed the job fingerprint";
+
+  const auto cycle_result = engine.run(cycle_job);
+  const auto tagged_result = engine.run(tagged);
+  EXPECT_NE(cycle_result.get(), tagged_result.get());
+  EXPECT_EQ(engine.simulations_executed(), 2u);
+  EXPECT_EQ(engine.cache_hits(), 0u);
+  EXPECT_EQ(cycle_result->backend, exp::kCycleBackend);
+  EXPECT_EQ(tagged_result->backend, "fake-analytic");
+
+  // Each fidelity hits its own entry on re-submission.
+  EXPECT_EQ(engine.run(cycle_job).get(), cycle_result.get());
+  EXPECT_EQ(engine.run(tagged).get(), tagged_result.get());
+  EXPECT_EQ(engine.cache_hits(), 2u);
+}
+
 TEST(ExperimentEngine, InBatchDuplicatesSimulateOnce) {
   exp::ExperimentEngine::Options opts;
   opts.threads = 2;
@@ -208,7 +244,7 @@ TEST(ExperimentEngine, SinkReceivesOneRecordPerSubmission) {
   EXPECT_EQ(sink.records_written(), 2u);
 
   const std::string text = csv.str();
-  EXPECT_NE(text.find("tag,fingerprint,from_cache"), std::string::npos)
+  EXPECT_NE(text.find("tag,fingerprint,backend,from_cache"), std::string::npos)
       << "CSV header missing:\n"
       << text;
   // RFC 4180: a plain tag needs no quotes.

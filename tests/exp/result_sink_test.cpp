@@ -204,6 +204,7 @@ TEST(ResultRecords, RoundTripThroughCsvAndJsonl) {
   exp::ResultRecord r;
   r.tag = "sweep,one \"quoted\"\nmultiline";
   r.fingerprint = "00c0ffee";
+  r.backend = "rdh";
   r.from_cache = true;
   r.completed = true;
   r.cycles = 123456;
@@ -229,6 +230,7 @@ TEST(ResultRecords, RoundTripThroughCsvAndJsonl) {
     for (const auto& back : loaded) {
       EXPECT_EQ(back.tag, r.tag) << ext;
       EXPECT_EQ(back.fingerprint, r.fingerprint) << ext;
+      EXPECT_EQ(back.backend, r.backend) << ext;
       EXPECT_EQ(back.from_cache, r.from_cache) << ext;
       EXPECT_EQ(back.completed, r.completed) << ext;
       EXPECT_EQ(back.cycles, r.cycles) << ext;
@@ -272,6 +274,35 @@ TEST(ResultRecords, LegacyDurationSecondsConvertsToMs) {
   loaded = exp::load_result_records(jsonl_path);
   ASSERT_EQ(loaded.size(), 1u);
   EXPECT_DOUBLE_EQ(loaded[0].duration_ms, 125.0);
+  std::filesystem::remove(jsonl_path);
+}
+
+TEST(ResultRecords, LegacyFilesWithoutBackendColumnLoadAsCycle) {
+  // Sinks written before multi-fidelity backends have no `backend`
+  // column/key; cycle simulation was the only fidelity that existed then.
+  const std::string csv_path = temp_path("lpm_legacy_backend.csv");
+  {
+    std::ofstream out(csv_path);
+    out << "tag,fingerprint,from_cache,completed,cycles,cores,instructions,"
+           "ipc,mr1,mr2,camat1,camat2,cpi_exe,duration_ms\n";
+    out << "old,abcd,0,1,10,1,20,2.0,0.1,0.2,1.5,4.5,0.5,0.25\n";
+  }
+  auto loaded = exp::load_result_records(csv_path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].backend, "cycle");
+  std::filesystem::remove(csv_path);
+
+  const std::string jsonl_path = temp_path("lpm_legacy_backend.jsonl");
+  {
+    std::ofstream out(jsonl_path);
+    out << "{\"tag\":\"old\",\"fingerprint\":\"abcd\",\"from_cache\":false,"
+           "\"completed\":true,\"cycles\":10,\"cores\":1,\"instructions\":20,"
+           "\"ipc\":2.0,\"mr1\":0.1,\"mr2\":0.2,\"camat1\":1.5,"
+           "\"camat2\":4.5,\"cpi_exe\":0.5,\"duration_ms\":0.25}\n";
+  }
+  loaded = exp::load_result_records(jsonl_path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].backend, "cycle");
   std::filesystem::remove(jsonl_path);
 }
 

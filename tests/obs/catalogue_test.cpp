@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "core/design_space.hpp"
 #include "core/lpm_algorithm.hpp"
 #include "exp/experiment_engine.hpp"
+#include "model/analytic.hpp"
 #include "obs/metrics.hpp"
 #include "trace/spec_like.hpp"
 
@@ -59,8 +61,36 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
   jobs.push_back(exp::SimJob::solo(three_level, workload, /*calibrate=*/false));
   // Repeat of the first point: exercises the memo cache (exp.jobs.cache_hits).
   jobs.push_back(exp::SimJob::solo(two_level, workload, /*calibrate=*/true));
+  // Analytic points (model.backend.*): two distinct rdh configs of one
+  // workload — the second is served by the cached reuse profile and
+  // calibration — plus one fa config for its evals counter.
+  model::register_analytic_executors();
+  {
+    exp::SimJob rdh =
+        exp::SimJob::solo(two_level, workload, /*calibrate=*/false, "rdh-a");
+    rdh.backend = model::kRdhBackend;
+    jobs.push_back(rdh);
+    sim::MachineConfig bigger = two_level;
+    bigger.l1.size_bytes *= 2;
+    exp::SimJob rdh2 =
+        exp::SimJob::solo(bigger, workload, /*calibrate=*/false, "rdh-b");
+    rdh2.backend = model::kRdhBackend;
+    jobs.push_back(rdh2);
+    exp::SimJob fa =
+        exp::SimJob::solo(two_level, workload, /*calibrate=*/false, "fa-a");
+    fa.backend = model::kFaBackend;
+    jobs.push_back(fa);
+  }
   const auto results = engine.run_batch(jobs);
-  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(results.size(), 6u);
+
+  // One screened sweep over a single candidate (lpm.screened_sweeps).
+  core::SweepOptions sweep_opts;
+  sweep_opts.engine = &engine;
+  sweep_opts.confirm_top_k = 1;
+  const auto sweep = core::screen_then_confirm_sweep(
+      two_level, workload, {core::ArchKnobs{}}, sweep_opts);
+  ASSERT_EQ(sweep.confirmed.size(), 1u);
 
   TwoStepTunable tunable;
   core::LpmAlgorithmConfig cfg;
@@ -68,6 +98,11 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
   const core::LpmAlgorithm algorithm(cfg);
   const auto outcome = algorithm.run(tunable);
   ASSERT_TRUE(outcome.converged);
+
+  // A screen + confirm pair of the same toy tunable (lpm.two_stage_walks).
+  TwoStepTunable screen_tunable, confirm_tunable;
+  const auto two_stage = algorithm.run_two_stage(screen_tunable, confirm_tunable);
+  ASSERT_TRUE(two_stage.confirm.converged);
 
   const auto snap = obs::MetricsRegistry::global().snapshot();
 
@@ -83,6 +118,11 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
       "sim.camat.pure_misses.l1", "sim.camat.pure_misses.l2",
       "sim.camat.pure_misses.l2p", "sim.camat.pure_misses.dram",
       "lpm.walks", "lpm.iterations", "lpm.converged", "lpm.exhausted",
+      "lpm.two_stage_walks", "lpm.screened_sweeps",
+      "model.backend.evals.cycle", "model.backend.evals.rdh",
+      "model.backend.evals.fa", "model.backend.profile_builds",
+      "model.backend.profile_cache_hits", "model.backend.calibrations",
+      "model.backend.calibration_cache_hits",
   };
   for (const auto& name : counters) {
     EXPECT_TRUE(snap.counters.contains(name)) << "missing counter: " << name;
@@ -113,6 +153,14 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
   EXPECT_GE(snap.counter_or_zero("lpm.walks"), 1u);
   EXPECT_GE(snap.counter_or_zero("lpm.iterations"), 2u);
   EXPECT_GE(snap.counter_or_zero("lpm.converged"), 1u);
+  EXPECT_GE(snap.counter_or_zero("lpm.two_stage_walks"), 1u);
+  EXPECT_GE(snap.counter_or_zero("lpm.screened_sweeps"), 1u);
+  EXPECT_GE(snap.counter_or_zero("model.backend.evals.rdh"), 2u);
+  EXPECT_GE(snap.counter_or_zero("model.backend.evals.fa"), 1u);
+  EXPECT_GE(snap.counter_or_zero("model.backend.profile_builds"), 1u);
+  EXPECT_GE(snap.counter_or_zero("model.backend.profile_cache_hits"), 1u);
+  EXPECT_GE(snap.counter_or_zero("model.backend.calibrations"), 1u);
+  EXPECT_GE(snap.counter_or_zero("model.backend.calibration_cache_hits"), 1u);
   EXPECT_GT(snap.histograms.at("exp.job.run_ms").count, 0u);
   EXPECT_GT(snap.histograms.at("lpm.lpmr1").count, 0u);
 }

@@ -17,6 +17,7 @@ PerfOptions tiny_options() {
   opts.sim_configs = 1;
   opts.engine_jobs = 2;
   opts.engine_threads = 1;
+  opts.analytic_configs = 4;
   return opts;
 }
 
@@ -27,9 +28,10 @@ TEST(PerfReport, EmitsRequiredSchema) {
 
   EXPECT_EQ(parsed.get_string("bench"), "lpm_convergence");
   for (const char* key :
-       {"cycles", "instructions", "jobs", "wall_seconds_simulate",
-        "wall_seconds_engine", "sim_cycles_per_sec", "instructions_per_sec",
-        "engine_jobs_per_sec"}) {
+       {"cycles", "instructions", "jobs", "analytic_configs",
+        "wall_seconds_simulate", "wall_seconds_engine", "wall_seconds_analytic",
+        "sim_cycles_per_sec", "instructions_per_sec", "engine_jobs_per_sec",
+        "analytic_configs_per_sec"}) {
     const auto value = parsed.get_number(key);
     ASSERT_TRUE(value.has_value()) << "missing key " << key;
     EXPECT_GE(*value, 0.0) << key;
@@ -39,9 +41,11 @@ TEST(PerfReport, EmitsRequiredSchema) {
   EXPECT_GT(report.cycles, 0u);
   EXPECT_GT(report.instructions, 0u);
   EXPECT_EQ(report.jobs, 2u);
+  EXPECT_EQ(report.analytic_configs, 4u);
   EXPECT_GT(report.sim_cycles_per_sec, 0.0);
   EXPECT_GT(report.instructions_per_sec, 0.0);
   EXPECT_GT(report.engine_jobs_per_sec, 0.0);
+  EXPECT_GT(report.analytic_configs_per_sec, 0.0);
 }
 
 TEST(PerfReport, JsonRoundTrips) {
@@ -55,15 +59,38 @@ TEST(PerfReport, JsonRoundTrips) {
   r.sim_cycles_per_sec = 82.0;
   r.instructions_per_sec = 304.0;
   r.engine_jobs_per_sec = 2.8;
+  r.analytic_configs = 64;
+  r.wall_seconds_analytic = 0.125;
+  r.analytic_configs_per_sec = 512.0;
 
   const PerfReport back = parse_report(to_json(r));
   EXPECT_EQ(back.bench, r.bench);
   EXPECT_EQ(back.cycles, r.cycles);
   EXPECT_EQ(back.instructions, r.instructions);
   EXPECT_EQ(back.jobs, r.jobs);
+  EXPECT_EQ(back.analytic_configs, r.analytic_configs);
   EXPECT_DOUBLE_EQ(back.sim_cycles_per_sec, r.sim_cycles_per_sec);
   EXPECT_DOUBLE_EQ(back.instructions_per_sec, r.instructions_per_sec);
   EXPECT_DOUBLE_EQ(back.engine_jobs_per_sec, r.engine_jobs_per_sec);
+  EXPECT_DOUBLE_EQ(back.analytic_configs_per_sec, r.analytic_configs_per_sec);
+}
+
+TEST(PerfReport, LegacyReportsWithoutAnalyticKeysStillParse) {
+  // Baselines written before the analytic-screening phase carry no
+  // analytic_* keys; they must load with 0 ("not measured"), and the gate
+  // must then skip the analytic metric entirely.
+  const std::string legacy =
+      "{\"bench\":\"lpm_convergence\",\"cycles\":10,\"instructions\":20,"
+      "\"jobs\":2,\"wall_seconds_simulate\":1.0,\"wall_seconds_engine\":1.0,"
+      "\"sim_cycles_per_sec\":10.0,\"instructions_per_sec\":20.0,"
+      "\"engine_jobs_per_sec\":2.0}";
+  const PerfReport baseline = parse_report(legacy);
+  EXPECT_EQ(baseline.analytic_configs, 0u);
+  EXPECT_DOUBLE_EQ(baseline.analytic_configs_per_sec, 0.0);
+
+  PerfReport current = baseline;
+  current.analytic_configs_per_sec = 0.0;  // even "no analytic phase" passes
+  EXPECT_TRUE(check_against_baseline(current, baseline, 0.30).ok);
 }
 
 TEST(PerfReport, ParseRejectsMissingKeys) {
@@ -76,9 +103,22 @@ TEST(PerfBaseline, GateFailsOnlyBelowTolerance) {
   baseline.sim_cycles_per_sec = 1000.0;
   baseline.instructions_per_sec = 2000.0;
   baseline.engine_jobs_per_sec = 10.0;
+  baseline.analytic_configs_per_sec = 500.0;
 
   PerfReport current = baseline;
   EXPECT_TRUE(check_against_baseline(current, baseline, 0.30).ok);
+
+  // The analytic metric is gated like the others once the baseline has it.
+  current.analytic_configs_per_sec = 340.0;  // 68% of baseline
+  {
+    const BaselineCheck failed =
+        check_against_baseline(current, baseline, 0.30);
+    EXPECT_FALSE(failed.ok);
+    ASSERT_EQ(failed.failures.size(), 1u);
+    EXPECT_NE(failed.failures[0].find("analytic_configs_per_sec"),
+              std::string::npos);
+  }
+  current.analytic_configs_per_sec = baseline.analytic_configs_per_sec;
 
   // 71% of baseline: inside a 30% tolerance.
   current.sim_cycles_per_sec = 710.0;
@@ -103,6 +143,8 @@ TEST(PerfBaseline, CommittedBaselineParses) {
   EXPECT_GT(baseline.sim_cycles_per_sec, 0.0);
   EXPECT_GT(baseline.instructions_per_sec, 0.0);
   EXPECT_GT(baseline.engine_jobs_per_sec, 0.0);
+  // The committed baseline carries the analytic gate.
+  EXPECT_GT(baseline.analytic_configs_per_sec, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,48 @@
+// Fidelity-report driver for CI and local calibration: runs the analytic
+// backends ("rdh", "fa") against the cycle simulator over the 16 SPEC
+// analogue profiles and an L1-size sweep, prints the per-profile error
+// table, and writes the full report as JSON (the CI artifact).
+//
+//   $ ./lpm_fidelity_report [out=fidelity.json] [trace_len=20000] [seed=1]
+//
+// Exit status: 0 = report produced, 2 = usage/config error. The driver
+// itself enforces no error bound — tests/check/fidelity_test.cpp pins the
+// committed bounds; this tool is for measuring, not gating.
+#include <cstdio>
+#include <fstream>
+
+#include "check/fidelity.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpm;
+  try {
+    const auto args = util::KvConfig::from_args(argc, argv);
+    check::FidelityConfig cfg;
+    cfg.trace_length = args.get_uint_or("trace_len", cfg.trace_length);
+    cfg.seed = args.get_uint_or("seed", cfg.seed);
+    const std::string out = args.get_or("out", "");
+
+    const check::FidelityReport report = check::run_fidelity_harness(cfg);
+
+    std::printf("%s\n", report.table().c_str());
+    std::printf(
+        "MR1 rel error:     p50=%.4f p90=%.4f worst=%.4f\n"
+        "C-AMAT1 rel error: p50=%.4f p90=%.4f worst=%.4f\n",
+        report.p50_mr1_rel_error, report.p90_mr1_rel_error,
+        report.worst_mr1_rel_error, report.p50_camat1_rel_error,
+        report.p90_camat1_rel_error, report.worst_camat1_rel_error);
+
+    if (!out.empty()) {
+      std::ofstream os(out);
+      util::require(os.good(), "cannot open output file: " + out);
+      os << report.to_json();
+      std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+  } catch (const util::LpmError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
