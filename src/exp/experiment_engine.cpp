@@ -358,8 +358,16 @@ std::uint64_t ExperimentEngine::retry_backoff_ms(std::uint64_t seed,
                                                  std::uint64_t base_ms) {
   if (base_ms == 0) return 0;
   const unsigned shift = std::min(attempt >= 1 ? attempt - 1 : 0u, 16u);
+  // Saturate instead of shifting blindly: a large base (or, before the
+  // exponent clamp existed, a large attempt count) would wrap the shift and
+  // come back as a near-zero delay — turning backoff into a retry storm.
+  // Anything that would exceed the ceiling pins to kMaxRetryBackoffMs.
+  std::uint64_t scaled = kMaxRetryBackoffMs;
+  if (base_ms <= (kMaxRetryBackoffMs >> shift)) scaled = base_ms << shift;
   util::Rng rng(seed ^ fingerprint ^ (0x9e37u + attempt));
-  return (base_ms << shift) + rng.next_below(base_ms + 1);
+  const std::uint64_t jitter =
+      rng.next_below(std::min(base_ms, kMaxRetryBackoffMs) + 1);
+  return std::min(kMaxRetryBackoffMs, scaled + jitter);
 }
 
 SimJobOutcome ExperimentEngine::execute_with_retry(const SimJob& job,

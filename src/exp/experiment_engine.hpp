@@ -86,6 +86,13 @@ using ScopedTimer = obs::ScopedTimer;
 /// Name of the built-in cycle-accurate backend (the sim::System path).
 inline constexpr const char* kCycleBackend = "cycle";
 
+/// Ceiling on a single retry backoff (one hour). The exponential schedule
+/// saturates here instead of wrapping: both the shift exponent and the
+/// shifted base are clamped, so retry_backoff_ms is monotone in the attempt
+/// count for every base value, never UB, and never wraps back to a tiny
+/// delay under extreme inputs.
+inline constexpr std::uint64_t kMaxRetryBackoffMs = 3'600'000;
+
 /// One experiment point: what to simulate and what to collect.
 struct SimJob {
   sim::MachineConfig machine;
@@ -246,8 +253,10 @@ class ExperimentEngine {
 
   /// Deterministic jittered backoff before retry `attempt` (1-based count
   /// of failures so far): base << (attempt-1) plus a [0, base] jitter
-  /// drawn from (seed, fingerprint, attempt). Pure function — two engines
-  /// with the same seed produce identical retry schedules.
+  /// drawn from (seed, fingerprint, attempt), with both the exponent and
+  /// the result saturated so the delay never exceeds kMaxRetryBackoffMs
+  /// (and never wraps for large attempts or bases). Pure function — two
+  /// engines with the same seed produce identical retry schedules.
   [[nodiscard]] static std::uint64_t retry_backoff_ms(std::uint64_t seed,
                                                       std::uint64_t fingerprint,
                                                       unsigned attempt,

@@ -1,0 +1,130 @@
+#include "srv/admission.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lpm::srv {
+
+const char* to_string(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAccept: return "accept";
+    case AdmissionVerdict::kDegrade: return "degrade";
+    case AdmissionVerdict::kRetryAfter: return "retry_after";
+    case AdmissionVerdict::kShed: return "shed";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(Options opts)
+    : opts_(std::move(opts)),
+      accepted_(obs::MetricsRegistry::global().counter("srv.jobs.accepted")),
+      degraded_(obs::MetricsRegistry::global().counter("srv.jobs.degraded")),
+      retry_after_(
+          obs::MetricsRegistry::global().counter("srv.jobs.retry_after")),
+      shed_(obs::MetricsRegistry::global().counter("srv.jobs.shed")),
+      depth_gauge_(obs::MetricsRegistry::global().gauge("srv.queue.depth")) {
+  util::require(opts_.queue_max > 0, "AdmissionQueue: queue_max must be > 0");
+  util::require(opts_.per_client_max > 0,
+                "AdmissionQueue: per_client_max must be > 0");
+  util::require(opts_.degrade_watermark <= opts_.queue_max,
+                "AdmissionQueue: degrade_watermark must be <= queue_max");
+  depth_gauge_.set(0.0);
+}
+
+AdmissionVerdict AdmissionQueue::offer(QueuedJob&& job,
+                                       const OnAdmit& on_admit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& client_queue = queues_[job.client];
+  // Ring 1: fairness. The client's own backlog is the first limit so the
+  // global rings below are only ever filled by a *diverse* load.
+  if (client_queue.size() >= opts_.per_client_max) {
+    retry_after_.inc();
+    return AdmissionVerdict::kRetryAfter;
+  }
+  // Ring 3: hard bound.
+  if (depth_ >= opts_.queue_max) {
+    shed_.inc();
+    return AdmissionVerdict::kShed;
+  }
+  // Ring 2: fidelity degradation between the watermark and the bound.
+  AdmissionVerdict verdict = AdmissionVerdict::kAccept;
+  if (depth_ >= opts_.degrade_watermark && job.spec.degrade_eligible()) {
+    job.spec.backend = opts_.degrade_backend;
+    job.degraded = true;
+    verdict = AdmissionVerdict::kDegrade;
+    degraded_.inc();
+  }
+  accepted_.inc();
+  if (on_admit) on_admit(job, verdict);
+  if (client_queue.empty() &&
+      std::find(order_.begin(), order_.end(), job.client) == order_.end()) {
+    order_.push_back(job.client);
+  }
+  client_queue.push_back(std::move(job));
+  ++depth_;
+  set_depth_gauge_locked();
+  cv_.notify_one();
+  return verdict;
+}
+
+void AdmissionQueue::requeue(QueuedJob&& job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& client_queue = queues_[job.client];
+  if (client_queue.empty() &&
+      std::find(order_.begin(), order_.end(), job.client) == order_.end()) {
+    order_.push_back(job.client);
+  }
+  client_queue.push_back(std::move(job));
+  ++depth_;
+  set_depth_gauge_locked();
+  cv_.notify_one();
+}
+
+std::optional<QueuedJob> AdmissionQueue::pop(std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, wait, [&] { return depth_ > 0 || closed_; });
+  if (depth_ == 0) return std::nullopt;
+  // Rotate the cursor to the next client with pending work; drop clients
+  // whose deques have drained. depth_ > 0 guarantees a non-empty deque
+  // exists, and every pass either returns it or shrinks order_.
+  while (!order_.empty()) {
+    if (cursor_ >= order_.size()) cursor_ = 0;
+    auto it = queues_.find(order_[cursor_]);
+    if (it == queues_.end() || it->second.empty()) {
+      if (it != queues_.end()) queues_.erase(it);
+      order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+      continue;  // the same cursor index now points at the next client
+    }
+    QueuedJob job = std::move(it->second.front());
+    it->second.pop_front();
+    ++cursor_;
+    --depth_;
+    set_depth_gauge_locked();
+    return job;
+  }
+  return std::nullopt;
+}
+
+void AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+std::size_t AdmissionQueue::pending_for(const std::string& client) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = queues_.find(client);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+void AdmissionQueue::set_depth_gauge_locked() {
+  depth_gauge_.set(static_cast<double>(depth_));
+}
+
+}  // namespace lpm::srv

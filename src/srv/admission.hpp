@@ -1,0 +1,135 @@
+// Admission control for lpmd: one bounded queue, three defence rings.
+//
+// Every submitted job passes offer(), which decides atomically (queue lock
+// held) which ring it lands in:
+//
+//  1. *Fairness backpressure* — a client with per_client_max jobs already
+//     pending gets kRetryAfter with a retry hint. One greedy client can
+//     therefore never starve the others no matter how fast it submits; the
+//     server never buffers on its behalf (the client holds its own jobs).
+//  2. *Graceful degradation* — once global depth reaches degrade_watermark,
+//     degrade-eligible jobs (cycle fidelity, client allowed it) are
+//     rewritten to the analytic degrade backend before queueing. They run
+//     ~1000x faster at reduced fidelity, draining the queue instead of
+//     growing it; the result frame is tagged `degraded:true` so the client
+//     always knows which fidelity it got.
+//  3. *Load shedding* — at queue_max the job is refused outright with a
+//     typed overload error (kShed). Bounded queue, bounded memory: the
+//     server's backlog can never grow without limit.
+//
+// Dispatch (pop()) is round-robin across clients, not FIFO across the
+// global arrival order: each client keeps its own FIFO deque and a cursor
+// rotates over clients with pending work, so a burst from one client
+// interleaves fairly with everyone else's jobs.
+//
+// Crash recovery uses requeue(), which bypasses the rings: a journaled job
+// was already admitted once, and re-losing it to a full queue would break
+// the exactly-once guarantee the journal exists to provide.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "srv/job_spec.hpp"
+
+namespace lpm::srv {
+
+/// One admitted job as it sits in the queue. `key` is the globally unique
+/// "client/id" job key (journal identity); `degraded` records ring 2.
+struct QueuedJob {
+  std::string client;
+  std::string id;
+  std::string key;  ///< client + "/" + id
+  JobSpec spec;
+  bool degraded = false;
+  /// Wall deadline derived from spec.deadline_ms at admission; time_point
+  /// max() when the job has none. Checked by the executor at pop.
+  std::chrono::steady_clock::time_point deadline;
+  std::chrono::steady_clock::time_point accepted_at;
+};
+
+enum class AdmissionVerdict {
+  kAccept,      ///< queued as submitted
+  kDegrade,     ///< queued with the backend rewritten to analytic fidelity
+  kRetryAfter,  ///< client over its pending budget; resubmit after the hint
+  kShed,        ///< queue full; typed overload error
+};
+
+[[nodiscard]] const char* to_string(AdmissionVerdict verdict);
+
+class AdmissionQueue {
+ public:
+  struct Options {
+    std::size_t queue_max = 256;
+    std::size_t per_client_max = 32;
+    /// Depth at which ring 2 starts rewriting eligible jobs. Must be
+    /// <= queue_max (equal disables degradation).
+    std::size_t degrade_watermark = 128;
+    /// Analytic backend degraded jobs run at.
+    std::string degrade_backend = "rdh";
+    /// Hint carried by kRetryAfter responses.
+    std::uint64_t retry_after_ms = 200;
+  };
+
+  explicit AdmissionQueue(Options opts);
+
+  /// Invoked under the queue lock after a job passes the rings (its
+  /// degradation already applied) but before it becomes poppable. lpmd
+  /// journals the accept record here: nothing can execute a job whose
+  /// acceptance is not yet durable, which the exactly-once recovery
+  /// argument depends on. Must not call back into the queue.
+  using OnAdmit = std::function<void(const QueuedJob&, AdmissionVerdict)>;
+
+  /// Admits (or refuses) one job; on kAccept/kDegrade the job is queued
+  /// (moved from). Thread-safe; the verdict and the queue mutation are one
+  /// atomic step, so two racing offers can never both claim the last slot.
+  AdmissionVerdict offer(QueuedJob&& job, const OnAdmit& on_admit = nullptr);
+
+  /// Re-enqueues a recovered job unconditionally (see header comment).
+  void requeue(QueuedJob&& job);
+
+  /// Round-robin pop across clients; blocks up to `wait` for work. Empty
+  /// optional on timeout or when the queue is closed and drained.
+  [[nodiscard]] std::optional<QueuedJob> pop(std::chrono::milliseconds wait);
+
+  /// Wakes all poppers; pop() drains what is queued, then returns empty.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t pending_for(const std::string& client) const;
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] std::uint64_t retry_after_hint_ms() const {
+    return opts_.retry_after_ms;
+  }
+
+ private:
+  void set_depth_gauge_locked();
+
+  const Options opts_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::size_t depth_ = 0;
+  /// Per-client FIFO deques plus a rotation order; `cursor_` indexes the
+  /// next client to serve in `order_`.
+  std::unordered_map<std::string, std::deque<QueuedJob>> queues_;
+  std::vector<std::string> order_;
+  std::size_t cursor_ = 0;
+
+  obs::MetricsRegistry::Counter accepted_;
+  obs::MetricsRegistry::Counter degraded_;
+  obs::MetricsRegistry::Counter retry_after_;
+  obs::MetricsRegistry::Counter shed_;
+  obs::MetricsRegistry::Gauge depth_gauge_;
+};
+
+}  // namespace lpm::srv

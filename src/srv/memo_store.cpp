@@ -1,0 +1,66 @@
+#include "srv/memo_store.hpp"
+
+namespace lpm::srv {
+
+MemoStore::MemoStore(std::uint64_t byte_budget)
+    : byte_budget_(byte_budget),
+      hits_(obs::MetricsRegistry::global().counter("srv.cache.hits")),
+      misses_(obs::MetricsRegistry::global().counter("srv.cache.misses")),
+      evictions_(obs::MetricsRegistry::global().counter("srv.cache.evictions")),
+      bytes_gauge_(obs::MetricsRegistry::global().gauge("srv.cache.bytes")) {
+  bytes_gauge_.set(0.0);
+}
+
+std::optional<std::string> MemoStore::get(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    misses_.inc();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  hits_.inc();
+  return it->second->body;
+}
+
+void MemoStore::put(std::uint64_t fingerprint, std::string body) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    // Deterministic results mean a re-put carries the same bytes; just
+    // refresh recency rather than re-accounting.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Entry entry{fingerprint, std::move(body)};
+  const std::uint64_t incoming = entry_bytes(entry);
+  if (incoming > byte_budget_) return;  // would evict everything for one key
+  evict_until_fits_locked(incoming);
+  lru_.push_front(std::move(entry));
+  index_[fingerprint] = lru_.begin();
+  bytes_ += incoming;
+  bytes_gauge_.set(static_cast<double>(bytes_));
+}
+
+std::size_t MemoStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t MemoStore::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+void MemoStore::evict_until_fits_locked(std::uint64_t incoming) {
+  while (!lru_.empty() && bytes_ + incoming > byte_budget_) {
+    const Entry& victim = lru_.back();
+    bytes_ -= entry_bytes(victim);
+    index_.erase(victim.fingerprint);
+    lru_.pop_back();
+    evictions_.inc();
+  }
+  bytes_gauge_.set(static_cast<double>(bytes_));
+}
+
+}  // namespace lpm::srv

@@ -1,0 +1,76 @@
+// MemoStore: the server-side memo cache fronting the engine.
+//
+// The lpmd server runs its engine with the engine's own memo cache
+// disabled, because that cache holds shared_ptr<SimJobResult> objects and
+// never evicts — fine for one sweep's working set, wrong for a long-lived
+// daemon serving arbitrary clients. The server instead memoizes the
+// *rendered* result: the flat-JSON body fragment that would be spliced into
+// a result frame, keyed by the same engine fingerprint (which already
+// covers machine + workloads + calibrate + backend, so degraded jobs can
+// never alias their full-fidelity twins).
+//
+// Storing the rendered fragment makes a hit allocation-cheap (one splice
+// into the response frame, no re-rendering) and makes the byte budget
+// honest: the accounted size is exactly what the cache keeps alive.
+//
+// Eviction is LRU under a byte budget. Both lookup and insert are O(1);
+// everything is guarded by one mutex (entries are small and the critical
+// sections are pointer shuffles, so a single lock outperforms anything
+// fancier at server scale).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace lpm::srv {
+
+class MemoStore {
+ public:
+  /// `byte_budget` bounds the sum of stored fragment sizes (+ key
+  /// overhead). 0 disables memoization entirely (every get misses).
+  explicit MemoStore(std::uint64_t byte_budget);
+
+  /// The cached body fragment for `fingerprint`, refreshing its recency.
+  [[nodiscard]] std::optional<std::string> get(std::uint64_t fingerprint);
+
+  /// Inserts (or refreshes) a fragment, evicting LRU entries until the
+  /// budget holds. A fragment larger than the whole budget is not stored.
+  void put(std::uint64_t fingerprint, std::string body);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t bytes() const;
+  [[nodiscard]] std::uint64_t budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::string body;
+  };
+
+  /// Accounted footprint of one entry (fragment + key + list/map overhead
+  /// approximation, so the budget tracks real memory, not just payload).
+  [[nodiscard]] static std::uint64_t entry_bytes(const Entry& e) {
+    return e.body.size() + 64;
+  }
+
+  void evict_until_fits_locked(std::uint64_t incoming);
+
+  const std::uint64_t byte_budget_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t bytes_ = 0;
+
+  obs::MetricsRegistry::Counter hits_;
+  obs::MetricsRegistry::Counter misses_;
+  obs::MetricsRegistry::Counter evictions_;
+  obs::MetricsRegistry::Gauge bytes_gauge_;
+};
+
+}  // namespace lpm::srv

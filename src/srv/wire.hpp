@@ -1,0 +1,120 @@
+// Wire layer of the lpmd job server: length-prefixed flat-JSON frames over
+// Unix-domain stream sockets.
+//
+// A frame is a 4-byte big-endian payload length followed by that many bytes
+// of UTF-8 text holding exactly one flat JSON object (the shape
+// util::FlatJson parses — no nesting needed anywhere in the protocol).
+// Frames are capped at kMaxFramePayload so a misbehaving peer can never
+// make the server buffer unboundedly; an oversized length prefix is a
+// protocol error, not an allocation.
+//
+// All socket I/O is non-blocking + poll with an overall per-frame deadline,
+// so a slow or stalled peer costs the calling thread at most `timeout_ms`
+// before it reports kTimeout and the connection can be reaped. EOF and
+// ECONNRESET surface as kClosed; genuinely unexpected errno values throw
+// util::IoError. Writes use MSG_NOSIGNAL: a vanished peer is a return
+// value, never a SIGPIPE.
+//
+// Thread safety: Fd is a move-only owner; frame functions are free
+// functions safe on distinct fds concurrently. Two threads writing one fd
+// must serialize externally (srv::Connection holds the mutex).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lpm::srv {
+
+/// Protocol revision spoken by this build; `hello` frames carry it.
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload (1 MiB). Large enough for any result
+/// stream frame, small enough that a hostile length prefix is harmless.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// Move-only owner of a file descriptor (socket). close() on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int get() const { return fd_; }
+  /// Gives up ownership without closing.
+  int release();
+  /// Half-closes both directions so a thread blocked in poll() on this fd
+  /// wakes up; the descriptor itself stays open until destruction (safe to
+  /// call while another thread is polling).
+  void shutdown_both() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one frame read/write (never throws for peer-caused trouble).
+enum class IoStatus {
+  kOk,
+  kTimeout,  ///< deadline expired before the frame completed
+  kClosed,   ///< orderly EOF or connection reset by peer
+};
+
+[[nodiscard]] const char* to_string(IoStatus status);
+
+/// Binds and listens on a Unix-domain socket at `path` (an existing socket
+/// file is unlinked first). Throws util::IoError on failure.
+[[nodiscard]] Fd listen_unix(const std::string& path);
+
+/// Connects to the Unix-domain socket at `path`. Throws util::IoError when
+/// the socket is absent or refuses.
+[[nodiscard]] Fd connect_unix(const std::string& path);
+
+/// Waits up to `timeout_ms` for a pending connection and accepts it.
+/// Returns an empty optional on timeout. Throws util::IoError on listener
+/// breakage.
+[[nodiscard]] std::optional<Fd> accept_unix(const Fd& listener, int timeout_ms);
+
+/// Sends one frame (length prefix + payload) within `timeout_ms`. Payloads
+/// over kMaxFramePayload throw util::ConfigError (caller bug, not peer).
+[[nodiscard]] IoStatus write_frame(const Fd& fd, const std::string& payload,
+                                   int timeout_ms);
+
+/// Receives one frame within `timeout_ms` into `payload`. A peer
+/// announcing more than kMaxFramePayload bytes is treated as kClosed after
+/// the connection is shut down (protocol violation).
+[[nodiscard]] IoStatus read_frame(const Fd& fd, std::string& payload,
+                                  int timeout_ms);
+
+/// Builder for one flat JSON object, the only payload shape the protocol
+/// uses. Key order is insertion order; values are escaped the same way the
+/// ResultSink JSON-lines writer escapes (every control character covered).
+class JsonWriter {
+ public:
+  JsonWriter& str(const std::string& key, const std::string& value);
+  JsonWriter& num(const std::string& key, double value);
+  JsonWriter& num_u64(const std::string& key, std::uint64_t value);
+  JsonWriter& boolean(const std::string& key, bool value);
+  /// Splices a pre-rendered `"key":value[,...]` body fragment (produced by
+  /// another writer's body()) into this object verbatim.
+  JsonWriter& raw_body(const std::string& fragment);
+
+  /// The comma-joined `"key":value` body without braces — storable and
+  /// spliceable into another frame via raw_body().
+  [[nodiscard]] const std::string& body() const { return body_; }
+  /// The complete `{...}` object.
+  [[nodiscard]] std::string finish() const;
+
+ private:
+  void key(const std::string& k);
+  std::string body_;
+};
+
+/// JSON string escaping used by JsonWriter (exposed for tests).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace lpm::srv

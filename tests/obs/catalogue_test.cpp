@@ -5,6 +5,7 @@
 // in the doc that no code emits fails here, so the catalogue cannot rot.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "exp/experiment_engine.hpp"
 #include "model/analytic.hpp"
 #include "obs/metrics.hpp"
+#include "srv/client.hpp"
+#include "srv/server.hpp"
 #include "trace/spec_like.hpp"
 
 namespace lpm {
@@ -163,6 +166,58 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
   EXPECT_GE(snap.counter_or_zero("model.backend.calibration_cache_hits"), 1u);
   EXPECT_GT(snap.histograms.at("exp.job.run_ms").count, 0u);
   EXPECT_GT(snap.histograms.at("lpm.lpmr1").count, 0u);
+}
+
+TEST(MetricCatalogue, ServerNamesAreEmitted) {
+  // Constructing the lpmd server registers every srv.* metric (counters,
+  // gauges, histograms are member handles); one job through it makes the
+  // core counters move. Keep the name lists in lockstep with the srv.*
+  // section of OBSERVABILITY.md.
+  srv::Server::Options opts;
+  opts.socket_path = testing::TempDir() + "catalogue_lpmd.sock";
+  opts.journal_path = testing::TempDir() + "catalogue_lpmd.journal";
+  std::remove(opts.journal_path.c_str());
+  srv::Server server(std::move(opts));
+  server.start();
+  srv::Client client(server.options().socket_path, "catalogue");
+  client.connect();
+  srv::JobSpec spec;
+  spec.kind = "simulate";
+  spec.workload = "403.gcc";
+  spec.length = 2'000;
+  ASSERT_TRUE(client.submit("m1", spec));
+  bool done = false;
+  for (int i = 0; i < 300 && !done; ++i) {
+    const auto frame = client.poll(100);
+    done = frame && frame->get_string("op").value_or("") == "done";
+  }
+  ASSERT_TRUE(done);
+  server.stop();
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const std::vector<std::string> counters = {
+      "srv.connections.accepted", "srv.connections.reaped",
+      "srv.frames.received", "srv.frames.sent",
+      "srv.jobs.accepted", "srv.jobs.degraded", "srv.jobs.retry_after",
+      "srv.jobs.shed", "srv.jobs.completed", "srv.jobs.failed",
+      "srv.jobs.deadline_expired", "srv.jobs.recovered",
+      "srv.cache.hits", "srv.cache.misses", "srv.cache.evictions",
+  };
+  for (const auto& name : counters) {
+    EXPECT_TRUE(snap.counters.contains(name)) << "missing counter: " << name;
+  }
+  for (const auto& name : {"srv.queue.depth", "srv.cache.bytes"}) {
+    EXPECT_TRUE(snap.gauges.contains(name)) << "missing gauge: " << name;
+  }
+  for (const auto& name : {"srv.job.queue_wait_ms", "srv.job.service_ms"}) {
+    EXPECT_TRUE(snap.histograms.contains(name))
+        << "missing histogram: " << name;
+  }
+  EXPECT_GE(snap.counter_or_zero("srv.connections.accepted"), 1u);
+  EXPECT_GE(snap.counter_or_zero("srv.jobs.accepted"), 1u);
+  EXPECT_GE(snap.counter_or_zero("srv.jobs.completed"), 1u);
+  EXPECT_GE(snap.counter_or_zero("srv.frames.sent"), 2u);  // hello_ok + ack + done
+  EXPECT_GT(snap.histograms.at("srv.job.service_ms").count, 0u);
 }
 
 }  // namespace

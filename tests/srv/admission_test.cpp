@@ -1,0 +1,226 @@
+// AdmissionQueue: the three defence rings and round-robin dispatch.
+#include "srv/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lpm::srv {
+namespace {
+
+using std::chrono::milliseconds;
+
+QueuedJob make_job(const std::string& client, const std::string& id,
+                   bool degrade_ok = true, const std::string& backend = "cycle") {
+  QueuedJob job;
+  job.client = client;
+  job.id = id;
+  job.key = client + "/" + id;
+  job.spec.kind = "simulate";
+  job.spec.workload = "403.gcc";
+  job.spec.length = 1'000;
+  job.spec.backend = backend;
+  job.spec.degrade_ok = degrade_ok;
+  job.deadline = std::chrono::steady_clock::time_point::max();
+  job.accepted_at = std::chrono::steady_clock::now();
+  return job;
+}
+
+AdmissionQueue::Options small_opts() {
+  AdmissionQueue::Options opts;
+  opts.queue_max = 4;
+  opts.per_client_max = 2;
+  opts.degrade_watermark = 4;  // == queue_max: ring 2 disabled
+  opts.retry_after_ms = 123;
+  return opts;
+}
+
+TEST(Admission, AcceptsAndPops) {
+  AdmissionQueue q(small_opts());
+  EXPECT_EQ(q.offer(make_job("a", "1")), AdmissionVerdict::kAccept);
+  EXPECT_EQ(q.depth(), 1u);
+  const auto job = q.pop(milliseconds(100));
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->key, "a/1");
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(Admission, PerClientRingRetriesGreedyClient) {
+  AdmissionQueue q(small_opts());
+  EXPECT_EQ(q.offer(make_job("a", "1")), AdmissionVerdict::kAccept);
+  EXPECT_EQ(q.offer(make_job("a", "2")), AdmissionVerdict::kAccept);
+  // Third job from the same client bounces with the retry hint...
+  EXPECT_EQ(q.offer(make_job("a", "3")), AdmissionVerdict::kRetryAfter);
+  EXPECT_EQ(q.retry_after_hint_ms(), 123u);
+  // ...while another client still gets in.
+  EXPECT_EQ(q.offer(make_job("b", "1")), AdmissionVerdict::kAccept);
+  EXPECT_EQ(q.pending_for("a"), 2u);
+  EXPECT_EQ(q.pending_for("b"), 1u);
+}
+
+TEST(Admission, HardBoundSheds) {
+  auto opts = small_opts();
+  opts.per_client_max = 10;  // out of the way
+  AdmissionQueue q(opts);
+  for (int i = 0; i < 4; ++i) {
+    // Built incrementally: GCC 12's -Wrestrict misfires on
+    // "literal" + std::to_string(...).
+    std::string name = "c";
+    name += std::to_string(i);
+    EXPECT_EQ(q.offer(make_job(name, "1")), AdmissionVerdict::kAccept);
+  }
+  EXPECT_EQ(q.offer(make_job("c9", "1")), AdmissionVerdict::kShed);
+  EXPECT_EQ(q.depth(), 4u);
+}
+
+TEST(Admission, DegradeRingRewritesBackend) {
+  AdmissionQueue::Options opts;
+  opts.queue_max = 8;
+  opts.per_client_max = 8;
+  opts.degrade_watermark = 1;
+  opts.degrade_backend = "fa";
+  AdmissionQueue q(opts);
+  EXPECT_EQ(q.offer(make_job("a", "1")), AdmissionVerdict::kAccept);
+  // Depth is now at the watermark: eligible jobs degrade...
+  EXPECT_EQ(q.offer(make_job("a", "2")), AdmissionVerdict::kDegrade);
+  // ...jobs the client pinned to full fidelity do not...
+  EXPECT_EQ(q.offer(make_job("a", "3", /*degrade_ok=*/false)),
+            AdmissionVerdict::kAccept);
+  // ...and analytic jobs have nothing to degrade to.
+  EXPECT_EQ(q.offer(make_job("a", "4", true, "rdh")), AdmissionVerdict::kAccept);
+
+  for (int i = 0; i < 4; ++i) {
+    const auto job = q.pop(milliseconds(100));
+    ASSERT_TRUE(job.has_value());
+    if (job->id == "2") {
+      EXPECT_TRUE(job->degraded);
+      EXPECT_EQ(job->spec.backend, "fa");
+    } else {
+      EXPECT_FALSE(job->degraded);
+    }
+  }
+}
+
+TEST(Admission, PopIsRoundRobinAcrossClients) {
+  AdmissionQueue::Options opts;
+  opts.queue_max = 64;
+  opts.per_client_max = 64;
+  opts.degrade_watermark = 64;
+  AdmissionQueue q(opts);
+  // One burst client and two light clients; arrival order is a/1..a/4
+  // before anyone else.
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_EQ(q.offer(make_job("a", std::to_string(i))),
+              AdmissionVerdict::kAccept);
+  }
+  ASSERT_EQ(q.offer(make_job("b", "1")), AdmissionVerdict::kAccept);
+  ASSERT_EQ(q.offer(make_job("c", "1")), AdmissionVerdict::kAccept);
+
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) {
+    const auto job = q.pop(milliseconds(100));
+    ASSERT_TRUE(job.has_value());
+    order.push_back(job->key);
+  }
+  // b/1 and c/1 must both be served before the burst client's third job:
+  // round-robin, not FIFO.
+  const auto pos = [&order](const std::string& key) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == key) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos("b/1"), pos("a/3"));
+  EXPECT_LT(pos("c/1"), pos("a/3"));
+  // Per-client FIFO is preserved.
+  EXPECT_LT(pos("a/1"), pos("a/2"));
+  EXPECT_LT(pos("a/2"), pos("a/3"));
+}
+
+TEST(Admission, RequeueBypassesRings) {
+  auto opts = small_opts();
+  opts.queue_max = 1;
+  opts.degrade_watermark = 1;  // must stay <= queue_max
+  AdmissionQueue q(opts);
+  ASSERT_EQ(q.offer(make_job("a", "1")), AdmissionVerdict::kAccept);
+  // Queue is full, but a recovered job must never be re-lost.
+  q.requeue(make_job("a", "recovered"));
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(Admission, OnAdmitRunsBeforeJobIsPoppable) {
+  // The journal hook must see the job (with ring-2 rewrites applied)
+  // before any popper can: lpmd's exactly-once argument depends on it.
+  AdmissionQueue::Options opts;
+  opts.queue_max = 8;
+  opts.per_client_max = 8;
+  opts.degrade_watermark = 0;  // degrade immediately
+  opts.degrade_backend = "rdh";
+  AdmissionQueue q(opts);
+
+  bool saw = false;
+  const auto verdict = q.offer(
+      make_job("a", "1"), [&saw, &q](const QueuedJob& job, AdmissionVerdict v) {
+        saw = true;
+        EXPECT_EQ(v, AdmissionVerdict::kDegrade);
+        EXPECT_EQ(job.spec.backend, "rdh");
+        EXPECT_TRUE(job.degraded);
+        // Not poppable yet: the lock is held, depth not yet visible as a
+        // poppable entry. (depth() would deadlock here; observing the
+        // callback firing at all, before offer returns, is the contract.)
+      });
+  EXPECT_EQ(verdict, AdmissionVerdict::kDegrade);
+  EXPECT_TRUE(saw);
+  const auto job = q.pop(milliseconds(100));
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->spec.backend, "rdh");
+}
+
+TEST(Admission, RefusedJobsSkipOnAdmit) {
+  // Fill the whole (tiny) queue from one client, then shed a second
+  // client's job: the journal hook must not see refused work.
+  auto opts = small_opts();
+  opts.queue_max = 1;
+  opts.degrade_watermark = 1;  // must stay <= queue_max
+  AdmissionQueue q(opts);
+  ASSERT_EQ(q.offer(make_job("a", "1")), AdmissionVerdict::kAccept);
+  bool saw = false;
+  EXPECT_EQ(q.offer(make_job("b", "1"),
+                    [&saw](const QueuedJob&, AdmissionVerdict) { saw = true; }),
+            AdmissionVerdict::kShed);
+  EXPECT_FALSE(saw);
+}
+
+TEST(Admission, PopTimesOutEmpty) {
+  AdmissionQueue q(small_opts());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop(milliseconds(60)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, milliseconds(50));
+}
+
+TEST(Admission, CloseWakesBlockedPopper) {
+  AdmissionQueue q(small_opts());
+  std::thread popper([&q] {
+    // Generous wait: close() must cut it short.
+    EXPECT_FALSE(q.pop(milliseconds(10'000)).has_value());
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  q.close();
+  popper.join();
+}
+
+TEST(Admission, CloseDrainsQueuedWork) {
+  AdmissionQueue q(small_opts());
+  ASSERT_EQ(q.offer(make_job("a", "1")), AdmissionVerdict::kAccept);
+  q.close();
+  // Already-admitted work still pops after close...
+  EXPECT_TRUE(q.pop(milliseconds(100)).has_value());
+  // ...then pop reports drained.
+  EXPECT_FALSE(q.pop(milliseconds(100)).has_value());
+}
+
+}  // namespace
+}  // namespace lpm::srv

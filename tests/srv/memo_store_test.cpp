@@ -1,0 +1,97 @@
+// MemoStore: LRU byte-budgeted cache of rendered result fragments.
+#include "srv/memo_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lpm::srv {
+namespace {
+
+// entry_bytes() = body.size() + 64; budgets below are chosen around that.
+
+TEST(MemoStore, MissThenHit) {
+  MemoStore store(1 << 20);
+  EXPECT_FALSE(store.get(1).has_value());
+  store.put(1, "\"ipc\":2.0");
+  const auto hit = store.get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "\"ipc\":2.0");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MemoStore, EvictsLeastRecentlyUsed) {
+  // Room for exactly two 64-byte-overhead empty-ish entries.
+  MemoStore store(2 * (64 + 4));
+  store.put(1, "aaaa");
+  store.put(2, "bbbb");
+  ASSERT_TRUE(store.get(1).has_value());  // 1 is now most recent
+  store.put(3, "cccc");                   // evicts 2, the LRU entry
+  EXPECT_TRUE(store.get(1).has_value());
+  EXPECT_FALSE(store.get(2).has_value());
+  EXPECT_TRUE(store.get(3).has_value());
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(MemoStore, RePutRefreshesInsteadOfDuplicating) {
+  MemoStore store(1 << 20);
+  store.put(7, "old");
+  store.put(7, "old");
+  EXPECT_EQ(store.size(), 1u);
+  const auto before = store.bytes();
+  store.put(7, "old");
+  EXPECT_EQ(store.bytes(), before);
+}
+
+TEST(MemoStore, OversizedFragmentIsNotStored) {
+  MemoStore store(128);
+  store.put(9, std::string(4'096, 'x'));
+  EXPECT_FALSE(store.get(9).has_value());
+  EXPECT_EQ(store.bytes(), 0u);
+}
+
+TEST(MemoStore, ZeroBudgetDisables) {
+  MemoStore store(0);
+  store.put(1, "x");
+  EXPECT_FALSE(store.get(1).has_value());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(MemoStore, BytesTrackEvictions) {
+  MemoStore store(3 * (64 + 8));
+  for (std::uint64_t fp = 0; fp < 100; ++fp) {
+    store.put(fp, "12345678");
+  }
+  EXPECT_LE(store.bytes(), store.budget());
+  EXPECT_EQ(store.size(), 3u);
+  // The three survivors are the three most recent fingerprints.
+  EXPECT_TRUE(store.get(99).has_value());
+  EXPECT_TRUE(store.get(98).has_value());
+  EXPECT_TRUE(store.get(97).has_value());
+  EXPECT_FALSE(store.get(96).has_value());
+}
+
+TEST(MemoStore, ConcurrentMixedTrafficIsSafe) {
+  MemoStore store(8 * 1024);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t fp = (t * 131) + i % 64;
+        if (i % 3 == 0) {
+          store.put(fp, "body-" + std::to_string(fp));
+        } else if (const auto hit = store.get(fp)) {
+          EXPECT_EQ(*hit, "body-" + std::to_string(fp));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(store.bytes(), store.budget());
+}
+
+}  // namespace
+}  // namespace lpm::srv
