@@ -12,16 +12,23 @@ namespace {
 using Clock = std::chrono::steady_clock;
 }
 
-Client::Client(std::string socket_path, std::string name)
-    : socket_path_(std::move(socket_path)), name_(std::move(name)) {
+Client::Client(std::string endpoint, std::string name)
+    : Client(std::vector<std::string>{std::move(endpoint)}, std::move(name)) {}
+
+Client::Client(std::vector<std::string> endpoints, std::string name)
+    : endpoints_(std::move(endpoints)), name_(std::move(name)) {
+  util::require(!endpoints_.empty(), "Client: endpoint list must be non-empty");
   util::require(valid_name(name_), "Client: name must be [A-Za-z0-9._-]{1,64}");
+  for (const std::string& ep : endpoints_) {
+    (void)Endpoint::parse(ep);  // fail fast on a typo, not at connect()
+  }
 }
 
 void Client::connect(std::uint64_t budget_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
   for (;;) {
     try {
-      fd_ = connect_unix(socket_path_);
+      fd_ = connect_endpoint(Endpoint::parse(endpoints_[cursor_]));
       JsonWriter hello;
       hello.str("op", "hello").str("client", name_).num_u64("proto",
                                                             kProtocolVersion);
@@ -29,20 +36,33 @@ void Client::connect(std::uint64_t budget_ms) {
         std::string payload;
         if (read_frame(fd_, payload, 2'000) == IoStatus::kOk) {
           const util::FlatJson frame = util::FlatJson::parse(payload);
-          if (frame.get_string("op").value_or("") == "hello_ok") {
+          const std::string op = frame.get_string("op").value_or("");
+          if (op == "hello_ok") {
             recovered_ = static_cast<std::uint64_t>(
                 frame.get_number("recovered").value_or(0.0));
+            server_proto_ = static_cast<int>(
+                frame.get_number("proto").value_or(1.0));
             return;
+          }
+          if (frame.get_string("code").value_or("") == "unsupported_proto") {
+            // Retrying cannot help — this build speaks the wrong protocol.
+            fd_ = Fd();
+            throw util::ConfigError(
+                "Client: server at '" + endpoints_[cursor_] +
+                "' refused protocol " + std::to_string(kProtocolVersion));
           }
         }
       }
       fd_ = Fd();
     } catch (const util::IoError&) {
-      fd_ = Fd();  // server absent or mid-restart; retry below
+      fd_ = Fd();  // endpoint absent or mid-restart; try the next one
     }
+    rotate();
     if (Clock::now() >= deadline) {
-      throw util::IoError("Client: cannot reach lpmd at '" + socket_path_ +
-                          "' within " + std::to_string(budget_ms) + " ms");
+      throw util::IoError("Client: cannot reach lpmd at any of " +
+                          std::to_string(endpoints_.size()) +
+                          " endpoint(s) (first: '" + endpoints_[0] +
+                          "') within " + std::to_string(budget_ms) + " ms");
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }

@@ -1,0 +1,450 @@
+#include "srv/router.hpp"
+
+#include <unistd.h>
+
+#include "srv/job_spec.hpp"
+#include "srv/server.hpp"  // valid_name
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace lpm::srv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::rep now_rep() { return Clock::now().time_since_epoch().count(); }
+
+std::string error_frame(const std::string& id, const std::string& code,
+                        const std::string& message) {
+  JsonWriter out;
+  out.str("op", "error").str("id", id).str("code", code).str("message",
+                                                             message);
+  return out.finish();
+}
+
+}  // namespace
+
+Router::Router(Options opts)
+    : opts_(std::move(opts)),
+      shard_count_(obs::MetricsRegistry::global().gauge("srv.shard.count")),
+      jobs_routed_(
+          obs::MetricsRegistry::global().counter("srv.shard.jobs.routed")),
+      attach_fanouts_(
+          obs::MetricsRegistry::global().counter("srv.shard.attach.fanout")),
+      upstream_connects_(obs::MetricsRegistry::global().counter(
+          "srv.shard.upstream.connects")),
+      upstream_lost_(obs::MetricsRegistry::global().counter(
+          "srv.shard.upstream.lost")) {
+  util::require(!opts_.shards.empty(), "Router: shard list must be non-empty");
+  for (const std::string& ep : opts_.shards) {
+    (void)Endpoint::parse(ep);  // fail fast on a typo, not at first hello
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false);
+  listen_endpoint_ = Endpoint::parse(opts_.endpoint);
+  listener_ = listen_endpoint(listen_endpoint_);
+  if (listen_endpoint_.kind == Endpoint::Kind::kTcp) {
+    listen_endpoint_.port = bound_tcp_port(listener_);
+  }
+  bound_endpoint_ = listen_endpoint_.to_string();
+  shard_count_.set(static_cast<double>(opts_.shards.size()));
+  listener_thread_ = std::thread([this] { listener_loop(); });
+}
+
+void Router::serve() {
+  start();
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop();
+}
+
+void Router::stop() {
+  if (!running_.exchange(false)) return;
+  stop_requested_.store(true);
+  listener_.shutdown_both();
+  if (listener_thread_.joinable()) listener_thread_.join();
+  std::vector<std::pair<std::thread, SessionPtr>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [thread, session] : sessions_) kill_session(session);
+    sessions.swap(sessions_);
+  }
+  for (auto& [thread, session] : sessions) {
+    if (thread.joinable()) thread.join();
+  }
+  if (listen_endpoint_.kind == Endpoint::Kind::kUnix &&
+      !listen_endpoint_.path.empty()) {
+    ::unlink(listen_endpoint_.path.c_str());
+  }
+}
+
+std::size_t Router::route_count() const {
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  return routes_.size();
+}
+
+void Router::listener_loop() {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    std::optional<Fd> accepted;
+    try {
+      accepted = accept_socket(listener_, 100);
+    } catch (const util::IoError&) {
+      break;  // listener shut down under us (stop())
+    }
+    if (accepted) {
+      auto session = std::make_shared<Session>();
+      session->fd = std::move(*accepted);
+      session->last_activity.store(now_rep(), std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.emplace_back(
+          std::thread([this, session] { session_loop(session); }), session);
+    }
+    reap_idle_sessions();
+  }
+}
+
+void Router::session_loop(SessionPtr session) {
+  std::string payload;
+  while (!stop_requested_.load(std::memory_order_relaxed) &&
+         !session->dead.load(std::memory_order_relaxed)) {
+    const IoStatus status = read_frame(session->fd, payload, 500);
+    if (status == IoStatus::kClosed) break;
+    if (status == IoStatus::kTimeout) continue;  // the reaper handles idle
+    session->last_activity.store(now_rep(), std::memory_order_relaxed);
+    bool keep = false;
+    try {
+      keep = handle_frame(session, payload);
+    } catch (const std::exception& e) {
+      util::log_warn() << "router: dropping session after handler error: "
+                       << e.what();
+    }
+    if (!keep) break;
+  }
+  kill_session(session);
+  // The reader owns the pump joins: pumps never join themselves, they only
+  // mark the session dead and wake us via the fd shutdowns above.
+  for (Upstream& up : session->upstreams) {
+    if (up.pump.joinable()) up.pump.join();
+  }
+}
+
+void Router::reap_idle_sessions() {
+  const auto idle_budget = std::chrono::milliseconds(opts_.idle_timeout_ms);
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [thread, session] : sessions_) {
+      if (session->dead.load(std::memory_order_relaxed)) continue;
+      const auto last = Clock::time_point(Clock::duration(
+          session->last_activity.load(std::memory_order_relaxed)));
+      if (Clock::now() - last > idle_budget) kill_session(session);
+    }
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->dead.load(std::memory_order_relaxed) &&
+          it->first.joinable()) {
+        finished.push_back(std::move(it->first));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : finished) t.join();
+}
+
+void Router::kill_session(const SessionPtr& session) {
+  session->dead.store(true, std::memory_order_relaxed);
+  session->fd.shutdown_both();
+  for (Upstream& up : session->upstreams) up.fd.shutdown_both();
+}
+
+bool Router::handle_frame(const SessionPtr& session,
+                          const std::string& payload) {
+  util::FlatJson frame;
+  try {
+    frame = util::FlatJson::parse(payload);
+  } catch (const util::LpmError& e) {
+    send_down(session, error_frame("", "config",
+                                   std::string("bad frame: ") + e.what()));
+    return true;
+  }
+  const std::string op = frame.get_string("op").value_or("");
+
+  if (op == "hello") return handle_hello(session, frame);
+
+  if (session->client.empty()) {
+    send_down(session, error_frame("", "config", "hello required first"));
+    return false;
+  }
+
+  if (op == "submit") {
+    handle_submit(session, frame, payload);
+    return true;
+  }
+  if (op == "attach") {
+    handle_attach(session, frame, payload);
+    return true;
+  }
+  if (op == "ping") {
+    JsonWriter out;
+    out.str("op", "pong");
+    send_down(session, out.finish());
+    return true;
+  }
+  if (op == "stats") {
+    JsonWriter out;
+    out.str("op", "stats")
+        .boolean("router", true)
+        .num_u64("shards", opts_.shards.size())
+        .num_u64("routes", route_count());
+    send_down(session, out.finish());
+    return true;
+  }
+  if (op == "shutdown") {
+    // Broadcast so every shard winds down (and flushes its own metrics
+    // snapshot) before the router acknowledges and stops itself.
+    for (std::size_t i = 0; i < session->upstreams.size(); ++i) {
+      JsonWriter out;
+      out.str("op", "shutdown");
+      (void)write_frame(session->upstreams[i].fd, out.finish(),
+                        opts_.io_timeout_ms);
+    }
+    JsonWriter out;
+    out.str("op", "shutdown_ok");
+    send_down(session, out.finish());
+    stop_requested_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  send_down(session, error_frame("", "config", "unknown op '" + op + "'"));
+  return true;
+}
+
+bool Router::handle_hello(const SessionPtr& session,
+                          const util::FlatJson& frame) {
+  const double proto = frame.get_number("proto").value_or(1);
+  if (proto > kProtocolVersion) {
+    send_down(session,
+              error_frame("", "unsupported_proto",
+                          "router speaks proto " +
+                              std::to_string(kProtocolVersion) +
+                              "; client announced a newer one"));
+    return false;
+  }
+  const std::string client = frame.get_string("client").value_or("");
+  if (!valid_name(client)) {
+    send_down(session, error_frame("", "config",
+                                   "hello: client name must be "
+                                   "[A-Za-z0-9._-]{1,64}"));
+    return false;
+  }
+  session->client = client;
+
+  // Dial every shard with the client's own name (shard-side job keys are
+  // "client/id"), retrying through the budget so a shard mid-restart does
+  // not fail the whole session.
+  std::uint64_t recovered = 0;
+  session->upstreams.resize(opts_.shards.size());
+  for (std::size_t i = 0; i < opts_.shards.size(); ++i) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                             opts_.upstream_connect_budget_ms);
+    bool connected = false;
+    while (!connected && !stop_requested_.load(std::memory_order_relaxed)) {
+      try {
+        Fd fd = connect_endpoint(Endpoint::parse(opts_.shards[i]));
+        JsonWriter hello;
+        hello.str("op", "hello").str("client", client).num_u64(
+            "proto", kProtocolVersion);
+        if (write_frame(fd, hello.finish(), 1'000) == IoStatus::kOk) {
+          std::string reply;
+          if (read_frame(fd, reply, 2'000) == IoStatus::kOk) {
+            const util::FlatJson ok = util::FlatJson::parse(reply);
+            if (ok.get_string("op").value_or("") == "hello_ok") {
+              recovered += static_cast<std::uint64_t>(
+                  ok.get_number("recovered").value_or(0.0));
+              session->upstreams[i].fd = std::move(fd);
+              connected = true;
+            }
+          }
+        }
+      } catch (const util::IoError&) {
+        // shard absent or mid-restart; retry below
+      }
+      if (!connected) {
+        if (Clock::now() >= deadline) {
+          send_down(session,
+                    error_frame("", "io",
+                                "shard " + std::to_string(i) + " at '" +
+                                    opts_.shards[i] + "' is unreachable"));
+          return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    if (!connected) return false;  // stop requested mid-dial
+    upstream_connects_.inc();
+  }
+
+  for (std::size_t i = 0; i < session->upstreams.size(); ++i) {
+    session->upstreams[i].pump =
+        std::thread([this, session, i] { pump_loop(session, i); });
+  }
+
+  JsonWriter out;
+  out.str("op", "hello_ok")
+      .num_u64("proto", kProtocolVersion)
+      .num_u64("recovered", recovered);
+  send_down(session, out.finish());
+  return true;
+}
+
+void Router::handle_submit(const SessionPtr& session,
+                           const util::FlatJson& frame,
+                           const std::string& payload) {
+  const std::string id = frame.get_string("id").value_or("");
+  if (!valid_name(id)) {
+    send_down(session, error_frame(id, "config",
+                                   "submit: id must be [A-Za-z0-9._-]{1,64}"));
+    return;
+  }
+  const std::string key = session->client + "/" + id;
+  std::size_t shard = 0;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(key);
+    if (it != routes_.end()) {
+      // A resubmit must reach the shard that first accepted the key, even
+      // if the spec changed — the shard's idempotency rule owns the id.
+      shard = it->second;
+    } else {
+      try {
+        shard = static_cast<std::size_t>(
+            JobSpec::decode(frame).shard_fingerprint() % opts_.shards.size());
+      } catch (const util::LpmError& e) {
+        send_down(session,
+                  error_frame(id, error_code_name(e.code()), e.what()));
+        return;
+      }
+      routes_[key] = shard;
+    }
+  }
+  jobs_routed_.inc();
+  send_up(session, shard, payload);
+}
+
+void Router::handle_attach(const SessionPtr& session,
+                           const util::FlatJson& frame,
+                           const std::string& payload) {
+  const std::string id = frame.get_string("id").value_or("");
+  const std::string key = session->client + "/" + id;
+  std::size_t shard = 0;
+  bool have_route = false;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(key);
+    if (it != routes_.end()) {
+      shard = it->second;
+      have_route = true;
+    }
+  }
+  if (have_route) {
+    send_up(session, shard, payload);
+    return;
+  }
+  // No learned route (router restarted, or the id never existed): ask every
+  // shard, swallow non-owner unknown_jobs (see header comment).
+  attach_fanouts_.inc();
+  {
+    std::lock_guard<std::mutex> lock(session->fanout_mutex);
+    session->fanout_pending[id] = session->upstreams.size();
+  }
+  for (std::size_t i = 0; i < session->upstreams.size(); ++i) {
+    send_up(session, i, payload);
+  }
+}
+
+void Router::pump_loop(SessionPtr session, std::size_t shard) {
+  std::string payload;
+  while (!stop_requested_.load(std::memory_order_relaxed) &&
+         !session->dead.load(std::memory_order_relaxed)) {
+    const IoStatus status =
+        read_frame(session->upstreams[shard].fd, payload, 500);
+    if (status == IoStatus::kTimeout) continue;
+    if (status == IoStatus::kClosed) {
+      // Shard gone (SIGKILL or shutdown). Kill the session; the client's
+      // reconnect redials every shard and reconciles via attach/resubmit.
+      if (!session->dead.load(std::memory_order_relaxed) &&
+          !stop_requested_.load(std::memory_order_relaxed)) {
+        upstream_lost_.inc();
+      }
+      kill_session(session);
+      return;
+    }
+
+    std::string id;
+    bool forward = true;
+    try {
+      const util::FlatJson frame = util::FlatJson::parse(payload);
+      id = frame.get_string("id").value_or("");
+      const bool is_unknown =
+          frame.get_string("op").value_or("") == "error" &&
+          frame.get_string("code").value_or("") == "unknown_job";
+      if (!id.empty()) {
+        std::lock_guard<std::mutex> lock(session->fanout_mutex);
+        const auto it = session->fanout_pending.find(id);
+        if (it != session->fanout_pending.end()) {
+          if (is_unknown) {
+            // Forward unknown_job only when every shard has disowned the
+            // key — a premature one would license an unsafe resubmit.
+            if (--it->second > 0) {
+              forward = false;
+            } else {
+              session->fanout_pending.erase(it);
+            }
+          } else {
+            session->fanout_pending.erase(it);
+          }
+        }
+      }
+      if (forward && !id.empty() && !is_unknown) {
+        // Any substantive answer pins the key to this shard for later
+        // attaches (cheap, and it repopulates the table after a restart).
+        std::lock_guard<std::mutex> lock(routes_mutex_);
+        routes_[session->client + "/" + id] = shard;
+      }
+    } catch (const util::LpmError&) {
+      // Unparseable shard frame: forward verbatim, the client will complain.
+    }
+    if (forward) {
+      session->last_activity.store(now_rep(), std::memory_order_relaxed);
+      send_down(session, payload);
+    }
+  }
+}
+
+void Router::send_down(const SessionPtr& session, const std::string& payload) {
+  if (session->dead.load(std::memory_order_relaxed)) return;
+  IoStatus status = IoStatus::kClosed;
+  {
+    std::lock_guard<std::mutex> lock(session->write_mutex);
+    status = write_frame(session->fd, payload, opts_.io_timeout_ms);
+  }
+  if (status != IoStatus::kOk) kill_session(session);
+}
+
+void Router::send_up(const SessionPtr& session, std::size_t shard,
+                     const std::string& payload) {
+  if (session->dead.load(std::memory_order_relaxed)) return;
+  if (write_frame(session->upstreams[shard].fd, payload,
+                  opts_.io_timeout_ms) != IoStatus::kOk) {
+    kill_session(session);
+  }
+}
+
+}  // namespace lpm::srv

@@ -1,0 +1,167 @@
+// srv::Router: the front process of a sharded lpmd deployment. It speaks
+// the same wire protocol as Server on its downstream side (clients cannot
+// tell a router from a plain lpmd) and fans work out to N backend lpmd
+// shards, each with its own journal and memo store.
+//
+// Placement: a submit is routed by JobSpec::shard_fingerprint() % N —
+// journal and memo already key on fingerprints, so shards never overlap
+// and a router restart re-derives the same placement from the spec alone.
+// The chosen shard is also remembered per job key ("client/id") so an
+// idempotent *resubmit* — which may legally carry a different spec for the
+// same id — still lands on the shard that first accepted the key, keeping
+// the single-server resubmit semantics (job_journal.hpp) intact.
+//
+// Attach carries no spec, so after a router restart the route table is
+// gone. An attach with no learned route fans out to every shard: the owner
+// replays its recorded frames (forwarded verbatim), and the router
+// swallows the other shards' unknown_job errors, synthesizing a single
+// unknown_job only when *all* N shards disown the key. This matters for
+// exactly-once: a client treats unknown_job as "safe to resubmit", so a
+// premature unknown_job from a non-owner could double-run a job that is
+// terminal on its owner.
+//
+// Per downstream session the router holds one upstream connection to every
+// shard, hello'd with the *client's* name (shard-side job keys must be
+// "client/id"). Each upstream has a pump thread forwarding result frames
+// downstream verbatim. When a shard connection drops (SIGKILL mid-job),
+// the router kills the whole downstream session: the client reconnects,
+// the new session redials every shard with the connect budget (covering
+// the restart window), and the client's attach/resubmit discipline
+// reconciles against the shard's journal — the same recovery path PR 7
+// proved for one process.
+//
+// Ops answered locally: ping (pong), stats (router-level: shard count,
+// learned routes), shutdown (broadcast to every shard so each writes its
+// metrics snapshot, then the router stops). hello is answered after all
+// upstreams are up, with `recovered` summed across shards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "srv/wire.hpp"
+#include "util/flat_json.hpp"
+
+namespace lpm::srv {
+
+class Router {
+ public:
+  struct Options {
+    /// Downstream listen address (wire::Endpoint spelling). ":0" binds an
+    /// ephemeral port — read it back with bound_endpoint() after start().
+    std::string endpoint = "tcp:127.0.0.1:0";
+    /// Backend lpmd endpoints, one per shard; order defines shard indices
+    /// and must be stable across router restarts (placement depends on it).
+    std::vector<std::string> shards;
+    /// Per-shard dial budget when a session opens — sized to cover a shard
+    /// restart (connect retries every 50 ms until it lapses).
+    std::uint64_t upstream_connect_budget_ms = 15'000;
+    int io_timeout_ms = 5'000;
+    /// A downstream session with no frame in either direction for this
+    /// long is reaped.
+    std::uint64_t idle_timeout_ms = 30'000;
+  };
+
+  explicit Router(Options opts);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void start();
+  /// Blocks until stop() (or a client shutdown frame). start() implied.
+  void serve();
+  void stop();
+  /// Async-signal-safe stop request (one relaxed store), like Server's.
+  void request_stop() {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const Options& options() const { return opts_; }
+  /// The endpoint the listener actually bound (ephemeral port resolved).
+  [[nodiscard]] const std::string& bound_endpoint() const {
+    return bound_endpoint_;
+  }
+  /// Learned job-key routes (grows per submit; survives reconnects).
+  [[nodiscard]] std::size_t route_count() const;
+
+ private:
+  struct Upstream {
+    Fd fd;
+    std::thread pump;
+  };
+
+  struct Session {
+    Fd fd;  ///< downstream (client-facing)
+    std::string client;  ///< empty until hello
+    std::mutex write_mutex;  ///< serializes downstream writes (N pumps)
+    std::atomic<std::chrono::steady_clock::rep> last_activity{0};
+    std::atomic<bool> dead{false};
+    /// One connection per shard, opened during hello; indices match
+    /// Options::shards.
+    std::vector<Upstream> upstreams;
+    /// Attach fan-outs awaiting verdicts: job id -> shards still to
+    /// answer. Guarded by fanout_mutex.
+    std::mutex fanout_mutex;
+    std::unordered_map<std::string, std::size_t> fanout_pending;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  void listener_loop();
+  void session_loop(SessionPtr session);
+  void pump_loop(SessionPtr session, std::size_t shard);
+  void reap_idle_sessions();
+
+  /// Dispatches one downstream frame; returns false to end the session.
+  bool handle_frame(const SessionPtr& session, const std::string& payload);
+  bool handle_hello(const SessionPtr& session, const util::FlatJson& frame);
+  void handle_submit(const SessionPtr& session, const util::FlatJson& frame,
+                     const std::string& payload);
+  void handle_attach(const SessionPtr& session, const util::FlatJson& frame,
+                     const std::string& payload);
+
+  /// Sends a frame downstream (write mutex held inside); marks the session
+  /// dead on timeout/close.
+  void send_down(const SessionPtr& session, const std::string& payload);
+  /// Sends a frame to one shard; a failed upstream write kills the session
+  /// (the client reconnects and reconciles).
+  void send_up(const SessionPtr& session, std::size_t shard,
+               const std::string& payload);
+  /// Ends a session: marks it dead and shuts down every fd so its reader
+  /// and pump threads wake.
+  void kill_session(const SessionPtr& session);
+
+  Options opts_;
+  Endpoint listen_endpoint_;
+  std::string bound_endpoint_;
+  Fd listener_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread listener_thread_;
+
+  std::mutex sessions_mutex_;
+  std::vector<std::pair<std::thread, SessionPtr>> sessions_;
+
+  /// Job key ("client/id") -> shard index, learned at submit and from
+  /// attach fan-out answers. Router-global so it survives reconnects.
+  mutable std::mutex routes_mutex_;
+  std::unordered_map<std::string, std::size_t> routes_;
+
+  obs::MetricsRegistry::Gauge shard_count_;
+  obs::MetricsRegistry::Counter jobs_routed_;
+  obs::MetricsRegistry::Counter attach_fanouts_;
+  obs::MetricsRegistry::Counter upstream_connects_;
+  obs::MetricsRegistry::Counter upstream_lost_;
+};
+
+}  // namespace lpm::srv

@@ -74,7 +74,8 @@ bool valid_name(const std::string& name) {
 
 Server::Options Server::Options::from_env() {
   Options opts;
-  opts.socket_path = env_str("LPMD_SOCKET", opts.socket_path);
+  opts.endpoint = env_str("LPMD_SOCKET", opts.endpoint);
+  opts.endpoint = env_str("LPMD_ENDPOINT", opts.endpoint);
   opts.journal_path = env_str("LPMD_JOURNAL", opts.journal_path);
   opts.workers =
       static_cast<unsigned>(env_u64("LPMD_WORKERS", opts.workers));
@@ -104,6 +105,8 @@ Server::Server(Options opts)
       memo_(opts_.memo_bytes),
       conns_accepted_(obs::MetricsRegistry::global().counter(
           "srv.connections.accepted")),
+      tcp_conns_accepted_(obs::MetricsRegistry::global().counter(
+          "srv.tcp.connections.accepted")),
       conns_reaped_(
           obs::MetricsRegistry::global().counter("srv.connections.reaped")),
       frames_received_(
@@ -116,6 +119,7 @@ Server::Server(Options opts)
           "srv.jobs.deadline_expired")),
       jobs_recovered_(
           obs::MetricsRegistry::global().counter("srv.jobs.recovered")),
+      tcp_port_(obs::MetricsRegistry::global().gauge("srv.tcp.port")),
       queue_wait_ms_(obs::MetricsRegistry::global().histogram(
           "srv.job.queue_wait_ms", obs::MetricsRegistry::latency_ms_bounds())),
       service_ms_(obs::MetricsRegistry::global().histogram(
@@ -189,7 +193,14 @@ void Server::start() {
     }
   }
 
-  listener_ = listen_unix(opts_.socket_path);
+  listen_endpoint_ = Endpoint::parse(opts_.endpoint);
+  listener_ = listen_endpoint(listen_endpoint_);
+  if (listen_endpoint_.kind == Endpoint::Kind::kTcp) {
+    // Resolve an ephemeral ":0" request to the port the kernel picked.
+    listen_endpoint_.port = bound_tcp_port(listener_);
+    tcp_port_.set(listen_endpoint_.port);
+  }
+  bound_endpoint_ = listen_endpoint_.to_string();
   listener_thread_ = std::thread([this] { listener_loop(); });
   for (unsigned i = 0; i < opts_.workers; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
@@ -228,14 +239,17 @@ void Server::stop() {
     if (t.joinable()) t.join();
   }
   executors_.clear();
-  ::unlink(opts_.socket_path.c_str());
+  if (listen_endpoint_.kind == Endpoint::Kind::kUnix &&
+      !listen_endpoint_.path.empty()) {
+    ::unlink(listen_endpoint_.path.c_str());
+  }
 }
 
 void Server::listener_loop() {
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     std::optional<Fd> accepted;
     try {
-      accepted = accept_unix(listener_, 100);
+      accepted = accept_socket(listener_, 100);
     } catch (const util::IoError&) {
       break;  // listener shut down under us (stop())
     }
@@ -244,6 +258,9 @@ void Server::listener_loop() {
       conn->fd = std::move(*accepted);
       conn->last_activity.store(now_rep(), std::memory_order_relaxed);
       conns_accepted_.inc();
+      if (listen_endpoint_.kind == Endpoint::Kind::kTcp) {
+        tcp_conns_accepted_.inc();
+      }
       std::lock_guard<std::mutex> lock(conns_mutex_);
       readers_.emplace_back(std::thread([this, conn] { reader_loop(conn); }),
                             conn);
@@ -319,6 +336,18 @@ bool Server::handle_frame(const ConnPtr& conn, const std::string& payload) {
   const std::string op = frame.get_string("op").value_or("");
 
   if (op == "hello") {
+    // An absent proto field means 1 (the pre-negotiation wire). Older is
+    // fine — the protocol only grows — but a *newer* proto means the peer
+    // may send fields we would silently drop, so refuse it typed.
+    const double proto = frame.get_number("proto").value_or(1);
+    if (proto > kProtocolVersion) {
+      send_frame(conn,
+                 error_frame("", "unsupported_proto",
+                             "server speaks proto " +
+                                 std::to_string(kProtocolVersion) +
+                                 "; client announced a newer one"));
+      return false;
+    }
     const std::string client = frame.get_string("client").value_or("");
     if (!valid_name(client)) {
       send_frame(conn, error_frame("", "config",

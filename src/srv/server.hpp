@@ -1,4 +1,7 @@
-// lpmd server: a crash-safe LPM job daemon over a Unix-domain socket.
+// lpmd server: a crash-safe LPM job daemon over a Unix-domain or TCP
+// socket (one listen endpoint per process; see wire::Endpoint). Several
+// lpmd processes on distinct endpoints + journals form the shards behind
+// srv::Router (router.hpp), which splits jobs by spec fingerprint.
 //
 // Threads:
 //   * one listener thread accepts connections and reaps idle/dead ones;
@@ -29,9 +32,11 @@
 // admission.hpp. Every response that refuses work carries a machine-
 // readable reason, never a dropped connection.
 //
-// Protocol (flat JSON frames; see wire.hpp):
+// Protocol (flat JSON frames; the authoritative spec with every field is
+// docs/PROTOCOL.md, locked to the code by tests/srv/protocol_doc_test):
 //   -> {"op":"hello","client":<name>,"proto":1}
 //   <- {"op":"hello_ok","proto":1,"recovered":<n>}
+//    | {"op":"error","code":"unsupported_proto",...}   (proto too new)
 //   -> {"op":"submit","id":<id>, "job_*": ...}      (see job_spec.hpp)
 //   <- {"op":"ack","id","status":"queued"|"pending","degraded":b}
 //    | {"op":"retry_after","id","retry_after_ms":n}
@@ -74,7 +79,10 @@ namespace lpm::srv {
 class Server {
  public:
   struct Options {
-    std::string socket_path = "/tmp/lpmd.sock";
+    /// Listen address: "unix:<path>", "tcp:<host>:<port>", or a bare unix
+    /// path (see wire::Endpoint). "tcp:127.0.0.1:0" binds an ephemeral
+    /// port — read it back with bound_endpoint() after start().
+    std::string endpoint = "/tmp/lpmd.sock";
     /// Crash-recovery journal; empty disables (jobs die with the process).
     std::string journal_path;
     unsigned workers = 2;
@@ -94,10 +102,11 @@ class Server {
     int io_timeout_ms = 5'000;
 
     /// Reads the LPMD_* environment knobs over these defaults (see
-    /// EXPERIMENTS.md): LPMD_SOCKET, LPMD_JOURNAL, LPMD_WORKERS,
-    /// LPMD_QUEUE_MAX, LPMD_PER_CLIENT_MAX, LPMD_DEGRADE_WATERMARK,
-    /// LPMD_DEGRADE_BACKEND, LPMD_RETRY_AFTER_MS, LPMD_MEMO_BYTES,
-    /// LPMD_JOB_TIMEOUT_MS, LPMD_MAX_RETRIES, LPMD_IDLE_TIMEOUT_MS.
+    /// docs/OPERATIONS.md): LPMD_ENDPOINT (LPMD_SOCKET is the legacy
+    /// alias), LPMD_JOURNAL, LPMD_WORKERS, LPMD_QUEUE_MAX,
+    /// LPMD_PER_CLIENT_MAX, LPMD_DEGRADE_WATERMARK, LPMD_DEGRADE_BACKEND,
+    /// LPMD_RETRY_AFTER_MS, LPMD_MEMO_BYTES, LPMD_JOB_TIMEOUT_MS,
+    /// LPMD_MAX_RETRIES, LPMD_IDLE_TIMEOUT_MS.
     [[nodiscard]] static Options from_env();
   };
 
@@ -123,6 +132,11 @@ class Server {
     return running_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] const Options& options() const { return opts_; }
+  /// The canonical endpoint the listener actually bound — for TCP this
+  /// resolves an ephemeral ":0" port request. Valid after start().
+  [[nodiscard]] const std::string& bound_endpoint() const {
+    return bound_endpoint_;
+  }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   /// Jobs re-enqueued from the journal at start().
   [[nodiscard]] std::size_t recovered_pending() const {
@@ -194,6 +208,8 @@ class Server {
   std::unique_ptr<JobJournal> journal_;
   std::size_t recovered_pending_ = 0;
 
+  Endpoint listen_endpoint_;
+  std::string bound_endpoint_;
   Fd listener_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
@@ -210,6 +226,7 @@ class Server {
   std::unordered_map<std::string, JobState> jobs_;
 
   obs::MetricsRegistry::Counter conns_accepted_;
+  obs::MetricsRegistry::Counter tcp_conns_accepted_;
   obs::MetricsRegistry::Counter conns_reaped_;
   obs::MetricsRegistry::Counter frames_received_;
   obs::MetricsRegistry::Counter frames_sent_;
@@ -217,6 +234,7 @@ class Server {
   obs::MetricsRegistry::Counter jobs_failed_;
   obs::MetricsRegistry::Counter jobs_deadline_expired_;
   obs::MetricsRegistry::Counter jobs_recovered_;
+  obs::MetricsRegistry::Gauge tcp_port_;
   obs::MetricsRegistry::Histogram queue_wait_ms_;
   obs::MetricsRegistry::Histogram service_ms_;
 };

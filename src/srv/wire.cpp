@@ -6,10 +6,15 @@
 #include <cstring>
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -109,6 +114,45 @@ sockaddr_un make_addr(const std::string& path) {
   return addr;
 }
 
+void set_nodelay(int fd) {
+  // Frames are small and request/response latency matters more than
+  // packing efficiency; harmless no-op on non-TCP sockets.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// getaddrinfo wrapper owning the result list.
+struct AddrList {
+  addrinfo* head = nullptr;
+  AddrList() = default;
+  AddrList(AddrList&& other) noexcept : head(other.head) {
+    other.head = nullptr;
+  }
+  AddrList(const AddrList&) = delete;
+  AddrList& operator=(const AddrList&) = delete;
+  AddrList& operator=(AddrList&&) = delete;
+  ~AddrList() {
+    if (head != nullptr) ::freeaddrinfo(head);
+  }
+};
+
+AddrList resolve_tcp(const std::string& host, std::uint16_t port,
+                     bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  AddrList list;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &list.head);
+  if (rc != 0) {
+    throw util::IoError("resolve '" + host + ":" + service +
+                        "': " + ::gai_strerror(rc));
+  }
+  return list;
+}
+
 }  // namespace
 
 Fd::~Fd() {
@@ -140,6 +184,115 @@ const char* to_string(IoStatus status) {
     case IoStatus::kClosed: return "closed";
   }
   return "?";
+}
+
+Endpoint Endpoint::parse(const std::string& text) {
+  Endpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = text.substr(5);
+    if (ep.path.empty()) throw util::ConfigError("endpoint 'unix:' lacks a path");
+    return ep;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    ep.kind = Kind::kTcp;
+    const std::string rest = text.substr(4);
+    // Split at the LAST colon so IPv6 literals ("::1:7070") keep working.
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw util::ConfigError("endpoint '" + text +
+                              "' (want tcp:<host>:<port>)");
+    }
+    ep.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port > 65535) {
+      throw util::ConfigError("endpoint '" + text + "': bad port '" +
+                              port_str + "'");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  // No scheme: the historical unix-path spelling.
+  if (text.empty()) throw util::ConfigError("endpoint is empty");
+  ep.kind = Kind::kUnix;
+  ep.path = text;
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Fd listen_endpoint(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    return listen_unix(endpoint.path);
+  }
+  const AddrList list = resolve_tcp(endpoint.host, endpoint.port,
+                                    /*passive=*/true);
+  std::string last_error = "no usable address";
+  for (const addrinfo* ai = list.head; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) < 0) {
+      last_error = std::string("bind: ") + std::strerror(errno);
+      continue;
+    }
+    if (::listen(fd.get(), 64) < 0) {
+      last_error = std::string("listen: ") + std::strerror(errno);
+      continue;
+    }
+    set_nonblocking(fd.get());
+    return fd;
+  }
+  throw util::IoError("listen '" + endpoint.to_string() + "': " + last_error);
+}
+
+Fd connect_endpoint(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    return connect_unix(endpoint.path);
+  }
+  const AddrList list = resolve_tcp(endpoint.host, endpoint.port,
+                                    /*passive=*/false);
+  std::string last_error = "no usable address";
+  for (const addrinfo* ai = list.head; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) < 0) {
+      last_error = std::string("connect: ") + std::strerror(errno);
+      continue;
+    }
+    set_nodelay(fd.get());
+    set_nonblocking(fd.get());
+    return fd;
+  }
+  throw util::IoError("connect '" + endpoint.to_string() + "': " + last_error);
+}
+
+std::uint16_t bound_tcp_port(const Fd& listener) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) < 0) {
+    throw util::IoError(std::string("getsockname: ") + std::strerror(errno));
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  throw util::IoError("bound_tcp_port: listener is not a TCP socket");
 }
 
 Fd listen_unix(const std::string& path) {
@@ -174,7 +327,7 @@ Fd connect_unix(const std::string& path) {
   return fd;
 }
 
-std::optional<Fd> accept_unix(const Fd& listener, int timeout_ms) {
+std::optional<Fd> accept_socket(const Fd& listener, int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     const IoStatus ready = poll_for(listener.get(), POLLIN, deadline);
@@ -185,6 +338,7 @@ std::optional<Fd> accept_unix(const Fd& listener, int timeout_ms) {
     const int client = ::accept(listener.get(), nullptr, nullptr);
     if (client >= 0) {
       Fd fd(client);
+      set_nodelay(fd.get());
       set_nonblocking(fd.get());
       return fd;
     }
@@ -305,5 +459,32 @@ JsonWriter& JsonWriter::raw_body(const std::string& fragment) {
 }
 
 std::string JsonWriter::finish() const { return "{" + body_ + "}"; }
+
+const std::vector<std::string>& request_ops() {
+  static const std::vector<std::string> ops = {
+      "hello", "submit", "attach", "ping", "stats", "shutdown",
+  };
+  return ops;
+}
+
+const std::vector<std::string>& response_ops() {
+  static const std::vector<std::string> ops = {
+      "hello_ok", "ack", "retry_after", "point",
+      "done",     "error", "pong",      "stats",
+      "shutdown_ok",
+  };
+  return ops;
+}
+
+const std::vector<std::string>& protocol_error_codes() {
+  static const std::vector<std::string> codes = {
+      // Typed job failures (util::ErrorCode names as error_code_name spells
+      // them) that reach terminal error frames.
+      "error", "config", "sim", "io", "timeout", "cancelled",
+      // Protocol-level refusals.
+      "overload", "unknown_job", "unsupported_proto",
+  };
+  return codes;
+}
 
 }  // namespace lpm::srv

@@ -85,6 +85,24 @@ std::vector<MicroOp> load_trace(const std::string& path) {
   util::require(in.good(), "load_trace: truncated header in " + path);
   const std::uint64_t count = get_u64(hdr.data());
 
+  // Guard the allocation: `count` is attacker/corruption-controlled, so
+  // check it against the bytes actually present before reserve() — a huge
+  // bogus count must fail typed, not OOM the process.
+  const std::streamoff records_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_end = in.tellg();
+  util::require(records_begin >= 0 && file_end >= records_begin,
+                "load_trace: cannot size " + path);
+  const std::uint64_t available =
+      static_cast<std::uint64_t>(file_end - records_begin) / kRecordBytes;
+  if (count > available) {
+    throw util::IoError("load_trace: header count " + std::to_string(count) +
+                        " exceeds the " + std::to_string(available) +
+                        " records present in " + path +
+                        " (corrupt count field)");
+  }
+  in.seekg(records_begin);
+
   std::vector<MicroOp> ops;
   ops.reserve(count);
   std::array<unsigned char, kRecordBytes> rec{};

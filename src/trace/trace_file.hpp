@@ -18,11 +18,22 @@ namespace lpm::trace {
 /// failure.
 std::uint64_t record_trace(TraceSource& source, const std::string& path);
 
-/// Loads a recorded trace fully into memory. Throws util::LpmError on
-/// malformed files.
+/// Loads a recorded trace fully into memory.
+///
+/// Memory contract: the entire trace is materialized as a single
+/// std::vector<MicroOp> (sizeof(MicroOp) per record, ~24 B on LP64), so a
+/// trace of N ops costs ~24*N bytes of resident memory for the lifetime of
+/// the vector — there is no streaming replay path. The header's `count`
+/// field is validated against the file's actual size before any allocation:
+/// a corrupt or hostile count larger than the bytes present throws a typed
+/// util::IoError instead of driving an uncontrolled reserve().
+///
+/// Throws util::IoError on corrupt headers/counts and util::LpmError
+/// (ConfigError) on other malformed content.
 [[nodiscard]] std::vector<MicroOp> load_trace(const std::string& path);
 
-/// A TraceSource replaying a file loaded via load_trace().
+/// A TraceSource replaying a file loaded via load_trace(). Inherits that
+/// function's memory contract: the whole trace stays resident in ops_.
 class FileTrace final : public TraceSource {
  public:
   explicit FileTrace(const std::string& path, std::string name = "file-trace")

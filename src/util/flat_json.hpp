@@ -13,6 +13,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -55,6 +56,15 @@ class FlatJson {
     return values_.contains(key);
   }
   [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// All keys present, sorted (std::map order) — lets catalogue-style
+  /// tests enumerate a frame's vocabulary without knowing it up front.
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [key, value] : values_) out.push_back(key);
+    return out;
+  }
 
   [[nodiscard]] std::optional<std::string> get_string(const std::string& key) const {
     const auto it = values_.find(key);

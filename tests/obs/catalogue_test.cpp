@@ -15,6 +15,7 @@
 #include "model/analytic.hpp"
 #include "obs/metrics.hpp"
 #include "srv/client.hpp"
+#include "srv/router.hpp"
 #include "srv/server.hpp"
 #include "trace/spec_like.hpp"
 
@@ -174,12 +175,12 @@ TEST(MetricCatalogue, ServerNamesAreEmitted) {
   // core counters move. Keep the name lists in lockstep with the srv.*
   // section of OBSERVABILITY.md.
   srv::Server::Options opts;
-  opts.socket_path = testing::TempDir() + "catalogue_lpmd.sock";
+  opts.endpoint = testing::TempDir() + "catalogue_lpmd.sock";
   opts.journal_path = testing::TempDir() + "catalogue_lpmd.journal";
   std::remove(opts.journal_path.c_str());
   srv::Server server(std::move(opts));
   server.start();
-  srv::Client client(server.options().socket_path, "catalogue");
+  srv::Client client(server.options().endpoint, "catalogue");
   client.connect();
   srv::JobSpec spec;
   spec.kind = "simulate";
@@ -218,6 +219,54 @@ TEST(MetricCatalogue, ServerNamesAreEmitted) {
   EXPECT_GE(snap.counter_or_zero("srv.jobs.completed"), 1u);
   EXPECT_GE(snap.counter_or_zero("srv.frames.sent"), 2u);  // hello_ok + ack + done
   EXPECT_GT(snap.histograms.at("srv.job.service_ms").count, 0u);
+}
+
+TEST(MetricCatalogue, ShardAndTcpNamesAreEmitted) {
+  // A TCP shard behind a router: constructing them registers the srv.tcp.*
+  // and srv.shard.* names, one routed job makes the routing counters move.
+  srv::Server::Options shard_opts;
+  shard_opts.endpoint = "tcp:127.0.0.1:0";
+  shard_opts.workers = 1;
+  srv::Server shard(shard_opts);
+  shard.start();
+
+  srv::Router::Options router_opts;
+  router_opts.endpoint = "tcp:127.0.0.1:0";
+  router_opts.shards.push_back(shard.bound_endpoint());
+  srv::Router router(router_opts);
+  router.start();
+
+  srv::Client client(router.bound_endpoint(), "catalogue-shard");
+  client.connect(10'000);
+  srv::JobSpec spec;
+  spec.backend = "rdh";  // analytic: instant
+  spec.length = 1'000;
+  ASSERT_TRUE(client.submit("m1", spec));
+  bool done = false;
+  for (int i = 0; i < 300 && !done; ++i) {
+    const auto frame = client.poll(100);
+    done = frame && frame->get_string("op").value_or("") == "done";
+  }
+  ASSERT_TRUE(done);
+  router.stop();
+  shard.stop();
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const std::vector<std::string> counters = {
+      "srv.tcp.connections.accepted", "srv.shard.jobs.routed",
+      "srv.shard.attach.fanout", "srv.shard.upstream.connects",
+      "srv.shard.upstream.lost",
+  };
+  for (const auto& name : counters) {
+    EXPECT_TRUE(snap.counters.contains(name)) << "missing counter: " << name;
+  }
+  for (const auto& name : {"srv.tcp.port", "srv.shard.count"}) {
+    EXPECT_TRUE(snap.gauges.contains(name)) << "missing gauge: " << name;
+  }
+  EXPECT_GE(snap.counter_or_zero("srv.tcp.connections.accepted"), 1u);
+  EXPECT_GE(snap.counter_or_zero("srv.shard.jobs.routed"), 1u);
+  EXPECT_GE(snap.counter_or_zero("srv.shard.upstream.connects"), 1u);
+  EXPECT_EQ(snap.gauges.at("srv.shard.count"), 1.0);
 }
 
 }  // namespace

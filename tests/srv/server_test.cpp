@@ -27,9 +27,9 @@ class ServerTest : public testing::Test {
  protected:
   Server::Options base_options(const std::string& tag) {
     Server::Options opts;
-    opts.socket_path = testing::TempDir() + "lpmd_" + tag + ".sock";
+    opts.endpoint = testing::TempDir() + "lpmd_" + tag + ".sock";
     opts.journal_path = testing::TempDir() + "lpmd_" + tag + ".journal";
-    std::remove(opts.socket_path.c_str());
+    std::remove(opts.endpoint.c_str());
     std::remove(opts.journal_path.c_str());
     opts.workers = 2;
     opts.queue_max = 64;
@@ -72,7 +72,7 @@ class ServerTest : public testing::Test {
 TEST_F(ServerTest, SimulateStreamsDoneFrame) {
   Server server(base_options("simulate"));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   EXPECT_EQ(client.server_recovered(), 0u);
   ASSERT_TRUE(client.submit("j1", quick_spec()));
@@ -90,7 +90,7 @@ TEST_F(ServerTest, SimulateStreamsDoneFrame) {
 TEST_F(ServerTest, SweepStreamsPointsThenDone) {
   Server server(base_options("sweep"));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   auto spec = quick_spec();
   spec.kind = "sweep";
@@ -113,7 +113,7 @@ TEST_F(ServerTest, SweepStreamsPointsThenDone) {
 TEST_F(ServerTest, AnalyticBackendRuns) {
   Server server(base_options("analytic"));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   auto spec = quick_spec();
   spec.backend = "rdh";
@@ -128,7 +128,7 @@ TEST_F(ServerTest, AnalyticBackendRuns) {
 TEST_F(ServerTest, InvalidSpecGetsTypedError) {
   Server server(base_options("badspec"));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   auto spec = quick_spec();
   spec.workload = "not-a-benchmark";
@@ -145,7 +145,7 @@ TEST_F(ServerTest, ResubmitOfCompletedJobReplaysWithoutReexecution) {
   server.start();
   double first_cycles = 0.0;
   {
-    Client client(server.options().socket_path, "t1");
+    Client client(server.options().endpoint, "t1");
     client.connect();
     ASSERT_TRUE(client.submit("j1", quick_spec()));
     const auto first = drain_until_terminal(client, "j1");
@@ -160,7 +160,7 @@ TEST_F(ServerTest, ResubmitOfCompletedJobReplaysWithoutReexecution) {
   // the server must replay the recorded terminal frame, not run the job
   // again. (On the original live connection the delivery token withholds
   // the replay — the first push is already in the ordered stream.)
-  Client again(server.options().socket_path, "t1");
+  Client again(server.options().endpoint, "t1");
   again.connect();
   ASSERT_TRUE(again.submit("j1", quick_spec()));
   const auto replay = drain_until_terminal(again, "j1");
@@ -175,7 +175,7 @@ TEST_F(ServerTest, ResubmitOfCompletedJobReplaysWithoutReexecution) {
 TEST_F(ServerTest, AttachUnknownJobIsTypedError) {
   Server server(base_options("attach_unknown"));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   ASSERT_TRUE(client.attach("ghost"));
   const auto frames = drain_until_terminal(client, "ghost");
@@ -189,14 +189,14 @@ TEST_F(ServerTest, AttachAfterReconnectReplaysDoneJob) {
   server.start();
   std::string cycles;
   {
-    Client client(server.options().socket_path, "t1");
+    Client client(server.options().endpoint, "t1");
     client.connect();
     ASSERT_TRUE(client.submit("j1", quick_spec()));
     const auto frames = drain_until_terminal(client, "j1");
     ASSERT_EQ(frames.back().get_string("op").value_or(""), "done");
     client.disconnect();
   }
-  Client again(server.options().socket_path, "t1");
+  Client again(server.options().endpoint, "t1");
   again.connect();
   ASSERT_TRUE(again.attach("j1"));
   const auto frames = drain_until_terminal(again, "j1");
@@ -211,7 +211,7 @@ TEST_F(ServerTest, PerClientBackpressureGivesRetryAfter) {
   opts.retry_after_ms = 77;
   Server server(std::move(opts));
   server.start();
-  Client client(server.options().socket_path, "greedy");
+  Client client(server.options().endpoint, "greedy");
   client.connect();
   // Saturate the per-client budget with a slower job, then submit more.
   auto slow = quick_spec();
@@ -241,7 +241,7 @@ TEST_F(ServerTest, SaturationDegradesEligibleJobs) {
   opts.degrade_backend = "rdh";
   Server server(std::move(opts));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   ASSERT_TRUE(client.submit("d1", quick_spec()));
   const auto frames = drain_until_terminal(client, "d1");
@@ -266,7 +266,7 @@ TEST_F(ServerTest, DegradationRespectsDegradeOkFalse) {
   opts.degrade_watermark = 0;
   Server server(std::move(opts));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   auto spec = quick_spec();
   spec.degrade_ok = false;
@@ -284,7 +284,7 @@ TEST_F(ServerTest, ExpiredDeadlineIsTypedTimeout) {
   opts.workers = 1;
   Server server(std::move(opts));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   // Park the single worker on a long job, then queue a job whose deadline
   // lapses while it waits.
@@ -303,7 +303,7 @@ TEST_F(ServerTest, ExpiredDeadlineIsTypedTimeout) {
 
 TEST_F(ServerTest, RestartRerunsPendingAndServesDoneFromJournal) {
   auto opts = base_options("restart");
-  const std::string socket = opts.socket_path;
+  const std::string socket = opts.endpoint;
   const std::string journal = opts.journal_path;
 
   // Incarnation 1: complete one job normally.
@@ -355,7 +355,7 @@ TEST_F(ServerTest, RestartRerunsPendingAndServesDoneFromJournal) {
 TEST_F(ServerTest, HelloRejectsBadNames) {
   Server server(base_options("badname"));
   server.start();
-  EXPECT_THROW(Client(server.options().socket_path, "bad name!"),
+  EXPECT_THROW(Client(server.options().endpoint, "bad name!"),
                util::LpmError);
   server.stop();
 }
@@ -363,7 +363,7 @@ TEST_F(ServerTest, HelloRejectsBadNames) {
 TEST_F(ServerTest, PingAndStatsRoundTrip) {
   Server server(base_options("ping"));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   ASSERT_TRUE(client.ping());
   auto pong = client.poll(3'000);
@@ -379,7 +379,7 @@ TEST_F(ServerTest, PingAndStatsRoundTrip) {
 TEST_F(ServerTest, StopIsPromptAndIdempotent) {
   Server server(base_options("stop"));
   server.start();
-  Client client(server.options().socket_path, "t1");
+  Client client(server.options().endpoint, "t1");
   client.connect();
   const auto start = std::chrono::steady_clock::now();
   server.stop();

@@ -102,7 +102,7 @@ TEST(Wire, ListenerAcceptRoundTrip) {
   ::unlink(path.c_str());
   Fd listener = listen_unix(path);
   Fd client = connect_unix(path);
-  auto accepted = accept_unix(listener, 1'000);
+  auto accepted = accept_socket(listener, 1'000);
   ASSERT_TRUE(accepted.has_value());
   ASSERT_EQ(write_frame(client, "hi", 1'000), IoStatus::kOk);
   std::string out;
@@ -115,7 +115,7 @@ TEST(Wire, AcceptTimesOutIdle) {
   const std::string path = testing::TempDir() + "wire_idle.sock";
   ::unlink(path.c_str());
   Fd listener = listen_unix(path);
-  EXPECT_FALSE(accept_unix(listener, 50).has_value());
+  EXPECT_FALSE(accept_socket(listener, 50).has_value());
   ::unlink(path.c_str());
 }
 
@@ -131,7 +131,7 @@ TEST(Wire, AcceptReturnsPromptlyAfterShutdown) {
   try {
     // Either outcome is fine — timeout (nullopt) or a closed-listener
     // throw — as long as the call returns promptly.
-    (void)accept_unix(listener, 100);
+    (void)accept_socket(listener, 100);
   } catch (const util::IoError&) {
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;

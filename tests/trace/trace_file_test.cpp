@@ -90,6 +90,25 @@ TEST(TraceFile, TruncatedFileThrows) {
   std::remove(path.c_str());
 }
 
+TEST(TraceFile, CorruptCountFailsTypedBeforeAllocation) {
+  const auto path = temp_path("bigcount");
+  auto profile = spec_profile(SpecBenchmark::kGcc, 10, 1);
+  SyntheticTrace src(profile);
+  record_trace(src, path);
+  // Overwrite the u64 count at offset 8 with a ludicrous value. The loader
+  // must compare it against the bytes actually present and throw a typed
+  // IoError — not reserve() petabytes and die on allocation.
+  {
+    std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(8);
+    const unsigned char huge[8] = {0xff, 0xff, 0xff, 0xff,
+                                   0xff, 0xff, 0xff, 0x7f};
+    out.write(reinterpret_cast<const char*>(huge), sizeof(huge));
+  }
+  EXPECT_THROW(load_trace(path), util::IoError);
+  std::remove(path.c_str());
+}
+
 TEST(TraceFile, EmptyTraceIsValid) {
   const auto path = temp_path("empty");
   VectorTrace empty("none", {});

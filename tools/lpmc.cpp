@@ -1,6 +1,6 @@
 // lpmc — command-line client for lpmd.
 //
-//   $ ./lpmc cmd=simulate [socket=/tmp/lpmd.sock] [name=lpmc] [id=job1]
+//   $ ./lpmc cmd=simulate [endpoint=/tmp/lpmd.sock] [name=lpmc] [id=job1]
 //            [workload=403.gcc] [length=20000] [seed=1] [machine=default]
 //            [l1_kb=0] [l1_assoc=0] [l2_kb=0] [mshr=0] [cores=0]
 //            [backend=cycle] [calibrate=1] [degrade_ok=1] [deadline_ms=0]
@@ -8,6 +8,12 @@
 //   $ ./lpmc cmd=walk workload=410.bwaves length=10000
 //   $ ./lpmc cmd=attach id=job1         # pick up results after a restart
 //   $ ./lpmc cmd=ping | cmd=stats | cmd=shutdown
+//
+// `endpoint` accepts any wire::Endpoint spelling ("unix:<path>",
+// "tcp:<host>:<port>", bare unix path) and may be a comma-separated list:
+// connect() fails over through the list, which is how you point lpmc at a
+// set of shards or at a router plus a fallback. `socket=` is the legacy
+// single-path alias.
 //
 // Submits one job, then prints every frame the server streams back (one
 // JSON object per line) until the job's terminal frame (done/error)
@@ -21,6 +27,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "srv/client.hpp"
 #include "util/config.hpp"
@@ -31,11 +38,20 @@ int main(int argc, char** argv) {
   try {
     const auto args = util::KvConfig::from_args(argc, argv);
     const std::string cmd = args.get_or("cmd", "simulate");
-    const std::string socket = args.get_or("socket", "/tmp/lpmd.sock");
+    std::string endpoint_csv = args.get_or("socket", "/tmp/lpmd.sock");
+    endpoint_csv = args.get_or("endpoint", endpoint_csv);
     const std::string name = args.get_or("name", "lpmc");
     const std::string id = args.get_or("id", "job1");
 
-    srv::Client client(socket, name);
+    std::vector<std::string> endpoints;
+    for (std::size_t pos = 0; pos <= endpoint_csv.size();) {
+      std::size_t comma = endpoint_csv.find(',', pos);
+      if (comma == std::string::npos) comma = endpoint_csv.size();
+      if (comma > pos) endpoints.push_back(endpoint_csv.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+
+    srv::Client client(endpoints, name);
     client.connect(args.get_uint_or("connect_budget_ms", 5'000));
 
     if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
