@@ -162,6 +162,10 @@ void Router::reap_idle_sessions() {
 void Router::kill_session(const SessionPtr& session) {
   session->dead.store(true, std::memory_order_relaxed);
   session->fd.shutdown_both();
+  // handle_hello installs upstreams under this mutex and re-checks `dead`
+  // inside it, so either we see the installed fds here or the handshake
+  // sees the kill and aborts — never a concurrent resize/iteration.
+  std::lock_guard<std::mutex> lock(session->upstreams_mutex);
   for (Upstream& up : session->upstreams) up.fd.shutdown_both();
 }
 
@@ -228,6 +232,14 @@ bool Router::handle_frame(const SessionPtr& session,
 
 bool Router::handle_hello(const SessionPtr& session,
                           const util::FlatJson& frame) {
+  if (!session->client.empty()) {
+    // A second hello would redial every shard and move-assign over live
+    // pump threads (std::terminate on a joinable thread) — refuse it
+    // before touching upstreams and end the session.
+    send_down(session, error_frame("", "config",
+                                   "hello: session already established"));
+    return false;
+  }
   const double proto = frame.get_number("proto").value_or(1);
   if (proto > kProtocolVersion) {
     send_down(session,
@@ -248,14 +260,17 @@ bool Router::handle_hello(const SessionPtr& session,
 
   // Dial every shard with the client's own name (shard-side job keys are
   // "client/id"), retrying through the budget so a shard mid-restart does
-  // not fail the whole session.
+  // not fail the whole session. Connections land in a local vector first:
+  // the idle reaper or stop() may kill_session() mid-handshake, and
+  // `session->upstreams` must only be touched under its mutex.
   std::uint64_t recovered = 0;
-  session->upstreams.resize(opts_.shards.size());
+  std::vector<Fd> dialed(opts_.shards.size());
   for (std::size_t i = 0; i < opts_.shards.size(); ++i) {
     const auto deadline = Clock::now() + std::chrono::milliseconds(
                                              opts_.upstream_connect_budget_ms);
     bool connected = false;
-    while (!connected && !stop_requested_.load(std::memory_order_relaxed)) {
+    while (!connected && !stop_requested_.load(std::memory_order_relaxed) &&
+           !session->dead.load(std::memory_order_relaxed)) {
       try {
         Fd fd = connect_endpoint(Endpoint::parse(opts_.shards[i]));
         JsonWriter hello;
@@ -268,7 +283,7 @@ bool Router::handle_hello(const SessionPtr& session,
             if (ok.get_string("op").value_or("") == "hello_ok") {
               recovered += static_cast<std::uint64_t>(
                   ok.get_number("recovered").value_or(0.0));
-              session->upstreams[i].fd = std::move(fd);
+              dialed[i] = std::move(fd);
               connected = true;
             }
           }
@@ -287,13 +302,23 @@ bool Router::handle_hello(const SessionPtr& session,
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
     }
-    if (!connected) return false;  // stop requested mid-dial
+    if (!connected) return false;  // stop requested / session killed mid-dial
     upstream_connects_.inc();
   }
 
-  for (std::size_t i = 0; i < session->upstreams.size(); ++i) {
-    session->upstreams[i].pump =
-        std::thread([this, session, i] { pump_loop(session, i); });
+  {
+    std::lock_guard<std::mutex> lock(session->upstreams_mutex);
+    if (session->dead.load(std::memory_order_relaxed)) {
+      return false;  // reaped mid-handshake; `dialed` closes on unwind
+    }
+    session->upstreams.resize(dialed.size());
+    for (std::size_t i = 0; i < dialed.size(); ++i) {
+      session->upstreams[i].fd = std::move(dialed[i]);
+    }
+    for (std::size_t i = 0; i < session->upstreams.size(); ++i) {
+      session->upstreams[i].pump =
+          std::thread([this, session, i] { pump_loop(session, i); });
+    }
   }
 
   JsonWriter out;
@@ -362,7 +387,16 @@ void Router::handle_attach(const SessionPtr& session,
   attach_fanouts_.inc();
   {
     std::lock_guard<std::mutex> lock(session->fanout_mutex);
-    session->fanout_pending[id] = session->upstreams.size();
+    // A repeated attach for an id whose fan-out is still pending keeps
+    // the existing state — the replied[] bitmap makes duplicate shard
+    // replies idempotent, so resetting it would double-count them.
+    const auto it = session->fanout_pending.find(id);
+    if (it == session->fanout_pending.end()) {
+      Fanout fan;
+      fan.replied.assign(session->upstreams.size(), false);
+      fan.remaining = session->upstreams.size();
+      session->fanout_pending.emplace(id, std::move(fan));
+    }
   }
   for (std::size_t i = 0; i < session->upstreams.size(); ++i) {
     send_up(session, i, payload);
@@ -392,31 +426,46 @@ void Router::pump_loop(SessionPtr session, std::size_t shard) {
     try {
       const util::FlatJson frame = util::FlatJson::parse(payload);
       id = frame.get_string("id").value_or("");
+      const std::string op = frame.get_string("op").value_or("");
+      const bool is_error = op == "error";
       const bool is_unknown =
-          frame.get_string("op").value_or("") == "error" &&
-          frame.get_string("code").value_or("") == "unknown_job";
+          is_error && frame.get_string("code").value_or("") == "unknown_job";
       if (!id.empty()) {
         std::lock_guard<std::mutex> lock(session->fanout_mutex);
         const auto it = session->fanout_pending.find(id);
         if (it != session->fanout_pending.end()) {
+          Fanout& fan = it->second;
+          if (shard < fan.replied.size() && !fan.replied[shard]) {
+            fan.replied[shard] = true;
+            --fan.remaining;
+          }
           if (is_unknown) {
             // Forward unknown_job only when every shard has disowned the
-            // key — a premature one would license an unsafe resubmit.
-            if (--it->second > 0) {
-              forward = false;
-            } else {
-              session->fanout_pending.erase(it);
-            }
+            // key — a premature one would license an unsafe resubmit —
+            // and never once an owner has answered, even when that answer
+            // raced ahead of a slower shard's verdict (the entry lives
+            // until all N shards have replied precisely for this case).
+            forward = !fan.answered && fan.remaining == 0;
           } else {
-            session->fanout_pending.erase(it);
+            fan.answered = true;
           }
+          if (fan.remaining == 0) session->fanout_pending.erase(it);
         }
       }
-      if (forward && !id.empty() && !is_unknown) {
-        // Any substantive answer pins the key to this shard for later
-        // attaches (cheap, and it repopulates the table after a restart).
+      if (!id.empty() && forward) {
+        const std::string key = session->client + "/" + id;
         std::lock_guard<std::mutex> lock(routes_mutex_);
-        routes_[session->client + "/" + id] = shard;
+        if (op == "done" || is_error) {
+          // Terminal frame: evict the route so the table stays bounded by
+          // in-flight jobs, not jobs ever routed. Placement for a later
+          // resubmit of the key is re-derived from the spec fingerprint.
+          routes_.erase(key);
+        } else {
+          // Any substantive answer pins the key to this shard for later
+          // attaches (cheap, and it repopulates the table after a
+          // restart).
+          routes_[key] = shard;
+        }
       }
     } catch (const util::LpmError&) {
       // Unparseable shard frame: forward verbatim, the client will complain.

@@ -9,7 +9,10 @@
 // The chosen shard is also remembered per job key ("client/id") so an
 // idempotent *resubmit* — which may legally carry a different spec for the
 // same id — still lands on the shard that first accepted the key, keeping
-// the single-server resubmit semantics (job_journal.hpp) intact.
+// the single-server resubmit semantics (job_journal.hpp) intact. Routes
+// are evicted when the job's terminal frame passes through, so the table
+// is bounded by in-flight jobs; resubmits after the terminal re-derive
+// the same placement from the (idempotent) spec's fingerprint.
 //
 // Attach carries no spec, so after a router restart the route table is
 // gone. An attach with no learned route fans out to every shard: the owner
@@ -92,7 +95,10 @@ class Router {
   [[nodiscard]] const std::string& bound_endpoint() const {
     return bound_endpoint_;
   }
-  /// Learned job-key routes (grows per submit; survives reconnects).
+  /// Learned job-key routes. Bounded by in-flight jobs: an entry is made
+  /// at submit (or an attach answer) and evicted when the job's terminal
+  /// frame is forwarded — placement is re-derivable from the spec
+  /// fingerprint, so a post-terminal resubmit still finds its shard.
   [[nodiscard]] std::size_t route_count() const;
 
  private:
@@ -101,19 +107,35 @@ class Router {
     std::thread pump;
   };
 
+  /// One attach fan-out in flight: which shards have answered (in any
+  /// form), how many are still silent, and whether an owner produced a
+  /// substantive answer. The entry lives until *every* shard has replied
+  /// so a slow non-owner's unknown_job is suppressed even after the
+  /// owner's answer has already been forwarded.
+  struct Fanout {
+    std::vector<bool> replied;  ///< indexed by shard
+    std::size_t remaining = 0;
+    bool answered = false;
+  };
+
   struct Session {
     Fd fd;  ///< downstream (client-facing)
     std::string client;  ///< empty until hello
     std::mutex write_mutex;  ///< serializes downstream writes (N pumps)
     std::atomic<std::chrono::steady_clock::rep> last_activity{0};
     std::atomic<bool> dead{false};
+    /// Guards the *structure* of `upstreams` (resize + fd install during
+    /// hello) against kill_session's iteration — the idle reaper or
+    /// stop() can kill a session mid-handshake. After hello the vector
+    /// is never resized, so pumps read their own slot without the lock.
+    std::mutex upstreams_mutex;
     /// One connection per shard, opened during hello; indices match
     /// Options::shards.
     std::vector<Upstream> upstreams;
-    /// Attach fan-outs awaiting verdicts: job id -> shards still to
-    /// answer. Guarded by fanout_mutex.
+    /// Attach fan-outs awaiting verdicts: job id -> per-shard reply
+    /// state. Guarded by fanout_mutex.
     std::mutex fanout_mutex;
-    std::unordered_map<std::string, std::size_t> fanout_pending;
+    std::unordered_map<std::string, Fanout> fanout_pending;
   };
   using SessionPtr = std::shared_ptr<Session>;
 
@@ -153,7 +175,8 @@ class Router {
   std::vector<std::pair<std::thread, SessionPtr>> sessions_;
 
   /// Job key ("client/id") -> shard index, learned at submit and from
-  /// attach fan-out answers. Router-global so it survives reconnects.
+  /// attach fan-out answers, evicted at the terminal frame. Router-global
+  /// so it survives reconnects.
   mutable std::mutex routes_mutex_;
   std::unordered_map<std::string, std::size_t> routes_;
 

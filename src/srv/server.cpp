@@ -336,6 +336,13 @@ bool Server::handle_frame(const ConnPtr& conn, const std::string& payload) {
   const std::string op = frame.get_string("op").value_or("");
 
   if (op == "hello") {
+    if (!conn->client.empty()) {
+      // One hello per connection — same rule the shard router enforces,
+      // so clients cannot tell the two apart.
+      send_frame(conn, error_frame("", "config",
+                                   "hello: connection already established"));
+      return false;
+    }
     // An absent proto field means 1 (the pre-negotiation wire). Older is
     // fine — the protocol only grows — but a *newer* proto means the peer
     // may send fields we would silently drop, so refuse it typed.

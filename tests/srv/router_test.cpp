@@ -120,7 +120,39 @@ TEST(Router, SpreadsJobsAcrossShardsByFingerprint) {
     auto it = terminal.find(id);
     EXPECT_TRUE(it != terminal.end() && it->second == "done") << id;
   }
-  EXPECT_EQ(topo.router->route_count(), ids.size());
+  // Terminal frames evict learned routes, so after every job is done the
+  // table is empty again — the router does not leak one entry per job
+  // ever submitted.
+  EXPECT_EQ(topo.router->route_count(), 0u);
+}
+
+TEST(Router, SecondHelloRejectedWithoutCrash) {
+  Topology topo("rehello");
+
+  // Hand-rolled wire session: Client never re-hellos, but a misbehaving
+  // peer can — the router must refuse (a redial would move-assign over a
+  // live, joinable pump thread: std::terminate) and drop the session.
+  Fd fd = connect_endpoint(Endpoint::parse(topo.router->bound_endpoint()));
+  JsonWriter hello;
+  hello.str("op", "hello").str("client", "t1").num_u64("proto", 1);
+  const std::string frame = hello.finish();
+  ASSERT_EQ(write_frame(fd, frame, 2'000), IoStatus::kOk);
+  std::string reply;
+  ASSERT_EQ(read_frame(fd, reply, 10'000), IoStatus::kOk);
+  ASSERT_EQ(util::FlatJson::parse(reply).get_string("op").value_or(""),
+            "hello_ok");
+
+  ASSERT_EQ(write_frame(fd, frame, 2'000), IoStatus::kOk);
+  ASSERT_EQ(read_frame(fd, reply, 10'000), IoStatus::kOk);
+  const util::FlatJson refusal = util::FlatJson::parse(reply);
+  EXPECT_EQ(refusal.get_string("op").value_or(""), "error");
+  EXPECT_EQ(refusal.get_string("code").value_or(""), "config");
+
+  // The router must survive the offender and keep serving fresh sessions.
+  Client client(topo.router->bound_endpoint(), "t2");
+  client.connect(10'000);
+  ASSERT_TRUE(client.submit("j1", quick_spec(1)));
+  EXPECT_EQ(wait_terminal(client, "j1"), "done");
 }
 
 TEST(Router, ResubmitReplaysRecordedFramesOnce) {

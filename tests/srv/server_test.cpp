@@ -69,6 +69,31 @@ class ServerTest : public testing::Test {
   }
 };
 
+TEST_F(ServerTest, SecondHelloRejected) {
+  Server server(base_options("rehello"));
+  server.start();
+
+  // Hand-rolled wire session: Client never re-hellos, but the protocol
+  // says exactly one hello per connection (the shard router depends on
+  // it), so the server must refuse a second one and close.
+  Fd fd = connect_endpoint(Endpoint::parse(server.options().endpoint));
+  JsonWriter hello;
+  hello.str("op", "hello").str("client", "t1").num_u64("proto", 1);
+  const std::string frame = hello.finish();
+  ASSERT_EQ(write_frame(fd, frame, 2'000), IoStatus::kOk);
+  std::string reply;
+  ASSERT_EQ(read_frame(fd, reply, 5'000), IoStatus::kOk);
+  ASSERT_EQ(util::FlatJson::parse(reply).get_string("op").value_or(""),
+            "hello_ok");
+
+  ASSERT_EQ(write_frame(fd, frame, 2'000), IoStatus::kOk);
+  ASSERT_EQ(read_frame(fd, reply, 5'000), IoStatus::kOk);
+  const util::FlatJson refusal = util::FlatJson::parse(reply);
+  EXPECT_EQ(refusal.get_string("op").value_or(""), "error");
+  EXPECT_EQ(refusal.get_string("code").value_or(""), "config");
+  server.stop();
+}
+
 TEST_F(ServerTest, SimulateStreamsDoneFrame) {
   Server server(base_options("simulate"));
   server.start();
