@@ -1,9 +1,12 @@
 #include "perf_lib.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "exp/experiment_engine.hpp"
 #include "model/analytic.hpp"
@@ -48,6 +51,8 @@ std::vector<sim::MachineConfig> sim_phase_machines(unsigned count) {
 PerfReport run_perf_suite(const PerfOptions& opts) {
   util::require(opts.sim_configs >= 1, "PerfOptions: sim_configs must be >= 1");
   util::require(opts.engine_jobs >= 1, "PerfOptions: engine_jobs must be >= 1");
+  util::require(opts.engine_submitters >= 1,
+                "PerfOptions: engine_submitters must be >= 1");
 
   PerfReport report;
   const trace::WorkloadProfile workload =
@@ -69,26 +74,56 @@ PerfReport run_perf_suite(const PerfOptions& opts) {
     report.wall_seconds_simulate = seconds_since(start);
   }
 
-  // Phase 2: engine throughput over distinct jobs (cache disabled so every
-  // job simulates; calibration on, as LPM consumers run it).
+  // Phase 2: engine saturating sweep. Many distinct near-zero-cost jobs
+  // (the registered null backend) pushed from several submitter threads
+  // into one worker pool — all contention lands on the engine's job queue
+  // and outcome bookkeeping, which is exactly what engine_jobs_per_sec
+  // gates. Jobs are pre-built outside the timed region.
   {
-    exp::ExperimentEngine::Options eopts;
-    eopts.threads = opts.engine_threads;
-    eopts.cache_enabled = false;
-    exp::ExperimentEngine engine(eopts);
+    exp::ExperimentEngine::register_backend_executor(
+        kNullBackend, [](const exp::SimJob&, const sim::RunGuard*) {
+          exp::SimJobResult out;
+          out.run.completed = true;
+          out.run.cycles = 1;
+          return out;
+        });
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned pool_threads = opts.engine_threads > 0
+                                      ? opts.engine_threads
+                                      : std::max(hw == 0 ? 1u : hw, 4u);
+    exp::ExperimentEngine engine(exp::ExperimentEngine::Options::builder()
+                                     .threads(pool_threads)
+                                     .cache(false)
+                                     .build());
 
-    std::vector<exp::SimJob> jobs;
+    const unsigned submitters = opts.engine_submitters;
+    std::vector<std::vector<exp::SimJob>> slices(submitters);
     for (unsigned i = 0; i < opts.engine_jobs; ++i) {
       trace::WorkloadProfile w = workload;
-      w.seed = 100 + i;  // distinct points, same cost profile
-      jobs.push_back(exp::SimJob::solo(
+      w.seed = 100 + i;  // distinct points, same (tiny) cost
+      exp::SimJob job = exp::SimJob::solo(
           sim::MachineConfig::single_core_default(), std::move(w),
-          /*calibrate=*/true, "perf"));
+          /*calibrate=*/false, "perf-saturate");
+      job.backend = kNullBackend;
+      slices[i % submitters].push_back(std::move(job));
     }
+
+    std::atomic<std::uint64_t> executed{0};
     const auto start = Clock::now();
-    const auto results = engine.run_batch(jobs);
+    if (submitters == 1) {
+      executed += engine.run_batch(slices[0]).size();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(submitters);
+      for (unsigned s = 0; s < submitters; ++s) {
+        threads.emplace_back([&engine, &executed, &slices, s] {
+          executed += engine.run_batch(slices[s]).size();
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
     report.wall_seconds_engine = seconds_since(start);
-    report.jobs = results.size();
+    report.jobs = executed.load();
   }
 
   // Phase 3: analytic screening throughput. Distinct configurations through
@@ -98,10 +133,10 @@ PerfReport run_perf_suite(const PerfOptions& opts) {
   // afterwards is closed-form.
   if (opts.analytic_configs >= 1) {
     model::register_analytic_executors();
-    exp::ExperimentEngine::Options eopts;
-    eopts.threads = opts.engine_threads;
-    eopts.cache_enabled = false;
-    exp::ExperimentEngine engine(eopts);
+    exp::ExperimentEngine engine(exp::ExperimentEngine::Options::builder()
+                                     .threads(opts.engine_threads)
+                                     .cache(false)
+                                     .build());
 
     std::vector<exp::SimJob> jobs;
     for (unsigned i = 0; i < opts.analytic_configs; ++i) {

@@ -11,8 +11,14 @@
 //   * instructions_per_sec  — committed instructions per second of the
 //     same runs.
 //   * engine_jobs_per_sec   — distinct jobs per second through an
-//     ExperimentEngine worker pool (cache disabled), i.e. end-to-end
-//     sweep throughput including calibration and job bookkeeping.
+//     ExperimentEngine worker pool under a *saturating sweep*: many
+//     near-zero-cost jobs (a registered null backend) submitted from
+//     several threads at once, so the number measures the engine itself —
+//     queue handoff, dispatch, dedup, ordered outcome reassembly — not the
+//     simulator. This is the submit-side-contention gate for the lock-free
+//     MPMC job ring (see DESIGN.md §7); before the ring landed, the same
+//     sweep through the mutex+condvar queue is the "locked baseline"
+//     recorded in EXPERIMENTS.md.
 //   * analytic_configs_per_sec — distinct machine configurations per second
 //     through the "rdh" analytic backend after its one-off profiling pass,
 //     i.e. the screening rate of a multi-fidelity sweep. The headline claim
@@ -32,15 +38,28 @@
 
 namespace lpm::perf {
 
+/// Backend name the saturating sweep registers: a constant-result executor
+/// whose cost is a function call, so engine_jobs_per_sec isolates the
+/// engine's own per-job overhead. Registered process-wide on first use of
+/// run_perf_suite; harmless to other phases (nothing else submits it).
+inline constexpr const char* kNullBackend = "perf-null";
+
 struct PerfOptions {
   /// Micro-ops per workload replay. The default matches
   /// bench_lpm_convergence's trace length; tests shrink it.
   std::uint64_t length = 400'000;
   /// Simulated machine variants in the System::run phase (>= 1).
   unsigned sim_configs = 3;
-  /// Jobs in the engine-throughput phase.
-  unsigned engine_jobs = 8;
-  /// Worker threads for the engine phase (0 = auto).
+  /// Distinct jobs in the engine saturating-sweep phase (>= 1). Each is
+  /// near-free to execute, so the phase times queue + dispatch + outcome
+  /// bookkeeping per job.
+  unsigned engine_jobs = 8192;
+  /// Concurrent submitter threads in the saturating sweep (>= 1); each
+  /// submits an equal slice of `engine_jobs` as its own batch.
+  unsigned engine_submitters = 4;
+  /// Worker threads for the engine phases. 0 = max(hardware, 4): the
+  /// sweep must exercise a real pool (and real contention) even on a
+  /// single-core CI runner.
   unsigned engine_threads = 0;
   /// Distinct configurations in the analytic-screening phase.
   unsigned analytic_configs = 64;

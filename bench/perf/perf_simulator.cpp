@@ -3,7 +3,8 @@
 // point. See EXPERIMENTS.md "Performance tracking".
 //
 //   $ ./perf_simulator [out=BENCH_simulator.json] [baseline=...] \
-//                      [tolerance=0.30] [length=400000] [jobs=8] [analytic=64]
+//                      [tolerance=0.30] [length=400000] [jobs=8192] \
+//                      [submitters=4] [threads=0] [analytic=64]
 #include <cstdio>
 #include <fstream>
 
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
     opts.length = args.get_uint_or("length", opts.length);
     opts.engine_jobs =
         static_cast<unsigned>(args.get_uint_or("jobs", opts.engine_jobs));
+    opts.engine_submitters = static_cast<unsigned>(
+        args.get_uint_or("submitters", opts.engine_submitters));
     opts.engine_threads =
         static_cast<unsigned>(args.get_uint_or("threads", opts.engine_threads));
     opts.analytic_configs = static_cast<unsigned>(

@@ -34,9 +34,10 @@ int run(int argc, char** argv) {
     return 1;
   }
 
-  exp::ExperimentEngine::Options opts;
-  opts.threads = static_cast<unsigned>(threads);
-  exp::ExperimentEngine engine(opts);
+  exp::ExperimentEngine engine(
+      exp::ExperimentEngine::Options::builder()
+          .threads(static_cast<unsigned>(threads))
+          .build());
 
   core::DesignSpaceExplorer explorer(
       sim::MachineConfig::single_core_default(), workload,

@@ -7,13 +7,13 @@ namespace lpm::cpu {
 
 void CoreConfig::validate() const {
   using util::require;
-  require(issue_width >= 1, name + ": issue_width must be >= 1");
-  require(dispatch_width >= 1, name + ": dispatch_width must be >= 1");
-  require(commit_width >= 1, name + ": commit_width must be >= 1");
-  require(iw_size >= 1, name + ": iw_size must be >= 1");
-  require(rob_size >= 1, name + ": rob_size must be >= 1");
-  require(lsq_size >= 1, name + ": lsq_size must be >= 1");
-  require(iw_size <= rob_size, name + ": IW cannot exceed the ROB");
+  require(issue_width >= 1, name, ": issue_width must be >= 1");
+  require(dispatch_width >= 1, name, ": dispatch_width must be >= 1");
+  require(commit_width >= 1, name, ": commit_width must be >= 1");
+  require(iw_size >= 1, name, ": iw_size must be >= 1");
+  require(rob_size >= 1, name, ": rob_size must be >= 1");
+  require(lsq_size >= 1, name, ": lsq_size must be >= 1");
+  require(iw_size <= rob_size, name, ": IW cannot exceed the ROB");
 }
 
 CoreConfig CoreConfig::in_order(CoreId id) {
@@ -37,8 +37,8 @@ OooCore::OooCore(CoreConfig cfg, trace::TraceSource* source, mem::MemoryLevel* l
       rob_(cfg_.rob_size),
       id_base_(id_space << kSeqBits) {
   cfg_.validate();
-  util::require(source_ != nullptr, cfg_.name + ": trace source must exist");
-  util::require(l1_ != nullptr, cfg_.name + ": L1 must exist");
+  util::require(source_ != nullptr, cfg_.name, ": trace source must exist");
+  util::require(l1_ != nullptr, cfg_.name, ": L1 must exist");
   l1_cache_ = dynamic_cast<mem::Cache*>(l1_);
   executing_.reserve(cfg_.rob_size);  // executing ALU ops are ROB-bounded
   // A response is only in flight for an accepted memory op, so the LSQ depth

@@ -4,6 +4,11 @@
 #include <chrono>
 #include <cstdlib>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
 #include "obs/trace.hpp"
@@ -54,27 +59,62 @@ bool retryable(util::ErrorCode code) {
   return code != util::ErrorCode::kConfig;
 }
 
+/// One pause/yield step of a bounded spin (step counts up from 0).
+inline void spin_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
 /// Process-wide backend-executor registry. Executors are identified by
 /// name only, so a job's fingerprint stays stable across processes while
 /// the dispatch stays pluggable (src/model registers "rdh" / "fa").
+///
+/// Reads are lock-free: the executor map is an immutable snapshot behind
+/// one atomic pointer, and registration (rare — a handful of calls at
+/// startup, idempotent re-registrations after) copies the map, inserts,
+/// and publishes the copy. Old snapshots are retired, never freed, so an
+/// executor pointer handed to a reader stays valid for the process
+/// lifetime even if a test re-registers the name mid-flight.
 struct BackendRegistry {
-  std::mutex mutex;
-  std::unordered_map<std::string, BackendExecutor> executors;
+  using Map = std::unordered_map<std::string, BackendExecutor>;
+
+  std::mutex write_mutex;
+  std::vector<std::unique_ptr<const Map>> snapshots;  ///< newest last; all kept alive
+  std::atomic<const Map*> current{nullptr};
 
   static BackendRegistry& instance() {
-    static BackendRegistry registry;
+    static BackendRegistry& registry = *new BackendRegistry;  // leaked: outlives workers
     return registry;
   }
 
-  std::optional<BackendExecutor> find(const std::string& name) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    const auto it = executors.find(name);
-    if (it == executors.end()) return std::nullopt;
-    return it->second;
+  const BackendExecutor* find(const std::string& name) const {
+    const Map* map = current.load(std::memory_order_acquire);
+    if (map == nullptr) return nullptr;
+    const auto it = map->find(name);
+    return it == map->end() ? nullptr : &it->second;
+  }
+
+  void put(const std::string& name, BackendExecutor executor) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    const Map* old = current.load(std::memory_order_relaxed);
+    auto next = std::make_unique<Map>(old != nullptr ? *old : Map{});
+    (*next)[name] = std::move(executor);
+    current.store(next.get(), std::memory_order_release);
+    snapshots.push_back(std::move(next));
   }
 };
 
 }  // namespace
+
+std::optional<AffinityPolicy> parse_affinity_policy(std::string_view name) {
+  if (name == "none") return AffinityPolicy::kNone;
+  if (name == "compact") return AffinityPolicy::kCompact;
+  if (name == "spread") return AffinityPolicy::kSpread;
+  return std::nullopt;
+}
 
 void ExperimentEngine::register_backend_executor(const std::string& name,
                                                  BackendExecutor executor) {
@@ -83,16 +123,12 @@ void ExperimentEngine::register_backend_executor(const std::string& name,
                 "register_backend_executor: the cycle backend is built in");
   util::require(executor != nullptr,
                 "register_backend_executor: null executor for '" + name + "'");
-  auto& registry = BackendRegistry::instance();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
-  registry.executors[name] = std::move(executor);
+  BackendRegistry::instance().put(name, std::move(executor));
 }
 
 bool ExperimentEngine::has_backend_executor(const std::string& name) {
   if (name == kCycleBackend) return true;
-  auto& registry = BackendRegistry::instance();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
-  return registry.executors.contains(name);
+  return BackendRegistry::instance().find(name) != nullptr;
 }
 
 const SimResultPtr& SimJobOutcome::value() const {
@@ -121,21 +157,27 @@ SimJob SimJob::solo(sim::MachineConfig machine, trace::WorkloadProfile workload,
 
 void SimJob::validate() const {
   machine.validate();
-  util::require(workloads.size() == machine.num_cores,
-                "SimJob: need exactly one workload per core (" +
-                    std::to_string(workloads.size()) + " workloads for " +
-                    std::to_string(machine.num_cores) + " cores)");
+  // Messages with interpolated values are built inside the unlikely branch
+  // only: validate() runs once per submitted job, so its success path must
+  // stay allocation-free (see util::require's header note).
+  if (workloads.size() != machine.num_cores) [[unlikely]] {
+    throw util::ConfigError("SimJob: need exactly one workload per core (" +
+                            std::to_string(workloads.size()) +
+                            " workloads for " +
+                            std::to_string(machine.num_cores) + " cores)");
+  }
   for (const auto& wl : workloads) wl.validate();
-  util::require(ExperimentEngine::has_backend_executor(backend),
-                "SimJob: unknown backend '" + backend +
-                    "' (no registered executor)");
+  if (!ExperimentEngine::has_backend_executor(backend)) [[unlikely]] {
+    throw util::ConfigError("SimJob: unknown backend '" + backend +
+                            "' (no registered executor)");
+  }
 }
 
 std::uint64_t SimJob::fingerprint() const {
   util::Fingerprint f;
   // v2: the backend joined the key so analytic and cycle evaluations of
   // the same (machine, workloads) never alias in the memo cache.
-  f.mix(std::string("SimJob/v2"));
+  f.mix("SimJob/v2");
   f.mix_u64(util::fingerprint(machine));
   f.mix(workloads.size());
   for (const auto& wl : workloads) f.mix_u64(util::fingerprint(wl));
@@ -144,10 +186,70 @@ std::uint64_t SimJob::fingerprint() const {
   return f.value();
 }
 
+/// Per-batch coordination: the submit side resolves jobs into execution
+/// groups (one per distinct fingerprint), workers fill one cache-line-
+/// aligned outcome slot per group (single writer, no lock), and the
+/// submitting thread merges slots back into submission order after the
+/// completion barrier. The barrier itself is the last-finisher-notifies
+/// pattern: workers only touch ctx.mutex when remaining hits zero, and the
+/// notify happens under the mutex because the submitter owns BatchCtx on
+/// its stack and destroys it the moment its wait returns.
+struct BatchCtx {
+  struct Group {
+    std::uint64_t fp = 0;
+    const SimJob* job = nullptr;
+    /// First submission index served by this group (the executor slot).
+    /// Duplicates are rare, so keeping the common case inline avoids a
+    /// heap allocation per group on the submit path.
+    std::size_t first = 0;
+    /// Further submission indices served by the one execution.
+    std::vector<std::size_t> dups;
+    /// Executed-point number consumed by the fault plan.
+    std::uint64_t fault_index = 0;
+  };
+  struct alignas(64) Slot {
+    SimJobOutcome out;
+  };
+
+  std::vector<Group> groups;
+  std::vector<Slot> slots;
+  FailurePolicy policy = FailurePolicy::kFailFast;
+  std::atomic<bool> abort{false};
+  std::atomic<std::size_t> remaining{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+ExperimentEngine::Options ExperimentEngine::Options::Builder::build() const {
+  util::require(opts_.threads <= 256,
+                "EngineOptions: threads must be <= 256 (0 = auto)");
+  util::require(opts_.queue_capacity >= 1 &&
+                    (opts_.queue_capacity & (opts_.queue_capacity - 1)) == 0,
+                "EngineOptions: queue_capacity must be a power of two >= 1");
+  if (opts_.affinity != AffinityPolicy::kNone && opts_.threads > 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    // hw == 0 means "unknown" — degrade silently at pin time instead of
+    // rejecting a configuration the platform cannot even describe.
+    if (hw > 0 && opts_.threads > hw) {
+      throw util::ConfigError(
+          "EngineOptions: affinity '" +
+          std::string(affinity_policy_name(opts_.affinity)) + "' with " +
+          std::to_string(opts_.threads) + " threads exceeds the " +
+          std::to_string(hw) +
+          " hardware threads — pinning more workers than CPUs thrashes "
+          "instead of isolating (drop the affinity or the thread count)");
+    }
+  }
+  return opts_;
+}
+
 ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
 
 ExperimentEngine::ExperimentEngine(Options opts)
     : threads_(resolve_threads(opts.threads)),
+      queue_capacity_(opts.queue_capacity),
+      affinity_(opts.affinity),
       cache_enabled_(opts.cache_enabled),
       max_retries_(opts.max_retries),
       retry_backoff_base_ms_(opts.retry_backoff_base_ms),
@@ -173,17 +275,31 @@ ExperimentEngine::ExperimentEngine(Options opts)
       reg.counter("exp.jobs.timeouts"),
       reg.counter("exp.jobs.faults_injected"),
       reg.counter("exp.jobs.journal_skips"),
+      reg.counter("exp.queue.enqueue_spins"),
+      reg.counter("exp.queue.pop_spins"),
+      reg.counter("exp.queue.parks"),
+      reg.counter("exp.workers.pinned"),
+      reg.counter("exp.workers.pin_failed"),
       reg.histogram("exp.job.queue_wait_ms",
                     obs::MetricsRegistry::latency_ms_bounds()),
       reg.histogram("exp.job.run_ms",
                     obs::MetricsRegistry::latency_ms_bounds()),
       reg.histogram("exp.batch.size",
                     {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+      reg.histogram("exp.queue.depth",
+                    {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}),
+      reg.histogram("exp.worker.tasks",
+                    {1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}),
   };
+  util::require(queue_capacity_ >= 1 &&
+                    (queue_capacity_ & (queue_capacity_ - 1)) == 0,
+                "ExperimentEngine: queue_capacity must be a power of two >= 1");
   // threads_ == 1 means strictly serial: jobs run inline on the submitting
   // thread and no pool exists (the reference configuration for the
   // determinism tests).
   if (threads_ > 1) {
+    ring_ = std::make_unique<MpmcRing<TaskItem>>(queue_capacity_);
+    worker_shards_ = std::make_unique<WorkerShard[]>(threads_);
     workers_.reserve(threads_);
     for (unsigned i = 0; i < threads_; ++i) {
       workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
@@ -195,12 +311,18 @@ ExperimentEngine::ExperimentEngine(Options opts)
 }
 
 ExperimentEngine::~ExperimentEngine() {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    shutting_down_ = true;
+  shutting_down_.store(true, std::memory_order_seq_cst);
+  if (!workers_.empty()) {
+    // The empty critical section orders the notify after any in-progress
+    // park decision; parked workers also wake on their own within 2 ms.
+    { const std::lock_guard<std::mutex> lock(park_mutex_); }
+    park_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    for (unsigned i = 0; i < threads_; ++i) {
+      obs_.worker_tasks.observe(static_cast<double>(
+          worker_shards_[i].tasks.load(std::memory_order_relaxed)));
+    }
   }
-  queue_cv_.notify_all();
-  for (auto& w : workers_) w.join();
   if (watchdog_.joinable()) {
     {
       const std::lock_guard<std::mutex> lock(watchdog_mutex_);
@@ -211,27 +333,161 @@ ExperimentEngine::~ExperimentEngine() {
   }
 }
 
+std::vector<std::uint64_t> ExperimentEngine::worker_task_counts() const {
+  std::vector<std::uint64_t> counts;
+  if (worker_shards_ == nullptr) return counts;
+  counts.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    counts.push_back(worker_shards_[i].tasks.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+namespace {
+
+/// Pins the calling thread to one CPU chosen from the allowed set by
+/// `policy`. Returns: 1 = pinned, 0 = skipped (policy none, affinity
+/// unreadable, or fewer than two allowed CPUs — nothing to place), -1 =
+/// the set call itself was rejected (restricted cpuset). Linux-only; other
+/// platforms always skip.
+int pin_worker_thread(unsigned index, unsigned total, AffinityPolicy policy) {
+#if defined(__linux__)
+  if (policy == AffinityPolicy::kNone) return 0;
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return 0;
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+  }
+  if (cpus.size() < 2) return 0;
+  std::size_t slot = 0;
+  if (policy == AffinityPolicy::kCompact) {
+    slot = index % cpus.size();
+  } else {
+    slot = (static_cast<std::size_t>(index) * cpus.size()) /
+           std::max(1u, total) % cpus.size();
+  }
+  cpu_set_t target;
+  CPU_ZERO(&target);
+  CPU_SET(cpus[slot], &target);
+  return pthread_setaffinity_np(pthread_self(), sizeof(target), &target) == 0
+             ? 1
+             : -1;
+#else
+  (void)index;
+  (void)total;
+  (void)policy;
+  return 0;
+#endif
+}
+
+}  // namespace
+
 void ExperimentEngine::worker_loop(int worker_id) {
   util::set_thread_worker_id(worker_id);
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // only reachable when shutting down
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
+  switch (pin_worker_thread(static_cast<unsigned>(worker_id), threads_,
+                            affinity_)) {
+    case 1:
+      workers_pinned_.fetch_add(1, std::memory_order_relaxed);
+      obs_.workers_pinned.inc();
+      break;
+    case -1:
+      // Silent degradation: the worker runs unpinned and only the counter
+      // records that the cpuset refused the request.
+      workers_pin_failed_.fetch_add(1, std::memory_order_relaxed);
+      obs_.workers_pin_failed.inc();
+      break;
+    default: break;
+  }
+  WorkerShard& shard = worker_shards_[worker_id];
+  TaskItem item;
+  while (next_task(item)) {
+    shard.tasks.fetch_add(1, std::memory_order_relaxed);
+    run_task(item);
   }
 }
 
-void ExperimentEngine::enqueue(std::function<void()> task) {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.push_back(std::move(task));
+void ExperimentEngine::push_task(TaskItem item) {
+  // Queue telemetry is sampled (every 16th group of a batch): a clock read
+  // plus two histogram observations per push would cost a meaningful slice
+  // of the push itself. Spin counters stay exact — they only pay when the
+  // ring pushes back.
+  const bool sampled = (item.group & 15u) == 0;
+  if (sampled) item.enqueued_at = std::chrono::steady_clock::now();
+  unsigned spins = 0;
+  while (!ring_->try_push(item)) {
+    // Full ring: the batch outruns the pool. Back off without a lock —
+    // a worker must finish a task before a slot frees, so after a short
+    // pause burst yielding is strictly better than burning the core
+    // (essential on single-CPU runners, where the spinning submitter
+    // would otherwise starve the worker it is waiting on).
+    ++spins;
+    if (spins < 32) {
+      spin_pause();
+    } else {
+      std::this_thread::yield();
+    }
   }
-  queue_cv_.notify_one();
+  if (spins > 0) obs_.queue_enqueue_spins.add(spins);
+  if (sampled) {
+    obs_.queue_depth.observe(static_cast<double>(ring_->size_approx()));
+  }
+  // Dekker handshake with next_task(): the seq_cst fence orders our ring
+  // publication before the parked_ read, and the consumer's seq_cst
+  // parked_ increment before its ring re-check — one side always sees the
+  // other, so the wake cannot be lost.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_relaxed) > 0) {
+    const std::lock_guard<std::mutex> lock(park_mutex_);
+    park_cv_.notify_one();
+  }
+}
+
+bool ExperimentEngine::next_task(TaskItem& item) {
+  constexpr unsigned kPauseSpins = 64;   // ~cheap: stay hot for short gaps
+  constexpr unsigned kYieldSpins = 8;    // then cede the core
+  unsigned spins = 0;
+  for (;;) {
+    if (ring_->try_pop(item)) {
+      if (spins > 0) obs_.queue_pop_spins.add(spins);
+      return true;
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      // Drain-then-exit: a task pushed just before shutdown must still
+      // run (its batch is blocked on it).
+      return ring_->try_pop(item);
+    }
+    ++spins;
+    if (spins <= kPauseSpins) {
+      spin_pause();
+      continue;
+    }
+    if (spins <= kPauseSpins + kYieldSpins) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park. The seq_cst increment is the consumer half of the Dekker
+    // handshake in push_task(); re-check the ring after it so a push that
+    // missed our parked_ flag is seen here instead.
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    if (ring_->try_pop(item)) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      obs_.queue_pop_spins.add(spins);
+      return true;
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      return ring_->try_pop(item);
+    }
+    {
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      park_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    obs_.queue_parks.inc();
+    spins = 0;
+  }
 }
 
 // --- watchdog -------------------------------------------------------------
@@ -285,8 +541,15 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
                                        const sim::RunGuard* guard,
                                        std::optional<FaultKind> fault) {
   const auto start = std::chrono::steady_clock::now();
-  obs::ScopedSpan span(obs::TraceSession::global(), "exp.execute", "exp");
-  span.arg("cores", static_cast<double>(job.machine.num_cores));
+  // The span is built only when a trace session is live: ScopedSpan's
+  // name/category strings are per-execute cost on a path measured in
+  // nanoseconds, and with tracing off they would be built just to be
+  // thrown away.
+  std::optional<obs::ScopedSpan> span;
+  if (obs::TraceSession* trace = obs::TraceSession::global()) {
+    span.emplace(trace, "exp.execute", "exp");
+    span->arg("cores", static_cast<double>(job.machine.num_cores));
+  }
   if (fault.has_value()) {
     obs_.faults_injected.inc();
     switch (*fault) {
@@ -327,10 +590,13 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
       }
     }
   } else {
-    const auto executor = BackendRegistry::instance().find(job.backend);
-    // validate() already vetted the name; an executor can still vanish if
-    // a test re-registers, so keep the typed error rather than a crash.
-    if (!executor.has_value()) {
+    // Lock-free snapshot lookup; the returned executor stays valid even if
+    // the name is re-registered mid-flight (old snapshots are retired, not
+    // freed). validate() already vetted the name; a null here means the
+    // registry genuinely never saw it, so keep the typed error.
+    const BackendExecutor* executor =
+        BackendRegistry::instance().find(job.backend);
+    if (executor == nullptr) {
       util::throw_error(util::ErrorCode::kConfig,
                         "no executor registered for backend '" + job.backend +
                             "' (job '" + job.tag + "')");
@@ -338,9 +604,6 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
     out = (*executor)(job, guard);
   }
   out.backend = job.backend;
-  obs::MetricsRegistry::global()
-      .counter("model.backend.evals." + job.backend)
-      .inc();
   simulations_executed_.fetch_add(1, std::memory_order_relaxed);
   const auto elapsed = std::chrono::steady_clock::now() - start;
   const auto elapsed_ns =
@@ -467,6 +730,62 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_outcomes(
   return run_batch_impl(jobs, batch.policy, batch.consult_journal);
 }
 
+void ExperimentEngine::run_group(BatchCtx& ctx, std::uint32_t gi) {
+  const BatchCtx::Group& g = ctx.groups[gi];
+  SimJobOutcome& out = ctx.slots[gi].out;  // single writer: this call
+  // Fail-fast: jobs not yet started when an earlier one failed are
+  // reported as cancelled, never silently dropped.
+  if (ctx.policy == FailurePolicy::kFailFast &&
+      ctx.abort.load(std::memory_order_acquire)) {
+    out.fingerprint = g.fp;
+    out.error = util::ErrorCode::kCancelled;
+    out.error_message =
+        "not started: an earlier job in the fail-fast batch failed";
+    return;
+  }
+  out = execute_with_retry(*g.job, g.fp, g.fault_index);
+  if (!out.ok() && ctx.policy == FailurePolicy::kFailFast &&
+      out.error != util::ErrorCode::kCancelled) {
+    ctx.abort.store(true, std::memory_order_release);
+  }
+}
+
+void ExperimentEngine::run_task(const TaskItem& item) {
+  // Only sampled tasks carry an enqueue timestamp (see push_task); the
+  // default-constructed time_point marks the unsampled ones.
+  if (item.enqueued_at != std::chrono::steady_clock::time_point{}) {
+    obs_.queue_wait_ms.observe(
+        1e-6 * static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - item.enqueued_at)
+                       .count()));
+  }
+  BatchCtx& ctx = *item.ctx;
+  run_group(ctx, item.group);
+  // Only the batch's last finisher takes the mutex; everyone else just
+  // decrements. Notify while holding the lock: the submitting thread owns
+  // BatchCtx on its stack and destroys it as soon as its wait returns, so
+  // an unlocked notify could signal a dead cv.
+  if (ctx.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::lock_guard<std::mutex> lock(ctx.mutex);
+    ctx.done = true;
+    ctx.cv.notify_one();
+  }
+}
+
+obs::MetricsRegistry::Counter ExperimentEngine::backend_evals(
+    const std::string& backend) {
+  const std::lock_guard<std::mutex> lock(backend_evals_mutex_);
+  auto it = backend_evals_.find(backend);
+  if (it == backend_evals_.end()) {
+    it = backend_evals_
+             .emplace(backend, obs::MetricsRegistry::global().counter(
+                                   "model.backend.evals." + backend))
+             .first;
+  }
+  return it->second;
+}
+
 std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
     const std::vector<SimJob>& jobs, FailurePolicy policy,
     bool consult_journal) {
@@ -483,14 +802,19 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
   // point simulates exactly once. Groups keep submission order, which also
   // fixes the fault plan's executed-point numbering independently of the
   // worker pool.
-  struct Group {
-    std::uint64_t fp = 0;
-    const SimJob* job = nullptr;
-    std::vector<std::size_t> indices;
-    std::uint64_t fault_index = 0;
-  };
-  std::vector<Group> groups;
-  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  BatchCtx ctx;
+  ctx.policy = policy;
+  // Fingerprint dedup uses a flat linear-probe table (power-of-two sized,
+  // at most half full) instead of an unordered_map: fingerprints are
+  // already well-mixed 64-bit hashes, and a probe into a flat array costs
+  // no per-node allocation on the submit hot path. The slot found by the
+  // probe stays valid for the insert below — this thread is the table's
+  // only writer.
+  constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+  std::size_t table_cap = 16;
+  while (table_cap < jobs.size() * 2) table_cap <<= 1;
+  std::vector<std::uint64_t> dedup_fp(table_cap);
+  std::vector<std::uint32_t> dedup_group(table_cap, kEmptySlot);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     try {
       jobs[i].validate();
@@ -501,8 +825,12 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
     }
     const std::uint64_t fp = jobs[i].fingerprint();
     outcomes[i].fingerprint = fp;
-    if (const auto it = group_of.find(fp); it != group_of.end()) {
-      groups[it->second].indices.push_back(i);
+    std::size_t slot = fp & (table_cap - 1);
+    while (dedup_group[slot] != kEmptySlot && dedup_fp[slot] != fp) {
+      slot = (slot + 1) & (table_cap - 1);
+    }
+    if (dedup_group[slot] != kEmptySlot) {
+      ctx.groups[dedup_group[slot]].dups.push_back(i);
       continue;
     }
     if (cache_enabled_) {
@@ -521,80 +849,65 @@ std::vector<SimJobOutcome> ExperimentEngine::run_batch_impl(
       obs_.journal_skips.inc();
       continue;
     }
-    group_of.emplace(fp, groups.size());
-    groups.push_back(Group{fp, &jobs[i], {i}, 0});
+    dedup_fp[slot] = fp;
+    dedup_group[slot] = static_cast<std::uint32_t>(ctx.groups.size());
+    ctx.groups.push_back(BatchCtx::Group{fp, &jobs[i], i, {}, 0});
   }
-  for (Group& g : groups) {
+  for (BatchCtx::Group& g : ctx.groups) {
     g.fault_index = fault_cursor_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  if (!groups.empty()) {
-    struct BatchState {
-      std::mutex mutex;
-      std::condition_variable cv;
-      std::size_t remaining = 0;
-      std::atomic<bool> abort{false};
-    } state;
-    state.remaining = groups.size();
+  if (!ctx.groups.empty()) {
+    ctx.slots = std::vector<BatchCtx::Slot>(ctx.groups.size());
+    const auto n_groups = static_cast<std::uint32_t>(ctx.groups.size());
+    if (threads_ == 1) {
+      // Serial reference path: groups run inline, in submission order.
+      for (std::uint32_t gi = 0; gi < n_groups; ++gi) run_group(ctx, gi);
+    } else {
+      ctx.remaining.store(ctx.groups.size(), std::memory_order_relaxed);
+      for (std::uint32_t gi = 0; gi < n_groups; ++gi) {
+        push_task(TaskItem{&ctx, gi});
+      }
+      std::unique_lock<std::mutex> lock(ctx.mutex);
+      ctx.cv.wait(lock, [&ctx] { return ctx.done; });
+    }
 
-    for (Group& group : groups) {
-      const Group* g = &group;
-      const auto enqueued_at = std::chrono::steady_clock::now();
-      auto task = [this, g, policy, &outcomes, &state, enqueued_at] {
-        obs_.queue_wait_ms.observe(
-            1e-6 * static_cast<double>(
-                       std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - enqueued_at)
-                           .count()));
-        SimJobOutcome out;
-        // Fail-fast: jobs not yet started when an earlier one failed are
-        // reported as cancelled, never silently dropped.
-        if (policy == FailurePolicy::kFailFast &&
-            state.abort.load(std::memory_order_acquire)) {
-          out.fingerprint = g->fp;
-          out.error = util::ErrorCode::kCancelled;
-          out.error_message =
-              "not started: an earlier job in the fail-fast batch failed";
-        } else {
-          out = execute_with_retry(*g->job, g->fp, g->fault_index);
+    // Merge-on-read: workers wrote one slot per group; fan the slots back
+    // out to submission indices here, on the submitting thread, so cache
+    // inserts, duplicate accounting, and the sink/journal pass below all
+    // happen in submission order no matter how the pool scheduled the
+    // groups. This is what keeps N workers bit-identical to serial.
+    // Batches overwhelmingly run one backend, so memoize the per-backend
+    // evals counter: the steady state is a relaxed add per group instead
+    // of a mutex plus a string-keyed map lookup.
+    const std::string* evals_backend = nullptr;
+    obs::MetricsRegistry::Counter evals;
+    for (std::uint32_t gi = 0; gi < n_groups; ++gi) {
+      const BatchCtx::Group& g = ctx.groups[gi];
+      SimJobOutcome& out = ctx.slots[gi].out;
+      if (out.ok()) {
+        if (evals_backend == nullptr || *evals_backend != g.job->backend) {
+          evals = backend_evals(g.job->backend);
+          evals_backend = &g.job->backend;
         }
-        if (out.ok()) {
-          if (cache_enabled_) {
-            const std::lock_guard<std::mutex> lock(cache_mutex_);
-            cache_.emplace(g->fp, out.result);
-          }
-        } else if (policy == FailurePolicy::kFailFast &&
-                   out.error != util::ErrorCode::kCancelled) {
-          state.abort.store(true, std::memory_order_release);
+        evals.inc();
+        if (cache_enabled_) {
+          const std::lock_guard<std::mutex> lock(cache_mutex_);
+          cache_.emplace(g.fp, out.result);
         }
-        for (const std::size_t idx : g->indices) outcomes[idx] = out;
-        // Notify while holding the mutex: the submitting thread owns
-        // BatchState on its stack and destroys it as soon as it observes
-        // remaining == 0, so an unlocked notify could signal a dead cv.
-        {
-          const std::lock_guard<std::mutex> lock(state.mutex);
-          --state.remaining;
-          state.cv.notify_one();
+        // Duplicates within the batch were served by the one execution.
+        for (const std::size_t k : g.dups) {
+          outcomes[k] = out;
+          outcomes[k].from_cache = true;
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          obs_.cache_hits.inc();
         }
-      };
-      if (threads_ == 1) {
-        task();
       } else {
-        enqueue(std::move(task));
+        for (const std::size_t k : g.dups) {
+          outcomes[k] = out;
+        }
       }
-    }
-    {
-      std::unique_lock<std::mutex> lock(state.mutex);
-      state.cv.wait(lock, [&state] { return state.remaining == 0; });
-    }
-    // Duplicates within the batch were served by the first execution.
-    for (const Group& g : groups) {
-      if (!outcomes[g.indices.front()].ok()) continue;
-      for (std::size_t k = 1; k < g.indices.size(); ++k) {
-        outcomes[g.indices[k]].from_cache = true;
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
-        obs_.cache_hits.inc();
-      }
+      outcomes[g.first] = std::move(out);
     }
   }
 
@@ -661,15 +974,31 @@ ExperimentEngine& ExperimentEngine::shared() {
     }
   }();
   static ExperimentEngine engine{[] {
-    Options opts;
-    opts.sink = sink.get();
-    opts.journal = journal.get();
-    opts.max_retries =
-        static_cast<unsigned>(env_u64_or("LPM_MAX_RETRIES", 0));
-    opts.retry_backoff_base_ms = env_u64_or("LPM_RETRY_BACKOFF_MS", 10);
-    opts.job_timeout_ms = env_u64_or("LPM_JOB_TIMEOUT_MS", 0);
-    opts.fault_plan = FaultPlan::from_env();
-    return opts;
+    auto builder =
+        Options::builder()
+            .sink(sink.get())
+            .journal(journal.get())
+            .max_retries(
+                static_cast<unsigned>(env_u64_or("LPM_MAX_RETRIES", 0)))
+            .retry_backoff_base_ms(env_u64_or("LPM_RETRY_BACKOFF_MS", 10))
+            .job_timeout_ms(env_u64_or("LPM_JOB_TIMEOUT_MS", 0))
+            .fault_plan(FaultPlan::from_env());
+    if (const char* env = std::getenv("LPM_AFFINITY")) {
+      if (const auto policy = parse_affinity_policy(env)) {
+        builder.affinity(*policy);
+      } else {
+        util::log_warn() << "ignoring invalid LPM_AFFINITY='" << env
+                         << "' (want none|compact|spread)";
+      }
+    }
+    const std::uint64_t capacity = env_u64_or("LPM_QUEUE_CAPACITY", 1024);
+    if (capacity >= 1 && (capacity & (capacity - 1)) == 0) {
+      builder.queue_capacity(static_cast<std::size_t>(capacity));
+    } else {
+      util::log_warn() << "ignoring LPM_QUEUE_CAPACITY=" << capacity
+                       << " (must be a power of two >= 1)";
+    }
+    return builder.build();
   }()};
   return engine;
 }

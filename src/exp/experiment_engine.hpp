@@ -36,11 +36,24 @@
 // sweep resume without re-simulating completed points
 // (tests/exp/fault_injection_test.cpp).
 //
+// Concurrency core (DESIGN.md "Engine concurrency"): the job queue is a
+// bounded lock-free MPMC ring (exp/mpmc_queue.hpp) — submitters never take
+// a lock to hand work to the pool, and workers spin briefly, then yield,
+// then park on a condition variable only when the ring stays empty.
+// Outcomes land in per-group cache-line-aligned slots (single writer each)
+// and are merged back into submission order on the submitting thread —
+// merge-on-read, the same shape src/obs uses for metric shards — which is
+// what keeps N workers bit-identical to serial. An affinity policy
+// (none | compact | spread) optionally pins workers to distinct allowed
+// CPUs via pthread_setaffinity_np, silently degrading where the cpuset
+// forbids pinning or the machine has a single hardware thread.
+//
 // Observability: the engine publishes its telemetry (job counts, memo-cache
 // hits/misses, retry/timeout/fault tallies, queue-wait and run-time
-// histograms) to obs::MetricsRegistry::global() and emits exp.run_batch /
-// exp.execute spans on the global trace session — see OBSERVABILITY.md for
-// the name catalogue and the $LPM_METRICS / $LPM_TRACE knobs.
+// histograms, exp.queue.* ring-contention counters, per-worker occupancy)
+// to obs::MetricsRegistry::global() and emits exp.run_batch / exp.execute
+// spans on the global trace session — see OBSERVABILITY.md for the name
+// catalogue and the $LPM_METRICS / $LPM_TRACE knobs.
 //
 // Thread safety: run(), run_batch() and run_batch_outcomes() are blocking
 // and may be called from any thread, including concurrently (each batch
@@ -56,17 +69,18 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "exp/fault_plan.hpp"
+#include "exp/mpmc_queue.hpp"
 #include "obs/metrics.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/system.hpp"
@@ -196,8 +210,58 @@ struct BatchOptions {
 using BackendExecutor =
     std::function<SimJobResult(const SimJob&, const sim::RunGuard*)>;
 
+/// Where the pool's worker threads run relative to the CPUs the process is
+/// allowed on (the cpuset from sched_getaffinity, not the raw machine).
+enum class AffinityPolicy {
+  /// No pinning; the OS scheduler places workers freely.
+  kNone,
+  /// Worker i pins to allowed CPU i mod n — packs workers onto
+  /// neighbouring CPUs (shared caches; the single-socket sweet spot).
+  kCompact,
+  /// Worker i pins to allowed CPU floor(i*n/threads) mod n — spaces
+  /// workers across the allowed set (maximum aggregate bandwidth on
+  /// multi-socket / multi-CCX parts).
+  kSpread,
+};
+
+[[nodiscard]] constexpr const char* affinity_policy_name(AffinityPolicy p) {
+  switch (p) {
+    case AffinityPolicy::kNone: return "none";
+    case AffinityPolicy::kCompact: return "compact";
+    case AffinityPolicy::kSpread: return "spread";
+  }
+  return "?";
+}
+
+/// Parses "none" / "compact" / "spread" (the $LPM_AFFINITY values);
+/// nullopt for anything else.
+[[nodiscard]] std::optional<AffinityPolicy> parse_affinity_policy(
+    std::string_view name);
+
+/// Per-batch coordination block (defined in the .cpp); the ring carries
+/// (batch, group-index) pairs instead of heap-allocated closures.
+struct BatchCtx;
+
+/// One unit of pool work: group `group` of the batch behind `ctx`. POD on
+/// purpose — pushing a task allocates nothing.
+struct TaskItem {
+  BatchCtx* ctx = nullptr;
+  std::uint32_t group = 0;
+  /// Set only on sampled pushes (queue-wait telemetry); the default
+  /// epoch value marks unsampled tasks.
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
 class ExperimentEngine {
  public:
+  /// Engine construction knobs.
+  ///
+  /// Prefer `Options::builder()` over filling the bare struct: the builder
+  /// validates at build() (thread ceiling, power-of-two ring capacity,
+  /// affinity vs hardware_concurrency) so an inconsistent engine
+  /// configuration never reaches the constructor — the same idiom as
+  /// sim::MachineConfig::builder(), and the documented house style since
+  /// DESIGN.md deprecated bare-struct init for both.
   struct Options {
     /// Worker threads. 0 = auto: $LPM_THREADS if set, else
     /// std::thread::hardware_concurrency(). 1 = fully serial (no pool).
@@ -226,6 +290,22 @@ class ExperimentEngine {
     FaultPlan fault_plan;
     /// Optional crash-safe sweep journal (non-owning; may be nullptr).
     SweepJournal* journal = nullptr;
+    /// Capacity of the lock-free MPMC job ring (power of two >= 1). Only
+    /// bounds in-flight handoff, not batch size: a submitter whose push
+    /// finds the ring full spins/yields until a worker drains a slot.
+    std::size_t queue_capacity = 1024;
+    /// Worker CPU pinning policy. Pinning silently degrades (workers stay
+    /// unpinned, exp.workers.pin_failed counts) where the cpuset forbids
+    /// it or fewer than two CPUs are allowed.
+    AffinityPolicy affinity = AffinityPolicy::kNone;
+
+    class Builder;
+    /// Fluent construction from the defaults; build() validates and throws
+    /// util::ConfigError on any inconsistency. Preferred over mutating the
+    /// bare struct (see DESIGN.md).
+    [[nodiscard]] static Builder builder();
+    /// Same, but starting from an existing Options value.
+    [[nodiscard]] static Builder builder(Options base);
   };
 
   ExperimentEngine();
@@ -263,6 +343,21 @@ class ExperimentEngine {
                                                       std::uint64_t base_ms);
 
   [[nodiscard]] unsigned threads() const { return threads_; }
+  [[nodiscard]] AffinityPolicy affinity() const { return affinity_; }
+  [[nodiscard]] std::size_t queue_capacity() const { return queue_capacity_; }
+  /// Workers successfully pinned to a CPU (0 under AffinityPolicy::kNone,
+  /// on single-CPU cpusets, and wherever pinning silently degraded).
+  [[nodiscard]] unsigned workers_pinned() const {
+    return workers_pinned_.load(std::memory_order_relaxed);
+  }
+  /// Workers whose pthread_setaffinity_np call was rejected (restricted
+  /// cpuset); these workers run unpinned — degradation, not failure.
+  [[nodiscard]] unsigned workers_pin_failed() const {
+    return workers_pin_failed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed per worker so far (merge-on-read over the per-worker
+  /// shards; index = worker id). Empty for serial engines.
+  [[nodiscard]] std::vector<std::uint64_t> worker_task_counts() const;
   /// Simulations actually executed (== distinct points seen).
   [[nodiscard]] std::uint64_t simulations_executed() const {
     return simulations_executed_.load(std::memory_order_relaxed);
@@ -312,8 +407,27 @@ class ExperimentEngine {
   [[nodiscard]] static bool has_backend_executor(const std::string& name);
 
  private:
+  /// Per-worker stat shard; cache-line aligned so workers never
+  /// false-share. Merged on read (worker_task_counts(), the
+  /// exp.worker.tasks histogram at shutdown) — never locked.
+  struct alignas(64) WorkerShard {
+    std::atomic<std::uint64_t> tasks{0};
+  };
+
   void worker_loop(int worker_id);
-  void enqueue(std::function<void()> task);
+  /// Publishes one task to the ring (spinning/yielding while full) and
+  /// wakes a parked worker if any.
+  void push_task(TaskItem item);
+  /// Pops the next task: bounded spin, then yield, then park with a 2 ms
+  /// bound. False only at shutdown with the ring drained.
+  bool next_task(TaskItem& item);
+  /// Runs one ring task end to end (group execution + batch completion).
+  void run_task(const TaskItem& item);
+  /// Executes group `gi` of `ctx` into its outcome slot (single writer).
+  void run_group(BatchCtx& ctx, std::uint32_t gi);
+  /// Cached per-backend "model.backend.evals.<name>" counter handle (one
+  /// name lookup per backend per engine, not per job).
+  obs::MetricsRegistry::Counter backend_evals(const std::string& backend);
   /// Simulates one job (no cache interaction); runs on a worker or, for
   /// serial engines, on the submitting thread. `fault` injects a failure
   /// before the simulation starts; `guard` is the watchdog's cancel flag
@@ -338,6 +452,8 @@ class ExperimentEngine {
   void watchdog_loop();
 
   unsigned threads_ = 1;
+  std::size_t queue_capacity_ = 1024;
+  AffinityPolicy affinity_ = AffinityPolicy::kNone;
   bool cache_enabled_ = true;
   unsigned max_retries_ = 0;
   std::uint64_t retry_backoff_base_ms_ = 0;
@@ -365,9 +481,16 @@ class ExperimentEngine {
     obs::MetricsRegistry::Counter timeouts;
     obs::MetricsRegistry::Counter faults_injected;
     obs::MetricsRegistry::Counter journal_skips;
+    obs::MetricsRegistry::Counter queue_enqueue_spins;
+    obs::MetricsRegistry::Counter queue_pop_spins;
+    obs::MetricsRegistry::Counter queue_parks;
+    obs::MetricsRegistry::Counter workers_pinned;
+    obs::MetricsRegistry::Counter workers_pin_failed;
     obs::MetricsRegistry::Histogram queue_wait_ms;
     obs::MetricsRegistry::Histogram run_ms;
     obs::MetricsRegistry::Histogram batch_size;
+    obs::MetricsRegistry::Histogram queue_depth;
+    obs::MetricsRegistry::Histogram worker_tasks;
   };
   Instruments obs_;
 
@@ -381,11 +504,25 @@ class ExperimentEngine {
   /// thread in submission order so injection sites are pool-independent.
   std::atomic<std::uint64_t> fault_cursor_{0};
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  // The lock-free job path: ring + spin-then-park. parked_ is the Dekker
+  // flag between a producer's post-push check and a consumer's pre-park
+  // re-check (both seq_cst), so a wake is never lost; the 2 ms park bound
+  // is belt and braces, not the correctness mechanism.
+  std::unique_ptr<MpmcRing<TaskItem>> ring_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<unsigned> parked_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::unique_ptr<WorkerShard[]> worker_shards_;
+  std::atomic<unsigned> workers_pinned_{0};
+  std::atomic<unsigned> workers_pin_failed_{0};
   std::vector<std::thread> workers_;
+
+  /// Per-backend eval-counter handles, resolved once per backend name so
+  /// the merge path never does a registry name lookup per job.
+  std::mutex backend_evals_mutex_;
+  std::unordered_map<std::string, obs::MetricsRegistry::Counter>
+      backend_evals_;
 
   struct WatchdogEntry {
     std::chrono::steady_clock::time_point deadline;
@@ -398,5 +535,85 @@ class ExperimentEngine {
   bool watchdog_stop_ = false;
   std::thread watchdog_;
 };
+
+/// Builder for ExperimentEngine::Options (the validate-at-build idiom of
+/// sim::MachineConfig::Builder). Every knob has a fluent setter; build()
+/// validates the combination and throws util::ConfigError on any
+/// inconsistency, so a bad engine configuration fails at the call site
+/// that wrote it, not inside the constructor of a worker pool.
+class ExperimentEngine::Options::Builder {
+ public:
+  Builder() = default;
+  explicit Builder(Options base) : opts_(std::move(base)) {}
+
+  /// 0 = auto ($LPM_THREADS, else hardware_concurrency); 1 = serial.
+  Builder& threads(unsigned n) {
+    opts_.threads = n;
+    return *this;
+  }
+  Builder& cache(bool enabled) {
+    opts_.cache_enabled = enabled;
+    return *this;
+  }
+  Builder& sink(ResultSink* sink) {
+    opts_.sink = sink;
+    return *this;
+  }
+  Builder& max_retries(unsigned n) {
+    opts_.max_retries = n;
+    return *this;
+  }
+  Builder& retry_backoff_base_ms(std::uint64_t ms) {
+    opts_.retry_backoff_base_ms = ms;
+    return *this;
+  }
+  Builder& backoff_seed(std::uint64_t seed) {
+    opts_.backoff_seed = seed;
+    return *this;
+  }
+  Builder& job_timeout_ms(std::uint64_t ms) {
+    opts_.job_timeout_ms = ms;
+    return *this;
+  }
+  Builder& policy(FailurePolicy policy) {
+    opts_.policy = policy;
+    return *this;
+  }
+  Builder& fault_plan(FaultPlan plan) {
+    opts_.fault_plan = std::move(plan);
+    return *this;
+  }
+  Builder& journal(SweepJournal* journal) {
+    opts_.journal = journal;
+    return *this;
+  }
+  /// Ring capacity; build() requires a power of two >= 1.
+  Builder& queue_capacity(std::size_t capacity) {
+    opts_.queue_capacity = capacity;
+    return *this;
+  }
+  Builder& affinity(AffinityPolicy policy) {
+    opts_.affinity = policy;
+    return *this;
+  }
+
+  /// Validates and returns the finished Options: threads <= 256, queue
+  /// capacity a power of two >= 1, and an affinity request with an
+  /// explicit thread count is checked against hardware_concurrency (more
+  /// pinned workers than hardware threads is a configuration mistake, not
+  /// a degradation case).
+  [[nodiscard]] Options build() const;
+
+ private:
+  Options opts_;
+};
+
+inline ExperimentEngine::Options::Builder ExperimentEngine::Options::builder() {
+  return Builder{};
+}
+inline ExperimentEngine::Options::Builder ExperimentEngine::Options::builder(
+    Options base) {
+  return Builder{std::move(base)};
+}
 
 }  // namespace lpm::exp

@@ -1,0 +1,150 @@
+// Bounded lock-free MPMC ring (lap-encoded ticket-sequenced cells).
+//
+// The experiment engine's job queue: submitters push TaskItems, workers pop
+// them, and neither side ever takes a mutex. Tickets are claimed by one CAS
+// on the head (push) or tail (pop) counter; each cell carries a sequence
+// number that encodes which lap of the ring last touched it and whether it
+// currently holds an item. For a ticket `pos`, `lap = pos / capacity` and:
+//
+//   seq == 2*lap       — cell free for the producer holding ticket pos
+//   seq == 2*lap + 1   — cell holds the item for consumer ticket pos
+//   seq == 2*lap + 2   — consumed; free for the *next* lap's producer
+//   anything else      — another thread owns the cell this lap; retry on a
+//                        fresh ticket or report full/empty
+//
+// This is the repo's variant of the classic Vyukov bounded MPMC queue with
+// one deliberate change: Vyukov's encoding (push publishes pos+1, pop
+// releases pos+capacity) collapses at capacity 1, where pos+1 equals
+// pos+capacity and "holds an item" becomes indistinguishable from "free
+// for the next ticket" — a second producer can overwrite an unconsumed
+// cell. Doubling the lap in the sequence keeps the two states distinct at
+// every capacity, so a capacity-1 ring degenerates cleanly into a
+// rendezvous slot (every push waits for the matching pop) instead of
+// losing items.
+//
+// Publication is a release store of the cell's sequence, matched by the
+// acquire load on the other side — the element payload itself needs no
+// atomics. Capacity must be a power of two >= 1 (the monotonically growing
+// tickets are masked into cell indices and shifted into laps).
+//
+// try_push/try_pop never block and never spuriously fail: a false return
+// means the ring was genuinely full (resp. empty) at some instant during
+// the call. Progress is lock-free, not wait-free — a stalled thread that
+// claimed a ticket delays only the threads that need that exact cell one
+// lap later. Cells and the head/tail counters live on separate cache lines
+// so producers and consumers do not false-share.
+//
+// The torture suite lives in tests/exp/mpmc_queue_test.cpp and runs under
+// TSan in CI.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace lpm::exp {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// `capacity` must be a power of two >= 1 (throws util::ConfigError
+  /// otherwise).
+  explicit MpmcRing(std::size_t capacity)
+      : mask_(capacity - 1),
+        shift_(std::countr_zero(capacity)),
+        cells_(new Cell[capacity]),
+        capacity_(capacity) {
+    util::require(capacity >= 1 && (capacity & (capacity - 1)) == 0,
+                  "MpmcRing: capacity must be a power of two >= 1");
+    // Every cell starts free for lap 0.
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Attempts to enqueue; false iff the ring was full. Never blocks.
+  bool try_push(T item) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t free_mark = 2 * (pos >> shift_);
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(free_mark);
+      if (dif == 0) {
+        // Cell free for this ticket: claim it. CAS failure means another
+        // producer took the ticket — retry with the updated position.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(item);
+          cell.seq.store(free_mark + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        // The cell still holds (or hasn't released) last lap's item: full.
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Attempts to dequeue into `out`; false iff the ring was empty. Never
+  /// blocks.
+  bool try_pop(T& out) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t full_mark = 2 * (pos >> shift_) + 1;
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(full_mark);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          // Release the cell for the producer one lap ahead.
+          cell.seq.store(full_mark + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        // No published item at this ticket: the ring is empty.
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Instantaneous occupancy estimate (racy by nature; used only for the
+  /// exp.queue.depth metric, never for control flow).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  const int shift_;  ///< log2(capacity): ticket -> lap
+  std::unique_ptr<Cell[]> cells_;
+  const std::size_t capacity_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< producer ticket
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< consumer ticket
+};
+
+}  // namespace lpm::exp

@@ -9,6 +9,16 @@ const core::AppMeasurement& SimulationReport::app(std::size_t idx) const {
   return apps[idx];
 }
 
+std::unique_ptr<exp::ExperimentEngine> make_engine(const EngineOptions& opts) {
+  return std::make_unique<exp::ExperimentEngine>(
+      exp::ExperimentEngine::Options::builder()
+          .threads(opts.threads)
+          .queue_capacity(opts.queue_capacity)
+          .affinity(opts.affinity)
+          .cache(opts.cache_enabled)
+          .build());
+}
+
 SimulationReport simulate(const sim::MachineConfig& machine,
                           const TraceSpec& spec) {
   model::CycleSimBackend backend;

@@ -29,23 +29,23 @@ void CacheConfig::validate() const {
   // >= 2 so block-aligned addresses always have a zero low bit, keeping the
   // all-ones invalid-tag sentinel unambiguous.
   require(is_pow2(block_bytes) && block_bytes >= 2,
-          name + ": block_bytes must be a power of two >= 2");
-  require(is_pow2(size_bytes), name + ": size_bytes must be a power of two");
-  require(associativity >= 1, name + ": associativity must be >= 1");
+          name, ": block_bytes must be a power of two >= 2");
+  require(is_pow2(size_bytes), name, ": size_bytes must be a power of two");
+  require(associativity >= 1, name, ": associativity must be >= 1");
   require(size_bytes >= static_cast<std::uint64_t>(block_bytes) * associativity,
-          name + ": cache smaller than one set");
+          name, ": cache smaller than one set");
   require(size_bytes % (static_cast<std::uint64_t>(block_bytes) * associativity) == 0,
-          name + ": size must be a multiple of block*assoc");
-  require(is_pow2(num_sets()), name + ": number of sets must be a power of two");
-  require(hit_latency >= 1, name + ": hit_latency must be >= 1");
-  require(ports >= 1, name + ": ports must be >= 1");
-  require(banks >= 1 && is_pow2(banks), name + ": banks must be a power of two");
+          name, ": size must be a multiple of block*assoc");
+  require(is_pow2(num_sets()), name, ": number of sets must be a power of two");
+  require(hit_latency >= 1, name, ": hit_latency must be >= 1");
+  require(ports >= 1, name, ": ports must be >= 1");
+  require(banks >= 1 && is_pow2(banks), name, ": banks must be a power of two");
   require(interleave_bytes >= block_bytes && is_pow2(interleave_bytes),
-          name + ": interleave must be a power of two >= block size");
-  require(mshr_entries >= 1, name + ": mshr_entries must be >= 1");
-  require(mshr_targets >= 1, name + ": mshr_targets must be >= 1");
-  require(writeback_capacity >= 1, name + ": writeback_capacity must be >= 1");
-  require(num_cores >= 1, name + ": num_cores must be >= 1");
+          name, ": interleave must be a power of two >= block size");
+  require(mshr_entries >= 1, name, ": mshr_entries must be >= 1");
+  require(mshr_targets >= 1, name, ": mshr_targets must be >= 1");
+  require(writeback_capacity >= 1, name, ": writeback_capacity must be >= 1");
+  require(num_cores >= 1, name, ": num_cores must be >= 1");
 }
 
 Cache::Cache(CacheConfig cfg, MemoryLevel* below, std::uint64_t id_space)
@@ -55,7 +55,7 @@ Cache::Cache(CacheConfig cfg, MemoryLevel* below, std::uint64_t id_space)
       rng_(cfg_.seed),
       next_fill_id_(id_space << 40) {
   cfg_.validate();
-  util::require(below_ != nullptr, cfg_.name + ": lower level must exist");
+  util::require(below_ != nullptr, cfg_.name, ": lower level must exist");
   line_tags_.assign(cfg_.num_sets() * cfg_.associativity, kInvalidTag);
   line_flags_.assign(cfg_.num_sets() * cfg_.associativity, 0);
   repl_.reserve(cfg_.num_sets());
@@ -447,7 +447,7 @@ bool Cache::try_install_fill(Addr blk, Cycle now) {
 }
 
 void Cache::set_ports(std::uint32_t ports) {
-  util::require(ports >= 1, cfg_.name + ": ports must be >= 1");
+  util::require(ports >= 1, cfg_.name, ": ports must be >= 1");
   if (ports == runtime_ports_) return;
   runtime_ports_ = ports;
   runtime_per_bank_ = cfg_.banks == 1

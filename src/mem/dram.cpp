@@ -12,13 +12,13 @@ namespace {
 
 void DramConfig::validate() const {
   using util::require;
-  require(banks >= 1 && is_pow2(banks), name + ": banks must be a power of two");
-  require(is_pow2(row_bytes), name + ": row_bytes must be a power of two");
-  require(is_pow2(interleave_bytes), name + ": interleave must be a power of two");
-  require(row_bytes >= interleave_bytes, name + ": row must cover the interleave unit");
-  require(t_burst >= 1, name + ": t_burst must be >= 1");
-  require(queue_capacity >= 1, name + ": queue_capacity must be >= 1");
-  require(max_issue_per_cycle >= 1, name + ": max_issue_per_cycle must be >= 1");
+  require(banks >= 1 && is_pow2(banks), name, ": banks must be a power of two");
+  require(is_pow2(row_bytes), name, ": row_bytes must be a power of two");
+  require(is_pow2(interleave_bytes), name, ": interleave must be a power of two");
+  require(row_bytes >= interleave_bytes, name, ": row must cover the interleave unit");
+  require(t_burst >= 1, name, ": t_burst must be >= 1");
+  require(queue_capacity >= 1, name, ": queue_capacity must be >= 1");
+  require(max_issue_per_cycle >= 1, name, ": max_issue_per_cycle must be >= 1");
 }
 
 Dram::Dram(DramConfig cfg) : cfg_(std::move(cfg)) {

@@ -403,7 +403,7 @@ std::shared_ptr<const sim::CpiExeResult> ProfileCache::calibration(
   // (measure_cpi_exe runs against a perfect memory): one calibration is
   // shared by every cache geometry of a sweep.
   util::Fingerprint f;
-  f.mix(std::string("AnalyticCalib/v1"));
+  f.mix("AnalyticCalib/v1");
   f.mix_u64(util::fingerprint(machine.core));
   f.mix(machine.l1.hit_latency);
   f.mix(machine.l1.ports);

@@ -131,16 +131,17 @@ Server::Server(Options opts)
       exp::ExperimentEngine::has_backend_executor(opts_.degrade_backend),
       "Server: degrade_backend is not a registered backend");
 
-  exp::ExperimentEngine::Options eng;
-  // Serial engine = executor threads are the pool; see server.hpp.
-  eng.threads = 1;
-  eng.cache_enabled = false;  // the MemoStore is the one server cache
-  eng.max_retries = opts_.max_retries;
-  eng.retry_backoff_base_ms = 5;
-  eng.job_timeout_ms = opts_.job_timeout_ms;
-  eng.policy = exp::FailurePolicy::kCollect;
-  eng.fault_plan = exp::FaultPlan::from_env();
-  engine_ = std::make_unique<exp::ExperimentEngine>(eng);
+  engine_ = std::make_unique<exp::ExperimentEngine>(
+      exp::ExperimentEngine::Options::builder()
+          // Serial engine = executor threads are the pool; see server.hpp.
+          .threads(1)
+          .cache(false)  // the MemoStore is the one server cache
+          .max_retries(opts_.max_retries)
+          .retry_backoff_base_ms(5)
+          .job_timeout_ms(opts_.job_timeout_ms)
+          .policy(exp::FailurePolicy::kCollect)
+          .fault_plan(exp::FaultPlan::from_env())
+          .build());
 }
 
 Server::~Server() { stop(); }

@@ -23,28 +23,28 @@ std::uint64_t mix64(std::uint64_t x) {
 
 void WorkloadProfile::validate() const {
   using util::require;
-  require(fmem >= 0.0 && fmem <= 1.0, name + ": fmem must be in [0,1]");
+  require(fmem >= 0.0 && fmem <= 1.0, name, ": fmem must be in [0,1]");
   require(store_fraction >= 0.0 && store_fraction <= 1.0,
-          name + ": store_fraction must be in [0,1]");
+          name, ": store_fraction must be in [0,1]");
   require(working_set_bytes >= kBlockBytes,
-          name + ": working set must be at least one block");
-  require(zipf_skew >= 0.0, name + ": zipf_skew must be non-negative");
+          name, ": working set must be at least one block");
+  require(zipf_skew >= 0.0, name, ": zipf_skew must be non-negative");
   require(seq_fraction >= 0.0 && seq_fraction <= 1.0,
-          name + ": seq_fraction must be in [0,1]");
-  require(num_streams >= 1, name + ": num_streams must be >= 1");
-  require(stride_bytes >= 1, name + ": stride_bytes must be >= 1");
+          name, ": seq_fraction must be in [0,1]");
+  require(num_streams >= 1, name, ": num_streams must be >= 1");
+  require(stride_bytes >= 1, name, ": stride_bytes must be >= 1");
   require(pointer_chase_fraction >= 0.0 && pointer_chase_fraction <= 1.0,
-          name + ": pointer_chase_fraction must be in [0,1]");
+          name, ": pointer_chase_fraction must be in [0,1]");
   require(load_use_fraction >= 0.0 && load_use_fraction <= 1.0,
-          name + ": load_use_fraction must be in [0,1]");
+          name, ": load_use_fraction must be in [0,1]");
   require(alu_dep_fraction >= 0.0 && alu_dep_fraction <= 1.0,
-          name + ": alu_dep_fraction must be in [0,1]");
+          name, ": alu_dep_fraction must be in [0,1]");
   require(burst_duty >= 0.0 && burst_duty <= 1.0,
-          name + ": burst_duty must be in [0,1]");
+          name, ": burst_duty must be in [0,1]");
   require(burst_fmem >= 0.0 && burst_fmem <= 1.0,
-          name + ": burst_fmem must be in [0,1]");
-  require(length >= 1, name + ": length must be >= 1");
-  require(alu_latency >= 1, name + ": alu_latency must be >= 1");
+          name, ": burst_fmem must be in [0,1]");
+  require(length >= 1, name, ": length must be >= 1");
+  require(alu_latency >= 1, name, ": alu_latency must be >= 1");
 }
 
 SyntheticTrace::SyntheticTrace(WorkloadProfile profile)

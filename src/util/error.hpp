@@ -106,6 +106,15 @@ class TimeoutError : public LpmError {
                     std::to_string(loc.line()) + ": " + message);
 }
 
+/// Cold half of the prefixed require() overload: concatenates the prefix
+/// and message only once the check has already failed.
+[[noreturn, gnu::noinline]] inline void raise_requirement(
+    const std::string& prefix, const char* message,
+    const std::source_location& loc) {
+  throw ConfigError(std::string(loc.file_name()) + ":" +
+                    std::to_string(loc.line()) + ": " + prefix + message);
+}
+
 /// Throws ConfigError when `cond` is false. Use for validating
 /// user-supplied configuration; internal invariants use assert().
 ///
@@ -124,6 +133,18 @@ inline void require(bool cond, const std::string& message,
                     std::source_location loc = std::source_location::current()) {
   if (!cond) [[unlikely]] {
     raise_requirement(message.c_str(), loc);
+  }
+}
+
+/// Prefixed form for named-config validates: `require(ok, cfg.name,
+/// ": field must be ...")`. Like the string-literal overload, the success
+/// path allocates nothing — the `prefix + message` concatenation happens
+/// only in the cold raise path. This is what keeps config validation cheap
+/// enough to run per engine job.
+inline void require(bool cond, const std::string& prefix, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) [[unlikely]] {
+    raise_requirement(prefix, message, loc);
   }
 }
 

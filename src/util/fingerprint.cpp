@@ -13,7 +13,7 @@ namespace lpm::util {
 namespace {
 
 void mix_core(Fingerprint& f, const cpu::CoreConfig& c) {
-  f.mix(std::string("CoreConfig/v1"))
+  f.mix("CoreConfig/v1")
       .mix(c.name)
       .mix(c.id)
       .mix(c.issue_width)
@@ -25,7 +25,7 @@ void mix_core(Fingerprint& f, const cpu::CoreConfig& c) {
 }
 
 void mix_cache(Fingerprint& f, const mem::CacheConfig& c) {
-  f.mix(std::string("CacheConfig/v1"))
+  f.mix("CacheConfig/v1")
       .mix(c.name)
       .mix(c.size_bytes)
       .mix(c.block_bytes)
@@ -46,7 +46,7 @@ void mix_cache(Fingerprint& f, const mem::CacheConfig& c) {
 }
 
 void mix_dram(Fingerprint& f, const mem::DramConfig& c) {
-  f.mix(std::string("DramConfig/v1"))
+  f.mix("DramConfig/v1")
       .mix(c.name)
       .mix(c.banks)
       .mix(c.row_bytes)
@@ -83,7 +83,7 @@ std::uint64_t fingerprint(const mem::DramConfig& cfg) {
 
 std::uint64_t fingerprint(const sim::MachineConfig& cfg) {
   Fingerprint f;
-  f.mix(std::string("MachineConfig/v1")).mix(cfg.num_cores);
+  f.mix("MachineConfig/v1").mix(cfg.num_cores);
   mix_core(f, cfg.core);
   mix_cache(f, cfg.l1);
   mix_cache(f, cfg.l2);
@@ -98,7 +98,7 @@ std::uint64_t fingerprint(const sim::MachineConfig& cfg) {
 
 std::uint64_t fingerprint(const trace::WorkloadProfile& wl) {
   Fingerprint f;
-  f.mix(std::string("WorkloadProfile/v1"))
+  f.mix("WorkloadProfile/v1")
       .mix(wl.name)
       .mix(wl.fmem)
       .mix(wl.store_fraction)

@@ -31,9 +31,8 @@ class FidelityHarnessTest : public ::testing::Test {
   // (48 cycle simulations + 96 analytic evaluations).
   static const FidelityReport& report() {
     static const FidelityReport r = [] {
-      exp::ExperimentEngine::Options opts;
-      opts.threads = 4;
-      exp::ExperimentEngine engine(opts);
+      exp::ExperimentEngine engine(
+          exp::ExperimentEngine::Options::builder().threads(4).build());
       FidelityConfig cfg;
       cfg.engine = &engine;
       return run_fidelity_harness(cfg);

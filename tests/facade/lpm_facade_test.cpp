@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 
 namespace lpm {
 namespace {
@@ -114,6 +115,56 @@ class ToyTunable final : public core::LpmTunable {
   int steps_ = 0;
   double lpmr1_ = 1.2;
 };
+
+TEST(Facade, EngineOptionsBuildARealEngine) {
+  // The facade's EngineOptions is the public way to size an engine; it
+  // must round-trip through the exp builder, validation included.
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.queue_capacity = 16;
+  opts.affinity = AffinityPolicy::kNone;
+  opts.cache_enabled = true;
+  const auto engine = make_engine(opts);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->threads(), 2u);
+  EXPECT_EQ(engine->queue_capacity(), 16u);
+  EXPECT_EQ(engine->affinity(), AffinityPolicy::kNone);
+  // Defaults build too.
+  EXPECT_NE(make_engine(), nullptr);
+}
+
+TEST(Facade, MakeEngineValidatesOptions) {
+  EngineOptions bad_ring;
+  bad_ring.queue_capacity = 6;  // not a power of two
+  EXPECT_THROW((void)make_engine(bad_ring), util::ConfigError);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && hw < 256) {
+    EngineOptions overpinned;
+    overpinned.threads = hw + 1;
+    overpinned.affinity = AffinityPolicy::kCompact;
+    EXPECT_THROW((void)make_engine(overpinned), util::ConfigError);
+  }
+}
+
+TEST(Facade, MadeEngineIsDeterministicAndCaches) {
+  EngineOptions opts;
+  opts.threads = 2;
+  const auto pooled = make_engine(opts);
+  opts.threads = 1;
+  const auto serial = make_engine(opts);
+
+  exp::SimJob job;
+  job.machine = small_machine();
+  job.workloads = {trace::spec_profile(trace::SpecBenchmark::kMcf, 5000, 3)};
+  job.tag = "facade-engine";
+
+  const auto a = pooled->run(job);
+  const auto b = serial->run(job);
+  EXPECT_EQ(a->run, b->run) << "pooled and serial engines must agree";
+  EXPECT_EQ(pooled->run(job).get(), a.get()) << "second run is a cache hit";
+  EXPECT_EQ(pooled->cache_hits(), 1u);
+}
 
 TEST(Facade, LpmWalkConvergesOnAToyTunable) {
   ToyTunable toy;

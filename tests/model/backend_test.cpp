@@ -133,9 +133,8 @@ TEST(BackendFactory, NamesAndUnknownName) {
 }
 
 TEST(BackendSeam, EvaluateTagsFidelityAndSatisfiesLayerShape) {
-  exp::ExperimentEngine::Options opts;
-  opts.threads = 2;
-  exp::ExperimentEngine engine(opts);
+  exp::ExperimentEngine engine(
+      exp::ExperimentEngine::Options::builder().threads(2).build());
   const auto machine = sim::MachineConfig::single_core_default();
   const auto spec = TraceSpec::profile(small_workload());
 
@@ -166,9 +165,8 @@ TEST(BackendSeam, EvaluateTagsFidelityAndSatisfiesLayerShape) {
 }
 
 TEST(BackendSeam, AnalyticAndCycleAreDistinctCacheEntries) {
-  exp::ExperimentEngine::Options opts;
-  opts.threads = 1;
-  exp::ExperimentEngine engine(opts);
+  exp::ExperimentEngine engine(
+      exp::ExperimentEngine::Options::builder().threads(1).build());
   const auto machine = sim::MachineConfig::single_core_default();
   const auto spec = TraceSpec::profile(small_workload());
 

@@ -99,9 +99,8 @@ TEST(ScreenedWalk, RejectsCycleAsScreenBackend) {
 // walk picks — screening only warms caches and narrows the frontier, it
 // never steers.
 TEST(ScreenedWalk, MatchesCycleOnlyFinalConfigOnAllProfiles) {
-  exp::ExperimentEngine::Options eopts;
-  eopts.threads = 4;
-  exp::ExperimentEngine engine(eopts);
+  exp::ExperimentEngine engine(
+      exp::ExperimentEngine::Options::builder().threads(4).build());
 
   const auto base = sim::MachineConfig::single_core_default();
   const auto levels = core::KnobLevels::standard();
@@ -131,9 +130,8 @@ TEST(ScreenedWalk, MatchesCycleOnlyFinalConfigOnAllProfiles) {
 }
 
 TEST(ScreenedSweep, RanksAnalyticallyDecidesCycleAccurately) {
-  exp::ExperimentEngine::Options eopts;
-  eopts.threads = 4;
-  exp::ExperimentEngine engine(eopts);
+  exp::ExperimentEngine engine(
+      exp::ExperimentEngine::Options::builder().threads(4).build());
   const auto base = sim::MachineConfig::single_core_default();
   const auto wl = trace::spec_profile(trace::SpecBenchmark::kBwaves, 5000, 3);
 

@@ -51,9 +51,8 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
   // One two-level and one three-level point through the engine: together
   // they touch every sim.cache.* / sim.camat.* level suffix. calibrate=true
   // exercises sim.calibrations.
-  exp::ExperimentEngine::Options opts;
-  opts.threads = 2;
-  exp::ExperimentEngine engine(opts);
+  exp::ExperimentEngine engine(
+      exp::ExperimentEngine::Options::builder().threads(2).build());
   const auto workload =
       trace::spec_profile(trace::SpecBenchmark::kGcc, 20000, 11);
 
@@ -115,6 +114,8 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
       "exp.jobs.submitted", "exp.jobs.executed", "exp.jobs.cache_hits",
       "exp.jobs.failed", "exp.jobs.retries", "exp.jobs.timeouts",
       "exp.jobs.faults_injected", "exp.jobs.journal_skips",
+      "exp.queue.enqueue_spins", "exp.queue.pop_spins", "exp.queue.parks",
+      "exp.workers.pinned", "exp.workers.pin_failed",
       "sim.runs", "sim.cycles", "sim.instructions", "sim.calibrations",
       "sim.cache.accesses.l1", "sim.cache.hits.l1", "sim.cache.misses.l1",
       "sim.cache.accesses.l2", "sim.cache.hits.l2", "sim.cache.misses.l2",
@@ -134,6 +135,7 @@ TEST(MetricCatalogue, DocumentedNamesAreEmitted) {
 
   const std::vector<std::string> histograms = {
       "exp.job.queue_wait_ms", "exp.job.run_ms", "exp.batch.size",
+      "exp.queue.depth", "exp.worker.tasks",
       "sim.camat.hit_concurrency.l1", "sim.camat.hit_concurrency.l2",
       "sim.camat.hit_concurrency.l2p",
       "sim.camat.pure_miss_concurrency.l1",

@@ -16,6 +16,7 @@ PerfOptions tiny_options() {
   opts.length = 2000;
   opts.sim_configs = 1;
   opts.engine_jobs = 2;
+  opts.engine_submitters = 1;
   opts.engine_threads = 1;
   opts.analytic_configs = 4;
   return opts;

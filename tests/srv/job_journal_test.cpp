@@ -96,6 +96,44 @@ TEST(JobJournal, MultipleJobsKeepSeparateLifecycles) {
   EXPECT_EQ(b->frames.size(), 2u);
 }
 
+TEST(JobJournal, OutOfOrderCompletionKeepsPerKeyFrameOrder) {
+  // lpmd's workers finish jobs in any order, so records for different
+  // keys interleave arbitrarily in the file. The exactly-once contract
+  // only needs per-key ordering (accept < results < done, results in
+  // append order); this pins that recovery is grouped by key and never
+  // leans on cross-job file order. Here jobs complete in the reverse of
+  // their admission order with their frames fully interleaved.
+  const std::string path = temp_journal("jj_ooo.log");
+  {
+    auto j = JobJournal::open(path);
+    j->record_accept("a/1", false, "{}");
+    j->record_accept("b/1", false, "{}");
+    j->record_accept("c/1", false, "{}");
+    j->record_result("c/1", R"({"op":"point","seq":1})");
+    j->record_result("b/1", R"({"op":"point","seq":1})");
+    j->record_result("c/1", R"({"op":"done"})");
+    j->record_done("c/1");
+    j->record_result("a/1", R"({"op":"done"})");
+    j->record_result("b/1", R"({"op":"done"})");
+    j->record_done("b/1");
+    j->record_done("a/1");
+  }
+  auto j = JobJournal::open(path);
+  ASSERT_EQ(j->recovered().size(), 3u);
+  for (const char* key : {"a/1", "b/1", "c/1"}) {
+    const auto* job = find(j->recovered(), key);
+    ASSERT_NE(job, nullptr) << key;
+    EXPECT_TRUE(job->done) << key;
+    EXPECT_TRUE(j->is_done(key)) << key;
+  }
+  const auto b_frames = j->completed_frames("b/1");
+  ASSERT_EQ(b_frames.size(), 2u);
+  EXPECT_EQ(b_frames[0], R"({"op":"point","seq":1})");
+  EXPECT_EQ(b_frames[1], R"({"op":"done"})");
+  EXPECT_EQ(j->completed_frames("a/1").size(), 1u);
+  EXPECT_EQ(j->completed_frames("c/1").size(), 2u);
+}
+
 TEST(JobJournal, TornTailIsHealed) {
   const std::string path = temp_journal("jj_torn.log");
   {
