@@ -24,6 +24,13 @@
 //     i.e. the screening rate of a multi-fidelity sweep. The headline claim
 //     this gate protects: analytic screening stays orders of magnitude
 //     faster than cycle simulation.
+//   * trace_cold_ops_per_sec / trace_warm_ops_per_sec — recorded-trace
+//     ingestion rate through the LPM2 mmap path (src/trace/mmap_trace.hpp):
+//     cold is a full drain after evicting the file from the page cache with
+//     the pipelined decoder engaged, warm a direct in-place decode of the
+//     now-hot file. Record-once/replay-many is only a win while replay
+//     stays far above the simulator's op consumption rate; these gates
+//     keep it that way.
 //
 // run_perf_suite() measures, to_json()/parse_report() round-trip the flat
 // JSON report, and check_against_baseline() implements the CI gate: a
@@ -63,6 +70,13 @@ struct PerfOptions {
   unsigned engine_threads = 0;
   /// Distinct configurations in the analytic-screening phase.
   unsigned analytic_configs = 64;
+  /// Micro-ops in the trace-ingestion phase (0 disables the phase). When
+  /// `trace_file` is empty the phase records this many ops of the bench
+  /// workload to a temporary LPM2 file first.
+  std::uint64_t trace_ops = 2'000'000;
+  /// Pre-recorded trace to ingest instead of recording a temporary one
+  /// (the CI smoke job points this at an lpm_trace-recorded profile).
+  std::string trace_file;
 };
 
 struct PerfReport {
@@ -71,13 +85,21 @@ struct PerfReport {
   std::uint64_t instructions = 0;  ///< committed instructions, same phase
   std::uint64_t jobs = 0;          ///< jobs executed, engine phase
   std::uint64_t analytic_configs = 0;  ///< configs evaluated, analytic phase
+  std::uint64_t trace_ops = 0;  ///< ops ingested per pass, trace phase
   double wall_seconds_simulate = 0.0;
   double wall_seconds_engine = 0.0;
   double wall_seconds_analytic = 0.0;
+  double wall_seconds_trace_cold = 0.0;
+  double wall_seconds_trace_warm = 0.0;
   double sim_cycles_per_sec = 0.0;
   double instructions_per_sec = 0.0;
   double engine_jobs_per_sec = 0.0;
   double analytic_configs_per_sec = 0.0;
+  /// Cold pass: pages evicted (posix_fadvise DONTNEED), pipelined decode —
+  /// read-ahead + decode overlap is what this number sells.
+  double trace_cold_ops_per_sec = 0.0;
+  /// Warm pass: same source after reset(), page cache hot, direct decode.
+  double trace_warm_ops_per_sec = 0.0;
 };
 
 /// Runs both measurement phases. Deterministic in its simulated work;

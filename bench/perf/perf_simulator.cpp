@@ -4,7 +4,8 @@
 //
 //   $ ./perf_simulator [out=BENCH_simulator.json] [baseline=...] \
 //                      [tolerance=0.30] [length=400000] [jobs=8192] \
-//                      [submitters=4] [threads=0] [analytic=64]
+//                      [submitters=4] [threads=0] [analytic=64] \
+//                      [trace_ops=2000000] [trace_file=...]
 #include <cstdio>
 #include <fstream>
 
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(args.get_uint_or("threads", opts.engine_threads));
     opts.analytic_configs = static_cast<unsigned>(
         args.get_uint_or("analytic", opts.analytic_configs));
+    opts.trace_ops = args.get_uint_or("trace_ops", opts.trace_ops);
+    opts.trace_file = args.get_or("trace_file", "");
 
     const perf::PerfReport report = perf::run_perf_suite(opts);
     const std::string json = perf::to_json(report);
@@ -46,6 +49,8 @@ int main(int argc, char** argv) {
     std::printf("instructions/sec    : %.3e\n", report.instructions_per_sec);
     std::printf("engine jobs/sec     : %.3f\n", report.engine_jobs_per_sec);
     std::printf("analytic configs/sec: %.1f\n", report.analytic_configs_per_sec);
+    std::printf("trace cold ops/sec  : %.3e\n", report.trace_cold_ops_per_sec);
+    std::printf("trace warm ops/sec  : %.3e\n", report.trace_warm_ops_per_sec);
 
     if (!baseline_path.empty()) {
       const perf::PerfReport baseline = perf::load_report(baseline_path);

@@ -1,5 +1,7 @@
 #include "check/fuzz.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -8,6 +10,8 @@
 
 #include "core/lpm_algorithm.hpp"
 #include "model/analytic.hpp"
+#include "trace/lpm2.hpp"
+#include "trace/mmap_trace.hpp"
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -149,6 +153,49 @@ std::vector<trace::MicroOp> random_ops(util::Rng& rng, std::uint64_t len,
   return ops;
 }
 
+/// Records each core's ops to a temp LPM2 file and replays them through
+/// MmapTrace, alternating the delivery mode by seed with a chunk small
+/// enough that the pipelined replay cycles its slots. Returns the first
+/// mismatch / typed error as a message, empty when every core round-trips
+/// bit-identically.
+std::string check_trace_roundtrip_case(const ReplayCase& c,
+                                       std::uint64_t case_seed) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("lpm-fuzz-roundtrip-" + std::to_string(::getpid()) + "-" +
+       std::to_string(case_seed) + ".lpm2");
+  std::string verdict;
+  for (std::size_t core = 0; core < c.ops.size() && verdict.empty(); ++core) {
+    const std::string where = "core " + std::to_string(core) + ": ";
+    try {
+      trace::VectorTrace source("roundtrip", c.ops[core]);
+      const std::uint64_t recorded =
+          trace::record_trace_v2(source, path.string());
+      trace::MmapTrace replay(
+          path.string(), "roundtrip",
+          trace::MmapTraceOptions{.pipeline = (case_seed & 1) != 0,
+                                  .chunk_ops = 256});
+      if (replay.checksum() != recorded) {
+        verdict = where + "header checksum differs from the recorded stream";
+        break;
+      }
+      const std::vector<trace::MicroOp> ops =
+          trace::materialize(replay, c.ops[core].size() + 1);
+      if (ops != c.ops[core]) {
+        verdict = where + "replayed stream differs from the recorded ops (" +
+                  std::to_string(ops.size()) + " vs " +
+                  std::to_string(c.ops[core].size()) + ")";
+      }
+    } catch (const util::LpmError& e) {
+      verdict = where + e.what();
+    }
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+  return verdict;
+}
+
 // --- property helpers -------------------------------------------------------
 
 bool near(double a, double b, double tol) { return std::fabs(a - b) <= tol; }
@@ -219,6 +266,8 @@ FuzzConfig FuzzConfig::from_env() {
   FuzzConfig cfg;
   cfg.seed = env_u64("LPM_CHECK_SEED", cfg.seed);
   cfg.cases = env_u64("LPM_CHECK_CASES", cfg.cases);
+  cfg.check_trace_roundtrip =
+      env_u64("LPM_CHECK_ROUNDTRIP", cfg.check_trace_roundtrip ? 1 : 0) != 0;
   if (const char* dir = std::getenv("LPM_CHECK_ARTIFACTS");
       dir != nullptr && *dir != '\0') {
     cfg.artifact_dir = dir;
@@ -445,6 +494,15 @@ FuzzSummary Fuzzer::run() {
     const std::uint64_t case_seed = cfg_.seed + i;
     const ReplayCase c = generate(case_seed);
     ++summary.cases_run;
+
+    if (cfg_.check_trace_roundtrip) {
+      if (std::string v = check_trace_roundtrip_case(c, case_seed); !v.empty()) {
+        ++summary.roundtrip_failures;
+        summary.failures.push_back(
+            FuzzFailure{case_seed, "trace-roundtrip", std::move(v), ""});
+        continue;  // the on-disk path is broken; sim results prove nothing
+      }
+    }
 
     const sim::SystemResult opt = run_optimized(c);
     const sim::SystemResult ref = run_reference(c);

@@ -11,10 +11,16 @@
 //                under granularity (a run Done at 1% is never sent back to
 //                Optimize at 10%)
 //
+// Each case additionally round-trips its op lists through the LPM2 on-disk
+// format (record to a temp file, replay through MmapTrace, compare op by
+// op), so the recorded-trace path is fuzzed with the same seeds as the
+// simulators — a codec or replay bug surfaces as a "trace-roundtrip"
+// failure, not as silent divergence three layers later.
+//
 // Divergences are delta-debugged to a minimal repro and written as replay
-// JSON (see replay.hpp / tools/lpm_replay). Seed and case count come from
-// LPM_CHECK_SEED / LPM_CHECK_CASES so CI can vary coverage without a
-// rebuild.
+// JSON (see replay.hpp / tools/lpm_replay). Seed, case count, and the
+// round-trip check come from LPM_CHECK_SEED / LPM_CHECK_CASES /
+// LPM_CHECK_ROUNDTRIP so CI can vary coverage without a rebuild.
 #pragma once
 
 #include <cstdint>
@@ -37,15 +43,20 @@ struct FuzzConfig {
   std::string artifact_dir;
   bool check_properties = true;  ///< model identities on top of the diff
   bool minimize = true;          ///< delta-debug divergent cases
+  /// Record each case's ops to a temporary LPM2 file and replay them back
+  /// through MmapTrace (alternating delivery modes per seed); any op-level
+  /// difference or typed error is a "trace-roundtrip" failure.
+  bool check_trace_roundtrip = true;
 
-  /// Applies LPM_CHECK_SEED / LPM_CHECK_CASES / LPM_CHECK_ARTIFACTS over
-  /// the defaults. Malformed numbers throw util::ConfigError.
+  /// Applies LPM_CHECK_SEED / LPM_CHECK_CASES / LPM_CHECK_ARTIFACTS /
+  /// LPM_CHECK_ROUNDTRIP over the defaults. Malformed numbers throw
+  /// util::ConfigError.
   [[nodiscard]] static FuzzConfig from_env();
 };
 
 struct FuzzFailure {
   std::uint64_t case_seed = 0;
-  std::string kind;    ///< "divergence" or "property"
+  std::string kind;    ///< "divergence", "property", or "trace-roundtrip"
   std::string detail;  ///< first differing counter / violated identity
   std::string replay_path;  ///< written artifact (divergences only; may be empty)
 };
@@ -54,6 +65,7 @@ struct FuzzSummary {
   std::uint64_t cases_run = 0;
   std::uint64_t divergences = 0;
   std::uint64_t property_failures = 0;
+  std::uint64_t roundtrip_failures = 0;  ///< LPM2 record/replay mismatches
   std::uint64_t simulator_pairs = 0;  ///< optimized+reference executions (incl. minimization)
   std::vector<FuzzFailure> failures;
 

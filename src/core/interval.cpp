@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "sim/system.hpp"
+#include "trace/spec_like.hpp"
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
 
@@ -35,7 +36,7 @@ IntervalStudyResult run_interval_study(const sim::MachineConfig& machine,
   util::require(cfg.interval_cycles >= 1, "interval study: interval must be >= 1");
 
   std::vector<trace::TraceSourcePtr> traces;
-  traces.push_back(std::make_unique<trace::SyntheticTrace>(workload));
+  traces.push_back(trace::make_trace(workload));
   sim::System system(machine, std::move(traces));
 
   // Ground truth: the cycle window of each burst phase, derived from when

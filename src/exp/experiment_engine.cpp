@@ -12,6 +12,7 @@
 #include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
 #include "obs/trace.hpp"
+#include "trace/spec_like.hpp"
 #include "trace/synthetic.hpp"
 #include "util/fingerprint.hpp"
 #include "util/log.hpp"
@@ -577,16 +578,16 @@ SimJobResult ExperimentEngine::execute(const SimJob& job,
     std::vector<trace::TraceSourcePtr> traces;
     traces.reserve(job.workloads.size());
     for (const auto& wl : job.workloads) {
-      traces.push_back(std::make_unique<trace::SyntheticTrace>(wl));
+      traces.push_back(trace::make_trace(wl));
     }
     sim::System system(job.machine, std::move(traces));
     out.run = system.run(guard);
     if (job.calibrate) {
       out.calib.reserve(job.workloads.size());
       for (const auto& wl : job.workloads) {
-        trace::SyntheticTrace calib_trace(wl);
+        const trace::TraceSourcePtr calib_trace = trace::make_trace(wl);
         out.calib.push_back(
-            sim::measure_cpi_exe(job.machine, calib_trace, guard));
+            sim::measure_cpi_exe(job.machine, *calib_trace, guard));
       }
     }
   } else {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "trace/spec_like.hpp"
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
 #include "util/fingerprint.hpp"
@@ -126,7 +127,8 @@ ReuseProfile build_reuse_profile(const trace::WorkloadProfile& wl) {
     p.followers_covered[c].assign(ReuseProfile::kMaxTrackedDistance + 1, 0);
   }
 
-  trace::SyntheticTrace trace(wl);
+  const trace::TraceSourcePtr trace_ptr = trace::make_trace(wl);
+  trace::TraceSource& trace = *trace_ptr;
   Fenwick marked(wl.length + 1);
   // Per-block state: position of its latest access, plus which histogram
   // bucket the block's current burst leader landed in (so followers can
@@ -418,9 +420,9 @@ std::shared_ptr<const sim::CpiExeResult> ProfileCache::calibration(
       return it->second;
     }
   }
-  trace::SyntheticTrace calib_trace(wl);
+  const trace::TraceSourcePtr calib_trace = trace::make_trace(wl);
   auto calib = std::make_shared<const sim::CpiExeResult>(
-      sim::measure_cpi_exe(machine, calib_trace, nullptr));
+      sim::measure_cpi_exe(machine, *calib_trace, nullptr));
   obs::MetricsRegistry::global().counter("model.backend.calibrations").inc();
   const std::lock_guard<std::mutex> lock(mutex_);
   ++calibration_runs_;

@@ -1,5 +1,6 @@
 #include "model/trace_spec.hpp"
 
+#include "trace/lpm2.hpp"
 #include "trace/spec_like.hpp"
 #include "util/error.hpp"
 
@@ -20,6 +21,10 @@ TraceSpec TraceSpec::profile(trace::WorkloadProfile workload) {
   TraceSpec spec;
   spec.workloads.push_back(std::move(workload));
   return spec;
+}
+
+TraceSpec TraceSpec::trace_file(const std::string& path, std::string name) {
+  return profile(trace::trace_file_profile(path, std::move(name)));
 }
 
 TraceSpec TraceSpec::profiles(std::vector<trace::WorkloadProfile> w) {

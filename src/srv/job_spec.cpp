@@ -105,6 +105,12 @@ void JobSpec::validate() const {
     // steps are cycle-fidelity by construction.
     throw util::ConfigError("walk jobs always verify at cycle fidelity");
   }
+  if (!trace_file.empty() && kind == "walk") {
+    // A walk re-simulates the workload at many lengths during screening;
+    // a recorded file has exactly one. Shape-check only — the file itself
+    // is probed server-side in expand() (clients validate without it).
+    throw util::ConfigError("job_trace_file is simulate/sweep-only");
+  }
 }
 
 bool JobSpec::degrade_eligible() const {
@@ -129,6 +135,7 @@ void JobSpec::encode(JsonWriter& out) const {
   if (mshr != 0) out.num_u64("job_mshr", mshr);
   if (cores != 0) out.num_u64("job_cores", cores);
   if (deadline_ms != 0) out.num_u64("job_deadline_ms", deadline_ms);
+  if (!trace_file.empty()) out.str("job_trace_file", trace_file);
   if (kind == "sweep") {
     out.str("job_sweep_knob", sweep_knob).str("job_sweep_values", sweep_values);
   }
@@ -150,6 +157,7 @@ JobSpec JobSpec::decode(const util::FlatJson& json) {
   spec.mshr = static_cast<std::uint32_t>(get_u64(json, "job_mshr", 0));
   spec.cores = static_cast<std::uint32_t>(get_u64(json, "job_cores", 0));
   spec.deadline_ms = get_u64(json, "job_deadline_ms", 0);
+  spec.trace_file = json.get_string("job_trace_file").value_or("");
   spec.sweep_knob = json.get_string("job_sweep_knob").value_or("");
   spec.sweep_values = json.get_string("job_sweep_values").value_or("");
   return spec;
@@ -191,7 +199,20 @@ std::vector<exp::SimJob> JobSpec::expand(const std::string& tag) const {
     throw util::ConfigError("walk jobs do not expand to raw engine jobs");
   }
   const sim::MachineConfig cfg = machine_config();
-  const model::TraceSpec trace = model::TraceSpec::spec(workload, length, seed);
+  model::TraceSpec trace;
+  if (!trace_file.empty()) {
+    // Probed here, server-side: the header supplies count and content
+    // checksum, and the same 10M cap that bounds synthetic lengths bounds
+    // recorded replays (per-core queue occupancy is what the cap protects).
+    trace = model::TraceSpec::trace_file(trace_file);
+    const std::uint64_t count = trace.workloads.front().length;
+    if (count > 10'000'000) {
+      throw util::ConfigError("job trace_file holds " + std::to_string(count) +
+                              " ops; the server caps one job at 10M");
+    }
+  } else {
+    trace = model::TraceSpec::spec(workload, length, seed);
+  }
 
   auto make_job = [&](sim::MachineConfig machine_cfg,
                       const std::string& job_tag) {

@@ -1,0 +1,269 @@
+#include "trace/lpm2.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/checksum.hpp"
+
+namespace lpm::trace {
+
+namespace {
+
+constexpr std::array<char, 4> kMagicV2 = {'L', 'P', 'M', '2'};
+constexpr std::array<char, 4> kMagicV1 = {'L', 'P', 'M', 'T'};
+constexpr std::size_t kV1HeaderBytes = 4 + 4 + 8;
+
+// Records are hashed and written in batches of this many ops.
+constexpr std::size_t kIoBatchOps = 4096;
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = (v >> (8 * i)) & 0xff;
+}
+
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = (v >> (8 * i)) & 0xff;
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw util::IoError(what + " in " + path);
+}
+
+std::uint64_t stream_size(std::istream& in, const std::string& path) {
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  if (!in.good() || end < 0) fail("trace: cannot size file", path);
+  in.seekg(0);
+  return static_cast<std::uint64_t>(end);
+}
+
+/// Streams the record payload of an open file, feeding each record's raw
+/// bytes to `checksum` and (when `validate_types`) checking the type byte.
+void scan_records(std::istream& in, const std::string& path, std::uint64_t count,
+                  util::Checksum64& checksum, bool validate_types) {
+  std::vector<unsigned char> buf(kIoBatchOps * kLpm2RecordBytes);
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t batch =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kIoBatchOps));
+    const std::size_t bytes = batch * kLpm2RecordBytes;
+    in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(bytes));
+    if (!in.good()) fail("trace: truncated record payload", path);
+    if (validate_types) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        const unsigned char type = buf[i * kLpm2RecordBytes];
+        if (type > static_cast<unsigned char>(OpType::kStore)) {
+          fail("trace: invalid op type byte " + std::to_string(type), path);
+        }
+      }
+    }
+    checksum.update(buf.data(), bytes);
+    remaining -= batch;
+  }
+}
+
+/// Parses + validates a header from an already-open stream, leaving the
+/// stream positioned at the first record. `total_bytes` is the file size.
+TraceFileInfo parse_header(std::istream& in, const std::string& path,
+                           std::uint64_t total_bytes) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in.good()) fail("trace: file too small for a magic", path);
+
+  TraceFileInfo info;
+  info.file_bytes = total_bytes;
+
+  if (magic == kMagicV2) {
+    std::array<unsigned char, kLpm2HeaderBytes> hdr{};
+    std::copy(magic.begin(), magic.end(), reinterpret_cast<char*>(hdr.data()));
+    in.read(reinterpret_cast<char*>(hdr.data() + 4), kLpm2HeaderBytes - 4);
+    if (!in.good()) fail("trace: truncated LPM2 header", path);
+    return parse_lpm2_header(hdr.data(), total_bytes, path);
+  }
+
+  if (magic == kMagicV1) {
+    std::array<unsigned char, kV1HeaderBytes - 4> hdr{};
+    in.read(reinterpret_cast<char*>(hdr.data()), hdr.size());
+    if (!in.good()) fail("trace: truncated LPMT header", path);
+    info.version = get_u32(&hdr[0]);
+    info.count = get_u64(&hdr[4]);
+    if (info.version != 1) {
+      fail("trace: unsupported LPMT version " + std::to_string(info.version), path);
+    }
+    if (info.count > (total_bytes - kV1HeaderBytes) / kLpm2RecordBytes) {
+      fail("trace: header count " + std::to_string(info.count) +
+               " exceeds the records present",
+           path);
+    }
+    return info;
+  }
+
+  fail("trace: unrecognized magic (not LPMT or LPM2)", path);
+}
+
+}  // namespace
+
+TraceFileInfo parse_lpm2_header(const unsigned char* header,
+                                std::uint64_t file_bytes,
+                                const std::string& path) {
+  if (file_bytes < kLpm2HeaderBytes) fail("trace: file too small for an LPM2 header", path);
+  if (std::memcmp(header, kMagicV2.data(), 4) != 0) {
+    fail("trace: bad LPM2 magic", path);
+  }
+  TraceFileInfo info;
+  info.file_bytes = file_bytes;
+  info.version = get_u32(header + 4);
+  info.count = get_u64(header + 8);
+  info.checksum = get_u64(header + 16);
+  const std::uint32_t record_bytes = get_u32(header + 24);
+  const std::uint32_t reserved = get_u32(header + 28);
+  if (info.version != kLpm2Version) {
+    fail("trace: unsupported LPM2 version " + std::to_string(info.version), path);
+  }
+  if (record_bytes != kLpm2RecordBytes) {
+    fail("trace: unexpected record size " + std::to_string(record_bytes), path);
+  }
+  if (reserved != 0) fail("trace: nonzero reserved header field", path);
+  if (info.checksum == 0) fail("trace: header checksum is unset", path);
+  // A valid file's size is exactly header + count records. This makes the
+  // count self-validating: every truncation, every appended byte, and every
+  // count bit-flip changes the equation and is rejected here, before any
+  // allocation or record decode.
+  if (info.count > (file_bytes - kLpm2HeaderBytes) / kLpm2RecordBytes ||
+      file_bytes != kLpm2HeaderBytes + info.count * kLpm2RecordBytes) {
+    fail("trace: file size " + std::to_string(file_bytes) +
+             " does not match header count " + std::to_string(info.count),
+         path);
+  }
+  return info;
+}
+
+void encode_record(const MicroOp& op, unsigned char* dst) {
+  dst[0] = static_cast<unsigned char>(op.type);
+  dst[1] = op.exec_latency;
+  put_u32(dst + 2, op.dep_dist);
+  put_u32(dst + 6, op.dep_dist2);
+  put_u64(dst + 10, op.addr);
+}
+
+MicroOp decode_record(const unsigned char* src) {
+  if (src[0] > static_cast<unsigned char>(OpType::kStore)) {
+    throw util::IoError("trace: invalid op type byte " + std::to_string(src[0]) +
+                        " (corrupt record)");
+  }
+  MicroOp op;
+  op.type = static_cast<OpType>(src[0]);
+  op.exec_latency = src[1];
+  op.dep_dist = get_u32(src + 2);
+  op.dep_dist2 = get_u32(src + 6);
+  op.addr = get_u64(src + 10);
+  return op;
+}
+
+std::uint64_t record_trace_v2(TraceSource& source, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) fail("record_trace_v2: cannot open for writing", path);
+
+  // Placeholder header; count and checksum are patched once known.
+  std::array<unsigned char, kLpm2HeaderBytes> hdr{};
+  std::copy(kMagicV2.begin(), kMagicV2.end(), reinterpret_cast<char*>(hdr.data()));
+  put_u32(&hdr[4], kLpm2Version);
+  put_u32(&hdr[24], kLpm2RecordBytes);
+  out.write(reinterpret_cast<const char*>(hdr.data()), hdr.size());
+
+  util::Checksum64 checksum;
+  std::uint64_t count = 0;
+  std::vector<MicroOp> ops(kIoBatchOps);
+  std::vector<unsigned char> buf(kIoBatchOps * kLpm2RecordBytes);
+  for (;;) {
+    const std::size_t got = source.fill(ops.data(), ops.size());
+    if (got == 0) break;
+    if (got > ops.size()) {
+      throw util::SimError("record_trace_v2: source '" + source.name() +
+                           "' returned more ops than requested");
+    }
+    for (std::size_t i = 0; i < got; ++i) {
+      encode_record(ops[i], buf.data() + i * kLpm2RecordBytes);
+    }
+    const std::size_t bytes = got * kLpm2RecordBytes;
+    checksum.update(buf.data(), bytes);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(bytes));
+    if (!out.good()) fail("record_trace_v2: write failed", path);
+    count += got;
+    if (got < ops.size()) break;  // short fill = source exhausted
+  }
+
+  const std::uint64_t digest = checksum.digest();
+  put_u64(&hdr[8], count);
+  put_u64(&hdr[16], digest);
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(hdr.data()), hdr.size());
+  out.flush();
+  if (!out.good()) fail("record_trace_v2: header patch failed", path);
+  return digest;
+}
+
+TraceFileInfo inspect_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) fail("trace: cannot open", path);
+  const std::uint64_t total = stream_size(in, path);
+  TraceFileInfo info = parse_header(in, path, total);
+  if (info.version == 1) {
+    // v1 stores no checksum; compute it from the records so callers (and
+    // fingerprinting) see the same content identity either format carries.
+    util::Checksum64 checksum;
+    scan_records(in, path, info.count, checksum, /*validate_types=*/false);
+    info.checksum = checksum.digest();
+  }
+  return info;
+}
+
+TraceFileInfo verify_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) fail("trace: cannot open", path);
+  const std::uint64_t total = stream_size(in, path);
+  TraceFileInfo info = parse_header(in, path, total);
+  util::Checksum64 checksum;
+  scan_records(in, path, info.count, checksum, /*validate_types=*/true);
+  const std::uint64_t computed = checksum.digest();
+  if (info.version == kLpm2Version && computed != info.checksum) {
+    fail("trace: content checksum mismatch (header says " +
+             std::to_string(info.checksum) + ", records hash to " +
+             std::to_string(computed) + ")",
+         path);
+  }
+  info.checksum = computed;
+  return info;
+}
+
+WorkloadProfile trace_file_profile(const std::string& path, std::string name) {
+  const TraceFileInfo info = inspect_trace(path);
+  util::require(info.count >= 1, path, ": recorded trace is empty");
+  WorkloadProfile wl;
+  if (name.empty()) {
+    const std::size_t slash = path.find_last_of('/');
+    wl.name = slash == std::string::npos ? path : path.substr(slash + 1);
+  } else {
+    wl.name = std::move(name);
+  }
+  wl.trace_path = path;
+  wl.trace_checksum = info.checksum;
+  wl.length = info.count;
+  return wl;
+}
+
+}  // namespace lpm::trace

@@ -1,0 +1,98 @@
+// LPM2: the streaming on-disk trace format.
+//
+// Layout (all fields little-endian):
+//   offset  0: magic "LPM2"
+//   offset  4: u32 version        (= 2)
+//   offset  8: u64 count          (number of records)
+//   offset 16: u64 checksum       (Checksum64 over the raw record bytes)
+//   offset 24: u32 record_bytes   (= 18; rejects readers on layout drift)
+//   offset 28: u32 reserved       (= 0)
+//   offset 32: count * 18-byte records, same record layout as v1 "LPMT":
+//              u8 type | u8 exec_latency | u32 dep_dist | u32 dep_dist2 | u64 addr
+//
+// Design notes:
+//   - Records are fixed-size and decodable in place, so MmapTrace can
+//     translate mapped bytes straight into MicroOps without an intermediate
+//     parse buffer.
+//   - The checksum covers record bytes only (not the header), which lets the
+//     writer stream records single-pass and patch count+checksum at the end.
+//     Count integrity does not depend on the checksum: a valid file's size
+//     must be exactly 32 + 18*count, so every truncation and every count
+//     bit-flip is caught at open() time before any allocation.
+//   - v1 "LPMT" files remain loadable through the legacy resident path
+//     (trace_file.hpp); open_trace() in mmap_trace.hpp sniffs the magic and
+//     dispatches. Both formats share the record layout, so a v1 and v2
+//     recording of the same stream have the same content checksum.
+//
+// All corruption surfaces as typed util::IoError — never UB, OOM, or a
+// silently short stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace_source.hpp"
+#include "trace/workload_profile.hpp"
+#include "util/error.hpp"
+
+namespace lpm::trace {
+
+inline constexpr std::size_t kLpm2HeaderBytes = 32;
+inline constexpr std::size_t kLpm2RecordBytes = 18;
+inline constexpr std::uint32_t kLpm2Version = 2;
+
+/// Parsed + validated header of a trace file on disk (either format).
+struct TraceFileInfo {
+  std::uint32_t version = 0;   ///< 1 = legacy "LPMT", 2 = "LPM2"
+  std::uint64_t count = 0;     ///< records in the file
+  std::uint64_t checksum = 0;  ///< content checksum over the record bytes
+  std::uint64_t file_bytes = 0;
+};
+
+/// Encodes one MicroOp into `dst` (exactly kLpm2RecordBytes bytes).
+void encode_record(const MicroOp& op, unsigned char* dst);
+
+/// Decodes one record from `src` (exactly kLpm2RecordBytes bytes).
+/// Throws util::IoError if the type byte is out of range.
+[[nodiscard]] MicroOp decode_record(const unsigned char* src);
+
+/// Writes every op of `source` (current position to exhaustion) to `path`
+/// in LPM2 format, streaming: resident cost is one fixed write buffer, not
+/// the trace. Returns the content checksum of the recorded stream. Throws
+/// util::IoError on I/O failure.
+std::uint64_t record_trace_v2(TraceSource& source, const std::string& path);
+
+/// Validates an LPM2 header from an in-memory byte range (the first
+/// kLpm2HeaderBytes of the file, e.g. the head of a mapped region).
+/// `file_bytes` is the full on-disk size, checked to be exactly
+/// header + count * record_bytes — which makes the count self-validating
+/// against truncation and bit-flips. Throws util::IoError on any mismatch;
+/// `path` only decorates the error message.
+[[nodiscard]] TraceFileInfo parse_lpm2_header(const unsigned char* header,
+                                              std::uint64_t file_bytes,
+                                              const std::string& path);
+
+/// Reads and validates the header of `path` (v1 or v2) without touching the
+/// record payload. For v2 the checksum comes from the header (not verified
+/// against the records — use verify_trace for that); for v1, which stores
+/// no checksum, the records are streamed once to compute it. Throws
+/// util::IoError on bad magic, bad header fields, or a file size that does
+/// not match the declared count.
+[[nodiscard]] TraceFileInfo inspect_trace(const std::string& path);
+
+/// Full-file validation: everything inspect_trace checks, plus a streaming
+/// scan of every record (type bytes in range) and, for v2, comparison of
+/// the recomputed content checksum against the header. Returns the info
+/// with `checksum` set to the verified/computed value. Throws util::IoError
+/// on any mismatch.
+TraceFileInfo verify_trace(const std::string& path);
+
+/// Builds a file-backed WorkloadProfile for a recorded trace (either
+/// format): probes the header, fills in `length` (record count),
+/// `trace_path`, and `trace_checksum`. `name` defaults to the file's
+/// basename. Throws util::IoError on a missing/corrupt file and
+/// util::ConfigError for an empty recording (nothing to simulate).
+[[nodiscard]] WorkloadProfile trace_file_profile(const std::string& path,
+                                                 std::string name = "");
+
+}  // namespace lpm::trace

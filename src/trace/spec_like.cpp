@@ -1,5 +1,7 @@
 #include "trace/spec_like.hpp"
 
+#include "trace/lpm2.hpp"
+#include "trace/mmap_trace.hpp"
 #include "util/error.hpp"
 
 namespace lpm::trace {
@@ -177,6 +179,21 @@ WorkloadProfile burst_profile(std::uint64_t phase_length, double burst_duty,
 }
 
 TraceSourcePtr make_trace(const WorkloadProfile& profile) {
+  if (profile.file_backed()) {
+    profile.validate();
+    // Re-probe the header before replaying: the fingerprint memoized on the
+    // content checksum, so a file that changed on disk since the profile
+    // was built must fail loudly here, not silently simulate a different
+    // stream under the old cache key. (Header-only for v2 — cheap.)
+    const TraceFileInfo info = inspect_trace(profile.trace_path);
+    if (info.checksum != profile.trace_checksum) {
+      throw util::IoError("make_trace: " + profile.trace_path +
+                          " changed on disk (checksum " +
+                          std::to_string(info.checksum) + ", profile expects " +
+                          std::to_string(profile.trace_checksum) + ")");
+    }
+    return open_trace(profile.trace_path, profile.name);
+  }
   return std::make_unique<SyntheticTrace>(profile);
 }
 

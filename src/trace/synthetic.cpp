@@ -23,6 +23,17 @@ std::uint64_t mix64(std::uint64_t x) {
 
 void WorkloadProfile::validate() const {
   using util::require;
+  if (file_backed()) {
+    // Replayed from disk: the synthetic knobs are ignored, so only the
+    // replay identity matters. The checksum is mandatory — it is the
+    // fingerprint component that keeps memoization and shard routing
+    // correct when a path is renamed or a file is swapped.
+    require(trace_checksum != 0, name,
+            ": file-backed profile needs a content checksum "
+            "(build it via trace_file_profile)");
+    require(length >= 1, name, ": recorded trace must hold at least one op");
+    return;
+  }
   require(fmem >= 0.0 && fmem <= 1.0, name, ": fmem must be in [0,1]");
   require(store_fraction >= 0.0 && store_fraction <= 1.0,
           name, ": store_fraction must be in [0,1]");
@@ -54,6 +65,9 @@ SyntheticTrace::SyntheticTrace(WorkloadProfile profile)
           std::max<std::size_t>(1, profile_.working_set_bytes / kBlockBytes),
           profile_.zipf_skew) {
   profile_.validate();
+  util::require(!profile_.file_backed(), profile_.name,
+                ": SyntheticTrace cannot replay a file-backed profile "
+                "(route through make_trace/open_trace)");
   reset();
 }
 

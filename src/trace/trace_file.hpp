@@ -1,8 +1,28 @@
-// Binary trace file format: record a TraceSource once, replay it from disk.
+// Binary trace file format v1 ("LPMT"): record a TraceSource once, replay
+// it from disk — the *resident* tier of the two-tier ingestion story.
 //
 // Layout (little-endian):
 //   magic "LPMT" | u32 version | u64 count | count * packed MicroOp records
 // Record: u8 type | u8 exec_latency | u32 dep_dist | u32 dep_dist2 | u64 addr
+//
+// Memory contract, by tier:
+//   v1 (this header)  — the whole trace is materialized into one
+//     std::vector<MicroOp> at load and stays resident for the lifetime of
+//     the FileTrace (~24 B per record on LP64). Simple and fast for traces
+//     that fit comfortably in memory; it cannot replay a trace larger than
+//     RAM, and it stores no content checksum.
+//   v2 "LPM2" (lpm2.hpp + mmap_trace.hpp) — streaming: the file is mmap()ed
+//     read-only and decoded in place, so resident cost is bounded (page
+//     cache + at most two pipeline chunks), independent of trace size, and
+//     the payload is integrity-checked by a content checksum at end of
+//     stream. Prefer it for anything new; `lpm_trace convert` and
+//     record_trace_v2() migrate v1 recordings.
+//
+// open_trace() (mmap_trace.hpp) sniffs the magic and picks the right tier,
+// so consumers do not dispatch on format themselves. Both formats share the
+// record layout, and a v1 file's content checksum (computed on inspection)
+// equals the v2 checksum of the same stream — file-backed workload
+// fingerprints are format-independent.
 #pragma once
 
 #include <algorithm>

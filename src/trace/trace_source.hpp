@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "trace/instruction.hpp"
+#include "util/error.hpp"
 
 namespace lpm::trace {
 
@@ -44,14 +45,28 @@ using TraceSourcePtr = std::unique_ptr<TraceSource>;
 /// replayed through a VectorTrace is stream-identical to the source (fill()
 /// contract), which is what lets the differential oracle delta-debug a
 /// divergent trace op by op.
+///
+/// Termination is guaranteed by *enforcing* the fill() contract rather than
+/// trusting it: a source that over-reports (got > requested) throws
+/// SimError immediately (it just scribbled past the buffer we handed it —
+/// fail loudly, not later), and any short count — zero or not — is taken as
+/// end-of-trace, so a buggy source repeatedly returning short can stall the
+/// drain at most once instead of spinning it forever.
 [[nodiscard]] inline std::vector<MicroOp> materialize(TraceSource& source,
                                                       std::size_t max_ops) {
   std::vector<MicroOp> ops(max_ops);
   std::size_t total = 0;
   while (total < max_ops) {
-    const std::size_t got = source.fill(ops.data() + total, max_ops - total);
-    if (got == 0) break;
+    const std::size_t want = max_ops - total;
+    const std::size_t got = source.fill(ops.data() + total, want);
+    if (got > want) {
+      throw util::SimError("materialize: trace source '" + source.name() +
+                           "' violated the fill() contract: returned " +
+                           std::to_string(got) + " ops for a request of " +
+                           std::to_string(want));
+    }
     total += got;
+    if (got < want) break;  // fill() contract: a short count means end-of-trace
   }
   ops.resize(total);
   return ops;

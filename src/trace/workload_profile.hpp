@@ -43,6 +43,21 @@ struct WorkloadProfile {
   /// would constructively share the LLC.
   std::uint64_t addr_base = 0;
 
+  // --- recorded-trace replay (LPM2/LPMT files) ---
+  /// When non-empty, the workload replays this recorded trace file instead
+  /// of generating ops synthetically; the synthetic knobs above are ignored
+  /// and `length` holds the record count. Build via trace_file_profile()
+  /// (lpm2.hpp), which probes the file and fills in count + checksum.
+  std::string trace_path;
+  /// Content checksum of the recorded stream (Checksum64 over record
+  /// bytes; never 0 for a real file). This — not the path — is what
+  /// fingerprinting folds in, so the memo cache and shard routing key on
+  /// what the trace *is*, not where it happens to live.
+  std::uint64_t trace_checksum = 0;
+
+  /// True when the workload replays a recorded trace file.
+  [[nodiscard]] bool file_backed() const { return !trace_path.empty(); }
+
   /// Throws util::LpmError when a field is out of range.
   void validate() const;
 };

@@ -98,6 +98,14 @@ std::uint64_t fingerprint(const sim::MachineConfig& cfg) {
 
 std::uint64_t fingerprint(const trace::WorkloadProfile& wl) {
   Fingerprint f;
+  if (wl.file_backed()) {
+    // A recorded trace IS its content: fold in the stream checksum, never
+    // the path or display name, so renaming/moving a file (or recording the
+    // same stream twice) hits the same memo-cache and shard-routing keys,
+    // while any content change misses them.
+    f.mix("WorkloadProfile/file/v1").mix(wl.trace_checksum);
+    return f.value();
+  }
   f.mix("WorkloadProfile/v1")
       .mix(wl.name)
       .mix(wl.fmem)

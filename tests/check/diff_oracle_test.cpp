@@ -10,6 +10,10 @@
 #include "check/diff.hpp"
 #include "check/fuzz.hpp"
 #include "check/replay.hpp"
+#include "trace/lpm2.hpp"
+#include "trace/mmap_trace.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_source.hpp"
 
 namespace lpm::check {
 namespace {
@@ -28,6 +32,7 @@ TEST(DiffOracle, TwoHundredSeededCasesAgree) {
   EXPECT_EQ(summary.cases_run, 200u);
   EXPECT_EQ(summary.divergences, 0u);
   EXPECT_EQ(summary.property_failures, 0u);
+  EXPECT_EQ(summary.roundtrip_failures, 0u);
   ASSERT_TRUE(summary.ok())
       << "first failure: seed=" << summary.failures.front().case_seed << " ["
       << summary.failures.front().kind << "] "
@@ -126,6 +131,40 @@ TEST(DiffOracle, DescribeDivergenceNamesTheFirstDifferingCounter) {
   opt.cycles += 1;
   const std::string why = describe_divergence(opt, ref);
   EXPECT_NE(why.find("cycles"), std::string::npos) << why;
+}
+
+TEST(DiffOracle, RecordedTraceFeedsBothSimulatorsIdentically) {
+  // Round-trip a fuzz case's op lists through the LPM2 on-disk format and
+  // feed the replayed case to both simulators: the optimized and reference
+  // results must match the live case's bit for bit, and the honest diff of
+  // the replayed case must be clean. This is the oracle-level proof that
+  // record-once/replay-many changes nothing about what gets simulated.
+  Fuzzer fuzzer;
+  const ReplayCase live = fuzzer.generate(19);
+  ReplayCase replayed = live;  // same machine; ops come back from disk
+
+  for (std::size_t core = 0; core < live.ops.size(); ++core) {
+    const std::string path = testing::TempDir() + "/lpm_diff_recorded_" +
+                             std::to_string(core) + ".lpm2";
+    trace::VectorTrace source("recorded", live.ops[core]);
+    trace::record_trace_v2(source, path);
+    trace::MmapTrace replay(path, "recorded",
+                            trace::MmapTraceOptions{.pipeline = core == 0,
+                                                    .chunk_ops = 128});
+    replayed.ops[core] = trace::materialize(replay, live.ops[core].size() + 1);
+    std::remove(path.c_str());
+  }
+  ASSERT_EQ(replayed.ops, live.ops);
+
+  const sim::SystemResult opt_live = run_optimized(live);
+  const sim::SystemResult opt_replayed = run_optimized(replayed);
+  EXPECT_TRUE(describe_divergence(opt_live, opt_replayed).empty());
+  const sim::SystemResult ref_live = run_reference(live);
+  const sim::SystemResult ref_replayed = run_reference(replayed);
+  EXPECT_TRUE(describe_divergence(ref_live, ref_replayed).empty());
+
+  DiffRunner honest;
+  EXPECT_FALSE(honest.diverges(replayed));
 }
 
 }  // namespace

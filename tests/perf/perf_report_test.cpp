@@ -19,6 +19,7 @@ PerfOptions tiny_options() {
   opts.engine_submitters = 1;
   opts.engine_threads = 1;
   opts.analytic_configs = 4;
+  opts.trace_ops = 5000;
   return opts;
 }
 
@@ -32,7 +33,9 @@ TEST(PerfReport, EmitsRequiredSchema) {
        {"cycles", "instructions", "jobs", "analytic_configs",
         "wall_seconds_simulate", "wall_seconds_engine", "wall_seconds_analytic",
         "sim_cycles_per_sec", "instructions_per_sec", "engine_jobs_per_sec",
-        "analytic_configs_per_sec"}) {
+        "analytic_configs_per_sec", "trace_ops", "wall_seconds_trace_cold",
+        "wall_seconds_trace_warm", "trace_cold_ops_per_sec",
+        "trace_warm_ops_per_sec"}) {
     const auto value = parsed.get_number(key);
     ASSERT_TRUE(value.has_value()) << "missing key " << key;
     EXPECT_GE(*value, 0.0) << key;
@@ -47,6 +50,10 @@ TEST(PerfReport, EmitsRequiredSchema) {
   EXPECT_GT(report.instructions_per_sec, 0.0);
   EXPECT_GT(report.engine_jobs_per_sec, 0.0);
   EXPECT_GT(report.analytic_configs_per_sec, 0.0);
+  // The ingestion phase drained the recorded trace, both passes.
+  EXPECT_EQ(report.trace_ops, 5000u);
+  EXPECT_GT(report.trace_cold_ops_per_sec, 0.0);
+  EXPECT_GT(report.trace_warm_ops_per_sec, 0.0);
 }
 
 TEST(PerfReport, JsonRoundTrips) {
@@ -63,6 +70,11 @@ TEST(PerfReport, JsonRoundTrips) {
   r.analytic_configs = 64;
   r.wall_seconds_analytic = 0.125;
   r.analytic_configs_per_sec = 512.0;
+  r.trace_ops = 4096;
+  r.wall_seconds_trace_cold = 0.5;
+  r.wall_seconds_trace_warm = 0.25;
+  r.trace_cold_ops_per_sec = 8192.0;
+  r.trace_warm_ops_per_sec = 16384.0;
 
   const PerfReport back = parse_report(to_json(r));
   EXPECT_EQ(back.bench, r.bench);
@@ -74,6 +86,9 @@ TEST(PerfReport, JsonRoundTrips) {
   EXPECT_DOUBLE_EQ(back.instructions_per_sec, r.instructions_per_sec);
   EXPECT_DOUBLE_EQ(back.engine_jobs_per_sec, r.engine_jobs_per_sec);
   EXPECT_DOUBLE_EQ(back.analytic_configs_per_sec, r.analytic_configs_per_sec);
+  EXPECT_EQ(back.trace_ops, r.trace_ops);
+  EXPECT_DOUBLE_EQ(back.trace_cold_ops_per_sec, r.trace_cold_ops_per_sec);
+  EXPECT_DOUBLE_EQ(back.trace_warm_ops_per_sec, r.trace_warm_ops_per_sec);
 }
 
 TEST(PerfReport, LegacyReportsWithoutAnalyticKeysStillParse) {
@@ -88,9 +103,14 @@ TEST(PerfReport, LegacyReportsWithoutAnalyticKeysStillParse) {
   const PerfReport baseline = parse_report(legacy);
   EXPECT_EQ(baseline.analytic_configs, 0u);
   EXPECT_DOUBLE_EQ(baseline.analytic_configs_per_sec, 0.0);
+  EXPECT_EQ(baseline.trace_ops, 0u);
+  EXPECT_DOUBLE_EQ(baseline.trace_cold_ops_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(baseline.trace_warm_ops_per_sec, 0.0);
 
   PerfReport current = baseline;
   current.analytic_configs_per_sec = 0.0;  // even "no analytic phase" passes
+  current.trace_cold_ops_per_sec = 0.0;    // ...and "no ingestion phase"
+  current.trace_warm_ops_per_sec = 0.0;
   EXPECT_TRUE(check_against_baseline(current, baseline, 0.30).ok);
 }
 
@@ -105,9 +125,28 @@ TEST(PerfBaseline, GateFailsOnlyBelowTolerance) {
   baseline.instructions_per_sec = 2000.0;
   baseline.engine_jobs_per_sec = 10.0;
   baseline.analytic_configs_per_sec = 500.0;
+  baseline.trace_cold_ops_per_sec = 100.0;
+  baseline.trace_warm_ops_per_sec = 200.0;
 
   PerfReport current = baseline;
   EXPECT_TRUE(check_against_baseline(current, baseline, 0.30).ok);
+
+  // The ingestion metrics are gated like the others once the baseline has
+  // them.
+  current.trace_cold_ops_per_sec = 50.0;  // 50% of baseline
+  current.trace_warm_ops_per_sec = 60.0;  // 30% of baseline
+  {
+    const BaselineCheck failed =
+        check_against_baseline(current, baseline, 0.30);
+    EXPECT_FALSE(failed.ok);
+    ASSERT_EQ(failed.failures.size(), 2u);
+    EXPECT_NE(failed.failures[0].find("trace_cold_ops_per_sec"),
+              std::string::npos);
+    EXPECT_NE(failed.failures[1].find("trace_warm_ops_per_sec"),
+              std::string::npos);
+  }
+  current.trace_cold_ops_per_sec = baseline.trace_cold_ops_per_sec;
+  current.trace_warm_ops_per_sec = baseline.trace_warm_ops_per_sec;
 
   // The analytic metric is gated like the others once the baseline has it.
   current.analytic_configs_per_sec = 340.0;  // 68% of baseline
@@ -144,8 +183,10 @@ TEST(PerfBaseline, CommittedBaselineParses) {
   EXPECT_GT(baseline.sim_cycles_per_sec, 0.0);
   EXPECT_GT(baseline.instructions_per_sec, 0.0);
   EXPECT_GT(baseline.engine_jobs_per_sec, 0.0);
-  // The committed baseline carries the analytic gate.
+  // The committed baseline carries the analytic and ingestion gates.
   EXPECT_GT(baseline.analytic_configs_per_sec, 0.0);
+  EXPECT_GT(baseline.trace_cold_ops_per_sec, 0.0);
+  EXPECT_GT(baseline.trace_warm_ops_per_sec, 0.0);
 }
 
 }  // namespace

@@ -87,6 +87,7 @@ TEST(ProtocolDoc, JobSpecKeysMatchDoc) {
   spec.mshr = 8;
   spec.cores = 2;
   spec.deadline_ms = 1000;
+  spec.trace_file = "/tmp/trace.lpm2";
   spec.sweep_knob = "l1_kb";
   spec.sweep_values = "16,32";
   JsonWriter out;

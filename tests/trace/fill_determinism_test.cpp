@@ -1,15 +1,20 @@
 // The fill() contract: the concatenation of batched chunks must be
 // byte-identical to the stream repeated next() calls produce — batching is
 // purely a throughput change. Covered per source (synthetic incl. burst
-// phases, vector, file) and end-to-end: a System fed through a
-// next()-only proxy produces the exact SystemResult of the batched path.
+// phases, vector, file, mmap in both delivery modes) and end-to-end: a
+// System fed through a next()-only proxy produces the exact SystemResult of
+// the batched path, and a System replaying a recorded LPM2 file produces
+// the exact SystemResult of the live synthetic stream on all 16 profiles.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/system.hpp"
+#include "trace/lpm2.hpp"
+#include "trace/mmap_trace.hpp"
 #include "trace/spec_like.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_file.hpp"
@@ -109,21 +114,19 @@ class NextOnlyProxy final : public TraceSource {
   TraceSourcePtr inner_;
 };
 
-TEST(FillDeterminism, SystemResultIdenticalBatchedVsUnbatched) {
-  const auto profile = spec_profile(SpecBenchmark::kBwaves, 20000, 17);
-  const auto machine = sim::MachineConfig::single_core_default();
+/// Runs one source through a single-core default System.
+sim::SystemResult run_system(TraceSourcePtr src) {
+  std::vector<TraceSourcePtr> traces;
+  traces.push_back(std::move(src));
+  sim::System sys(sim::MachineConfig::single_core_default(), std::move(traces));
+  return sys.run();
+}
 
-  std::vector<TraceSourcePtr> batched;
-  batched.push_back(std::make_unique<SyntheticTrace>(profile));
-  sim::System sys_batched(machine, std::move(batched));
-  const sim::SystemResult a = sys_batched.run();
-
-  std::vector<TraceSourcePtr> unbatched;
-  unbatched.push_back(std::make_unique<NextOnlyProxy>(
-      std::make_unique<SyntheticTrace>(profile)));
-  sim::System sys_unbatched(machine, std::move(unbatched));
-  const sim::SystemResult b = sys_unbatched.run();
-
+/// Field-wise identity of the counters a divergence would surface in (the
+/// structs carry no operator==; this mirrors the differential oracle's
+/// counter set for a single-core run).
+void expect_same_system_result(const sim::SystemResult& a,
+                               const sim::SystemResult& b) {
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.cycles, b.cycles);
   ASSERT_EQ(a.cores.size(), b.cores.size());
@@ -139,6 +142,105 @@ TEST(FillDeterminism, SystemResultIdenticalBatchedVsUnbatched) {
   EXPECT_EQ(a.dram_stats.reads, b.dram_stats.reads);
   EXPECT_EQ(a.l1[0].pure_miss_cycles, b.l1[0].pure_miss_cycles);
   EXPECT_EQ(a.l2.pure_miss_cycles, b.l2.pure_miss_cycles);
+}
+
+TEST(FillDeterminism, SystemResultIdenticalBatchedVsUnbatched) {
+  const auto profile = spec_profile(SpecBenchmark::kBwaves, 20000, 17);
+  const sim::SystemResult a =
+      run_system(std::make_unique<SyntheticTrace>(profile));
+  const sim::SystemResult b = run_system(std::make_unique<NextOnlyProxy>(
+      std::make_unique<SyntheticTrace>(profile)));
+  expect_same_system_result(a, b);
+}
+
+// --- recorded LPM2 replay: the mmap path joins the determinism net ----------
+
+/// One recorded LPM2 file per fixture run, shared by the mmap tests below.
+class Lpm2Determinism : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/lpm_fill_determinism.lpm2";
+    profile_ = spec_profile(SpecBenchmark::kGcc, 5000, 23);
+    SyntheticTrace gen(profile_);
+    record_trace_v2(gen, path_);
+    SyntheticTrace live(profile_);
+    expected_ = drain_with_next(live);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  [[nodiscard]] MmapTraceOptions mode(bool pipeline) const {
+    // A chunk much smaller than the trace so the pipelined drain cycles
+    // both slots many times instead of finishing in one handoff.
+    return MmapTraceOptions{.pipeline = pipeline, .chunk_ops = 512};
+  }
+
+  std::string path_;
+  WorkloadProfile profile_;
+  std::vector<MicroOp> expected_;
+};
+
+TEST_F(Lpm2Determinism, MmapMatchesSyntheticAtEveryChunkSize) {
+  for (const bool pipeline : {false, true}) {
+    // Chunk sizes below, straddling, and far above the pipeline slot size —
+    // including single-op pulls and a non-divisor of the trace length.
+    for (const std::size_t chunk : {1ul, 7ul, 64ul, 4096ul}) {
+      MmapTrace by_fill(path_, "by-fill", mode(pipeline));
+      expect_same_stream(expected_, drain_with_fill(by_fill, chunk));
+    }
+    MmapTrace by_next(path_, "by-next", mode(pipeline));
+    expect_same_stream(expected_, drain_with_next(by_next));
+  }
+}
+
+TEST_F(Lpm2Determinism, MidStreamResetReplaysTheIdenticalStream) {
+  for (const bool pipeline : {false, true}) {
+    MmapTrace src(path_, "reset", mode(pipeline));
+    // Consume a prefix that ends mid-chunk, then rewind: the full replay
+    // must match the untouched stream exactly.
+    std::vector<MicroOp> prefix(expected_.size() / 3 + 5);
+    ASSERT_EQ(src.fill(prefix.data(), prefix.size()), prefix.size());
+    src.reset();
+    expect_same_stream(expected_, drain_with_fill(src, 100));
+    // And a reset after full exhaustion replays again too.
+    src.reset();
+    expect_same_stream(expected_, drain_with_next(src));
+  }
+}
+
+TEST_F(Lpm2Determinism, V1ResidentAndV2StreamingReplayIdentically) {
+  const std::string v1_path = testing::TempDir() + "/lpm_fill_determinism.lpmt";
+  SyntheticTrace gen(profile_);
+  record_trace(gen, v1_path);
+
+  FileTrace resident(v1_path);
+  expect_same_stream(expected_, drain_with_fill(resident, 64));
+  MmapTrace streaming(path_, "v2", mode(true));
+  expect_same_stream(expected_, drain_with_fill(streaming, 64));
+  std::remove(v1_path.c_str());
+}
+
+TEST(FillDeterminism, MmapReplayMatchesLiveSyntheticOnAllSpecProfiles) {
+  // The record → mmap-replay → simulate path must be bit-identical to
+  // simulating the live generator, for every profile in the catalog.
+  // Alternate delivery modes across profiles so both are load-bearing.
+  const std::string path = testing::TempDir() + "/lpm_fill_det_profiles.lpm2";
+  std::size_t i = 0;
+  for (const SpecBenchmark bench : all_spec_benchmarks()) {
+    const auto profile = spec_profile(bench, 4000, 29 + i);
+    {
+      SyntheticTrace gen(profile);
+      record_trace_v2(gen, path);
+    }
+    const sim::SystemResult live =
+        run_system(std::make_unique<SyntheticTrace>(profile));
+    const sim::SystemResult replay = run_system(std::make_unique<MmapTrace>(
+        path, spec_name(bench),
+        MmapTraceOptions{.pipeline = (i % 2 == 0), .chunk_ops = 512}));
+    SCOPED_TRACE(spec_name(bench));
+    expect_same_system_result(live, replay);
+    ++i;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

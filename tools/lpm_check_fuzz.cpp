@@ -4,6 +4,7 @@
 //
 //   $ LPM_CHECK_SEED=7 LPM_CHECK_CASES=500 ./lpm_check_fuzz [artifacts=DIR]
 //   $ ./lpm_check_fuzz cases=50 seed=123 trace_len=800 artifacts=/tmp/repros
+//   $ ./lpm_check_fuzz cases=200 roundtrip=false   # skip the LPM2 round trip
 //
 // Command-line keys override the LPM_CHECK_* environment knobs. Minimized
 // repros for any divergence are written to the artifact directory as
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
     cfg.artifact_dir = args.get_or("artifacts", cfg.artifact_dir);
     cfg.minimize = args.get_bool_or("minimize", cfg.minimize);
     cfg.check_properties = args.get_bool_or("properties", cfg.check_properties);
+    cfg.check_trace_roundtrip =
+        args.get_bool_or("roundtrip", cfg.check_trace_roundtrip);
 
     std::printf("fuzz: %llu case(s) from seed %llu, %llu ops/core%s%s\n",
                 static_cast<unsigned long long>(cfg.cases),
@@ -45,11 +48,12 @@ int main(int argc, char** argv) {
                   f.replay_path.c_str());
     }
     std::printf(
-        "fuzz summary: %llu cases, %llu divergences, %llu property failures "
-        "(%llu simulator pairs)\n",
+        "fuzz summary: %llu cases, %llu divergences, %llu property failures, "
+        "%llu trace-roundtrip failures (%llu simulator pairs)\n",
         static_cast<unsigned long long>(summary.cases_run),
         static_cast<unsigned long long>(summary.divergences),
         static_cast<unsigned long long>(summary.property_failures),
+        static_cast<unsigned long long>(summary.roundtrip_failures),
         static_cast<unsigned long long>(summary.simulator_pairs));
     return summary.ok() ? 0 : 1;
   } catch (const util::LpmError& e) {

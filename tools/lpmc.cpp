@@ -4,6 +4,8 @@
 //            [workload=403.gcc] [length=20000] [seed=1] [machine=default]
 //            [l1_kb=0] [l1_assoc=0] [l2_kb=0] [mshr=0] [cores=0]
 //            [backend=cycle] [calibrate=1] [degrade_ok=1] [deadline_ms=0]
+//            [trace_file=/path/to.lpm2]   # replay a recorded trace instead
+//                                         # of the synthetic workload=
 //   $ ./lpmc cmd=sweep sweep_knob=l1_kb sweep_values=16,32,64 ...
 //   $ ./lpmc cmd=walk workload=410.bwaves length=10000
 //   $ ./lpmc cmd=attach id=job1         # pick up results after a restart
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
     } else {
       spec.kind = cmd;
       spec.workload = args.get_or("workload", spec.workload);
+      spec.trace_file = args.get_or("trace_file", spec.trace_file);
       spec.length = args.get_uint_or("length", 20'000);
       spec.seed = args.get_uint_or("seed", spec.seed);
       spec.machine = args.get_or("machine", spec.machine);
